@@ -1,0 +1,22 @@
+# Convenience targets for the TENET reproduction.
+
+.PHONY: install test bench examples report clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
+
+report:
+	python -m repro.cli report reproduction_report.md --scale 1.0
+
+clean:
+	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \
+	    src/repro.egg-info test_output.txt bench_output.txt

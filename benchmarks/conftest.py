@@ -1,0 +1,66 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Everything expensive (world, embeddings, the full-scale corpus, the
+system roster) is built once per session.  Each benchmark regenerates one
+table or figure of the paper, prints it, and writes it under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets.benchmarks import BenchmarkSuite, build_benchmark_suite
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+SYSTEM_ORDER = ["Falcon", "QKBfly", "KBPearl", "EARL", "MINTREE", "TENET"]
+
+
+@pytest.fixture(scope="session")
+def bench_suite() -> BenchmarkSuite:
+    return build_benchmark_suite(seed=7, scale=1.0)
+
+
+@pytest.fixture(scope="session")
+def bench_context(bench_suite) -> LinkingContext:
+    return LinkingContext.build(
+        bench_suite.world.kb, bench_suite.world.taxonomy
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_linkers(bench_context) -> Dict[str, object]:
+    return {
+        "Falcon": FalconLinker(bench_context),
+        "QKBfly": QKBflyLinker(bench_context),
+        "KBPearl": KBPearlLinker(bench_context),
+        "EARL": EarlLinker(bench_context),
+        "MINTREE": MinTreeLinker(bench_context),
+        "TENET": TenetLinker(bench_context),
+    }
+
+
+def emit(name: str, lines) -> str:
+    """Print a result block and persist it to results/<name>.txt."""
+    text = "\n".join(lines)
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def prf_row(label: str, prf) -> str:
+    return f"{label:10s} P={prf.precision:.3f} R={prf.recall:.3f} F={prf.f1:.3f}"

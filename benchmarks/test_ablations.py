@@ -1,0 +1,107 @@
+"""Ablations of TENET's design choices (beyond the paper's figures).
+
+Each ablation switches off one component called out in DESIGN.md and
+measures end-to-end entity/relation linking on the News dataset (the
+dataset with every phenomenon: ambiguity, isolation, fresh concepts,
+relation gold):
+
+* **canopies off** — every span is its own group; mention selection loses
+  the merged-reading preference (Sec. 5.1's contribution);
+* **prior calibration off** — raw 1-P local distances (no floor/curve);
+  dominant priors then outrank genuine coherence (Sec. 4's min-max
+  intuition);
+* **weak-prior filter off** — coherence-free weak priors are linked
+  instead of demoted;
+* **predicate scaling off** — predicate hub similarity untreated;
+* **kNN sparsification off** — the dense coherence graph; results must
+  match the sparsified default (it is an efficiency device, not a quality
+  trade).
+"""
+
+import pytest
+from conftest import emit
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.eval.runner import EvaluationRunner
+
+ABLATIONS = {
+    "full": TenetConfig(),
+    "no-canopies": TenetConfig(use_canopies=False),
+    "no-prior-calibration": TenetConfig(
+        prior_distance_floor=0.0, prior_distance_curve=1.0
+    ),
+    "no-weak-prior-filter": TenetConfig(prior_link_threshold=1.0),
+    "no-predicate-scale": TenetConfig(predicate_similarity_scale=1.0),
+    "dense-graph": TenetConfig(coherence_max_neighbours=None),
+    "with-type-filter": TenetConfig(use_type_filter=True),
+}
+
+
+def test_ablations_on_news(bench_suite, bench_context, benchmark):
+    def run():
+        scores = {}
+        for name, config in ABLATIONS.items():
+            linker = TenetLinker(bench_context, config)
+            runner = EvaluationRunner([linker])
+            scores[name] = runner.evaluate(bench_suite.news)["TENET"]
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Ablation':22s} {'EL-P':>7s} {'EL-R':>7s} {'EL-F':>7s} "
+        f"{'RL-F':>7s} {'MD-F':>7s} {'ISO-P':>7s}"
+    ]
+    for name, system in scores.items():
+        lines.append(
+            f"{name:22s} {system.entity.precision:7.3f} "
+            f"{system.entity.recall:7.3f} {system.entity.f1:7.3f} "
+            f"{system.relation.f1:7.3f} {system.mention_detection.f1:7.3f} "
+            f"{system.isolated.precision:7.3f}"
+        )
+    emit("ablations_news", lines)
+
+    full = scores["full"]
+    # every quality component contributes (or at worst is neutral)
+    assert scores["no-prior-calibration"].entity.f1 < full.entity.f1
+    assert scores["no-canopies"].mention_detection.f1 <= full.mention_detection.f1
+    assert scores["no-predicate-scale"].relation.f1 <= full.relation.f1 + 0.02
+    # the kNN sparsification is quality-neutral
+    assert abs(scores["dense-graph"].entity.f1 - full.entity.f1) < 0.02
+
+
+def test_bound_search_ablation(bench_suite, bench_context, benchmark):
+    """B = |M| (the paper's setting) vs. the minimal feasible bound.
+
+    The binary search finds a much smaller feasible B; Algorithm 1 then
+    still yields a cover of cost <= 4B (Lemma 4.2), trading slack for
+    sharper trees.
+    """
+    from repro.core.tree_cover import derive_tree_cover, minimal_feasible_bound
+
+    linker = TenetLinker(bench_context)
+    document = bench_suite.news.documents[0]
+
+    def run():
+        diagnostics = linker.link_detailed(document.text)
+        coherence = diagnostics.coherence
+        default_bound = float(len(coherence.mentions))
+        b_star = minimal_feasible_bound(coherence, tolerance=0.05)
+        tight_cover = derive_tree_cover(coherence, bound=b_star)
+        return default_bound, b_star, tight_cover, diagnostics.cover
+
+    default_bound, b_star, tight_cover, default_cover = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    lines = [
+        f"default bound B=|M|     : {default_bound:.2f} "
+        f"(cover cost {default_cover.cost():.2f})",
+        f"minimal feasible bound  : {b_star:.2f} "
+        f"(cover cost {tight_cover.cost():.2f}, 4B = {4 * b_star:.2f})",
+    ]
+    emit("ablation_bound_search", lines)
+
+    assert b_star < default_bound
+    assert tight_cover.cost() <= 4 * b_star + 1e-9

@@ -1,0 +1,50 @@
+"""Figure 4: sparsity of *entities* per document.
+
+For distance thresholds 0.0..0.9, the density and average degree of the
+per-document gold entity graphs are averaged per dataset.  Paper claim:
+coherence is sparse — e.g. on MSNBC19 (>22 entities/document) each
+entity connects to only a handful of others even at threshold 0.7.
+"""
+
+from conftest import emit
+
+from repro.embeddings.similarity import SimilarityIndex
+from repro.eval.sparsity import sparsity_curve
+
+
+def test_fig4_entity_sparsity(bench_suite, bench_context, benchmark):
+    similarity = SimilarityIndex(bench_context.embeddings)
+
+    def run():
+        return {
+            ds.name: sparsity_curve(ds, similarity, entities_only=True)
+            for ds in bench_suite.datasets()
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = ["(a) density of entities per document"]
+    thresholds = [p.threshold for p in next(iter(curves.values()))]
+    lines.append("dist   " + "  ".join(f"{t:.1f}" for t in thresholds))
+    for name, curve in curves.items():
+        lines.append(
+            f"{name:8s}" + " ".join(f"{p.density:.2f}" for p in curve)
+        )
+    lines.append("")
+    lines.append("(b) average degree of entities per document")
+    for name, curve in curves.items():
+        lines.append(
+            f"{name:8s}" + " ".join(f"{p.average_degree:4.1f}" for p in curve)
+        )
+    emit("fig4_entity_sparsity", lines)
+
+    for name, curve in curves.items():
+        densities = [p.density for p in curve]
+        assert densities == sorted(densities), name  # monotone
+        at_half = next(p for p in curve if p.threshold == 0.5)
+        assert at_half.density < 0.6, name  # sparse coherence claim
+    # MSNBC19 (most entities/doc): low average degree at moderate radius
+    msnbc_07 = next(
+        p for p in curves["MSNBC19"] if p.threshold == 0.7
+    )
+    assert msnbc_07.average_degree < 8.0

@@ -1,0 +1,43 @@
+"""Figure 5: sparsity of *concepts* (entities + predicates) per document.
+
+Same metrics as Figure 4 over the joint concept set; only News and
+T-REx42 carry predicate annotations.
+"""
+
+from conftest import emit
+
+from repro.embeddings.similarity import SimilarityIndex
+from repro.eval.sparsity import sparsity_curve
+
+
+def test_fig5_concept_sparsity(bench_suite, bench_context, benchmark):
+    similarity = SimilarityIndex(bench_context.embeddings)
+    datasets = [bench_suite.news, bench_suite.trex42]
+
+    def run():
+        return {
+            ds.name: sparsity_curve(ds, similarity, entities_only=False)
+            for ds in datasets
+        }
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    thresholds = [p.threshold for p in next(iter(curves.values()))]
+    lines = ["(a) density of concepts per document"]
+    lines.append("dist   " + "  ".join(f"{t:.1f}" for t in thresholds))
+    for name, curve in curves.items():
+        lines.append(f"{name:8s}" + " ".join(f"{p.density:.2f}" for p in curve))
+    lines.append("")
+    lines.append("(b) average degree of concepts per document")
+    for name, curve in curves.items():
+        lines.append(
+            f"{name:8s}" + " ".join(f"{p.average_degree:4.1f}" for p in curve)
+        )
+    emit("fig5_concept_sparsity", lines)
+
+    for name, curve in curves.items():
+        at_half = next(p for p in curve if p.threshold == 0.5)
+        assert at_half.density < 0.6, name
+        # including predicates, graphs stay sparse (the paper's point:
+        # relaxing coherence is necessary for concepts, not just entities)
+        assert curve[0].density <= curve[-1].density

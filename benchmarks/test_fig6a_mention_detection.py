@@ -1,0 +1,36 @@
+"""Figure 6(a): mention detection F1 per system and dataset.
+
+Paper shape: all systems do well on the short-text dataset (KORE50);
+TENET leads on the long-text datasets thanks to the integration of
+canopy selection with disambiguation.
+"""
+
+from conftest import SYSTEM_ORDER, emit
+
+from repro.eval.runner import EvaluationRunner
+
+
+def test_fig6a_mention_detection(bench_suite, bench_linkers, benchmark):
+    runner = EvaluationRunner([bench_linkers[n] for n in SYSTEM_ORDER])
+
+    def run():
+        return {ds.name: runner.evaluate(ds) for ds in bench_suite.datasets()}
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'System':10s} " + " ".join(f"{d:>9s}" for d in scores)]
+    for system in SYSTEM_ORDER:
+        row = f"{system:10s} "
+        row += " ".join(
+            f"{scores[d][system].mention_detection.f1:9.3f}" for d in scores
+        )
+        lines.append(row)
+    emit("fig6a_mention_detection", lines)
+
+    for dataset in ("News", "T-REx42", "MSNBC19"):
+        by_system = scores[dataset]
+        best = max(s.mention_detection.f1 for s in by_system.values())
+        assert by_system["TENET"].mention_detection.f1 >= best - 0.005, dataset
+    # short text: everyone is decent
+    for system in SYSTEM_ORDER:
+        assert scores["KORE50"][system].mention_detection.f1 > 0.7, system

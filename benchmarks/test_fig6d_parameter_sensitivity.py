@@ -1,0 +1,47 @@
+"""Figure 6(d): sensitivity to the candidates-per-mention budget k.
+
+The paper sweeps the average number of candidate objects per mention on
+the News dataset and finds 3-4 optimal: fewer candidates starve the
+coherence learning, more add noise.  We sweep k = 1..6 and require the
+best F1 to land at k in {3, 4, 5} with a clear win over k = 1.
+"""
+
+from conftest import emit
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.eval.runner import EvaluationRunner
+
+K_VALUES = (1, 2, 3, 4, 5, 6)
+
+
+def test_fig6d_parameter_sensitivity(bench_suite, bench_context, benchmark):
+    def run():
+        scores = {}
+        for k in K_VALUES:
+            linker = TenetLinker(bench_context, TenetConfig(max_candidates=k))
+            runner = EvaluationRunner([linker])
+            scores[k] = runner.evaluate(bench_suite.news)["TENET"].entity
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'k':>3s} {'P':>7s} {'R':>7s} {'F':>7s}"]
+    for k, prf in scores.items():
+        lines.append(
+            f"{k:3d} {prf.precision:7.3f} {prf.recall:7.3f} {prf.f1:7.3f}"
+        )
+    emit("fig6d_parameter_sensitivity", lines)
+
+    best_k = max(scores, key=lambda k: scores[k].f1)
+    # Starvation below k=3 (the paper's "less candidates cannot provide
+    # sufficient hints") is sharp; beyond the 3-4 sweet spot the curve
+    # saturates.  (The paper's analog additionally *declines* past k=4
+    # because deep Wikidata candidate lists are noisy; our synthetic
+    # aliases rarely have more than a handful of owners, so the analog
+    # flattens instead of declining.)
+    assert best_k >= 3, f"best k was {best_k}"
+    starvation_gain = scores[3].f1 - scores[1].f1
+    late_gain = scores[6].f1 - scores[4].f1
+    assert starvation_gain > 0.0
+    assert late_gain < starvation_gain * 0.5

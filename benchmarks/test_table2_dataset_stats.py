@@ -1,0 +1,62 @@
+"""Table 2: statistics of non-linkable phrases per dataset.
+
+Paper reference values (fractions of non-linkable phrases):
+News 21.0% nouns / 63.2% relations; KORE50 0.7% nouns (no relation
+annotations); MSNBC19 15.1% nouns; T-REx42 7.3% nouns / 45.2% relations.
+The analogs must reproduce the qualitative profile: News has by far the
+highest non-linkable load, KORE50 nearly none, relation non-linkability
+far above noun non-linkability on the annotated datasets.
+"""
+
+from conftest import emit
+
+from repro.eval.statistics import dataset_statistics
+
+
+def test_table2_dataset_statistics(bench_suite, benchmark):
+    def run():
+        return [dataset_statistics(d) for d in bench_suite.datasets()]
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [
+        f"{'Dataset':10s} {'n./doc':>7s} {'#n.':>5s} {'nlN%':>6s} "
+        f"{'re./doc':>8s} {'#re.':>5s} {'nlR%':>6s} {'w/doc':>7s}"
+    ]
+    for s in stats:
+        rel_rate = (
+            f"{s.relations_per_document:8.2f}"
+            if s.relations_per_document is not None
+            else f"{'N.A.':>8s}"
+        )
+        rel_count = (
+            f"{s.relation_count:5d}" if s.relation_count is not None else f"{'N.A.':>5s}"
+        )
+        nl_rel = (
+            f"{100 * s.non_linkable_relation_fraction:5.1f}%"
+            if s.non_linkable_relation_fraction is not None
+            else f"{'N.A.':>6s}"
+        )
+        lines.append(
+            f"{s.name:10s} {s.nouns_per_document:7.2f} {s.noun_count:5d} "
+            f"{100 * s.non_linkable_noun_fraction:5.1f}% "
+            f"{rel_rate} {rel_count} {nl_rel} {s.words_per_document:7.1f}"
+        )
+    emit("table2_dataset_stats", lines)
+
+    by_name = {s.name: s for s in stats}
+    # qualitative profile of the paper's Table 2
+    assert by_name["News"].non_linkable_noun_fraction > 0.12
+    assert by_name["KORE50"].non_linkable_noun_fraction < 0.05
+    assert (
+        by_name["News"].non_linkable_relation_fraction
+        > by_name["News"].non_linkable_noun_fraction
+    )
+    assert (
+        by_name["T-REx42"].non_linkable_relation_fraction
+        > by_name["T-REx42"].non_linkable_noun_fraction
+    )
+    assert (
+        by_name["News"].non_linkable_noun_fraction
+        > by_name["T-REx42"].non_linkable_noun_fraction
+    )

@@ -1,0 +1,55 @@
+"""Table 3: end-to-end entity linking P/R/F for 6 systems x 4 datasets.
+
+Paper shape to reproduce: TENET achieves the best F1 on every dataset;
+Falcon (no coherence) is the weakest overall; KBPearl is the strongest
+baseline on long text; QKBfly's precision exceeds its recall on News
+(conservative linking of fresh concepts).
+"""
+
+from conftest import SYSTEM_ORDER, emit
+
+from repro.eval.runner import EvaluationRunner
+
+
+def test_table3_entity_linking(bench_suite, bench_linkers, benchmark):
+    runner = EvaluationRunner([bench_linkers[n] for n in SYSTEM_ORDER])
+
+    def run():
+        return {
+            ds.name: runner.evaluate(ds) for ds in bench_suite.datasets()
+        }
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = []
+    header = f"{'System':10s}"
+    for name in scores:
+        header += f" | {name:^23s}"
+    lines.append(header)
+    for system in SYSTEM_ORDER:
+        row = f"{system:10s}"
+        for dataset in scores:
+            prf = scores[dataset][system].entity
+            row += f" | P={prf.precision:.3f} R={prf.recall:.3f} F={prf.f1:.3f}"
+        lines.append(row)
+    emit("table3_entity_linking", lines)
+
+    # --- shape assertions (paper Table 3) ---
+    # TENET leads (or statistically ties: surname coin-flips on the small
+    # corpora can flip single mentions) on every dataset; the paired
+    # bootstrap in test_robustness_sweeps.py carries the rigorous
+    # significance claim for the headline comparison.
+    for dataset, by_system in scores.items():
+        best = max(s.entity.f1 for s in by_system.values())
+        assert by_system["TENET"].entity.f1 >= best - 0.005, (
+            f"TENET must lead (or tie) EL F1 on {dataset}"
+        )
+    # Falcon is the weakest or near-weakest system overall
+    falcon_mean = sum(
+        scores[d]["Falcon"].entity.f1 for d in scores
+    ) / len(scores)
+    tenet_mean = sum(scores[d]["TENET"].entity.f1 for d in scores) / len(scores)
+    assert falcon_mean < tenet_mean - 0.1
+    # QKBfly on News: precision-leaning (conservative on fresh concepts)
+    news_qkb = scores["News"]["QKBfly"].entity
+    assert news_qkb.precision >= news_qkb.recall

@@ -1,0 +1,82 @@
+"""Run the paper's end-to-end evaluation (Tables 3-4) at a chosen scale.
+
+Run:  python examples/benchmark_evaluation.py [scale]
+
+``scale`` (default 0.3) shrinks the benchmark corpora proportionally;
+pass 1.0 for the full paper-sized run (~10 s).
+"""
+
+import sys
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets import build_benchmark_suite
+from repro.eval.runner import EvaluationRunner
+from repro.eval.statistics import dataset_statistics
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.3
+    print(f"Building benchmark suite (scale={scale}) ...")
+    suite = build_benchmark_suite(scale=scale)
+    context = LinkingContext.build(suite.world.kb, suite.world.taxonomy)
+
+    print("\nDataset statistics (Table 2 analog):")
+    for dataset in suite.datasets():
+        stats = dataset_statistics(dataset)
+        relations = (
+            f"{100 * stats.non_linkable_relation_fraction:.1f}% n.l. relations"
+            if stats.non_linkable_relation_fraction is not None
+            else "no relation gold"
+        )
+        print(
+            f"  {stats.name:9s} {len(dataset):3d} docs, "
+            f"{stats.words_per_document:6.1f} w/doc, "
+            f"{stats.nouns_per_document:5.1f} n./doc, "
+            f"{100 * stats.non_linkable_noun_fraction:4.1f}% n.l. nouns, "
+            f"{relations}"
+        )
+
+    linkers = [
+        FalconLinker(context),
+        QKBflyLinker(context),
+        KBPearlLinker(context),
+        EarlLinker(context),
+        MinTreeLinker(context),
+        TenetLinker(context),
+    ]
+    runner = EvaluationRunner(linkers)
+
+    print("\nEnd-to-end entity linking (Table 3 analog):")
+    all_scores = {}
+    for dataset in suite.datasets():
+        all_scores[dataset.name] = runner.evaluate(dataset)
+        print(f"  --- {dataset.name}")
+        for name, scores in all_scores[dataset.name].items():
+            prf = scores.entity
+            print(
+                f"    {name:8s} P={prf.precision:.3f} "
+                f"R={prf.recall:.3f} F={prf.f1:.3f}"
+            )
+
+    print("\nEnd-to-end relation linking (Table 4 analog):")
+    for dataset_name in ("News", "T-REx42"):
+        print(f"  --- {dataset_name}")
+        for name, scores in all_scores[dataset_name].items():
+            prf = scores.relation
+            if prf.predicted == 0:
+                continue
+            print(
+                f"    {name:8s} P={prf.precision:.3f} "
+                f"R={prf.recall:.3f} F={prf.f1:.3f}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,111 @@
+"""Coherence relaxation in action: the paper's two headline scenarios.
+
+1. **Ambiguity**: a shared name whose *popular* sense is wrong — document
+   coherence must override the prior (the "Michael Jordan (professor)"
+   case of Figure 1).
+2. **Isolation**: a mention unrelated to the rest of the document — the
+   popular sense is right, and forcing coherence (as global-coherence
+   systems do) would be wrong (the "Brooklyn" case of Figure 1).
+
+TENET is compared against a prior-only linker (Falcon) and a
+global-coherence linker (QKBfly) on both.
+
+Run:  python examples/coherence_relaxation.py
+"""
+
+from repro import LinkingContext, TenetLinker, build_synthetic_world
+from repro.baselines import FalconLinker, QKBflyLinker
+from repro.textnorm import normalize_phrase
+
+
+def find_ambiguous_case(world):
+    """An alias whose dominant owner is NOT the coherent reading."""
+    kb = world.kb
+    owners = {}
+    for entity in kb.entities():
+        for alias in entity.aliases:
+            owners.setdefault(normalize_phrase(alias), []).append(entity)
+    for alias_key, entities in owners.items():
+        if len(entities) < 2:
+            continue
+        top = max(entities, key=lambda e: e.popularity)
+        for gold in entities:
+            if gold is top or "person" not in gold.types:
+                continue
+            field = next(
+                (
+                    t.obj
+                    for t in kb.triples()
+                    if t.subject == gold.entity_id
+                    and t.predicate == world.predicate("field")
+                ),
+                None,
+            )
+            if field is None:
+                continue
+            surface = next(
+                a for a in gold.aliases if normalize_phrase(a) == alias_key
+            )
+            return surface, gold, top, kb.get_entity(field)
+    raise RuntimeError("no ambiguous case in this world")
+
+
+def show(kb, name, result, surface):
+    link = result.find_entity(surface)
+    if link is None:
+        print(f"  {name:8s}: (not linked)")
+    else:
+        print(
+            f"  {name:8s}: {surface!r} -> {link.concept_id} "
+            f"({kb.get_entity(link.concept_id).label}, "
+            f"{kb.get_entity(link.concept_id).domain})"
+        )
+
+
+def main() -> None:
+    world = build_synthetic_world()
+    kb = world.kb
+    context = LinkingContext.build(kb, world.taxonomy)
+    tenet = TenetLinker(context)
+    falcon = FalconLinker(context)
+    qkbfly = QKBflyLinker(context)
+
+    # ------------------------------------------------------------------
+    surface, gold, top, topic = find_ambiguous_case(world)
+    text = f"{surface} studies {topic.label}."
+    print("Scenario 1 — ambiguity (coherence must beat popularity)")
+    print(f"  Document: {text!r}")
+    print(
+        f"  Senses: {gold.label} ({gold.domain}, pop {gold.popularity}) "
+        f"vs {top.label} ({top.domain}, pop {top.popularity})"
+    )
+    print(f"  Correct: {gold.entity_id} ({gold.label})")
+    for name, linker in (("Falcon", falcon), ("TENET", tenet)):
+        show(kb, name, linker.link(text), surface)
+
+    # ------------------------------------------------------------------
+    print("\nScenario 2 — isolation (popularity must beat forced coherence)")
+    cs_person = kb.get_entity(world.entities_of_type("computer_science", "person")[0])
+    cs_topic = kb.get_entity(world.entities_of_type("computer_science", "field")[0])
+    music_person = kb.get_entity(world.entities_of_type("music", "person")[0])
+    text = (
+        f"{cs_person.label} studies {cs_topic.label}. "
+        f"{music_person.label} visited Brooklyn."
+    )
+    print(f"  Document: {text!r}")
+    print(f"  {music_person.label} is a music-domain entity, isolated here.")
+    for name, linker in (("QKBfly", qkbfly), ("TENET", tenet)):
+        show(kb, name, linker.link(text), music_person.label)
+
+    # ------------------------------------------------------------------
+    print("\nScenario 3 — fresh concepts (nothing to link to)")
+    text = "Glowberry Cleanse dazzleboosted SnackWave."
+    print(f"  Document: {text!r}")
+    for name, linker in (("QKBfly", qkbfly), ("TENET", tenet)):
+        result = linker.link(text)
+        reported = [s.text for s in result.non_linkable]
+        print(f"  {name:8s}: new concepts reported: {reported}")
+
+
+if __name__ == "__main__":
+    main()

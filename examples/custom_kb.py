@@ -1,0 +1,97 @@
+"""Bring your own KB — the paper's "Mary and Max" example, hand-built.
+
+Sec. 1 of the paper motivates joint mention detection with the document
+"Mary and Max is a 2009 movie directed by Adam Elliot": knowing the
+presence of Adam Elliot (director) helps deduce the correct mention
+*Mary and Max* (the film) instead of two person mentions Mary and Max.
+
+This example builds that exact world from scratch — no synthetic
+generator — and shows TENET picking the merged reading.
+
+Run:  python examples/custom_kb.py
+"""
+
+from repro import LinkingContext, TenetLinker
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+
+def build_kb() -> KnowledgeBase:
+    kb = KnowledgeBase()
+    # the film and its director
+    kb.add_entity(
+        EntityRecord(
+            "Q1", "Mary and Max", types=("film",), popularity=40,
+            description="2009 stop-motion film",
+        )
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Q2", "Adam Elliot", types=("person",), popularity=30,
+            description="film director",
+        )
+    )
+    # the competing person readings for the fragments
+    kb.add_entity(
+        EntityRecord(
+            "Q3", "Mary Daly", aliases=("Mary",), types=("person",),
+            popularity=80, description="a popular Mary",
+        )
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Q4", "Max Weber", aliases=("Max",), types=("person",),
+            popularity=80, description="a popular Max",
+        )
+    )
+    # some more of the directors' world, for coherence
+    kb.add_entity(
+        EntityRecord("Q5", "Melodrama Pictures", types=("company",), popularity=20)
+    )
+    kb.add_predicate(
+        PredicateRecord(
+            "P1", "director", aliases=("directed", "was directed by"),
+            popularity=50,
+        )
+    )
+    kb.add_predicate(
+        PredicateRecord("P2", "production company", aliases=("was produced by",),
+                        popularity=30)
+    )
+    kb.add_fact(Triple("Q1", "P1", "Q2"))
+    kb.add_fact(Triple("Q1", "P2", "Q5"))
+    return kb
+
+
+def main() -> None:
+    kb = build_kb()
+    context = LinkingContext.build(kb)
+    linker = TenetLinker(context)
+
+    text = "Mary and Max was directed by Adam Elliot."
+    print(f"Document: {text!r}\n")
+
+    result, explanations = linker.explain(text)
+    for link in result.links:
+        record = (
+            kb.get_entity(link.concept_id)
+            if link.concept_id.startswith("Q")
+            else kb.get_predicate(link.concept_id)
+        )
+        why = explanations[link.span].describe()
+        print(f"  {link.surface!r:18s} -> {link.concept_id} ({record.label}); {why}")
+
+    merged = result.find_entity("Mary and Max")
+    assert merged is not None and merged.concept_id == "Q1", (
+        "expected the merged film reading"
+    )
+    assert result.find_entity("Mary") is None
+    assert result.find_entity("Max") is None
+    print(
+        "\nThe merged mention 'Mary and Max' won over the fragment "
+        "readings Mary (Q3) / Max (Q4) — the paper's Sec. 1 example."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""KB population: turn documents into new facts (the KBPearl scenario).
+
+A fresh document mixes facts the KB already knows, facts it does not,
+and a brand-new product name; the populator confirms the former, emits
+the latter, and promotes the fresh phrase to a new-entity placeholder.
+
+Run:  python examples/kb_population.py
+"""
+
+from repro import LinkingContext, build_synthetic_world
+from repro.kb.store import KnowledgeBase
+from repro.population import KBPopulator
+
+
+def main() -> None:
+    world = build_synthetic_world()
+    kb = world.kb
+    context = LinkingContext.build(kb, world.taxonomy)
+    populator = KBPopulator(context)
+
+    person = kb.get_entity(world.entities_of_type("computer_science", "person")[0])
+    known_fact = next(
+        t for t in kb.triples()
+        if t.subject == person.entity_id and not t.object_is_literal
+    )
+    predicate = kb.get_predicate(known_fact.predicate)
+    known_object = kb.get_entity(known_fact.obj)
+
+    other_person = kb.get_entity(
+        world.entities_of_type("computer_science", "person")[1]
+    )
+    city = kb.get_entity(world.cities[0])
+
+    text = (
+        # a fact the KB already contains -> confirmation
+        f"{person.label} {predicate.aliases[-1]} {known_object.label}. "
+        # a fact the KB does not contain -> new fact
+        f"{other_person.label} visited {city.label}. "
+        # a fresh product -> new concept placeholder + new fact
+        f"Glowberry Cleanse is located in {city.label}."
+    )
+    print("Document:")
+    print(f"  {text}\n")
+
+    result = populator.populate(text)
+
+    def describe(triple):
+        subject = (
+            kb.get_entity(triple.subject).label
+            if kb.has_entity(triple.subject)
+            else f"[new] {triple.subject}"
+        )
+        pred = kb.get_predicate(triple.predicate).label
+        obj = (
+            kb.get_entity(triple.obj).label
+            if kb.has_entity(triple.obj)
+            else f"[new] {triple.obj}"
+        )
+        return f"({subject}, {pred}, {obj})"
+
+    print("Confirmed facts (already in the KB):")
+    for triple in result.confirmed_facts:
+        print(f"  {describe(triple)}")
+
+    print("\nNew facts:")
+    for triple in result.new_facts:
+        print(f"  {describe(triple)}")
+
+    print("\nNew concepts:")
+    for concept in result.new_concepts:
+        print(f"  {concept.placeholder_id}: {concept.surface!r}")
+
+    # Apply to a copy of the KB and show the growth.
+    from repro.kb.dump import kb_from_json_dump, kb_to_json_dump
+
+    target = kb_from_json_dump(kb_to_json_dump(kb))
+    before = target.triple_count
+    added = populator.apply(target, result)
+    print(
+        f"\nApplied: {added} facts added "
+        f"({before} -> {target.triple_count} triples, "
+        f"{target.entity_count} entities)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Question answering over the KB (the Falcon/EARL scenario).
+
+Questions are linked jointly — the relational phrase and the entity
+disambiguate each other — then answered with one KB hop.
+
+Run:  python examples/question_answering.py
+"""
+
+from repro import LinkingContext, build_synthetic_world
+from repro.qa import KBQuestionAnswerer
+
+
+def main() -> None:
+    world = build_synthetic_world()
+    kb = world.kb
+    context = LinkingContext.build(kb, world.taxonomy)
+    answerer = KBQuestionAnswerer(context)
+
+    person_id = world.entities_of_type("computer_science", "person")[0]
+    person = kb.get_entity(person_id)
+    topic_id = next(
+        t.obj
+        for t in kb.triples()
+        if t.subject == person_id and t.predicate == world.predicate("field")
+    )
+    topic = kb.get_entity(topic_id)
+    born_city = next(
+        (
+            t.obj
+            for t in kb.triples()
+            if t.subject == person_id and t.predicate == world.predicate("born")
+        ),
+        None,
+    )
+
+    questions = [
+        # anchor after the relation -> answers are subjects
+        f"Who studies {topic.label}?",
+        # anchor before the relation -> answers are objects
+        f"{person.label} researches which topics?",
+    ]
+    if born_city is not None:
+        questions.append(f"{person.label} was born in which city?")
+
+    for question in questions:
+        answer = answerer.answer(question)
+        print(f"Q: {question}")
+        if not answer.found:
+            print("A: (no answer found)\n")
+            continue
+        anchor = kb.get_entity(answer.anchor_id).label
+        predicate = kb.get_predicate(answer.predicate_id).label
+        direction = "subject" if answer.anchor_is_subject else "object"
+        print(
+            f"   interpreted as: anchor={anchor!r} ({direction}), "
+            f"predicate={predicate!r}"
+        )
+        print(f"A: {', '.join(answer.labels)}\n")
+
+
+if __name__ == "__main__":
+    main()

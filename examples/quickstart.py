@@ -1,0 +1,58 @@
+"""Quickstart: build a world, link a document, inspect the result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import LinkingContext, TenetLinker, build_synthetic_world
+
+
+def main() -> None:
+    # 1. Build the synthetic world (the offline stand-in for Wikidata)
+    #    and the linking context: alias index + trained embeddings.
+    world = build_synthetic_world()
+    context = LinkingContext.build(world.kb, world.taxonomy)
+    linker = TenetLinker(context)
+
+    # 2. Compose a document from facts that exist in the KB, plus one
+    #    fresh (non-linkable) phrase.
+    kb = world.kb
+    person = kb.get_entity(world.entities_of_type("computer_science", "person")[0])
+    topic = kb.get_entity(world.entities_of_type("computer_science", "field")[0])
+    city = kb.get_entity(world.cities[0])
+    text = (
+        f"{person.label} studies {topic.label}. "
+        f"He was born in {city.label}. "
+        f"Glowberry Cleanse is located in {city.label}."
+    )
+    print("Document:")
+    print(f"  {text}\n")
+
+    # 3. Link.
+    result = linker.link(text)
+
+    print("Entity links:")
+    for link in result.entity_links:
+        entity = kb.get_entity(link.concept_id)
+        print(f"  {link.surface!r:40s} -> {link.concept_id} ({entity.label})")
+
+    print("\nRelation links:")
+    for link in result.relation_links:
+        predicate = kb.get_predicate(link.concept_id)
+        print(f"  {link.surface!r:40s} -> {link.concept_id} ({predicate.label})")
+
+    print("\nNon-linkable (new) concepts:")
+    for span in result.non_linkable:
+        print(f"  {span.text!r}")
+
+    # 4. Peek inside: the intermediate artefacts of the TENET pipeline.
+    diagnostics = linker.link_detailed(text)
+    print(
+        f"\nPipeline: {diagnostics.mention_count} mentions, "
+        f"{diagnostics.group_count} mention groups, "
+        f"{diagnostics.cover_edge_count} tree-cover edges, "
+        f"{diagnostics.elapsed_seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""Error analysis tooling.
+
+Sec. 6.2 of the paper explains system differences qualitatively (prior
+bias on ambiguous mentions, coherence drag on isolated mentions, alias
+coverage gaps, relation-as-entity confusion).  This package turns that
+analysis into a tool: every gold mention's outcome is classified into a
+diagnosis category, per system and dataset.
+"""
+
+from repro.analysis.breakdown import Breakdown, PerformanceBreakdown
+from repro.analysis.disagreements import (
+    Disagreement,
+    DisagreementReport,
+    find_disagreements,
+)
+from repro.analysis.errors import (
+    Diagnosis,
+    ErrorAnalyzer,
+    ErrorCase,
+    ErrorReport,
+)
+
+__all__ = [
+    "Breakdown",
+    "PerformanceBreakdown",
+    "Disagreement",
+    "DisagreementReport",
+    "find_disagreements",
+    "Diagnosis",
+    "ErrorAnalyzer",
+    "ErrorCase",
+    "ErrorReport",
+]

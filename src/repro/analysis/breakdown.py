@@ -1,0 +1,126 @@
+"""Per-category performance breakdowns.
+
+Slices a system's entity-linking performance along dimensions the
+aggregate P/R/F hides: gold entity domain, gold entity type, and mention
+ambiguity (how many senses the rendered surface has).  Useful for
+answering "where exactly does system X lose?" beyond the per-mention
+diagnoses of :mod:`repro.analysis.errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.linker import LinkingContext
+from repro.datasets.schema import Dataset, GoldMention
+from repro.eval.metrics import PRF
+from repro.nlp.spans import SpanKind
+from repro.textnorm import normalize_phrase
+
+
+@dataclass
+class Breakdown:
+    """Accuracy per category value for one system/dataset pair."""
+
+    system: str
+    dataset: str
+    dimension: str
+    correct: Dict[str, int] = field(default_factory=dict)
+    total: Dict[str, int] = field(default_factory=dict)
+
+    def accuracy(self, category: str) -> float:
+        total = self.total.get(category, 0)
+        return self.correct.get(category, 0) / total if total else 0.0
+
+    def categories(self) -> List[str]:
+        return sorted(self.total, key=lambda c: -self.total[c])
+
+    def rows(self) -> List[str]:
+        lines = [f"{self.system} on {self.dataset} by {self.dimension}:"]
+        for category in self.categories():
+            lines.append(
+                f"  {category:22s} {self.accuracy(category):6.3f} "
+                f"({self.correct.get(category, 0)}/{self.total[category]})"
+            )
+        return lines
+
+
+class PerformanceBreakdown:
+    """Computes per-category accuracies for entity gold mentions."""
+
+    def __init__(self, context: LinkingContext) -> None:
+        self.context = context
+        self._owners: Dict[str, int] = {}
+        for entity in context.kb.entities():
+            for alias in entity.aliases:
+                key = normalize_phrase(alias)
+                self._owners[key] = self._owners.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    def by_domain(self, linker, dataset: Dataset) -> Breakdown:
+        """Accuracy sliced by the gold entity's world domain."""
+        return self._run(
+            linker,
+            dataset,
+            "domain",
+            lambda gold: (
+                self.context.kb.get_entity(gold.concept_id).domain or "?"
+            ),
+        )
+
+    def by_type(self, linker, dataset: Dataset) -> Breakdown:
+        """Accuracy sliced by the gold entity's first KB type."""
+        return self._run(
+            linker,
+            dataset,
+            "type",
+            lambda gold: (
+                (self.context.kb.get_entity(gold.concept_id).types or ("?",))[0]
+            ),
+        )
+
+    def by_ambiguity(self, linker, dataset: Dataset) -> Breakdown:
+        """Accuracy sliced by the surface's sense count in the index."""
+
+        def bucket(gold: GoldMention) -> str:
+            owners = self._owners.get(normalize_phrase(gold.surface), 0)
+            if owners <= 1:
+                return "unambiguous"
+            if owners <= 3:
+                return "2-3 senses"
+            return "4+ senses"
+
+        return self._run(linker, dataset, "ambiguity", bucket)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        linker,
+        dataset: Dataset,
+        dimension: str,
+        category_of: Callable[[GoldMention], str],
+    ) -> Breakdown:
+        breakdown = Breakdown(
+            system=getattr(linker, "name", type(linker).__name__),
+            dataset=dataset.name,
+            dimension=dimension,
+        )
+        for document in dataset:
+            result = linker.link(document.text)
+            for gold in document.gold:
+                if gold.kind is not SpanKind.NOUN or gold.concept_id is None:
+                    continue
+                category = category_of(gold)
+                breakdown.total[category] = breakdown.total.get(category, 0) + 1
+                hit = any(
+                    link.concept_id == gold.concept_id
+                    and link.span.char_start < gold.char_end
+                    and gold.char_start < link.span.char_end
+                    for link in result.entity_links
+                )
+                if hit:
+                    breakdown.correct[category] = (
+                        breakdown.correct.get(category, 0) + 1
+                    )
+        return breakdown

@@ -1,0 +1,119 @@
+"""Pairwise system disagreement analysis.
+
+Given two linkers and an annotated dataset, list every gold mention on
+which the systems disagree, adjudicated against the gold — the tool for
+answering "which mentions does A get that B misses, and vice versa?"
+(the analysis behind every error-chasing session).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.nlp.spans import SpanKind
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One gold mention where two systems differ."""
+
+    doc_id: str
+    surface: str
+    kind: SpanKind
+    gold_concept: str
+    prediction_a: Optional[str]
+    prediction_b: Optional[str]
+    a_correct: bool
+    b_correct: bool
+
+    @property
+    def winner(self) -> str:
+        if self.a_correct and not self.b_correct:
+            return "a"
+        if self.b_correct and not self.a_correct:
+            return "b"
+        return "neither"
+
+
+@dataclass
+class DisagreementReport:
+    """All disagreements between two systems on one dataset."""
+
+    system_a: str
+    system_b: str
+    dataset: str
+    disagreements: List[Disagreement]
+    agreements: int = 0
+
+    def a_wins(self) -> List[Disagreement]:
+        return [d for d in self.disagreements if d.winner == "a"]
+
+    def b_wins(self) -> List[Disagreement]:
+        return [d for d in self.disagreements if d.winner == "b"]
+
+    def both_wrong_differently(self) -> List[Disagreement]:
+        return [d for d in self.disagreements if d.winner == "neither"]
+
+    def summary_lines(self) -> List[str]:
+        return [
+            f"{self.system_a} vs {self.system_b} on {self.dataset}:",
+            f"  agreements:            {self.agreements}",
+            f"  {self.system_a} correct only:  {len(self.a_wins())}",
+            f"  {self.system_b} correct only:  {len(self.b_wins())}",
+            f"  both wrong, differently: {len(self.both_wrong_differently())}",
+        ]
+
+
+def _prediction_for(result, gold: GoldMention) -> Optional[str]:
+    links = (
+        result.entity_links
+        if gold.kind is SpanKind.NOUN
+        else result.relation_links
+    )
+    for link in links:
+        if (
+            link.span.char_start < gold.char_end
+            and gold.char_start < link.span.char_end
+        ):
+            return link.concept_id
+    return None
+
+
+def find_disagreements(
+    linker_a, linker_b, dataset: Dataset
+) -> DisagreementReport:
+    """Run both linkers and adjudicate every linkable gold mention."""
+    report = DisagreementReport(
+        system_a=getattr(linker_a, "name", type(linker_a).__name__),
+        system_b=getattr(linker_b, "name", type(linker_b).__name__),
+        dataset=dataset.name,
+        disagreements=[],
+    )
+    for document in dataset:
+        result_a = linker_a.link(document.text)
+        result_b = linker_b.link(document.text)
+        for gold in document.gold:
+            if gold.concept_id is None:
+                continue
+            if gold.kind is SpanKind.RELATION and not dataset.has_relation_gold:
+                continue
+            prediction_a = _prediction_for(result_a, gold)
+            prediction_b = _prediction_for(result_b, gold)
+            if prediction_a == prediction_b:
+                report.agreements += 1
+                continue
+            report.disagreements.append(
+                Disagreement(
+                    doc_id=document.doc_id,
+                    surface=gold.surface,
+                    kind=gold.kind,
+                    gold_concept=gold.concept_id,
+                    prediction_a=prediction_a,
+                    prediction_b=prediction_b,
+                    a_correct=prediction_a == gold.concept_id,
+                    b_correct=prediction_b == gold.concept_id,
+                )
+            )
+    return report

@@ -1,0 +1,215 @@
+"""Per-mention outcome classification.
+
+For each *linkable* gold mention, the analyzer inspects the system's
+overlapping predictions and the KB to assign one diagnosis:
+
+* ``CORRECT`` — an overlapping prediction carries the gold concept;
+* ``PRIOR_BIAS`` — the system predicted the surface's most popular sense
+  while the gold was a less popular one (the "Michael Jordan
+  (basketball player)" failure of prior-following systems);
+* ``COHERENCE_DRAG`` — the gold *was* the most popular sense but the
+  system predicted another (a coherence-forcing failure on isolated
+  mentions);
+* ``WRONG_CONCEPT`` — wrong prediction matching neither pattern;
+* ``OOV_SURFACE`` — no prediction, and the gold surface is not in the
+  alias index at all (candidate-coverage gap);
+* ``CANDIDATE_CUTOFF`` — no prediction, surface is indexed but the gold
+  concept is outside the top-k candidates;
+* ``NOT_DETECTED`` — no prediction although the gold concept was
+  reachable (a mention detection / selection failure);
+* ``SPURIOUS_LINK`` — for non-linkable gold mentions: the system linked
+  something anyway (the Fig. 6(c) failure mode).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.candidates import CandidateGenerator
+from repro.core.linker import LinkingContext
+from repro.core.result import Link, LinkingResult
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.nlp.spans import SpanKind
+
+
+class Diagnosis(enum.Enum):
+    CORRECT = "correct"
+    PRIOR_BIAS = "prior_bias"
+    COHERENCE_DRAG = "coherence_drag"
+    WRONG_CONCEPT = "wrong_concept"
+    OOV_SURFACE = "oov_surface"
+    CANDIDATE_CUTOFF = "candidate_cutoff"
+    NOT_DETECTED = "not_detected"
+    SPURIOUS_LINK = "spurious_link"
+    CORRECT_ABSTAIN = "correct_abstain"  # non-linkable gold, no link made
+
+
+@dataclass(frozen=True)
+class ErrorCase:
+    """One gold mention's outcome under one system."""
+
+    doc_id: str
+    surface: str
+    kind: SpanKind
+    gold_concept: Optional[str]
+    predicted_concept: Optional[str]
+    diagnosis: Diagnosis
+
+
+@dataclass
+class ErrorReport:
+    """All outcomes for one (system, dataset) pair."""
+
+    system: str
+    dataset: str
+    cases: List[ErrorCase] = field(default_factory=list)
+
+    def counts(self) -> Dict[Diagnosis, int]:
+        return dict(Counter(case.diagnosis for case in self.cases))
+
+    def errors(self) -> List[ErrorCase]:
+        return [
+            c
+            for c in self.cases
+            if c.diagnosis
+            not in (Diagnosis.CORRECT, Diagnosis.CORRECT_ABSTAIN)
+        ]
+
+    @property
+    def accuracy(self) -> float:
+        if not self.cases:
+            return 0.0
+        good = sum(
+            1
+            for c in self.cases
+            if c.diagnosis in (Diagnosis.CORRECT, Diagnosis.CORRECT_ABSTAIN)
+        )
+        return good / len(self.cases)
+
+    def summary_lines(self) -> List[str]:
+        lines = [f"{self.system} on {self.dataset}: accuracy {self.accuracy:.3f}"]
+        for diagnosis, count in sorted(
+            self.counts().items(), key=lambda kv: -kv[1]
+        ):
+            lines.append(f"  {diagnosis.value:18s} {count}")
+        return lines
+
+
+class ErrorAnalyzer:
+    """Classifies per-mention outcomes of any linker over a dataset."""
+
+    def __init__(
+        self, context: LinkingContext, max_candidates: int = 4
+    ) -> None:
+        self.context = context
+        self.generator = CandidateGenerator(
+            context.alias_index, max_candidates=max_candidates
+        )
+
+    # ------------------------------------------------------------------
+    def analyze(self, linker, dataset: Dataset) -> ErrorReport:
+        report = ErrorReport(
+            system=getattr(linker, "name", type(linker).__name__),
+            dataset=dataset.name,
+        )
+        for document in dataset:
+            result = linker.link(document.text)
+            for gold in document.gold:
+                if (
+                    gold.kind is SpanKind.RELATION
+                    and not dataset.has_relation_gold
+                ):
+                    continue
+                report.cases.append(
+                    self._classify(document, gold, result)
+                )
+        return report
+
+    # ------------------------------------------------------------------
+    def _classify(
+        self,
+        document: AnnotatedDocument,
+        gold: GoldMention,
+        result: LinkingResult,
+    ) -> ErrorCase:
+        links = (
+            result.entity_links
+            if gold.kind is SpanKind.NOUN
+            else result.relation_links
+        )
+        overlapping = [
+            link
+            for link in links
+            if link.span.char_start < gold.char_end
+            and gold.char_start < link.span.char_end
+        ]
+        predicted = overlapping[0].concept_id if overlapping else None
+
+        if gold.concept_id is None:
+            diagnosis = (
+                Diagnosis.SPURIOUS_LINK
+                if overlapping
+                else Diagnosis.CORRECT_ABSTAIN
+            )
+            return self._case(document, gold, predicted, diagnosis)
+
+        if any(l.concept_id == gold.concept_id for l in overlapping):
+            return self._case(document, gold, gold.concept_id, Diagnosis.CORRECT)
+
+        if overlapping:
+            return self._case(
+                document, gold, predicted, self._wrong_concept_kind(gold, predicted)
+            )
+
+        return self._case(
+            document, gold, None, self._miss_kind(gold)
+        )
+
+    def _wrong_concept_kind(
+        self, gold: GoldMention, predicted: Optional[str]
+    ) -> Diagnosis:
+        hits = self._lookup(gold)
+        if not hits:
+            return Diagnosis.WRONG_CONCEPT
+        top = hits[0].concept_id
+        if predicted == top and gold.concept_id != top:
+            return Diagnosis.PRIOR_BIAS
+        if gold.concept_id == top and predicted != top:
+            return Diagnosis.COHERENCE_DRAG
+        return Diagnosis.WRONG_CONCEPT
+
+    def _miss_kind(self, gold: GoldMention) -> Diagnosis:
+        hits = self._lookup(gold, limited=False)
+        if not hits:
+            return Diagnosis.OOV_SURFACE
+        if not any(h.concept_id == gold.concept_id for h in hits):
+            # indexed surface, but the gold sense is not among its owners
+            return Diagnosis.OOV_SURFACE
+        limited = self._lookup(gold, limited=True)
+        if not any(h.concept_id == gold.concept_id for h in limited):
+            return Diagnosis.CANDIDATE_CUTOFF
+        return Diagnosis.NOT_DETECTED
+
+    def _lookup(self, gold: GoldMention, limited: bool = True):
+        index = self.context.alias_index
+        if gold.kind is SpanKind.NOUN:
+            hits = index.lookup_entities(gold.surface)
+        else:
+            hits = index.lookup_predicates(gold.surface)
+        if limited:
+            hits = hits[: self.generator.max_candidates]
+        return hits
+
+    @staticmethod
+    def _case(document, gold, predicted, diagnosis) -> ErrorCase:
+        return ErrorCase(
+            doc_id=document.doc_id,
+            surface=gold.surface,
+            kind=gold.kind,
+            gold_concept=gold.concept_id,
+            predicted_concept=predicted,
+            diagnosis=diagnosis,
+        )

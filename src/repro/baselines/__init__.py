@@ -1,0 +1,34 @@
+"""Baseline systems from the paper's evaluation (Sec. 6.1).
+
+Each baseline is a local reimplementation of the published system's
+algorithmic core, run over the same extraction pipeline and KB substrate
+as TENET so comparisons are apples-to-apples (the paper likewise feeds
+all systems the same documents and KB):
+
+* :class:`~repro.baselines.falcon.FalconLinker` — linguistic rules +
+  popularity priors, **no coherence**;
+* :class:`~repro.baselines.earl.EarlLinker` — connection-density joint
+  linking (GTSP-flavoured), relaxed coherence, no isolated concepts;
+* :class:`~repro.baselines.kbpearl.KBPearlLinker` — near-neighbour
+  coherence over a document concept graph, entities + predicates;
+* :class:`~repro.baselines.mintree.MinTreeLinker` — minimum-spanning-tree
+  objective entity disambiguation (pair-linking), entities only;
+* :class:`~repro.baselines.qkbfly.QKBflyLinker` — global-coherence dense
+  subgraph, entities only (no relation linking, as in the paper).
+"""
+
+from repro.baselines.base import BaselineLinker
+from repro.baselines.falcon import FalconLinker
+from repro.baselines.earl import EarlLinker
+from repro.baselines.kbpearl import KBPearlLinker
+from repro.baselines.mintree import MinTreeLinker
+from repro.baselines.qkbfly import QKBflyLinker
+
+__all__ = [
+    "BaselineLinker",
+    "FalconLinker",
+    "EarlLinker",
+    "KBPearlLinker",
+    "MinTreeLinker",
+    "QKBflyLinker",
+]

@@ -1,0 +1,177 @@
+"""Shared machinery for baseline linkers.
+
+Baselines consume the same :class:`~repro.core.linker.LinkingContext` and
+extraction pipeline as TENET.  What varies is the disambiguation policy,
+expressed by each subclass through :meth:`_disambiguate`.
+
+Mention detection for baselines is the conventional *longest-match*
+strategy (maximal nominal regions, gazetteer-confirmed sub-spans only
+when the region itself has no candidates): none of the published
+baselines integrates mention selection with disambiguation, which is
+exactly the gap the paper's canopy machinery targets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.candidates import CandidateGenerator, MentionCandidates
+from repro.core.linker import LinkingContext
+from repro.core.result import Link, LinkingResult
+from repro.embeddings.similarity import SimilarityIndex
+from repro.kb.alias_index import CandidateHit
+from repro.nlp.pipeline import DocumentExtraction, ExtractionPipeline
+from repro.nlp.spans import Span, SpanKind, spans_overlap
+
+
+class BaselineLinker:
+    """Base class: extraction + candidate generation + result assembly."""
+
+    name = "baseline"
+    links_relations = True
+    detects_isolated = False
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        max_candidates: int = 4,
+    ) -> None:
+        self.context = context
+        self.pipeline = ExtractionPipeline(context.alias_index)
+        self.generator = CandidateGenerator(
+            context.alias_index, max_candidates=max_candidates
+        )
+        self.similarity = SimilarityIndex(context.embeddings)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def link(self, text: str) -> LinkingResult:
+        extraction = self.pipeline.extract(text)
+        mentions = self.select_mentions(extraction)
+        candidates = self._candidates_for(extraction, mentions)
+        return self._assemble(extraction, candidates)
+
+    def disambiguate_mentions(
+        self, text: str, mentions: Sequence[Span]
+    ) -> LinkingResult:
+        """Fig. 6(b) mode: mentions given, only disambiguation evaluated."""
+        extraction = self.pipeline.extract(text)
+        candidates = self._candidates_for(extraction, list(mentions))
+        return self._assemble(extraction, candidates)
+
+    # ------------------------------------------------------------------
+    # policy hook
+    # ------------------------------------------------------------------
+    def _disambiguate(
+        self,
+        extraction: DocumentExtraction,
+        candidates: MentionCandidates,
+    ) -> Dict[Span, CandidateHit]:
+        """Return the chosen candidate per mention (subclasses override)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # shared pieces
+    # ------------------------------------------------------------------
+    def select_mentions(self, extraction: DocumentExtraction) -> List[Span]:
+        """Longest-match mention detection (noun + relation spans)."""
+        mentions: List[Span] = []
+        regions = sorted(
+            extraction.regions, key=lambda s: (-s.length, s.token_start)
+        )
+        claimed: List[Span] = []
+        # Prefer regions that have candidates; fall back to the longest
+        # gazetteer sub-span inside a candidate-less region.
+        for region in regions:
+            if any(spans_overlap(region, c) for c in claimed):
+                continue
+            if self.generator.entity_candidates(region):
+                mentions.append(region)
+                claimed.append(region)
+                continue
+            inner = [
+                s
+                for s in extraction.noun_spans
+                if region.covers(s)
+                and not s.same_range(region)
+                and self.generator.entity_candidates(s)
+            ]
+            inner.sort(key=lambda s: (-s.length, s.token_start))
+            chosen: List[Span] = []
+            for span in inner:
+                if any(spans_overlap(span, c) for c in chosen):
+                    continue
+                chosen.append(span)
+            if chosen:
+                mentions.extend(chosen)
+                claimed.extend(chosen)
+            else:
+                # keep the region as a (non-linkable) mention
+                mentions.append(region)
+                claimed.append(region)
+        if self.links_relations:
+            relation_spans: List[Span] = []
+            for relation in extraction.relations:
+                if any(
+                    spans_overlap(relation.span, other)
+                    for other in relation_spans
+                ):
+                    continue
+                relation_spans.append(relation.span)
+            mentions.extend(relation_spans)
+        mentions.sort(key=lambda s: s.token_start)
+        return mentions
+
+    def _candidates_for(
+        self, extraction: DocumentExtraction, mentions: Sequence[Span]
+    ) -> MentionCandidates:
+        by_mention: Dict[Span, List[CandidateHit]] = {}
+        for span in mentions:
+            if span.kind is SpanKind.NOUN:
+                by_mention[span] = self.generator.entity_candidates(span)
+            else:
+                relation = extraction.relation_for_span(span)
+                variants = relation.surface_variants if relation else ()
+                by_mention[span] = self.generator.predicate_candidates(
+                    span, self._relation_variants(span, variants)
+                )
+        return MentionCandidates(by_mention)
+
+    def _relation_variants(self, span: Span, variants):
+        """Hook: which surface variants to try for predicate lookup."""
+        return variants
+
+    def _assemble(
+        self, extraction: DocumentExtraction, candidates: MentionCandidates
+    ) -> LinkingResult:
+        chosen = self._disambiguate(extraction, candidates)
+        result = LinkingResult()
+        for mention, hit in chosen.items():
+            link = Link(mention, hit.concept_id, score=hit.prior)
+            if mention.kind is SpanKind.NOUN and hit.kind == "entity":
+                result.entity_links.append(link)
+            elif mention.kind is SpanKind.RELATION and hit.kind == "predicate":
+                result.relation_links.append(link)
+        if self.detects_isolated:
+            linked = set(chosen)
+            result.non_linkable = [
+                m for m in candidates.mentions() if m not in linked
+            ]
+        result.entity_links.sort(key=lambda l: l.span.token_start)
+        result.relation_links.sort(key=lambda l: l.span.token_start)
+        return result
+
+    # ------------------------------------------------------------------
+    # scoring helpers shared by coherence-flavoured baselines
+    # ------------------------------------------------------------------
+    def _best_coherence(
+        self, concept_id: str, hits: Sequence[CandidateHit]
+    ) -> float:
+        """Max similarity between *concept_id* and any of *hits*."""
+        best = 0.0
+        for hit in hits:
+            value = self.similarity.similarity(concept_id, hit.concept_id)
+            if value > best:
+                best = value
+        return best

@@ -1,0 +1,97 @@
+"""Falcon baseline: linguistic rules + priors, no coherence.
+
+Falcon (Sakor et al., NAACL 2019 / Falcon 2.0) links entities and
+relations of short text through language-morphology rules and an alias
+catalogue, disambiguating *each phrase independently* by popularity.
+That is the property the paper stresses ("without coherence assumption"):
+the most popular sense always wins, so ambiguous long-text documents hurt
+it badly while short questions work acceptably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import BaselineLinker
+from repro.core.candidates import MentionCandidates
+from repro.kb.alias_index import CandidateHit
+from repro.nlp.pipeline import DocumentExtraction
+from repro.nlp.spans import Span
+
+
+class FalconLinker(BaselineLinker):
+    """Prior-only disambiguation (no coherence)."""
+
+    name = "Falcon"
+    links_relations = True
+    detects_isolated = False
+
+    # Falcon's mention spotting is built for short questions: capitalised
+    # n-grams up to this length.  Lower-cased topical phrases and long
+    # feature-joined titles are outside its recogniser — the source of
+    # its low recall on long documents in the paper's Table 3.
+    max_mention_tokens = 3
+
+    def select_mentions(self, extraction: DocumentExtraction):
+        from repro.nlp.spans import SpanKind, spans_overlap
+
+        mentions = []
+        for region in sorted(
+            extraction.regions, key=lambda s: (-s.length, s.token_start)
+        ):
+            span = self._capitalised_prefix(extraction, region)
+            if span is None:
+                continue
+            if any(spans_overlap(span, other) for other in mentions):
+                continue
+            mentions.append(span)
+        for relation in extraction.relations:
+            if not any(
+                spans_overlap(relation.span, other) for other in mentions
+            ):
+                mentions.append(relation.span)
+        mentions.sort(key=lambda s: s.token_start)
+        return mentions
+
+    def _capitalised_prefix(self, extraction: DocumentExtraction, region: Span):
+        """Longest capitalised token run inside *region* (<= 3 tokens)."""
+        tokens = extraction.tokens
+        best = None
+        run_start = None
+        for i in range(region.token_start, region.token_end + 1):
+            capitalised = (
+                i < region.token_end and tokens[i].is_capitalized
+            )
+            if capitalised and run_start is None:
+                run_start = i
+            elif not capitalised and run_start is not None:
+                length = min(i - run_start, self.max_mention_tokens)
+                candidate = next(
+                    (
+                        s
+                        for s in extraction.noun_spans
+                        if s.token_start == run_start
+                        and s.token_end == run_start + length
+                    ),
+                    None,
+                )
+                if candidate is not None and (
+                    best is None or candidate.length > best.length
+                ):
+                    best = candidate
+                run_start = None
+        return best
+
+    def _disambiguate(
+        self,
+        extraction: DocumentExtraction,
+        candidates: MentionCandidates,
+    ) -> Dict[Span, CandidateHit]:
+        chosen: Dict[Span, CandidateHit] = {}
+        for mention in candidates.mentions():
+            hits = candidates.candidates(mention)
+            if hits:
+                # Hits are prior-sorted; Falcon takes the catalogue's most
+                # popular reading unconditionally.
+                chosen[mention] = hits[0]
+        return chosen

@@ -1,0 +1,115 @@
+"""QKBfly baseline: global-coherence dense subgraph.
+
+QKBfly (Nguyen et al., VLDB 2017) performs on-the-fly KB construction
+with entity disambiguation over a *globally coherent* dense subgraph: it
+iteratively removes the candidate entity with the weakest total
+relatedness to all remaining candidates until each mention keeps one.
+Relational phrases are canonicalised against patterns but not linked to
+KB predicates, so — as in the paper — this baseline only participates in
+entity linking.
+
+Because the objective is global, isolated-but-real entities either get
+dragged into the dense core (precision loss) or are dropped as new
+concepts when their final coherence is weak (the conservative behaviour
+the paper observes on News: fewer links, precision > recall).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.baselines.base import BaselineLinker
+from repro.core.candidates import MentionCandidates
+from repro.core.linker import LinkingContext
+from repro.kb.alias_index import CandidateHit
+from repro.nlp.pipeline import DocumentExtraction
+from repro.nlp.spans import Span, SpanKind
+
+
+class QKBflyLinker(BaselineLinker):
+    """Dense-subgraph global coherence (entities only)."""
+
+    name = "QKBfly"
+    links_relations = False
+    detects_isolated = True
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        max_candidates: int = 4,
+        coherence_threshold: float = 0.08,
+    ) -> None:
+        super().__init__(context, max_candidates)
+        self.coherence_threshold = coherence_threshold
+
+    def _disambiguate(
+        self,
+        extraction: DocumentExtraction,
+        candidates: MentionCandidates,
+    ) -> Dict[Span, CandidateHit]:
+        import numpy as np
+
+        mentions = [
+            m
+            for m in candidates.mentions()
+            if m.kind is SpanKind.NOUN and candidates.candidates(m)
+        ]
+        if not mentions:
+            return {}
+        # QKBfly pre-computes all pairwise relatedness for the document
+        # once (as the paper notes for both QKBfly and TENET), then peels
+        # the dense subgraph over the cached matrix.
+        store = self.context.embeddings
+        flat: List[Tuple[Span, CandidateHit]] = [
+            (m, h) for m in mentions for h in candidates.candidates(m)
+        ]
+        vectors = np.stack(
+            [
+                np.asarray(store.vector(h.concept_id))
+                if h.concept_id in store
+                else np.zeros(store.dimension, dtype=np.float32)
+                for _, h in flat
+            ]
+        )
+        sims = vectors @ vectors.T
+        mention_ids = {m: i for i, m in enumerate(mentions)}
+        owner = np.array([mention_ids[m] for m, _ in flat])
+        priors = np.array([h.prior for _, h in flat])
+        alive_mask = np.ones(len(flat), dtype=bool)
+
+        def supports() -> np.ndarray:
+            """support[i] = sum over other mentions of the best alive sim."""
+            masked = np.where(alive_mask[None, :], sims, -np.inf)
+            result = np.zeros(len(flat))
+            for mid in range(len(mentions)):
+                columns = np.nonzero(alive_mask & (owner == mid))[0]
+                if columns.size == 0:
+                    continue
+                best = masked[:, columns].max(axis=1)
+                result += np.where(owner == mid, 0.0, np.maximum(best, 0.0))
+            return result
+
+        # Iteratively peel the globally weakest candidate while its
+        # mention retains alternatives (classic dense-subgraph greedy).
+        while True:
+            counts = np.bincount(owner[alive_mask], minlength=len(mentions))
+            peelable = alive_mask & (counts[owner] > 1)
+            if not peelable.any():
+                break
+            scores = supports() + 0.25 * priors
+            scores[~peelable] = np.inf
+            weakest = int(np.argmin(scores))
+            alive_mask[weakest] = False
+
+        final_support = supports()
+        chosen: Dict[Span, CandidateHit] = {}
+        others = len(mentions) - 1
+        for i in np.nonzero(alive_mask)[0]:
+            mention, hit = flat[int(i)]
+            # Conservative linking: require the survivor to be coherent
+            # with the dense core; lonely survivors become new concepts.
+            if others == 0 or final_support[int(i)] / max(others, 1) >= (
+                self.coherence_threshold
+            ):
+                chosen[mention] = hit
+        return chosen

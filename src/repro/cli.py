@@ -1,0 +1,312 @@
+"""Command-line interface for the TENET reproduction.
+
+Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
+``python -m repro.cli``.  Sub-commands:
+
+* ``world``     — build the synthetic world and save its JSON dump;
+* ``datasets``  — generate the four benchmark dataset analogs as JSON;
+* ``link``      — link a document (text argument, file, or stdin) and
+  print the result as JSON;
+* ``evaluate``  — run the end-to-end evaluation (Tables 3-4) for a
+  chosen set of systems and print P/R/F rows;
+* ``stats``     — print the Table 2 dataset statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets.benchmarks import build_benchmark_suite
+from repro.datasets.loaders import save_dataset
+from repro.eval.runner import EvaluationRunner
+from repro.eval.statistics import dataset_statistics
+from repro.kb.dump import save_dump
+from repro.kb.synthetic import SyntheticKBConfig, build_synthetic_world
+
+SYSTEM_FACTORIES = {
+    "falcon": FalconLinker,
+    "qkbfly": QKBflyLinker,
+    "kbpearl": KBPearlLinker,
+    "earl": EarlLinker,
+    "mintree": MinTreeLinker,
+    "tenet": TenetLinker,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tenet-repro",
+        description="TENET joint entity and relation linking (SIGMOD 2021 reproduction)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=7, help="world seed (default: 7)"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    world_parser = subparsers.add_parser(
+        "world", help="build the synthetic world and save its JSON dump"
+    )
+    world_parser.add_argument("output", type=Path, help="dump file path")
+
+    ds_parser = subparsers.add_parser(
+        "datasets", help="generate the benchmark dataset analogs"
+    )
+    ds_parser.add_argument("output_dir", type=Path)
+    ds_parser.add_argument("--scale", type=float, default=1.0)
+
+    link_parser = subparsers.add_parser("link", help="link one document")
+    link_parser.add_argument(
+        "text", nargs="?", help="document text (omit to read stdin)"
+    )
+    link_parser.add_argument(
+        "--file", type=Path, help="read the document from a file"
+    )
+    link_parser.add_argument(
+        "--system",
+        choices=sorted(SYSTEM_FACTORIES),
+        default="tenet",
+    )
+    link_parser.add_argument(
+        "--max-candidates", type=int, default=4, metavar="K"
+    )
+
+    eval_parser = subparsers.add_parser(
+        "evaluate", help="run the Tables 3-4 evaluation"
+    )
+    eval_parser.add_argument("--scale", type=float, default=1.0)
+    eval_parser.add_argument(
+        "--systems",
+        default="falcon,qkbfly,kbpearl,earl,mintree,tenet",
+        help="comma-separated subset of systems",
+    )
+    eval_parser.add_argument(
+        "--datasets",
+        default="news,t-rex42,kore50,msnbc19",
+        help="comma-separated subset of datasets",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="print the Table 2 dataset statistics"
+    )
+    stats_parser.add_argument("--scale", type=float, default=1.0)
+
+    validate_parser = subparsers.add_parser(
+        "validate", help="validate a dataset JSON against a KB dump"
+    )
+    validate_parser.add_argument("dataset", type=Path)
+    validate_parser.add_argument(
+        "--kb", type=Path, help="KB dump to check concept ids against"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="run the full evaluation and write a markdown report",
+    )
+    report_parser.add_argument("output", type=Path, help="markdown file")
+    report_parser.add_argument("--scale", type=float, default=0.3)
+    report_parser.add_argument(
+        "--systems",
+        default="falcon,qkbfly,kbpearl,earl,mintree,tenet",
+    )
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# sub-command implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_world(args: argparse.Namespace) -> int:
+    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
+    save_dump(world.kb, args.output)
+    print(
+        f"wrote {args.output}: {world.kb.entity_count} entities, "
+        f"{world.kb.predicate_count} predicates, "
+        f"{world.kb.triple_count} triples"
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    suite = build_benchmark_suite(seed=args.seed, scale=args.scale)
+    args.output_dir.mkdir(parents=True, exist_ok=True)
+    save_dump(suite.world.kb, args.output_dir / "kb.json")
+    for dataset in suite.datasets():
+        path = args.output_dir / f"{dataset.name.lower()}.json"
+        save_dataset(dataset, path)
+        print(f"wrote {path}: {len(dataset)} documents")
+    return 0
+
+
+def _read_text(args: argparse.Namespace) -> str:
+    if args.file is not None:
+        return args.file.read_text()
+    if args.text is not None:
+        return args.text
+    return sys.stdin.read()
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    text = _read_text(args).strip()
+    if not text:
+        print("error: empty document", file=sys.stderr)
+        return 2
+    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
+    context = LinkingContext.build(world.kb, world.taxonomy)
+    if args.system == "tenet":
+        linker = TenetLinker(
+            context, TenetConfig(max_candidates=args.max_candidates)
+        )
+    else:
+        linker = SYSTEM_FACTORIES[args.system](
+            context, max_candidates=args.max_candidates
+        )
+    result = linker.link(text)
+    payload = result.to_json()
+    payload["system"] = linker.name
+    for entry in payload["entities"]:
+        entry["label"] = world.kb.get_entity(entry["concept_id"]).label
+    for entry in payload["relations"]:
+        entry["label"] = world.kb.get_predicate(entry["concept_id"]).label
+    print(json.dumps(payload, indent=1))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    wanted_systems = [s.strip().lower() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in wanted_systems if s not in SYSTEM_FACTORIES]
+    if unknown:
+        print(f"error: unknown systems {unknown}", file=sys.stderr)
+        return 2
+    suite = build_benchmark_suite(seed=args.seed, scale=args.scale)
+    context = LinkingContext.build(suite.world.kb, suite.world.taxonomy)
+    linkers = [SYSTEM_FACTORIES[s](context) for s in wanted_systems]
+    runner = EvaluationRunner(linkers)
+    wanted_datasets = {
+        d.strip().lower() for d in args.datasets.split(",") if d.strip()
+    }
+    for dataset in suite.datasets():
+        if dataset.name.lower() not in wanted_datasets:
+            continue
+        scores = runner.evaluate(dataset)
+        print(f"=== {dataset.name}")
+        for name, system in scores.items():
+            entity = system.entity
+            line = (
+                f"  {name:8s} EL P={entity.precision:.3f} "
+                f"R={entity.recall:.3f} F={entity.f1:.3f}"
+            )
+            if dataset.has_relation_gold and system.relation.predicted:
+                relation = system.relation
+                line += (
+                    f"  RL P={relation.precision:.3f} "
+                    f"R={relation.recall:.3f} F={relation.f1:.3f}"
+                )
+            print(line)
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    suite = build_benchmark_suite(seed=args.seed, scale=args.scale)
+    for dataset in suite.datasets():
+        stats = dataset_statistics(dataset)
+        relation_part = (
+            f"re/doc={stats.relations_per_document:.2f} "
+            f"nlR={100 * stats.non_linkable_relation_fraction:.1f}%"
+            if stats.non_linkable_relation_fraction is not None
+            else "re=N.A."
+        )
+        print(
+            f"{stats.name:9s} docs={len(dataset):3d} "
+            f"w/doc={stats.words_per_document:6.1f} "
+            f"n/doc={stats.nouns_per_document:5.2f} "
+            f"nlN={100 * stats.non_linkable_noun_fraction:4.1f}% "
+            f"{relation_part}"
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis import ErrorAnalyzer
+    from repro.eval.report import render_report
+
+    wanted = [s.strip().lower() for s in args.systems.split(",") if s.strip()]
+    unknown = [s for s in wanted if s not in SYSTEM_FACTORIES]
+    if unknown:
+        print(f"error: unknown systems {unknown}", file=sys.stderr)
+        return 2
+    suite = build_benchmark_suite(seed=args.seed, scale=args.scale)
+    context = LinkingContext.build(suite.world.kb, suite.world.taxonomy)
+    linkers = [SYSTEM_FACTORIES[s](context) for s in wanted]
+    runner = EvaluationRunner(linkers)
+    scores = {ds.name: runner.evaluate(ds) for ds in suite.datasets()}
+    statistics = [dataset_statistics(ds) for ds in suite.datasets()]
+    analyzer = ErrorAnalyzer(context)
+    error_reports = [
+        analyzer.analyze(linker, suite.news) for linker in linkers
+    ]
+    from repro.analysis import PerformanceBreakdown
+
+    breakdown = PerformanceBreakdown(context)
+    breakdowns = [
+        breakdown.by_ambiguity(linker, suite.kore50) for linker in linkers
+    ]
+    document = render_report(
+        scores,
+        statistics=statistics,
+        error_reports=error_reports,
+        breakdowns=breakdowns,
+    )
+    args.output.write_text(document)
+    print(f"wrote {args.output} ({len(document.splitlines())} lines)")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.datasets.loaders import load_dataset
+    from repro.datasets.validation import validate_dataset
+    from repro.kb.dump import load_dump
+
+    dataset = load_dataset(args.dataset)
+    kb = load_dump(args.kb) if args.kb is not None else None
+    result = validate_dataset(dataset, kb)
+    for problem in result.problems:
+        print(f"[{problem.severity}] {problem.doc_id}: {problem.message}")
+    print(
+        f"{dataset.name}: {len(result.errors)} errors, "
+        f"{len(result.warnings)} warnings"
+    )
+    return 0 if result.ok else 1
+
+
+_COMMANDS = {
+    "world": _cmd_world,
+    "datasets": _cmd_datasets,
+    "link": _cmd_link,
+    "evaluate": _cmd_evaluate,
+    "stats": _cmd_stats,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""TENET core: the paper's primary contribution.
+
+* :mod:`repro.core.coherence` — the knowledge coherence graph (Sec. 3);
+* :mod:`repro.core.tree_cover` — the minimum-cost M-rooted coherence tree
+  cover approximation (Sec. 4, Algorithm 1);
+* :mod:`repro.core.splitting` — tree splitting (Algorithms 2-3);
+* :mod:`repro.core.canopies` — mention groups and canopies (Sec. 5.1,
+  Algorithm 4);
+* :mod:`repro.core.disambiguation` — greedy disambiguation with pruning
+  (Sec. 5.2, Algorithm 5);
+* :mod:`repro.core.linker` — the end-to-end :class:`TenetLinker` facade.
+"""
+
+from repro.core.config import TenetConfig
+from repro.core.result import Link, LinkingResult
+from repro.core.candidates import CandidateGenerator, MentionCandidates
+from repro.core.coherence import CandidateNode, CoherenceGraph, build_coherence_graph
+from repro.core.splitting import split_tree
+from repro.core.tree_cover import (
+    BoundTooSmallError,
+    TreeCoverResult,
+    derive_tree_cover,
+    minimal_feasible_bound,
+)
+from repro.core.canopies import Canopy, MentionGroup, build_mention_groups
+from repro.core.disambiguation import disambiguate
+from repro.core.linker import TenetLinker
+
+__all__ = [
+    "TenetConfig",
+    "Link",
+    "LinkingResult",
+    "CandidateGenerator",
+    "MentionCandidates",
+    "CandidateNode",
+    "CoherenceGraph",
+    "build_coherence_graph",
+    "split_tree",
+    "BoundTooSmallError",
+    "TreeCoverResult",
+    "derive_tree_cover",
+    "minimal_feasible_bound",
+    "Canopy",
+    "MentionGroup",
+    "build_mention_groups",
+    "disambiguate",
+    "TenetLinker",
+]

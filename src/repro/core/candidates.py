@@ -1,0 +1,94 @@
+"""Candidate concept generation for extracted mentions.
+
+Implements Sec. 3 Steps 1-2: for each noun phrase, candidate entities are
+the KB entities having the phrase as an alias (optionally type-filtered);
+for each relational phrase, candidate predicates are looked up through the
+phrase's surface variants (full form, auxiliary-stripped, lemmatised), as
+the paper's MinIE + lemmatisation pipeline does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.kb.alias_index import AliasIndex, CandidateHit
+from repro.nlp.pipeline import DocumentExtraction
+from repro.nlp.spans import Span, SpanKind
+
+
+@dataclass
+class MentionCandidates:
+    """All mentions of a document with their candidate concepts.
+
+    Mentions with an empty candidate list are kept: they are exactly the
+    potential *non-linkable* phrases the paper's Table 2 counts.
+    """
+
+    by_mention: Dict[Span, List[CandidateHit]]
+
+    def mentions(self) -> List[Span]:
+        return list(self.by_mention)
+
+    def candidates(self, mention: Span) -> List[CandidateHit]:
+        return self.by_mention.get(mention, [])
+
+    def linkable_mentions(self) -> List[Span]:
+        return [m for m, hits in self.by_mention.items() if hits]
+
+    def non_linkable_mentions(self) -> List[Span]:
+        return [m for m, hits in self.by_mention.items() if not hits]
+
+    @property
+    def total_candidates(self) -> int:
+        return sum(len(hits) for hits in self.by_mention.values())
+
+
+class CandidateGenerator:
+    """Generates :class:`MentionCandidates` from a document extraction."""
+
+    def __init__(
+        self,
+        alias_index: AliasIndex,
+        max_candidates: int = 4,
+        min_prior: float = 0.0,
+        use_fuzzy: bool = False,
+    ) -> None:
+        self.alias_index = alias_index
+        self.max_candidates = max_candidates
+        self.min_prior = min_prior
+        self.use_fuzzy = use_fuzzy
+
+    def generate(self, extraction: DocumentExtraction) -> MentionCandidates:
+        """Candidates for every noun span and relational phrase."""
+        by_mention: Dict[Span, List[CandidateHit]] = {}
+        for span in extraction.noun_spans:
+            by_mention[span] = self.entity_candidates(span)
+        for relation in extraction.relations:
+            by_mention[relation.span] = self.predicate_candidates(
+                relation.span, relation.surface_variants
+            )
+        return MentionCandidates(by_mention)
+
+    # ------------------------------------------------------------------
+    def entity_candidates(self, span: Span) -> List[CandidateHit]:
+        hits = self.alias_index.lookup_entities(
+            span.text, mention_type=span.mention_type, limit=None
+        )
+        if not hits and self.use_fuzzy:
+            hits = self.alias_index.fuzzy_lookup_entities(span.text)
+        return self._filter(hits)
+
+    def predicate_candidates(
+        self, span: Span, surface_variants: Tuple[str, ...] = ()
+    ) -> List[CandidateHit]:
+        variants = surface_variants or (span.text,)
+        for variant in variants:
+            hits = self.alias_index.lookup_predicates(variant, limit=None)
+            if hits:
+                return self._filter(hits)
+        return []
+
+    def _filter(self, hits: List[CandidateHit]) -> List[CandidateHit]:
+        kept = [hit for hit in hits if hit.prior >= self.min_prior]
+        return kept[: self.max_candidates]

@@ -1,0 +1,488 @@
+"""Greedy knowledge disambiguation (Sec. 5.2, Algorithm 5).
+
+Edges of the coherence tree cover are processed in non-decreasing weight
+order (the Kruskal discipline — confident decisions first) and turned
+into (mention, candidate) proposals:
+
+* a mention->candidate edge proposes that candidate for that mention;
+* a candidate<->candidate edge proposes both candidates for their
+  respective mentions when neither mention is linked yet, and propagates
+  a proposal to the unlinked side when the other side's concept is
+  already part of the result.
+
+Proposals accumulate per (group, canopy); a canopy whose every member has
+a proposal *commits*: the proposals become final links, the group closes,
+all sibling canopies die.  The paper's four pruning strategies are
+enforced throughout:
+
+1. one concept per mention (a linked mention accepts no further
+   proposals);
+2. edges touching a candidate whose mention is already linked to a
+   *different* concept are discarded;
+3. once a group committed one canopy, mentions of its other canopies are
+   *dead*: proposals for them are dropped and — going slightly beyond the
+   pseudo-code but following the strategy's prose ("we will not consider
+   any other mention in other canopies") — coherence edges incident to a
+   dead mention's candidates are discarded entirely, so a doomed
+   alternative reading cannot vote for its neighbours;
+4. the scan stops as soon as every group is closed.
+
+One addition beyond the paper's pseudo-code: a proposal is rejected when
+its mention overlaps an already-committed mention of a different group —
+this resolves noun/relation span conflicts (e.g. "sister city" inside
+"is the sister city of") in the same greedy spirit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from repro.core.canopies import Canopy, MentionGroup
+from repro.core.coherence import CandidateNode
+from repro.core.tree_cover import TreeCoverResult
+from repro.nlp.spans import Span, spans_overlap
+
+_Node = Union[Span, CandidateNode]
+
+
+@dataclass(frozen=True)
+class LinkExplanation:
+    """Why a mention was linked: the committing evidence.
+
+    ``from_coherence`` distinguishes coherence-driven decisions from
+    prior fallbacks; for coherence decisions ``partner_concept`` is the
+    concept on the other side of the committing edge — the anchor that
+    pulled this link in.
+    """
+
+    edge_weight: float
+    from_coherence: bool
+    partner_concept: Optional[str] = None
+
+    def describe(self) -> str:
+        if self.from_coherence:
+            partner = self.partner_concept or "?"
+            return (
+                f"coherence edge (d={self.edge_weight:.3f}) "
+                f"with {partner}"
+            )
+        return f"prior edge (d={self.edge_weight:.3f})"
+
+
+@dataclass
+class DisambiguationResult:
+    """Final mention -> candidate mapping plus the rejected mentions."""
+
+    gamma: Dict[Span, CandidateNode]
+    non_linkable: List[Span]
+    committed_canopies: Dict[int, int]  # group_id -> canopy index
+    edges_processed: int = 0
+    demoted: int = 0  # links dropped by the weak-prior filter
+    provenance: Dict[Span, LinkExplanation] = field(default_factory=dict)
+
+    def linked_mentions(self) -> List[Span]:
+        return list(self.gamma)
+
+    def concept_for(self, mention: Span) -> Optional[str]:
+        node = self.gamma.get(mention)
+        return node.concept_id if node is not None else None
+
+    def explanation_for(self, mention: Span) -> Optional[LinkExplanation]:
+        return self.provenance.get(mention)
+
+
+@dataclass
+class _Proposal:
+    mention: Span
+    candidate: CandidateNode
+    weight: float
+    from_coherence: bool
+    partner_concept: Optional[str] = None
+
+
+def disambiguate(
+    cover: TreeCoverResult,
+    groups: List[MentionGroup],
+    prior_link_threshold: float = 1.0,
+    extra_edges: Optional[List[Tuple[_Node, _Node, float]]] = None,
+) -> DisambiguationResult:
+    """Run Algorithm 5 over the tree cover and the mention groups.
+
+    ``extra_edges`` are additional mention->candidate edges merged into
+    the scan.  The tree cover's trees share nodes and edges (Definition
+    6): each mention's tree is rooted through its *own* local edges, so
+    the union of cover edges includes every surviving prior edge even
+    when the contracted MST routed the component through a different
+    mention.  The caller supplies them here because
+    :class:`~repro.core.tree_cover.TreeCoverResult` materialises one
+    representative tree per component.
+    """
+    span_to_group: Dict[Span, MentionGroup] = {}
+    for group in groups:
+        for span in group.spans():
+            span_to_group.setdefault(span, group)
+
+    edges = _sorted_cover_edges(cover, extra_edges or [])
+
+    gamma: Dict[Span, _Proposal] = {}
+    selected_concepts: Set[str] = set()
+    committed_spans: Dict[Span, int] = {}  # span -> group_id
+    # Mentions outside every group are redundant alternative readings
+    # (e.g. "Wilson" inside "Nina Wilson"); they are dead on arrival so
+    # their candidates cannot vote through coherence edges.
+    dead_mentions: Set[Span] = {
+        mention for mention in cover.trees if mention not in span_to_group
+    }
+    pending: Dict[Tuple[int, int], Dict[Span, _Proposal]] = {}
+    active: Set[int] = {g.group_id for g in groups}
+    committed_canopies: Dict[int, int] = {}
+    deferred: Dict[int, Tuple[int, Dict[Span, _Proposal]]] = {}
+    processed = 0
+
+    for u, v, weight in edges:
+        processed += 1
+        if _touches_dead_mention(u, v, dead_mentions):
+            continue  # pruning strategy 3 extended to candidate nodes
+        proposals = _proposals_for_edge(u, v, weight, gamma, selected_concepts)
+        for proposal in proposals:
+            _apply_proposal(
+                proposal,
+                span_to_group,
+                pending,
+                active,
+                gamma,
+                selected_concepts,
+                committed_spans,
+                committed_canopies,
+                dead_mentions,
+                deferred,
+            )
+        if not active:
+            break  # pruning strategy 4: early stop
+
+    # Deferred split readings: commit them now for groups whose fuller
+    # merged reading never completed.
+    group_by_id = {g.group_id: g for g in groups}
+    for group_id, (canopy_index, slot) in deferred.items():
+        if group_id not in active:
+            continue
+        safe_slot = {
+            mention: proposal
+            for mention, proposal in slot.items()
+            if not any(
+                owner != group_id and spans_overlap(mention, committed)
+                for committed, owner in committed_spans.items()
+            )
+        }
+        if not safe_slot:
+            continue
+        _commit_canopy(
+            group_by_id[group_id],
+            canopy_index,
+            safe_slot,
+            active,
+            gamma,
+            selected_concepts,
+            committed_spans,
+            committed_canopies,
+            dead_mentions,
+            span_to_group,
+        )
+
+    non_linkable = _collect_non_linkable(
+        cover, groups, active, gamma, committed_spans
+    )
+    final_gamma, demoted = _apply_prior_threshold(gamma, prior_link_threshold)
+    provenance = {
+        mention: LinkExplanation(
+            edge_weight=proposal.weight,
+            from_coherence=proposal.from_coherence,
+            partner_concept=proposal.partner_concept,
+        )
+        for mention, proposal in gamma.items()
+        if mention in final_gamma
+    }
+    return DisambiguationResult(
+        final_gamma,
+        non_linkable,
+        committed_canopies,
+        processed,
+        demoted,
+        provenance,
+    )
+
+
+# ---------------------------------------------------------------------------
+# edge handling
+# ---------------------------------------------------------------------------
+
+def _sorted_cover_edges(
+    cover: TreeCoverResult,
+    extra_edges: List[Tuple[_Node, _Node, float]],
+) -> List[Tuple[_Node, _Node, float]]:
+    """Deduplicated edges of all trees (+ extras), non-decreasing weight."""
+    seen: Set[Tuple[str, str]] = set()
+    edges: List[Tuple[_Node, _Node, float]] = []
+
+    def push(u: _Node, v: _Node, weight: float) -> None:
+        key_pair = (repr(u), repr(v))
+        key = key_pair if key_pair[0] <= key_pair[1] else key_pair[::-1]
+        if key in seen:
+            return
+        seen.add(key)
+        edges.append((u, v, weight))
+
+    for tree in cover.trees.values():
+        for edge in tree.edges():
+            push(edge.parent, edge.child, edge.weight)
+    for u, v, weight in extra_edges:
+        push(u, v, weight)
+
+    def mention_length(edge):
+        # Tie-break equal-weight edges toward longer (more informative)
+        # mentions, per the paper's preference for merged long-text
+        # readings over their fragments.
+        u, v, _ = edge
+        if isinstance(u, Span) and isinstance(v, CandidateNode):
+            return -u.length
+        if isinstance(v, Span) and isinstance(u, CandidateNode):
+            return -v.length
+        return 0
+
+    edges.sort(key=lambda e: (e[2], mention_length(e), repr(e[0]), repr(e[1])))
+    return edges
+
+
+def _touches_dead_mention(u: _Node, v: _Node, dead: Set[Span]) -> bool:
+    for node in (u, v):
+        if isinstance(node, CandidateNode) and node.mention in dead:
+            return True
+        if isinstance(node, Span) and node in dead:
+            return True
+    return False
+
+
+def _proposals_for_edge(
+    u: _Node,
+    v: _Node,
+    weight: float,
+    gamma: Dict[Span, "_Proposal"],
+    selected_concepts: Set[str],
+) -> List[_Proposal]:
+    if isinstance(u, Span) and isinstance(v, CandidateNode):
+        mention, candidate = u, v
+        if mention in gamma:
+            return []
+        return [_Proposal(mention, candidate, weight, from_coherence=False)]
+    if isinstance(v, Span) and isinstance(u, CandidateNode):
+        mention, candidate = v, u
+        if mention in gamma:
+            return []
+        return [_Proposal(mention, candidate, weight, from_coherence=False)]
+    if isinstance(u, CandidateNode) and isinstance(v, CandidateNode):
+        proposals: List[_Proposal] = []
+        u_linked = u.mention in gamma
+        v_linked = v.mention in gamma
+        # Entity<->predicate edges carry asymmetric evidence: a predicate
+        # is close to *every* participant of its relation type, so such
+        # an edge discriminates between predicate senses but says nothing
+        # about which entity sense is right.  Only the predicate side may
+        # be proposed from a mixed edge.
+        u_votable = not (u.kind == "entity" and v.kind == "predicate")
+        v_votable = not (v.kind == "entity" and u.kind == "predicate")
+        if not u_linked and not v_linked:
+            if u_votable:
+                proposals.append(
+                    _Proposal(
+                        u.mention, u, weight, True, partner_concept=v.concept_id
+                    )
+                )
+            if v_votable:
+                proposals.append(
+                    _Proposal(
+                        v.mention, v, weight, True, partner_concept=u.concept_id
+                    )
+                )
+        elif u.concept_id in selected_concepts and not v_linked:
+            if v_votable:
+                proposals.append(
+                    _Proposal(
+                        v.mention, v, weight, True, partner_concept=u.concept_id
+                    )
+                )
+        elif v.concept_id in selected_concepts and not u_linked:
+            if u_votable:
+                proposals.append(
+                    _Proposal(
+                        u.mention, u, weight, True, partner_concept=v.concept_id
+                    )
+                )
+        return proposals
+    # Span-Span edges never exist in the coherence graph; tolerate and skip.
+    return []
+
+
+def _apply_proposal(
+    proposal: _Proposal,
+    span_to_group: Dict[Span, MentionGroup],
+    pending: Dict[Tuple[int, int], Dict[Span, _Proposal]],
+    active: Set[int],
+    gamma: Dict[Span, _Proposal],
+    selected_concepts: Set[str],
+    committed_spans: Dict[Span, int],
+    committed_canopies: Dict[int, int],
+    dead_mentions: Set[Span],
+    deferred: Dict[int, Tuple[int, Dict[Span, _Proposal]]],
+) -> None:
+    mention = proposal.mention
+    if mention in dead_mentions:
+        return
+    group = span_to_group.get(mention)
+    if group is None or group.group_id not in active:
+        return
+    # Cross-group overlap pruning: a committed mention of another group
+    # claims its tokens.
+    for committed, owner in committed_spans.items():
+        if owner != group.group_id and spans_overlap(committed, mention):
+            dead_mentions.add(mention)
+            return
+    for canopy_index, canopy in enumerate(group.canopies):
+        if mention not in canopy:
+            continue
+        slot = pending.setdefault((group.group_id, canopy_index), {})
+        if mention not in slot:
+            slot[mention] = proposal
+        if len(slot) == len(canopy):
+            if _should_defer(group, canopy_index):
+                # A fuller (more merged) linkable reading is still in
+                # play: remember this completion but let the merged
+                # canopy race on (it wins immediately if it completes).
+                deferred.setdefault(
+                    group.group_id, (canopy_index, dict(slot))
+                )
+                continue
+            _commit_canopy(
+                group,
+                canopy_index,
+                slot,
+                active,
+                gamma,
+                selected_concepts,
+                committed_spans,
+                committed_canopies,
+                dead_mentions,
+                span_to_group,
+            )
+            return
+
+
+def _should_defer(group: MentionGroup, canopy_index: int) -> bool:
+    """Whether a completed canopy should wait for a more merged sibling."""
+    size = len(group.canopies[canopy_index])
+    return any(
+        index != canopy_index
+        and len(canopy) < size
+        and canopy.all_members_linkable
+        for index, canopy in enumerate(group.canopies)
+    )
+
+
+def _commit_canopy(
+    group: MentionGroup,
+    canopy_index: int,
+    slot: Dict[Span, _Proposal],
+    active: Set[int],
+    gamma: Dict[Span, _Proposal],
+    selected_concepts: Set[str],
+    committed_spans: Dict[Span, int],
+    committed_canopies: Dict[int, int],
+    dead_mentions: Set[Span],
+    span_to_group: Dict[Span, MentionGroup],
+) -> None:
+    newly_committed: List[Span] = []
+    for mention, proposal in slot.items():
+        if mention not in gamma:
+            gamma[mention] = proposal
+            selected_concepts.add(proposal.candidate.concept_id)
+            committed_spans[mention] = group.group_id
+            newly_committed.append(mention)
+    active.discard(group.group_id)
+    committed_canopies[group.group_id] = canopy_index
+    # The group's unselected mentions die (strategy 3), and so does every
+    # span of any other group that overlaps a just-committed mention — it
+    # can never be selected without contradicting the committed reading.
+    for span in group.spans():
+        if span not in gamma:
+            dead_mentions.add(span)
+    for span in span_to_group:
+        if span in gamma or span in dead_mentions:
+            continue
+        if any(spans_overlap(span, committed) for committed in newly_committed):
+            dead_mentions.add(span)
+
+
+# ---------------------------------------------------------------------------
+# output assembly
+# ---------------------------------------------------------------------------
+
+def _collect_non_linkable(
+    cover: TreeCoverResult,
+    groups: List[MentionGroup],
+    active: Set[int],
+    gamma: Dict[Span, _Proposal],
+    committed_spans: Dict[Span, int],
+) -> List[Span]:
+    """Uncommitted groups become non-linkable (new concept) reports.
+
+    For each group that never committed a canopy, report its widest
+    representative mention, unless every token of it is claimed by a
+    committed mention of another group (then it lost an overlap fight and
+    is noise, not a new concept).
+    """
+    non_linkable: List[Span] = []
+    for group in groups:
+        if group.group_id not in active:
+            continue
+        representative = _representative_span(group)
+        if representative is None:
+            continue
+        if any(
+            spans_overlap(representative, committed)
+            for committed in committed_spans
+        ):
+            continue
+        non_linkable.append(representative)
+    return non_linkable
+
+
+def _representative_span(group: MentionGroup) -> Optional[Span]:
+    best: Optional[Span] = None
+    for canopy in group.canopies:
+        for span in canopy.members:
+            if best is None or span.length > best.length:
+                best = span
+    return best
+
+
+def _apply_prior_threshold(
+    gamma: Dict[Span, _Proposal],
+    threshold: float,
+) -> Tuple[Dict[Span, CandidateNode], int]:
+    """Drop links committed by a weak prior alone.
+
+    A mention committed through its own mention->candidate edge (no
+    coherence evidence) with local distance above *threshold* is too
+    uncertain to report: the candidate was far-fetched and nothing in the
+    document supported it.  Dropping these is TENET's precision-leaning
+    behaviour on ambiguous isolated phrases; genuinely new concepts (no
+    candidates at all) are reported separately via uncommitted groups.
+    """
+    kept: Dict[Span, CandidateNode] = {}
+    demoted = 0
+    for mention, proposal in gamma.items():
+        if not proposal.from_coherence and proposal.weight > threshold:
+            demoted += 1
+            continue
+        kept[mention] = proposal.candidate
+    return kept, demoted

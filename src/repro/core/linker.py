@@ -1,0 +1,333 @@
+"""The end-to-end TENET linker facade.
+
+``TenetLinker.link(text)`` runs the full pipeline of the paper:
+extraction -> candidate generation -> knowledge coherence graph ->
+minimum-cost rooted tree cover -> mention groups/canopies -> greedy
+disambiguation -> linked entities, linked predicates, and non-linkable
+(isolated / new) concepts.
+
+:class:`LinkingContext` bundles the shared substrate (KB, alias index,
+embeddings, extraction pipeline) so that TENET and every baseline link
+over identical inputs, as in the paper's experimental setup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.candidates import CandidateGenerator, MentionCandidates
+from repro.core.canopies import Canopy, MentionGroup, build_mention_groups
+from repro.core.coherence import CandidateNode, CoherenceGraph, build_coherence_graph
+from repro.core.config import TenetConfig
+from repro.core.disambiguation import DisambiguationResult, disambiguate
+from repro.core.result import Link, LinkingResult
+from repro.core.tree_cover import TreeCoverResult, derive_tree_cover
+from repro.embeddings.similarity import SimilarityIndex
+from repro.embeddings.store import EmbeddingStore
+from repro.embeddings.trainer import EmbeddingTrainer, TrainerConfig
+from repro.kb.alias_index import AliasIndex
+from repro.kb.store import KnowledgeBase
+from repro.kb.types import DEFAULT_TAXONOMY, TypeTaxonomy
+from repro.nlp.pipeline import DocumentExtraction, ExtractionPipeline
+from repro.nlp.spans import Span, SpanKind
+
+
+@dataclass
+class LinkingContext:
+    """Shared substrate: one per KB, reused across documents and systems."""
+
+    kb: KnowledgeBase
+    alias_index: AliasIndex
+    embeddings: EmbeddingStore
+    taxonomy: TypeTaxonomy = field(default_factory=lambda: DEFAULT_TAXONOMY)
+
+    @classmethod
+    def build(
+        cls,
+        kb: KnowledgeBase,
+        taxonomy: Optional[TypeTaxonomy] = None,
+        trainer_config: TrainerConfig = TrainerConfig(),
+    ) -> "LinkingContext":
+        """Index the KB and train embeddings (the offline preparation)."""
+        taxonomy = taxonomy or DEFAULT_TAXONOMY
+        alias_index = AliasIndex.from_kb(kb, taxonomy)
+        embeddings = EmbeddingTrainer(kb, trainer_config).train()
+        return cls(kb, alias_index, embeddings, taxonomy)
+
+    def save(self, directory) -> None:
+        """Persist the context (KB dump + embeddings) to *directory*.
+
+        The alias index is rebuilt on load — it is derived data and
+        cheaper to regenerate than to serialise.
+        """
+        from pathlib import Path
+
+        from repro.kb.dump import save_dump
+
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        save_dump(self.kb, directory / "kb.json")
+        self.embeddings.save(directory / "embeddings")
+
+    @classmethod
+    def load(cls, directory, taxonomy: Optional[TypeTaxonomy] = None):
+        """Load a context previously written by :meth:`save`.
+
+        Embeddings are memory-mapped, the access pattern the paper uses
+        to serve PyTorch-BigGraph vectors at link time.
+        """
+        from pathlib import Path
+
+        from repro.kb.dump import load_dump
+
+        directory = Path(directory)
+        kb = load_dump(directory / "kb.json")
+        embeddings = EmbeddingStore.load(directory / "embeddings")
+        taxonomy = taxonomy or DEFAULT_TAXONOMY
+        alias_index = AliasIndex.from_kb(kb, taxonomy)
+        return cls(kb, alias_index, embeddings, taxonomy)
+
+
+@dataclass
+class LinkingDiagnostics:
+    """Intermediate artefacts of one linking run (for tests and Fig. 7)."""
+
+    extraction: DocumentExtraction
+    candidates: MentionCandidates
+    coherence: CoherenceGraph
+    cover: TreeCoverResult
+    groups: List[MentionGroup]
+    disambiguation: DisambiguationResult
+    result: LinkingResult
+    elapsed_seconds: float = 0.0
+
+    @property
+    def mention_count(self) -> int:
+        return len(self.candidates.by_mention)
+
+    @property
+    def group_count(self) -> int:
+        return len(self.groups)
+
+    @property
+    def cover_edge_count(self) -> int:
+        return self.cover.total_edges
+
+
+class TenetLinker:
+    """Tree-cover-based joint entity and relation linker (the paper)."""
+
+    name = "TENET"
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        config: TenetConfig = TenetConfig(),
+    ) -> None:
+        self.context = context
+        self.config = config
+        self.pipeline = ExtractionPipeline(
+            context.alias_index,
+            max_span_tokens=config.max_span_tokens,
+            infer_types=config.use_type_filter,
+        )
+        self.generator = CandidateGenerator(
+            context.alias_index,
+            max_candidates=config.max_candidates,
+            min_prior=config.min_prior,
+            use_fuzzy=config.use_fuzzy_candidates,
+        )
+        self.similarity = SimilarityIndex(context.embeddings)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def link(self, text: str) -> LinkingResult:
+        """Link one document end to end."""
+        return self.link_detailed(text).result
+
+    def link_detailed(self, text: str) -> LinkingDiagnostics:
+        """Link one document, returning every intermediate artefact."""
+        started = time.perf_counter()
+        extraction = self.pipeline.extract(text)
+        candidates = self.generator.generate(extraction)
+        diagnostics = self._link_candidates(extraction, candidates)
+        diagnostics.elapsed_seconds = time.perf_counter() - started
+        return diagnostics
+
+    def explain(self, text: str):
+        """Link *text* and return (result, explanations).
+
+        ``explanations`` maps each linked mention span to a
+        :class:`~repro.core.disambiguation.LinkExplanation` describing
+        the committing evidence — whether the decision came from a
+        coherence edge (and with which anchor concept) or from the
+        mention's own prior.
+        """
+        diagnostics = self.link_detailed(text)
+        return diagnostics.result, diagnostics.disambiguation.provenance
+
+    def disambiguate_mentions(
+        self, text: str, mentions: Sequence[Span]
+    ) -> LinkingResult:
+        """Entity/predicate disambiguation with mentions given as input.
+
+        This is the Fig. 6(b) evaluation mode: mention detection is
+        bypassed, each provided span forms its own singleton group, and
+        only the coherence machinery decides the links.
+        """
+        extraction = self.pipeline.extract(text)
+        by_mention = {}
+        for span in mentions:
+            if span.kind is SpanKind.NOUN:
+                by_mention[span] = self.generator.entity_candidates(span)
+            else:
+                by_mention[span] = self.generator.predicate_candidates(span)
+        candidates = MentionCandidates(by_mention)
+        concept_ids = {
+            hit.concept_id
+            for hits in by_mention.values()
+            for hit in hits
+        }
+        self.similarity.precompute(concept_ids)
+        coherence = build_coherence_graph(
+            by_mention,
+            self.similarity,
+            predicate_similarity_scale=self.config.predicate_similarity_scale,
+            prior_distance_floor=self.config.prior_distance_floor,
+            coherence_prior_blend=self.config.coherence_prior_blend,
+            prior_distance_curve=self.config.prior_distance_curve,
+            max_neighbours=self.config.coherence_max_neighbours,
+        )
+        cover = derive_tree_cover(coherence, self.config.tree_weight_bound)
+        # In disambiguation-only mode every provided mention is its own
+        # singleton group: mention selection is out of scope by design.
+        groups = [
+            MentionGroup(i, (span,), (Canopy((span,)),))
+            for i, span in enumerate(by_mention)
+        ]
+        disambiguation = disambiguate(
+            cover,
+            groups,
+            self.config.prior_link_threshold,
+            extra_edges=self._shared_edges(coherence, cover.bound),
+        )
+        return self._to_result(disambiguation, candidates)
+
+    def _shared_edges(self, coherence: CoherenceGraph, bound: float):
+        """Edges every mention's own tree contributes to the shared pool.
+
+        Definition 6 lets trees share nodes and edges and Sec. 4's
+        intuition says each tree T_i holds "all the nodes within a small
+        semantic distance" to its mention; the materialised cover keeps
+        one representative tree per component, so here we re-add, for
+        each mention, (a) its surviving prior edges and (b) each of its
+        candidates' single nearest coherence edge — the closest related
+        node that T_i would contain.
+        """
+        edges = []
+        graph = coherence.graph
+        for mention, nodes in coherence.candidates_by_mention.items():
+            for node in nodes:
+                weight = graph.get_weight(mention, node)
+                if weight is not None and weight <= bound:
+                    edges.append((mention, node, weight))
+                # For each *other* mention, this candidate's closest edge
+                # into that mention's candidate set — the per-pair nearest
+                # relatedness T_i would retain.
+                best: dict = {}
+                for neighbour, w in graph.neighbours(node).items():
+                    if not isinstance(neighbour, CandidateNode):
+                        continue
+                    key = neighbour.mention
+                    current = best.get(key)
+                    if current is None or w < current[1]:
+                        best[key] = (neighbour, w)
+                for neighbour, w in best.values():
+                    if w <= bound:
+                        edges.append((node, neighbour, w))
+        return edges
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _link_candidates(
+        self, extraction: DocumentExtraction, candidates: MentionCandidates
+    ) -> LinkingDiagnostics:
+        concept_ids = {
+            hit.concept_id
+            for hits in candidates.by_mention.values()
+            for hit in hits
+        }
+        self.similarity.precompute(concept_ids)
+        coherence = build_coherence_graph(
+            candidates.by_mention,
+            self.similarity,
+            predicate_similarity_scale=self.config.predicate_similarity_scale,
+            prior_distance_floor=self.config.prior_distance_floor,
+            coherence_prior_blend=self.config.coherence_prior_blend,
+            prior_distance_curve=self.config.prior_distance_curve,
+            max_neighbours=self.config.coherence_max_neighbours,
+        )
+        cover = derive_tree_cover(coherence, self.config.tree_weight_bound)
+        if self.config.use_canopies:
+            groups = build_mention_groups(
+                extraction.tokens,
+                extraction.noun_spans,
+                extraction.relation_spans,
+                has_candidates=lambda span: bool(candidates.by_mention.get(span)),
+            )
+        else:
+            # Ablation: no mention groups/canopies — every span competes
+            # as its own singleton group; only the greedy overlap pruning
+            # arbitrates between overlapping readings.
+            groups = [
+                MentionGroup(i, (span,), (Canopy((span,)),))
+                for i, span in enumerate(
+                    extraction.noun_spans + extraction.relation_spans
+                )
+            ]
+        disambiguation = disambiguate(
+            cover,
+            groups,
+            self.config.prior_link_threshold,
+            extra_edges=self._shared_edges(coherence, cover.bound),
+        )
+        result = self._to_result(disambiguation, candidates)
+        return LinkingDiagnostics(
+            extraction=extraction,
+            candidates=candidates,
+            coherence=coherence,
+            cover=cover,
+            groups=groups,
+            disambiguation=disambiguation,
+            result=result,
+        )
+
+    def _to_result(
+        self,
+        disambiguation: DisambiguationResult,
+        candidates: MentionCandidates,
+    ) -> LinkingResult:
+        result = LinkingResult(non_linkable=list(disambiguation.non_linkable))
+        for mention, node in disambiguation.gamma.items():
+            prior = _prior_of(candidates, mention, node.concept_id)
+            link = Link(mention, node.concept_id, score=prior)
+            if mention.kind is SpanKind.NOUN and node.kind == "entity":
+                result.entity_links.append(link)
+            elif mention.kind is SpanKind.RELATION and node.kind == "predicate":
+                result.relation_links.append(link)
+        result.entity_links.sort(key=lambda l: l.span.token_start)
+        result.relation_links.sort(key=lambda l: l.span.token_start)
+        return result
+
+
+def _prior_of(
+    candidates: MentionCandidates, mention: Span, concept_id: str
+) -> float:
+    for hit in candidates.candidates(mention):
+        if hit.concept_id == concept_id:
+            return hit.prior
+    return 0.0

@@ -1,0 +1,117 @@
+"""Tree splitting (the paper's Algorithms 2 and 3).
+
+Given a mention-rooted tree :math:`T_i` and the bound :math:`B`, the tree
+is decomposed into
+
+* a **leftover tree** :math:`L_i` containing the mention root, with
+  :math:`\\omega(L_i) \\le B`, and
+* a set of **subtrees** :math:`S_i^j` with
+  :math:`\\omega(S_i^j) \\in (B, 2B]`.
+
+The paper's pseudo-code walks edges in post order with an explicit stack;
+this implementation is the equivalent single post-order pass maintaining,
+for every node, the *residual* weight still hanging below it.  At each
+node the child "pieces" (connecting edge + residual child subtree) are
+bundled greedily:
+
+* a piece heavier than B is flushed alone — it is at most 2B because both
+  the edge and the child's residual are bounded by B;
+* otherwise pieces accumulate, and the bundle is flushed as soon as it
+  exceeds B (it is then at most 2B because the previous bundle weight was
+  at most B and the new piece is at most B).
+
+Whatever remains attached at the root (always containing the mention) is
+the leftover tree with weight at most B.  Flushed subtrees keep the node
+they hang from as their root — trees in a cover may share nodes
+(Definition 6), and the shared connector carries no weight.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graph.tree import RootedTree
+from repro.graph.weighted_graph import Node
+
+
+def split_tree(
+    tree: RootedTree, bound: float
+) -> Tuple[RootedTree, List[RootedTree]]:
+    """Split *tree* into (leftover, subtrees) under *bound*.
+
+    Every edge of *tree* must weigh at most *bound* (guaranteed upstream
+    by the edge pruning of Algorithm 1, Step (a)); otherwise the
+    (B, 2B] guarantee is impossible and a ``ValueError`` is raised.
+    """
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    for edge in tree.edges():
+        if edge.weight > bound + 1e-12:
+            raise ValueError(
+                f"edge ({edge.parent!r}, {edge.child!r}) weighs {edge.weight}"
+                f" > bound {bound}; prune edges before splitting"
+            )
+    if tree.weight() <= bound:
+        return _copy_tree(tree), []
+
+    working = _copy_tree(tree)
+    subtrees: List[RootedTree] = []
+    residual: Dict[Node, float] = {}
+
+    for node in list(working.post_order_nodes()):
+        bundle: List[Node] = []
+        bundle_weight = 0.0
+        kept_weight = 0.0
+        for child in working.children(node):
+            piece = working.edge_weight_to(child) + residual.get(child, 0.0)
+            if piece > bound:
+                # Flush this piece alone: (B, 2B] by the edge/residual
+                # bounds.
+                subtrees.append(_flush(working, node, [child]))
+                continue
+            bundle.append(child)
+            bundle_weight += piece
+            if bundle_weight > bound:
+                subtrees.append(_flush(working, node, bundle))
+                bundle = []
+                bundle_weight = 0.0
+        kept_weight = bundle_weight
+        residual[node] = kept_weight
+
+    return working, subtrees
+
+
+def _copy_tree(tree: RootedTree) -> RootedTree:
+    copy = RootedTree(tree.root)
+    stack = list(tree.children(tree.root))
+    parent_of = {child: tree.root for child in stack}
+    while stack:
+        node = stack.pop()
+        copy.add_edge(parent_of[node], node, tree.edge_weight_to(node))
+        for child in tree.children(node):
+            parent_of[child] = node
+            stack.append(child)
+    return copy
+
+
+def _flush(working: RootedTree, anchor: Node, children: List[Node]) -> RootedTree:
+    """Detach *children* subtrees and return them under a shared *anchor*."""
+    flushed = RootedTree(anchor)
+    for child in children:
+        weight = working.edge_weight_to(child)
+        detached = working.detach_subtree(child)
+        flushed.add_edge(anchor, child, weight)
+        _graft(flushed, detached, child)
+    return flushed
+
+
+def _graft(target: RootedTree, source: RootedTree, at: Node) -> None:
+    """Copy all of *source* (rooted at *at*, already present) into *target*."""
+    stack = list(source.children(at))
+    parent_of = {child: at for child in stack}
+    while stack:
+        node = stack.pop()
+        target.add_edge(parent_of[node], node, source.edge_weight_to(node))
+        for child in source.children(node):
+            parent_of[child] = node
+            stack.append(child)

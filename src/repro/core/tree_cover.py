@@ -1,0 +1,345 @@
+"""Coherence tree cover derivation (the paper's Algorithm 1).
+
+Given the knowledge coherence graph and a bound B, derive an M-rooted
+coherence tree cover of cost at most 4B, or fail with
+:class:`BoundTooSmallError` when B is infeasible:
+
+(a) prune edges heavier than B;
+(b) contract all mention nodes into a major root r (edge ``(r, c)`` takes
+    the weight of c's own mention edge);
+(c) Kruskal MST over the contracted graph — disconnection means B is too
+    small;
+(d) decompose r back into the mentions: every component of MST - r hangs
+    off r through exactly one edge (the MST is acyclic), and that edge's
+    candidate node identifies the owning mention;
+(e) split each mention tree into a leftover (<= B, contains the mention)
+    and subtrees in (B, 2B] (:mod:`repro.core.splitting`);
+(f) assign subtrees to mentions by Hopcroft--Karp maximum matching, where
+    a mention may adopt a subtree whose pruned-graph distance from it lies
+    in (0, B]; each adopted subtree is connected through that shortest
+    path.  An unmatched subtree again means B is too small.
+
+The paper sets B = |M| for linking (Sec. 6.1) — with distances bounded by
+1 this never fails; small explicit bounds exercise the failure path and
+the binary search (:func:`minimal_feasible_bound`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.coherence import CandidateNode, CoherenceGraph
+from repro.core.splitting import split_tree
+from repro.graph.matching import hopcroft_karp
+from repro.graph.mst import minimum_spanning_forest
+from repro.graph.paths import dijkstra
+from repro.graph.tree import RootedTree
+from repro.graph.weighted_graph import WeightedGraph
+from repro.nlp.spans import Span
+
+# Sentinel for the contracted major root node of Step (b).
+MAJOR_ROOT = ("__tenet_major_root__",)
+
+
+class BoundTooSmallError(ValueError):
+    """Raised when no tree cover of cost <= 4B exists for the given B."""
+
+
+@dataclass
+class TreeCoverResult:
+    """An M-rooted coherence tree cover."""
+
+    trees: Dict[Span, RootedTree]
+    bound: float
+    subtree_count: int = 0
+
+    def cost(self) -> float:
+        """The paper's cover cost: the maximum tree weight."""
+        if not self.trees:
+            return 0.0
+        return max(tree.weight() for tree in self.trees.values())
+
+    def tree_for(self, mention: Span) -> RootedTree:
+        return self.trees[mention]
+
+    @property
+    def total_edges(self) -> int:
+        return sum(tree.edge_count for tree in self.trees.values())
+
+    def isolated_mentions(self) -> List[Span]:
+        """Mentions whose tree is a singleton (no coherent candidates)."""
+        return [m for m, tree in self.trees.items() if tree.is_singleton()]
+
+    def statistics(self) -> "CoverStatistics":
+        """Structural summary of the cover (for diagnostics/analysis)."""
+        sizes = sorted(
+            (tree.node_count for tree in self.trees.values()), reverse=True
+        )
+        return CoverStatistics(
+            tree_count=len(self.trees),
+            singleton_count=len(self.isolated_mentions()),
+            total_edges=self.total_edges,
+            max_tree_weight=self.cost(),
+            largest_tree_nodes=sizes[0] if sizes else 0,
+            bound=self.bound,
+            subtree_count=self.subtree_count,
+        )
+
+
+@dataclass(frozen=True)
+class CoverStatistics:
+    """Structural summary of an M-rooted tree cover."""
+
+    tree_count: int
+    singleton_count: int
+    total_edges: int
+    max_tree_weight: float
+    largest_tree_nodes: int
+    bound: float
+    subtree_count: int
+
+    @property
+    def isolation_rate(self) -> float:
+        """Fraction of mentions standing alone — the sparse-coherence
+        signature the paper's relaxation is designed for."""
+        return (
+            self.singleton_count / self.tree_count if self.tree_count else 0.0
+        )
+
+
+def derive_tree_cover(
+    coherence: CoherenceGraph, bound: Optional[float] = None
+) -> TreeCoverResult:
+    """Run Algorithm 1 on *coherence* with bound B.
+
+    ``bound=None`` applies the paper's default B = |M|.
+    """
+    if bound is None:
+        bound = float(max(len(coherence.mentions), 1))
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+
+    # Step (a): edge pruning.
+    pruned = coherence.graph.pruned(bound)
+
+    # Step (b): contract mentions into the major root.
+    contracted, owner = _contract(coherence, pruned, bound)
+
+    # Step (c): MST.  The contracted graph may legitimately be missing
+    # candidate nodes whose every edge was pruned — that is a failure
+    # (the node could never be covered within B), matching the paper's
+    # "B is too small" warning for disconnected graphs.
+    mst = minimum_spanning_forest(contracted)
+    if contracted.node_count > 0 and mst.edge_count != contracted.node_count - 1:
+        raise BoundTooSmallError(
+            f"contracted coherence graph is disconnected at B={bound}"
+        )
+
+    # Step (d): decompose the major root back into mentions.
+    raw_trees = _decompose(coherence, mst, owner)
+
+    # Step (e): tree splitting.
+    trees: Dict[Span, RootedTree] = {}
+    leftover_subtrees: List[RootedTree] = []
+    for mention, tree in raw_trees.items():
+        leftover, subtrees = split_tree(tree, bound)
+        trees[mention] = leftover
+        leftover_subtrees.extend(subtrees)
+
+    if not leftover_subtrees:
+        return TreeCoverResult(trees, bound, 0)
+
+    # Step (f): maximum matching of subtrees to mentions.
+    _attach_subtrees(coherence, pruned, trees, leftover_subtrees, bound)
+    return TreeCoverResult(trees, bound, len(leftover_subtrees))
+
+
+# ---------------------------------------------------------------------------
+# steps
+# ---------------------------------------------------------------------------
+
+def _contract(
+    coherence: CoherenceGraph, pruned: WeightedGraph, bound: float
+) -> Tuple[WeightedGraph, Dict[CandidateNode, Span]]:
+    """Build the contracted graph G' = ({r} u C, ...).
+
+    Each candidate node connects to the root with the weight of its own
+    mention edge (if that edge survived pruning); concept-concept edges
+    are carried over unchanged.  ``owner`` records which mention each
+    root edge decomposes back to.
+    """
+    contracted = WeightedGraph()
+    contracted.add_node(MAJOR_ROOT)
+    owner: Dict[CandidateNode, Span] = {}
+    for mention, nodes in coherence.candidates_by_mention.items():
+        for node in nodes:
+            contracted.add_node(node)
+            weight = pruned.get_weight(mention, node)
+            if weight is not None:
+                contracted.add_edge(MAJOR_ROOT, node, weight)
+                owner[node] = mention
+    for u, v, w in pruned.edges():
+        if isinstance(u, CandidateNode) and isinstance(v, CandidateNode):
+            contracted.add_edge(u, v, w)
+    return contracted, owner
+
+
+def _decompose(
+    coherence: CoherenceGraph,
+    mst: WeightedGraph,
+    owner: Dict[CandidateNode, Span],
+) -> Dict[Span, RootedTree]:
+    """Step (d): replace the major root by the mention nodes.
+
+    Every component of MST - r hangs off r through exactly one edge
+    (otherwise the MST would contain a cycle), so each component belongs
+    to the mention owning that edge.  Mentions with several root edges
+    adopt several components; mentions with none keep a singleton tree.
+    """
+    trees: Dict[Span, RootedTree] = {
+        mention: RootedTree(mention) for mention in coherence.mentions
+    }
+    if MAJOR_ROOT not in mst:
+        return trees
+    root_edges = list(mst.neighbours(MAJOR_ROOT).items())
+    without_root = mst.copy()
+    without_root.remove_node(MAJOR_ROOT)
+    for anchor, weight in root_edges:
+        mention = owner[anchor]
+        tree = trees[mention]
+        tree.add_edge(mention, anchor, weight)
+        _graft_component(tree, without_root, anchor)
+    return trees
+
+
+def _graft_component(
+    tree: RootedTree, forest: WeightedGraph, anchor: CandidateNode
+) -> None:
+    """Copy the forest component reachable from *anchor* into *tree*."""
+    stack = [anchor]
+    visited = {anchor}
+    while stack:
+        node = stack.pop()
+        for neighbour, weight in sorted(
+            forest.neighbours(node).items(), key=lambda kv: repr(kv[0])
+        ):
+            if neighbour in visited or neighbour in tree:
+                continue
+            visited.add(neighbour)
+            tree.add_edge(node, neighbour, weight)
+            stack.append(neighbour)
+
+
+def _attach_subtrees(
+    coherence: CoherenceGraph,
+    pruned: WeightedGraph,
+    trees: Dict[Span, RootedTree],
+    subtrees: List[RootedTree],
+    bound: float,
+) -> None:
+    """Step (f): match subtrees to mentions and graft them via shortest paths."""
+    eligibility: Dict[int, List[Span]] = {idx: [] for idx in range(len(subtrees))}
+    paths: Dict[Tuple[int, Span], List] = {}
+    subtree_node_sets = [subtree.node_set() for subtree in subtrees]
+    for mention in coherence.mentions:
+        if mention not in pruned:
+            continue
+        distances, predecessors = dijkstra(pruned, mention, max_distance=bound)
+        for idx, subtree_nodes in enumerate(subtree_node_sets):
+            best_node = None
+            best_dist = None
+            for node in subtree_nodes:
+                dist = distances.get(node)
+                if dist is None or dist <= 0.0:
+                    continue
+                if best_dist is None or dist < best_dist:
+                    best_dist = dist
+                    best_node = node
+            if best_node is None:
+                continue
+            eligibility[idx].append(mention)
+            path = [best_node]
+            while path[-1] != mention:
+                path.append(predecessors[path[-1]])
+            path.reverse()
+            paths[(idx, mention)] = path
+
+    matching = hopcroft_karp(list(eligibility), eligibility)
+    if len(matching) < len(subtrees):
+        raise BoundTooSmallError(
+            f"{len(subtrees) - len(matching)} subtrees cannot be matched to "
+            f"any mention within B={bound}"
+        )
+    for idx, mention in matching.items():
+        _merge_into_tree(trees[mention], subtrees[idx], paths[(idx, mention)], pruned)
+
+
+def _merge_into_tree(
+    tree: RootedTree,
+    subtree: RootedTree,
+    path: List,
+    pruned: WeightedGraph,
+) -> None:
+    """Graft *subtree* onto *tree* through the connecting *path*.
+
+    The merged structure may momentarily contain nodes already present in
+    the leftover tree (trees can share nodes); the rebuild keeps the
+    result a tree by taking the union graph's spanning structure rooted
+    at the mention.
+    """
+    union = tree.to_graph()
+    for i in range(len(path) - 1):
+        u, v = path[i], path[i + 1]
+        if not union.has_edge(u, v):
+            union.add_node(u)
+            union.add_node(v)
+            union.add_edge(u, v, pruned.weight(u, v))
+    for edge in subtree.edges():
+        if not union.has_edge(edge.parent, edge.child):
+            union.add_node(edge.parent)
+            union.add_node(edge.child)
+            union.add_edge(edge.parent, edge.child, edge.weight)
+    rebuilt = RootedTree.from_graph(union, tree.root)
+    tree.adopt(rebuilt)
+
+
+# ---------------------------------------------------------------------------
+# bound search
+# ---------------------------------------------------------------------------
+
+def minimal_feasible_bound(
+    coherence: CoherenceGraph,
+    tolerance: float = 1e-3,
+    max_bound: Optional[float] = None,
+) -> float:
+    """Binary-search the smallest B for which Algorithm 1 succeeds.
+
+    The approximation guarantee then gives a cover of cost at most 4B*
+    with B* <= the optimum cover cost.  Used by the ablation benchmarks;
+    the production linker keeps the paper's B = |M|.
+    """
+    if max_bound is None:
+        max_bound = max(float(len(coherence.mentions)), 1.0)
+    lo, hi = 0.0, max_bound
+    if not _feasible(coherence, hi):
+        raise BoundTooSmallError(
+            f"no feasible bound up to max_bound={max_bound}"
+        )
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if mid <= 0.0:
+            break
+        if _feasible(coherence, mid):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def _feasible(coherence: CoherenceGraph, bound: float) -> bool:
+    try:
+        derive_tree_cover(coherence, bound)
+        return True
+    except BoundTooSmallError:
+        return False

@@ -1,0 +1,38 @@
+"""Dataset substrate: synthetic analogs of the paper's four corpora.
+
+The paper evaluates on News (NYT 2018), T-REx42, KORE50 and MSNBC19,
+whose documents and gold annotations are not redistributable.  This
+package generates synthetic analogs over the synthetic world with the
+statistics the paper reports (Table 2 and Sec. 6.1): document length,
+annotated noun/relational phrases per document, non-linkable fractions,
+and ambiguity style (e.g. KORE50's surname-only highly ambiguous
+mentions).
+"""
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.datasets.generator import DocumentGenerator, DocumentSpec
+from repro.datasets.benchmarks import (
+    BenchmarkSuite,
+    build_benchmark_suite,
+    build_news,
+    build_trex42,
+    build_kore50,
+    build_msnbc19,
+)
+from repro.datasets.loaders import save_dataset, load_dataset
+
+__all__ = [
+    "AnnotatedDocument",
+    "Dataset",
+    "GoldMention",
+    "DocumentGenerator",
+    "DocumentSpec",
+    "BenchmarkSuite",
+    "build_benchmark_suite",
+    "build_news",
+    "build_trex42",
+    "build_kore50",
+    "build_msnbc19",
+    "save_dataset",
+    "load_dataset",
+]

@@ -1,0 +1,192 @@
+"""Builders for the four benchmark dataset analogs.
+
+Sizes and composition follow the paper (Sec. 6.1, Table 2):
+
+* **News** — 16 long-text documents (10 normal-domain + 6 advertisement
+  documents full of fresh, non-linkable phrases), high non-linkable
+  relation fraction;
+* **T-REx42** — 42 long-text documents, moderate non-linkable nouns,
+  many non-linkable relations;
+* **KORE50** — 50 short hand-crafted-style sentences with very ambiguous
+  (surname-only) mentions, entity annotations only;
+* **MSNBC19** — 19 very long documents (hundreds of words, ~22 annotated
+  entities each), entity annotations only.
+
+All four are generated against one shared synthetic world so a single
+:class:`~repro.core.linker.LinkingContext` serves the whole suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datasets.generator import DocumentGenerator, DocumentSpec
+from repro.datasets.schema import AnnotatedDocument, Dataset
+from repro.kb.synthetic import SyntheticKBConfig, SyntheticWorld, build_synthetic_world
+
+_DOMAIN_ROTATION = (
+    "computer_science", "basketball", "cinema", "geography",
+    "politics", "music", "literature", "business",
+)
+
+
+def _rotate(index: int) -> str:
+    return _DOMAIN_ROTATION[index % len(_DOMAIN_ROTATION)]
+
+
+def build_news(world: SyntheticWorld, seed: int = 101, scale: float = 1.0) -> Dataset:
+    """News analog: 10 normal + 6 advertisement documents."""
+    generator = DocumentGenerator(world, seed)
+    documents: List[AnnotatedDocument] = []
+    normal_count = max(2, round(10 * scale))
+    ad_count = max(2, round(6 * scale))
+    for i in range(normal_count):
+        spec = DocumentSpec(
+            domain=_rotate(i),
+            facts=4,
+            isolated_facts=1,
+            non_linkable_noun_sentences=1,
+            non_linkable_relation_sentences=2,
+            filler_sentences=14,
+            ambiguous_alias_prob=0.5,
+            object_ambiguous_prob=0.3,
+            pronoun_prob=0.3,
+            title_facts=0,
+        )
+        documents.append(generator.generate(f"news-{i}", spec))
+    for i in range(ad_count):
+        spec = DocumentSpec(
+            domain=_rotate(i + 3),
+            facts=2,
+            isolated_facts=1,
+            non_linkable_noun_sentences=1,
+            non_linkable_relation_sentences=1,
+            non_linkable_ad_sentences=3,
+            filler_sentences=8,
+            ambiguous_alias_prob=0.25,
+            pronoun_prob=0.2,
+            title_facts=0,
+        )
+        documents.append(generator.generate(f"news-ad-{i}", spec))
+    return Dataset("News", documents, has_relation_gold=True)
+
+
+def news_advertisement_ids(dataset: Dataset) -> List[str]:
+    """Document ids of the 6 advertisement articles (Fig. 6(c) subset)."""
+    return [d.doc_id for d in dataset.documents if d.doc_id.startswith("news-ad-")]
+
+
+def build_trex42(world: SyntheticWorld, seed: int = 202, scale: float = 1.0) -> Dataset:
+    """T-REx analog: 42 long-text KB-population-style documents."""
+    generator = DocumentGenerator(world, seed)
+    documents: List[AnnotatedDocument] = []
+    count = max(2, round(42 * scale))
+    for i in range(count):
+        spec = DocumentSpec(
+            domain=_rotate(i),
+            facts=4,
+            isolated_facts=1,
+            non_linkable_noun_sentences=(1 if i % 3 == 0 else 0),
+            non_linkable_relation_sentences=2,
+            filler_sentences=12,
+            ambiguous_alias_prob=0.45,
+            object_ambiguous_prob=0.3,
+            pronoun_prob=0.25,
+            title_facts=1,
+        )
+        documents.append(generator.generate(f"trex-{i}", spec))
+    return Dataset("T-REx42", documents, has_relation_gold=True)
+
+
+def build_kore50(world: SyntheticWorld, seed: int = 303, scale: float = 1.0) -> Dataset:
+    """KORE50 analog: short sentences with very ambiguous mentions."""
+    generator = DocumentGenerator(world, seed)
+    documents: List[AnnotatedDocument] = []
+    count = max(2, round(50 * scale))
+    for i in range(count):
+        spec = DocumentSpec(
+            domain=_rotate(i),
+            facts=1 + (i % 2),
+            isolated_facts=0,
+            non_linkable_noun_sentences=0,
+            non_linkable_relation_sentences=0,
+            filler_sentences=0,
+            ambiguous_alias_prob=0.3,
+            surname_prob=0.65,
+            object_ambiguous_prob=0.35,
+            pronoun_prob=0.0,
+            title_facts=0,
+            annotate_relations=False,
+            oov_noun_prob=0.05,
+            oov_relation_prob=0.0,
+        )
+        documents.append(generator.generate(f"kore-{i}", spec))
+    return Dataset("KORE50", documents, has_relation_gold=False)
+
+
+def build_msnbc19(world: SyntheticWorld, seed: int = 404, scale: float = 1.0) -> Dataset:
+    """MSNBC analog: 19 very long documents, ~22 annotated entities each."""
+    generator = DocumentGenerator(world, seed)
+    documents: List[AnnotatedDocument] = []
+    count = max(2, round(19 * scale))
+    for i in range(count):
+        spec = DocumentSpec(
+            domain=_rotate(i),
+            facts=12,
+            isolated_facts=2,
+            non_linkable_noun_sentences=2,
+            non_linkable_relation_sentences=1,
+            filler_sentences=48,
+            ambiguous_alias_prob=0.5,
+            object_ambiguous_prob=0.3,
+            pronoun_prob=0.3,
+            title_facts=1,
+            annotate_relations=False,
+        )
+        documents.append(generator.generate(f"msnbc-{i}", spec))
+    return Dataset("MSNBC19", documents, has_relation_gold=False)
+
+
+@dataclass
+class BenchmarkSuite:
+    """The shared world plus the four dataset analogs."""
+
+    world: SyntheticWorld
+    news: Dataset
+    trex42: Dataset
+    kore50: Dataset
+    msnbc19: Dataset
+
+    def datasets(self) -> List[Dataset]:
+        return [self.news, self.trex42, self.kore50, self.msnbc19]
+
+    def dataset(self, name: str) -> Dataset:
+        for dataset in self.datasets():
+            if dataset.name.lower() == name.lower():
+                return dataset
+        raise KeyError(f"unknown dataset {name!r}")
+
+    def advertisement_subset(self) -> Dataset:
+        """The 6 News advertisement documents used in Fig. 6(c)."""
+        return self.news.subset(news_advertisement_ids(self.news))
+
+
+def build_benchmark_suite(
+    seed: int = 7,
+    scale: float = 1.0,
+    kb_config: Optional[SyntheticKBConfig] = None,
+) -> BenchmarkSuite:
+    """Build the world and all four datasets.
+
+    ``scale`` shrinks document counts proportionally (min 2 per dataset)
+    for fast unit tests; 1.0 reproduces the paper-sized corpora.
+    """
+    world = build_synthetic_world(kb_config or SyntheticKBConfig(seed=seed))
+    return BenchmarkSuite(
+        world=world,
+        news=build_news(world, seed=seed * 100 + 1, scale=scale),
+        trex42=build_trex42(world, seed=seed * 100 + 2, scale=scale),
+        kore50=build_kore50(world, seed=seed * 100 + 3, scale=scale),
+        msnbc19=build_msnbc19(world, seed=seed * 100 + 4, scale=scale),
+    )

@@ -1,0 +1,630 @@
+"""Synthetic document generator.
+
+Renders KB facts into news-register sentences with exact gold character
+offsets.  The generator controls every phenomenon the paper's evaluation
+measures:
+
+* **ambiguity** — subject mentions may use an alias shared by several
+  entities across domains, with the gold entity *not* the most popular
+  owner (the "Michael Jordan" trap for prior-only linkers);
+* **sparse coherence / isolation** — a controllable number of facts come
+  from unrelated domains, so their entities share no coherence with the
+  rest of the document;
+* **non-linkable phrases** — coined product names and coined relational
+  verbs appear in otherwise normal sentences and are annotated with
+  ``concept_id=None`` (Table 2's statistics, Fig. 6(c)'s ground truth);
+* **overlapping mentions** — facts about multi-token creative-work
+  titles ("The Signal on the Elysium") exercise mention groups and
+  canopies;
+* **co-reference** — follow-up facts about the same person are rendered
+  with a pronoun subject.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datasets.schema import AnnotatedDocument, GoldMention
+from repro.kb import namepools
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.synthetic import SyntheticWorld
+from repro.nlp.spans import SpanKind
+from repro.textnorm import normalize_phrase
+
+
+@dataclass(frozen=True)
+class DocumentSpec:
+    """Controls the composition of one generated document."""
+
+    domain: str
+    facts: int = 5
+    isolated_facts: int = 1
+    non_linkable_noun_sentences: int = 1
+    non_linkable_relation_sentences: int = 1
+    non_linkable_ad_sentences: int = 0
+    filler_sentences: int = 2
+    ambiguous_alias_prob: float = 0.35
+    surname_prob: float = 0.0
+    pronoun_prob: float = 0.25
+    title_facts: int = 1
+    annotate_relations: bool = True
+    # Out-of-vocabulary surface forms: the mention is linkable per the
+    # gold standard, but its rendered surface is not in the alias index
+    # ("Dr Wilson", "is studying").  This models the alias-coverage gaps
+    # that cap every real system's recall.
+    oov_noun_prob: float = 0.1
+    oov_relation_prob: float = 0.12
+    object_ambiguous_prob: float = 0.2
+
+
+_IRREGULAR_ING = {
+    "won": "winning", "wrote": "writing", "drew": "drawing",
+    "was": "being", "married": "marrying", "comes": "coming",
+}
+
+
+def _ing_form(verb: str) -> str:
+    """Best-effort progressive form: studies->studying, lives->living."""
+    if verb in _IRREGULAR_ING:
+        return _IRREGULAR_ING[verb]
+    base = verb
+    if base.endswith("ies") and len(base) > 4:
+        base = base[:-3] + "y"
+    elif base.endswith("ied") and len(base) > 4:
+        base = base[:-3] + "y"
+    elif base.endswith("es") and len(base) > 3:
+        base = base[:-1]
+    elif base.endswith("ed") and len(base) > 3:
+        base = base[:-2]
+    elif base.endswith("s") and not base.endswith("ss"):
+        base = base[:-1]
+    if base.endswith("e") and len(base) > 2 and not base.endswith("ee"):
+        base = base[:-1]
+    return base + "ing"
+
+
+class _DocBuilder:
+    """Accumulates text and gold mentions with exact char offsets."""
+
+    def __init__(self) -> None:
+        self.text = ""
+        self.gold: List[GoldMention] = []
+
+    def add(
+        self,
+        fragment: str,
+        kind: Optional[SpanKind] = None,
+        concept_id: Optional[str] = None,
+        annotate: bool = False,
+    ) -> None:
+        start = len(self.text)
+        self.text += fragment
+        if annotate:
+            assert kind is not None
+            self.gold.append(
+                GoldMention(fragment, start, len(self.text), kind, concept_id)
+            )
+
+    def space(self) -> None:
+        if self.text and not self.text.endswith((" ", "\n")):
+            self.text += " "
+
+    def end_sentence(self) -> None:
+        self.text += "."
+        self.space()
+
+
+class DocumentGenerator:
+    """Generates :class:`AnnotatedDocument` objects from the world."""
+
+    def __init__(self, world: SyntheticWorld, seed: int = 0) -> None:
+        self.world = world
+        self.kb = world.kb
+        self.rng = random.Random(seed)
+        self._trap_cache: Dict[str, List[Tuple[Triple, str]]] = {}
+        self._alias_owners = self._build_alias_owners()
+        self._predicate_alias_owners = self._build_predicate_alias_owners()
+        self._fact_pools = self._build_fact_pools()
+        self._title_facts = self._build_title_facts()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, doc_id: str, spec: DocumentSpec) -> AnnotatedDocument:
+        builder = _DocBuilder()
+        sentences: List[Tuple[int, callable]] = []
+
+        plan: List[callable] = []
+        for _ in range(spec.title_facts):
+            plan.append(lambda b: self._title_fact_sentence(b, spec))
+        for _ in range(spec.facts):
+            plan.append(lambda b: self._fact_sentences(b, spec))
+        for _ in range(spec.isolated_facts):
+            plan.append(lambda b: self._isolated_fact_sentence(b, spec))
+        for _ in range(spec.non_linkable_noun_sentences):
+            plan.append(lambda b: self._non_linkable_noun_sentence(b, spec))
+        for _ in range(spec.non_linkable_relation_sentences):
+            plan.append(lambda b: self._non_linkable_relation_sentence(b, spec))
+        for _ in range(spec.non_linkable_ad_sentences):
+            plan.append(lambda b: self._ad_sentence(b, spec))
+
+        # Interleave filler sentences at random positions to stretch the
+        # document to news length without adding gold mentions.
+        filler_positions = sorted(
+            self.rng.randrange(len(plan) + 1) for _ in range(spec.filler_sentences)
+        )
+        enriched: List[callable] = []
+        filler_iter = iter(filler_positions)
+        next_filler = next(filler_iter, None)
+        for i, step in enumerate(plan):
+            while next_filler is not None and next_filler <= i:
+                enriched.append(self._filler_sentence)
+                next_filler = next(filler_iter, None)
+            enriched.append(step)
+        while next_filler is not None:
+            enriched.append(self._filler_sentence)
+            next_filler = next(filler_iter, None)
+
+        for step in enriched:
+            step(builder)
+
+        return AnnotatedDocument(doc_id, builder.text.strip(), builder.gold)
+
+    # ------------------------------------------------------------------
+    # sentence renderers
+    # ------------------------------------------------------------------
+    def _fact_sentences(self, builder: _DocBuilder, spec: DocumentSpec) -> None:
+        fact = self._pick_fact(spec.domain)
+        if fact is None:
+            return
+        self._render_fact(builder, fact, spec, subject_style=self._subject_style(spec))
+        # Optional pronoun follow-up about the same subject.
+        subject = self.kb.get_entity(fact.subject)
+        if (
+            "person" in subject.types
+            and self.rng.random() < spec.pronoun_prob
+        ):
+            follow = self._pick_fact_for_subject(fact.subject, exclude=fact)
+            if follow is not None:
+                self._render_pronoun_fact(builder, follow, spec)
+
+    def _title_fact_sentence(self, builder: _DocBuilder, spec: DocumentSpec) -> None:
+        if not self._title_facts:
+            return
+        fact = self.rng.choice(self._title_facts)
+        self._render_fact(builder, fact, spec, subject_style="label")
+
+    def _isolated_fact_sentence(
+        self, builder: _DocBuilder, spec: DocumentSpec
+    ) -> None:
+        # The paper's central hard case: an isolated mention whose surface
+        # is ambiguous, whose *correct* reading is the popular sense from
+        # an unrelated domain, and which has a competing (wrong) sense
+        # inside the document's domain.  Prior-following systems get it
+        # right; global-coherence systems drag it into the document's
+        # dense core and fail; TENET's relaxation keeps it isolated.
+        # Domains hosting a *wrong* sense of an already-placed ambiguous
+        # mention are off limits: an isolated thread from such a domain
+        # would make the earlier gold genuinely undecidable (its wrong
+        # sense would acquire real document coherence) — a cross-thread
+        # coincidence that is vanishingly rare in real corpora but common
+        # in a small world.
+        blocked = self._wrong_sense_domains(builder)
+        trap = self._find_isolated_trap(spec.domain, builder)
+        if (
+            trap is not None
+            and self.rng.random() < 0.7
+            and (self.kb.get_entity(trap[0].subject).domain or "")
+            not in blocked
+        ):
+            fact, alias = trap
+            self._render_fact(
+                builder, fact, spec, subject_style="label",
+                subject_surface=alias,
+            )
+            return
+        other_domains = [
+            d
+            for d in self._fact_pools
+            if d != spec.domain and d not in blocked
+        ]
+        if not other_domains:
+            return
+        domain = self.rng.choice(other_domains)
+        # Plain isolated facts use *unambiguous* labels: the entity shares
+        # no coherence with the document but is easy to look up.  A label
+        # that happens to be a donated alias of some in-document-domain
+        # entity would be an accidental, unfiltered trap — skip those.
+        pool = [
+            t
+            for t in self._fact_pools.get(domain, ())
+            if len(
+                self._alias_owners.get(
+                    normalize_phrase(self.kb.get_entity(t.subject).label), ()
+                )
+            )
+            == 1
+        ]
+        if not pool:
+            pool = self._fact_pools.get(domain, ())
+        if not pool:
+            return
+        fact = self.rng.choice(pool)
+        self._render_fact(builder, fact, spec, subject_style="label")
+
+    def _wrong_sense_domains(self, builder: _DocBuilder) -> set:
+        """Domains of the wrong senses of already-placed gold mentions."""
+        blocked = set()
+        for gold in builder.gold:
+            if gold.concept_id is None or not gold.concept_id.startswith("Q"):
+                continue
+            owners = self._alias_owners.get(normalize_phrase(gold.surface), ())
+            for owner in owners:
+                if owner != gold.concept_id:
+                    domain = self.kb.get_entity(owner).domain
+                    if domain:
+                        blocked.add(domain)
+        return blocked
+
+    def _find_isolated_trap(
+        self, domain: str, builder: Optional[_DocBuilder] = None
+    ) -> Optional[Tuple[Triple, str]]:
+        """A (fact, alias) pair for the isolated-dominant trap above.
+
+        When *builder* is given, traps whose wrong in-domain sense is a
+        direct KB neighbour of a concept already placed in the document
+        are skipped: a wrong sense with a *genuine* direct connection to
+        the document is a reasonable coherence decision, not a trap — in
+        real corpora alias collisions almost never land on an entity that
+        is factually tied to the very document at hand.
+        """
+        options = self._trap_options(domain)
+        if not options:
+            return None
+        if builder is None:
+            fact, alias, _wrong = self.rng.choice(options)
+            return fact, alias
+        doc_concepts = {
+            g.concept_id for g in builder.gold if g.concept_id is not None
+        }
+        viable = [
+            (fact, alias)
+            for fact, alias, wrong_owners in options
+            if not any(
+                self.kb.entity_neighbours(wrong) & doc_concepts
+                for wrong in wrong_owners
+            )
+        ]
+        if not viable:
+            return None
+        return self.rng.choice(viable)
+
+    def _trap_options(self, domain: str):
+        options = self._trap_cache.get(domain)
+        if options is None:
+            options = []
+            for alias_key, owners in self._alias_owners.items():
+                if len(owners) < 2:
+                    continue
+                popularity = {
+                    eid: self.kb.get_entity(eid).popularity for eid in owners
+                }
+                top = max(owners, key=popularity.get)
+                total = sum(popularity.values())
+                if total == 0 or popularity[top] / total < 0.7:
+                    continue  # the trap needs a clearly dominant sense
+                top_record = self.kb.get_entity(top)
+                if top_record.domain == domain:
+                    continue
+                if not any(
+                    self.kb.get_entity(other).domain == domain
+                    for other in owners
+                    if other != top
+                ):
+                    continue
+                facts = [
+                    t
+                    for t in self._fact_pools.get(top_record.domain or "", ())
+                    if t.subject == top
+                ]
+                if not facts:
+                    continue
+                surface = next(
+                    (
+                        a
+                        for a in top_record.aliases
+                        if normalize_phrase(a) == alias_key
+                    ),
+                    None,
+                )
+                if surface is None:
+                    continue
+                wrong_owners = tuple(o for o in owners if o != top)
+                options.extend(
+                    (fact, surface, wrong_owners) for fact in facts
+                )
+            self._trap_cache[domain] = options
+        return options
+
+    def _non_linkable_noun_sentence(
+        self, builder: _DocBuilder, spec: DocumentSpec
+    ) -> None:
+        phrase = self.rng.choice(namepools.NON_LINKABLE_PHRASES)
+        city = self.kb.get_entity(self.rng.choice(self.world.cities))
+        predicate = self.kb.get_predicate(self.world.predicate("located"))
+        alias = "is located in"
+        builder.add(phrase, SpanKind.NOUN, None, annotate=True)
+        builder.space()
+        builder.add(
+            alias,
+            SpanKind.RELATION,
+            predicate.predicate_id,
+            annotate=spec.annotate_relations,
+        )
+        builder.space()
+        builder.add(city.label, SpanKind.NOUN, city.entity_id, annotate=True)
+        builder.end_sentence()
+
+    def _non_linkable_relation_sentence(
+        self, builder: _DocBuilder, spec: DocumentSpec
+    ) -> None:
+        domain = spec.domain
+        people = self.world.entities_of_type(domain, "person")
+        orgs = [
+            eid
+            for eid in self.world.entities_in_domain(domain)
+            if "person" not in self.kb.get_entity(eid).types
+        ]
+        if not people or not orgs:
+            return
+        subject = self.kb.get_entity(self.rng.choice(people))
+        obj = self.kb.get_entity(self.rng.choice(orgs))
+        verb = self.rng.choice(namepools.NON_LINKABLE_VERBS)
+        builder.add(subject.label, SpanKind.NOUN, subject.entity_id, annotate=True)
+        builder.space()
+        builder.add(
+            verb, SpanKind.RELATION, None, annotate=spec.annotate_relations
+        )
+        builder.space()
+        builder.add(obj.label, SpanKind.NOUN, obj.entity_id, annotate=True)
+        builder.end_sentence()
+
+    def _ad_sentence(self, builder: _DocBuilder, spec: DocumentSpec) -> None:
+        """Advertisement-style sentence: everything is non-linkable."""
+        a, b = self.rng.sample(namepools.NON_LINKABLE_PHRASES, 2)
+        verb = self.rng.choice(namepools.NON_LINKABLE_VERBS)
+        builder.add(a, SpanKind.NOUN, None, annotate=True)
+        builder.space()
+        builder.add(verb, SpanKind.RELATION, None, annotate=spec.annotate_relations)
+        builder.space()
+        builder.add(b, SpanKind.NOUN, None, annotate=True)
+        builder.end_sentence()
+
+    def _filler_sentence(self, builder: _DocBuilder) -> None:
+        sentence = self.rng.choice(namepools.FILLER_SENTENCES)
+        builder.add(sentence[:-1])  # renderer adds the period uniformly
+        builder.end_sentence()
+
+    def _render_fact(
+        self,
+        builder: _DocBuilder,
+        fact: Triple,
+        spec: DocumentSpec,
+        subject_style: str,
+        subject_surface: Optional[str] = None,
+    ) -> None:
+        subject = self.kb.get_entity(fact.subject)
+        predicate = self.kb.get_predicate(fact.predicate)
+        if subject_surface is not None:
+            pass  # caller-forced surface (isolated traps)
+        elif self.rng.random() < spec.oov_noun_prob:
+            subject_surface = self._oov_entity_surface(subject)
+        else:
+            subject_surface = self._entity_surface(subject, subject_style)
+        if self.rng.random() < spec.oov_relation_prob:
+            predicate_surface = self._oov_predicate_surface(predicate)
+        else:
+            predicate_surface = self._predicate_surface(predicate, spec)
+        builder.add(
+            subject_surface, SpanKind.NOUN, subject.entity_id, annotate=True
+        )
+        builder.space()
+        builder.add(
+            predicate_surface,
+            SpanKind.RELATION,
+            predicate.predicate_id,
+            annotate=spec.annotate_relations,
+        )
+        builder.space()
+        if fact.object_is_literal:
+            builder.add(fact.obj)
+        else:
+            obj = self.kb.get_entity(fact.obj)
+            obj_style = (
+                "ambiguous"
+                if self.rng.random() < spec.object_ambiguous_prob
+                else "label"
+            )
+            builder.add(
+                self._entity_surface(obj, obj_style),
+                SpanKind.NOUN,
+                obj.entity_id,
+                annotate=True,
+            )
+        builder.end_sentence()
+
+    def _render_pronoun_fact(
+        self, builder: _DocBuilder, fact: Triple, spec: DocumentSpec
+    ) -> None:
+        predicate = self.kb.get_predicate(fact.predicate)
+        predicate_surface = self._predicate_surface(predicate, spec)
+        builder.add(self.rng.choice(("He", "She")))
+        builder.space()
+        builder.add(
+            predicate_surface,
+            SpanKind.RELATION,
+            predicate.predicate_id,
+            annotate=spec.annotate_relations,
+        )
+        builder.space()
+        if fact.object_is_literal:
+            builder.add(fact.obj)
+        else:
+            obj = self.kb.get_entity(fact.obj)
+            builder.add(obj.label, SpanKind.NOUN, obj.entity_id, annotate=True)
+        builder.end_sentence()
+
+    # ------------------------------------------------------------------
+    # surface-form selection
+    # ------------------------------------------------------------------
+    def _subject_style(self, spec: DocumentSpec) -> str:
+        roll = self.rng.random()
+        if roll < spec.surname_prob:
+            return "surname"
+        if roll < spec.surname_prob + spec.ambiguous_alias_prob:
+            return "ambiguous"
+        return "label"
+
+    def _entity_surface(self, entity: EntityRecord, style: str) -> str:
+        if style == "surname" and "person" in entity.types:
+            surname = entity.label.split()[-1]
+            if surname in entity.aliases:
+                return surname
+        if style == "ambiguous":
+            ambiguous = self._ambiguous_aliases(entity)
+            if ambiguous:
+                return self.rng.choice(ambiguous)
+        return entity.label
+
+    def _ambiguous_aliases(self, entity: EntityRecord) -> List[str]:
+        """Aliases of *entity* owned by >= 2 entities, preferring aliases
+        where *entity* is not the most popular owner (the prior trap)."""
+        trap: List[str] = []
+        shared: List[str] = []
+        for alias in entity.aliases:
+            owners = self._alias_owners.get(normalize_phrase(alias), [])
+            if len(owners) < 2:
+                continue
+            shared.append(alias)
+            top = max(
+                owners, key=lambda eid: self.kb.get_entity(eid).popularity
+            )
+            if top != entity.entity_id:
+                trap.append(alias)
+        return trap or shared
+
+    def _oov_entity_surface(self, entity: EntityRecord) -> str:
+        """A surface form the alias index does not contain."""
+        if "person" in entity.types:
+            honorific = self.rng.choice(("Dr", "Professor", "Mr", "Ms"))
+            return f"{honorific} {entity.label.split()[-1]}"
+        return f"the {entity.label}" if not entity.label.startswith("The") else entity.label
+
+    def _oov_predicate_surface(self, predicate: PredicateRecord) -> str:
+        """Progressive-form paraphrase missing from the alias index."""
+        alias = self.rng.choice(predicate.aliases)
+        words = alias.split()
+        head = words[0]
+        if head in ("is", "was", "are", "were", "has", "have"):
+            return alias  # already auxiliary-led; leave as in-vocabulary
+        return " ".join(["is", _ing_form(head)] + words[1:])
+
+    def _predicate_surface(
+        self, predicate: PredicateRecord, spec: DocumentSpec
+    ) -> str:
+        aliases = [a for a in predicate.aliases if a != predicate.label]
+        if not aliases:
+            return predicate.label
+        if self.rng.random() < spec.ambiguous_alias_prob:
+            shared: List[str] = []
+            trap: List[str] = []
+            for a in aliases:
+                owners = self._predicate_alias_owners.get(normalize_phrase(a), [])
+                if len(owners) < 2:
+                    continue
+                shared.append(a)
+                top = max(
+                    owners,
+                    key=lambda pid: self.kb.get_predicate(pid).popularity,
+                )
+                if top != predicate.predicate_id:
+                    trap.append(a)
+            # Only aliases where the gold predicate is NOT the most
+            # popular owner are selected deliberately: those separate
+            # prior-following from coherence-aware systems.  Shared
+            # aliases whose top owner IS gold add no discriminative
+            # signal, so they only appear at the base random rate below.
+            del shared
+            if trap:
+                return self.rng.choice(trap)
+        return self.rng.choice(aliases)
+
+    # ------------------------------------------------------------------
+    # fact pools
+    # ------------------------------------------------------------------
+    def _pick_fact(self, domain: str) -> Optional[Triple]:
+        pool = self._fact_pools.get(domain)
+        if not pool:
+            return None
+        return self.rng.choice(pool)
+
+    def _pick_fact_for_subject(
+        self, subject: str, exclude: Triple
+    ) -> Optional[Triple]:
+        options = [
+            t
+            for pool in self._fact_pools.values()
+            for t in pool
+            if t.subject == subject and t != exclude
+        ]
+        if not options:
+            return None
+        return self.rng.choice(options)
+
+    def _build_alias_owners(self) -> Dict[str, List[str]]:
+        owners: Dict[str, List[str]] = {}
+        for entity in self.kb.entities():
+            for alias in entity.aliases:
+                owners.setdefault(normalize_phrase(alias), []).append(
+                    entity.entity_id
+                )
+        return owners
+
+    def _build_predicate_alias_owners(self) -> Dict[str, List[str]]:
+        owners: Dict[str, List[str]] = {}
+        for predicate in self.kb.predicates():
+            for alias in predicate.aliases:
+                owners.setdefault(normalize_phrase(alias), []).append(
+                    predicate.predicate_id
+                )
+        return owners
+
+    def _build_fact_pools(self) -> Dict[str, List[Triple]]:
+        pools: Dict[str, List[Triple]] = {}
+        for domain, members in self.world.domain_entities.items():
+            member_set = set(members)
+            pool = [
+                t
+                for t in self.kb.triples()
+                if t.subject in member_set
+                and (t.object_is_literal or self.kb.has_entity(t.obj))
+            ]
+            # Fact sentences read best with entity objects; keep a couple
+            # of literal facts for variety.
+            pools[domain] = [t for t in pool if not t.object_is_literal]
+        return pools
+
+    def _build_title_facts(self) -> List[Triple]:
+        facts: List[Triple] = []
+        for triple in self.kb.triples():
+            if triple.object_is_literal:
+                continue
+            subject = self.kb.get_entity(triple.subject)
+            if (
+                any(t in ("film", "book", "painting") for t in subject.types)
+                and len(subject.label.split()) >= 4
+            ):
+                facts.append(triple)
+        return facts

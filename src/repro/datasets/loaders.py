@@ -1,0 +1,67 @@
+"""JSON persistence for annotated datasets."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.nlp.spans import SpanKind
+
+FORMAT_VERSION = 1
+
+
+def dataset_to_json(dataset: Dataset) -> dict:
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "has_relation_gold": dataset.has_relation_gold,
+        "documents": [
+            {
+                "doc_id": doc.doc_id,
+                "text": doc.text,
+                "gold": [
+                    {
+                        "surface": g.surface,
+                        "char_start": g.char_start,
+                        "char_end": g.char_end,
+                        "kind": g.kind.value,
+                        "concept_id": g.concept_id,
+                    }
+                    for g in doc.gold
+                ],
+            }
+            for doc in dataset.documents
+        ],
+    }
+
+
+def dataset_from_json(payload: dict) -> Dataset:
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported dataset format version {version!r}")
+    documents = []
+    for record in payload["documents"]:
+        gold = [
+            GoldMention(
+                surface=g["surface"],
+                char_start=g["char_start"],
+                char_end=g["char_end"],
+                kind=SpanKind(g["kind"]),
+                concept_id=g["concept_id"],
+            )
+            for g in record["gold"]
+        ]
+        documents.append(AnnotatedDocument(record["doc_id"], record["text"], gold))
+    return Dataset(
+        payload["name"], documents, has_relation_gold=payload["has_relation_gold"]
+    )
+
+
+def save_dataset(dataset: Dataset, path: Union[str, Path]) -> None:
+    Path(path).write_text(json.dumps(dataset_to_json(dataset), indent=1))
+
+
+def load_dataset(path: Union[str, Path]) -> Dataset:
+    return dataset_from_json(json.loads(Path(path).read_text()))

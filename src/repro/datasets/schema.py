@@ -1,0 +1,96 @@
+"""Gold-annotation data model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.nlp.spans import SpanKind
+
+
+@dataclass(frozen=True)
+class GoldMention:
+    """A gold-annotated mention.
+
+    ``concept_id`` is ``None`` for *non-linkable* phrases — phrases a
+    human annotator confirmed have no KB counterpart (Table 2's
+    statistics and the ground truth for isolated-concept detection).
+    """
+
+    surface: str
+    char_start: int
+    char_end: int
+    kind: SpanKind
+    concept_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.char_end <= self.char_start:
+            raise ValueError(
+                f"empty gold span [{self.char_start}, {self.char_end})"
+            )
+
+    @property
+    def is_linkable(self) -> bool:
+        return self.concept_id is not None
+
+    def overlaps_chars(self, start: int, end: int) -> bool:
+        return self.char_start < end and start < self.char_end
+
+
+@dataclass
+class AnnotatedDocument:
+    """A document with its gold mentions."""
+
+    doc_id: str
+    text: str
+    gold: List[GoldMention] = field(default_factory=list)
+
+    def gold_entities(self, linkable_only: bool = False) -> List[GoldMention]:
+        return [
+            g
+            for g in self.gold
+            if g.kind is SpanKind.NOUN and (g.is_linkable or not linkable_only)
+        ]
+
+    def gold_relations(self, linkable_only: bool = False) -> List[GoldMention]:
+        return [
+            g
+            for g in self.gold
+            if g.kind is SpanKind.RELATION and (g.is_linkable or not linkable_only)
+        ]
+
+    def non_linkable_gold(self) -> List[GoldMention]:
+        return [g for g in self.gold if not g.is_linkable]
+
+    @property
+    def word_count(self) -> int:
+        return len(self.text.split())
+
+
+@dataclass
+class Dataset:
+    """A named collection of annotated documents."""
+
+    name: str
+    documents: List[AnnotatedDocument] = field(default_factory=list)
+    has_relation_gold: bool = True
+
+    def __iter__(self) -> Iterator[AnnotatedDocument]:
+        return iter(self.documents)
+
+    def __len__(self) -> int:
+        return len(self.documents)
+
+    @property
+    def words_per_document(self) -> float:
+        if not self.documents:
+            return 0.0
+        return sum(d.word_count for d in self.documents) / len(self.documents)
+
+    def subset(self, doc_ids: List[str]) -> "Dataset":
+        wanted = set(doc_ids)
+        return Dataset(
+            name=f"{self.name}-subset",
+            documents=[d for d in self.documents if d.doc_id in wanted],
+            has_relation_gold=self.has_relation_gold,
+        )

@@ -1,0 +1,124 @@
+"""Dataset integrity validation.
+
+Gold annotations loaded from disk (or produced by a modified generator)
+can drift out of sync with their documents or their KB.  The validator
+checks every invariant the evaluation relies on and returns actionable
+problem reports instead of letting a broken corpus silently distort
+scores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.kb.store import KnowledgeBase
+from repro.nlp.spans import SpanKind
+
+
+@dataclass(frozen=True)
+class ValidationProblem:
+    """One violated invariant."""
+
+    doc_id: str
+    severity: str  # "error" | "warning"
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting helper
+        return f"[{self.severity}] {self.doc_id}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    problems: List[ValidationProblem]
+
+    @property
+    def errors(self) -> List[ValidationProblem]:
+        return [p for p in self.problems if p.severity == "error"]
+
+    @property
+    def warnings(self) -> List[ValidationProblem]:
+        return [p for p in self.problems if p.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+def validate_dataset(
+    dataset: Dataset, kb: Optional[KnowledgeBase] = None
+) -> ValidationReport:
+    """Check every document of *dataset*; optionally against a KB.
+
+    Errors (the evaluation would be wrong):
+      * gold span out of the document's bounds or empty;
+      * gold surface text not matching the document slice;
+      * (with KB) a linkable gold referencing an unknown concept, or a
+        noun gold referencing a predicate id / vice versa;
+      * relation gold present although ``has_relation_gold`` is False.
+
+    Warnings (suspicious but scoreable):
+      * duplicate gold annotations (same span, kind and concept);
+      * documents without any gold mention.
+    """
+    problems: List[ValidationProblem] = []
+    for document in dataset:
+        problems.extend(_validate_document(document, dataset, kb))
+    return ValidationReport(problems)
+
+
+def _validate_document(
+    document: AnnotatedDocument,
+    dataset: Dataset,
+    kb: Optional[KnowledgeBase],
+) -> List[ValidationProblem]:
+    problems: List[ValidationProblem] = []
+
+    def error(message: str) -> None:
+        problems.append(ValidationProblem(document.doc_id, "error", message))
+
+    def warning(message: str) -> None:
+        problems.append(ValidationProblem(document.doc_id, "warning", message))
+
+    if not document.gold:
+        warning("document has no gold annotations")
+
+    seen = set()
+    for gold in document.gold:
+        span = (gold.char_start, gold.char_end, gold.kind, gold.concept_id)
+        if span in seen:
+            warning(f"duplicate gold annotation {gold.surface!r}@{gold.char_start}")
+        seen.add(span)
+
+        if gold.char_start < 0 or gold.char_end > len(document.text):
+            error(
+                f"gold span [{gold.char_start}, {gold.char_end}) outside "
+                f"document of length {len(document.text)}"
+            )
+            continue
+        actual = document.text[gold.char_start : gold.char_end]
+        if actual != gold.surface:
+            error(
+                f"gold surface {gold.surface!r} does not match document "
+                f"slice {actual!r} at {gold.char_start}"
+            )
+        if gold.kind is SpanKind.RELATION and not dataset.has_relation_gold:
+            error(
+                f"relation gold {gold.surface!r} present although the "
+                "dataset declares no relation annotations"
+            )
+        if kb is not None and gold.concept_id is not None:
+            if gold.kind is SpanKind.NOUN:
+                if not kb.has_entity(gold.concept_id):
+                    error(
+                        f"noun gold {gold.surface!r} references unknown "
+                        f"entity {gold.concept_id!r}"
+                    )
+            else:
+                if not kb.has_predicate(gold.concept_id):
+                    error(
+                        f"relation gold {gold.surface!r} references unknown "
+                        f"predicate {gold.concept_id!r}"
+                    )
+    return problems

@@ -1,0 +1,22 @@
+"""Embedding substrate.
+
+The paper uses PyTorch-BigGraph embeddings of the Wikidata dump and keeps
+them in a memory-mapped array so edge-weight lookups are O(1).  We replace
+the trainer with a deterministic propagation embedding over the KB fact
+graph (:mod:`repro.embeddings.trainer`) — cosine similarity between two
+concepts then reflects their KB relatedness, which is the only property
+the coherence graph consumes — and keep the array-backed store and a
+pairwise-distance cache (:mod:`repro.embeddings.store`).
+"""
+
+from repro.embeddings.store import EmbeddingStore
+from repro.embeddings.trainer import EmbeddingTrainer, TrainerConfig
+from repro.embeddings.similarity import SimilarityIndex, cosine_similarity
+
+__all__ = [
+    "EmbeddingStore",
+    "EmbeddingTrainer",
+    "TrainerConfig",
+    "SimilarityIndex",
+    "cosine_similarity",
+]

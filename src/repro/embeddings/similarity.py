@@ -1,0 +1,71 @@
+"""Pairwise similarity with caching.
+
+The paper notes (Sec. 6.2, efficiency discussion) that semantic
+relatedness between concept pairs is pre-computed/indexed so that
+retrieving one coherence-graph edge costs O(1).  :class:`SimilarityIndex`
+provides exactly that: an unordered-pair cache in front of the embedding
+store, plus a bulk pre-computation entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.embeddings.store import EmbeddingStore
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity of two raw vectors (0 when either is zero)."""
+    norm_a = float(np.linalg.norm(a))
+    norm_b = float(np.linalg.norm(b))
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    value = float(np.dot(a, b)) / (norm_a * norm_b)
+    return max(-1.0, min(1.0, value))
+
+
+class SimilarityIndex:
+    """Cached pairwise semantic distance over an embedding store."""
+
+    def __init__(self, store: EmbeddingStore) -> None:
+        self._store = store
+        self._cache: Dict[Tuple[str, str], float] = {}
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def similarity(self, a: str, b: str) -> float:
+        """Cached cosine similarity."""
+        if a == b:
+            return 1.0
+        key = self._key(a, b)
+        if key not in self._cache:
+            self._cache[key] = self._store.cosine(a, b)
+        return self._cache[key]
+
+    def distance(self, a: str, b: str) -> float:
+        """The paper's global semantic distance 1 - cos(a, b)."""
+        return 1.0 - self.similarity(a, b)
+
+    def precompute(self, concept_ids: Iterable[str]) -> None:
+        """Bulk-fill the cache for every unordered pair of *concept_ids*.
+
+        Mirrors the paper's pre-computation of all pairwise relatedness
+        for the concepts appearing in one document.
+        """
+        ids: List[str] = [cid for cid in concept_ids if cid in self._store]
+        if len(ids) < 2:
+            return
+        vectors = np.stack([self._store.vector(cid) for cid in ids])
+        sims = vectors @ vectors.T
+        for i, a in enumerate(ids):
+            for j in range(i + 1, len(ids)):
+                value = float(sims[i, j])
+                self._cache[self._key(a, ids[j])] = max(-1.0, min(1.0, value))
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)

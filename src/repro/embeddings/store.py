@@ -1,0 +1,133 @@
+"""Array-backed embedding store.
+
+Rows live in one contiguous float32 matrix (memory-mappable to disk, as
+the paper stores its PyTorch-BigGraph vectors), with a concept-id ->
+row-index mapping on the side.  All vectors are L2-normalised on insertion
+so cosine similarity is a plain dot product.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+
+class EmbeddingStore:
+    """Normalised embedding vectors keyed by concept id."""
+
+    def __init__(self, dimension: int) -> None:
+        if dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {dimension}")
+        self.dimension = dimension
+        self._index: Dict[str, int] = {}
+        self._ids: List[str] = []
+        self._matrix = np.zeros((0, dimension), dtype=np.float32)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_matrix(cls, ids: List[str], matrix: np.ndarray) -> "EmbeddingStore":
+        """Build a store from a pre-computed (n, d) matrix."""
+        if matrix.ndim != 2 or matrix.shape[0] != len(ids):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match {len(ids)} ids"
+            )
+        store = cls(matrix.shape[1])
+        store._ids = list(ids)
+        store._index = {cid: i for i, cid in enumerate(store._ids)}
+        if len(store._index) != len(store._ids):
+            raise ValueError("duplicate concept ids")
+        store._matrix = _normalise_rows(np.asarray(matrix, dtype=np.float32))
+        return store
+
+    def add(self, concept_id: str, vector: np.ndarray) -> None:
+        """Append one vector (normalised in place)."""
+        if concept_id in self._index:
+            raise ValueError(f"duplicate concept id {concept_id!r}")
+        vector = np.asarray(vector, dtype=np.float32).reshape(1, -1)
+        if vector.shape[1] != self.dimension:
+            raise ValueError(
+                f"vector has dimension {vector.shape[1]}, store is {self.dimension}"
+            )
+        self._index[concept_id] = len(self._ids)
+        self._ids.append(concept_id)
+        self._matrix = np.vstack([self._matrix, _normalise_rows(vector)])
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, concept_id: str) -> bool:
+        return concept_id in self._index
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def ids(self) -> List[str]:
+        return list(self._ids)
+
+    def vector(self, concept_id: str) -> np.ndarray:
+        """The (normalised) embedding row for *concept_id*."""
+        return self._matrix[self._index[concept_id]]
+
+    def cosine(self, a: str, b: str) -> float:
+        """Cosine similarity between two stored concepts, clipped to [-1, 1]."""
+        value = float(np.dot(self.vector(a), self.vector(b)))
+        return max(-1.0, min(1.0, value))
+
+    def distance(self, a: str, b: str) -> float:
+        """The paper's global semantic distance 1 - cos (Eq. 3-5), in [0, 2]."""
+        return 1.0 - self.cosine(a, b)
+
+    def nearest(self, concept_id: str, k: int = 10) -> List[Tuple[str, float]]:
+        """The k most cosine-similar other concepts."""
+        query = self.vector(concept_id)
+        scores = self._matrix @ query
+        order = np.argsort(-scores)
+        result: List[Tuple[str, float]] = []
+        for idx in order:
+            cid = self._ids[int(idx)]
+            if cid == concept_id:
+                continue
+            result.append((cid, float(scores[int(idx)])))
+            if len(result) >= k:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # persistence (memory-mapped load path)
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist to ``embeddings.npy`` + ``ids.json`` under *directory*."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        np.save(directory / "embeddings.npy", self._matrix)
+        (directory / "ids.json").write_text(json.dumps(self._ids))
+
+    @classmethod
+    def load(cls, directory: Union[str, Path], mmap: bool = True) -> "EmbeddingStore":
+        """Load a store saved by :meth:`save`.
+
+        With ``mmap=True`` the matrix is memory-mapped rather than read
+        into RAM — the access pattern the paper describes for serving
+        embeddings during linking.
+        """
+        directory = Path(directory)
+        matrix = np.load(
+            directory / "embeddings.npy", mmap_mode="r" if mmap else None
+        )
+        ids = json.loads((directory / "ids.json").read_text())
+        store = cls(matrix.shape[1])
+        store._ids = list(ids)
+        store._index = {cid: i for i, cid in enumerate(store._ids)}
+        store._matrix = matrix
+        return store
+
+
+def _normalise_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms

@@ -1,0 +1,54 @@
+"""Evaluation harness: metrics, runners, sparsity analysis, timing.
+
+Implements the paper's evaluation protocol (Sec. 6.1-6.2): precision /
+recall / F1 over end-to-end entity linking, relation linking, mention
+detection, disambiguation-only mode, isolated-concept detection;
+coherence-sparsity metrics (density and average degree, Figs. 4-5);
+dataset statistics (Table 2); and timing sweeps (Fig. 7).
+"""
+
+from repro.eval.metrics import (
+    PRF,
+    score_entity_linking,
+    score_relation_linking,
+    score_mention_detection,
+    score_isolated_detection,
+)
+from repro.eval.runner import EvaluationRunner, SystemScores
+from repro.eval.sparsity import sparsity_curve, SparsityPoint
+from repro.eval.statistics import dataset_statistics, DatasetStatistics
+from repro.eval.timing import time_linker, TimingSample
+from repro.eval.curves import OperatingPoint, best_f1_point, threshold_curve
+from repro.eval.significance import (
+    BootstrapResult,
+    PairedComparison,
+    bootstrap_f1,
+    compare_on_dataset,
+    paired_bootstrap,
+)
+from repro.eval.report import render_report
+
+__all__ = [
+    "PRF",
+    "score_entity_linking",
+    "score_relation_linking",
+    "score_mention_detection",
+    "score_isolated_detection",
+    "EvaluationRunner",
+    "SystemScores",
+    "sparsity_curve",
+    "SparsityPoint",
+    "dataset_statistics",
+    "DatasetStatistics",
+    "time_linker",
+    "TimingSample",
+    "OperatingPoint",
+    "best_f1_point",
+    "threshold_curve",
+    "BootstrapResult",
+    "PairedComparison",
+    "bootstrap_f1",
+    "compare_on_dataset",
+    "paired_bootstrap",
+    "render_report",
+]

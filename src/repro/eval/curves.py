@@ -1,0 +1,69 @@
+"""Operating-point curves for TENET's precision/recall trade-off.
+
+TENET's ``prior_link_threshold`` controls how far-fetched a
+coherence-free prior may be before the link is withheld — the natural
+precision/recall dial of the system.  :func:`threshold_curve` sweeps it
+and returns the curve, giving deployments a principled way to pick an
+operating point (e.g. KB population wants precision; recall-oriented
+annotation wants the permissive end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets.schema import Dataset
+from repro.eval.metrics import PRF, aggregate, score_entity_linking
+
+DEFAULT_THRESHOLDS = (0.70, 0.80, 0.85, 0.90, 0.95, 1.00)
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One point of the threshold curve."""
+
+    threshold: float
+    precision: float
+    recall: float
+    f1: float
+
+
+def threshold_curve(
+    context: LinkingContext,
+    dataset: Dataset,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    base_config: TenetConfig = TenetConfig(),
+    scorer: Callable = score_entity_linking,
+) -> List[OperatingPoint]:
+    """Sweep ``prior_link_threshold`` and score each operating point."""
+    import dataclasses
+
+    curve: List[OperatingPoint] = []
+    for threshold in thresholds:
+        config = dataclasses.replace(
+            base_config, prior_link_threshold=threshold
+        )
+        linker = TenetLinker(context, config)
+        scores = aggregate(
+            scorer(linker.link(document.text), document)
+            for document in dataset
+        )
+        curve.append(
+            OperatingPoint(
+                threshold=threshold,
+                precision=scores.precision,
+                recall=scores.recall,
+                f1=scores.f1,
+            )
+        )
+    return curve
+
+
+def best_f1_point(curve: Sequence[OperatingPoint]) -> OperatingPoint:
+    """The operating point with the best F1."""
+    if not curve:
+        raise ValueError("empty curve")
+    return max(curve, key=lambda p: p.f1)

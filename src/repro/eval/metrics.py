@@ -1,0 +1,206 @@
+"""Precision / recall / F1 metrics for every evaluated task.
+
+Matching protocol (following the paper's Sec. 6.2 notes):
+
+* a predicted link is judged only when its span overlaps some gold
+  mention — the datasets annotate only part of the linkable phrases, so
+  predictions outside the annotation are *ignored*, not penalised;
+* a judged prediction is correct when its concept id equals the
+  overlapping gold mention's concept id (and wrong when it overlaps only
+  a non-linkable gold, since linking a non-linkable phrase is an error);
+* recall is measured over the linkable gold mentions.
+
+Mention detection uses exact character boundaries (the task is exactly
+about boundary choice among overlapping candidates); isolated-concept
+detection is scored by precision over the judged non-linkable reports,
+as in Fig. 6(c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.result import Link, LinkingResult
+from repro.datasets.schema import AnnotatedDocument, GoldMention
+from repro.nlp.spans import Span, SpanKind
+
+
+@dataclass
+class PRF:
+    """Precision, recall and F1 with raw counts."""
+
+    correct: int = 0
+    predicted: int = 0
+    gold: int = 0
+
+    @property
+    def precision(self) -> float:
+        return self.correct / self.predicted if self.predicted else 0.0
+
+    @property
+    def recall(self) -> float:
+        return self.correct / self.gold if self.gold else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    def merge(self, other: "PRF") -> "PRF":
+        return PRF(
+            self.correct + other.correct,
+            self.predicted + other.predicted,
+            self.gold + other.gold,
+        )
+
+    def as_row(self) -> Tuple[float, float, float]:
+        return (self.precision, self.recall, self.f1)
+
+    def __repr__(self) -> str:
+        return (
+            f"PRF(P={self.precision:.3f}, R={self.recall:.3f}, "
+            f"F={self.f1:.3f}, {self.correct}/{self.predicted}/{self.gold})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# span alignment helpers
+# ---------------------------------------------------------------------------
+
+def _span_chars(span: Span) -> Tuple[int, int]:
+    if span.char_start < 0:
+        raise ValueError(f"span {span.text!r} has no character offsets")
+    return span.char_start, span.char_end
+
+
+def _overlapping_gold(
+    span: Span, gold: Sequence[GoldMention], kind: SpanKind
+) -> List[GoldMention]:
+    start, end = _span_chars(span)
+    return [
+        g for g in gold if g.kind is kind and g.overlaps_chars(start, end)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# linking tasks
+# ---------------------------------------------------------------------------
+
+def _score_linking(
+    links: Sequence[Link],
+    document: AnnotatedDocument,
+    kind: SpanKind,
+) -> PRF:
+    gold = [g for g in document.gold if g.kind is kind]
+    linkable = [g for g in gold if g.is_linkable]
+    prf = PRF(gold=len(linkable))
+    matched: Set[int] = set()
+    for link in links:
+        overlapping = _overlapping_gold(link.span, gold, kind)
+        if not overlapping:
+            continue  # outside the annotation: ignored
+        prf.predicted += 1
+        hit = False
+        for g in overlapping:
+            if g.concept_id == link.concept_id:
+                key = id(g)
+                if key not in matched:
+                    matched.add(key)
+                    prf.correct += 1
+                hit = True
+                break
+        # An overlapping prediction with the wrong concept (or on a
+        # non-linkable gold) counts against precision only.
+        del hit
+    return prf
+
+
+def score_entity_linking(
+    result: LinkingResult, document: AnnotatedDocument
+) -> PRF:
+    """End-to-end entity linking (Table 3)."""
+    return _score_linking(result.entity_links, document, SpanKind.NOUN)
+
+
+def score_relation_linking(
+    result: LinkingResult, document: AnnotatedDocument
+) -> PRF:
+    """End-to-end relation linking (Table 4)."""
+    return _score_linking(result.relation_links, document, SpanKind.RELATION)
+
+
+# ---------------------------------------------------------------------------
+# mention detection (Fig. 6(a))
+# ---------------------------------------------------------------------------
+
+def score_mention_detection(
+    result: LinkingResult, document: AnnotatedDocument
+) -> PRF:
+    """Exact-boundary mention detection over annotated noun phrases.
+
+    A system's detected mentions are its entity-link spans plus its
+    explicit non-linkable reports (it "detected" those mentions too).
+    """
+    gold = [g for g in document.gold if g.kind is SpanKind.NOUN]
+    prf = PRF(gold=len(gold))
+    spans = [link.span for link in result.entity_links] + [
+        s for s in result.non_linkable if s.kind is SpanKind.NOUN
+    ]
+    matched: Set[int] = set()
+    for span in spans:
+        overlapping = _overlapping_gold(span, gold, SpanKind.NOUN)
+        if not overlapping:
+            continue
+        prf.predicted += 1
+        start, end = _span_chars(span)
+        for g in overlapping:
+            if g.char_start == start and g.char_end == end:
+                key = id(g)
+                if key not in matched:
+                    matched.add(key)
+                    prf.correct += 1
+                break
+    return prf
+
+
+# ---------------------------------------------------------------------------
+# isolated-concept detection (Fig. 6(c))
+# ---------------------------------------------------------------------------
+
+def score_isolated_detection(
+    result: LinkingResult, document: AnnotatedDocument
+) -> PRF:
+    """Precision/recall of explicit non-linkable ("new concept") reports."""
+    gold_non_linkable = document.non_linkable_gold()
+    prf = PRF(gold=len(gold_non_linkable))
+    matched: Set[int] = set()
+    for span in result.non_linkable:
+        overlapping = [
+            g
+            for g in document.gold
+            if g.overlaps_chars(*_span_chars(span))
+        ]
+        if not overlapping:
+            continue  # outside annotation: ignored
+        prf.predicted += 1
+        for g in overlapping:
+            if not g.is_linkable:
+                key = id(g)
+                if key not in matched:
+                    matched.add(key)
+                    prf.correct += 1
+                break
+    return prf
+
+
+# ---------------------------------------------------------------------------
+# aggregation
+# ---------------------------------------------------------------------------
+
+def aggregate(scores: Iterable[PRF]) -> PRF:
+    """Micro-average: sum the raw counts."""
+    total = PRF()
+    for score in scores:
+        total = total.merge(score)
+    return total

@@ -1,0 +1,162 @@
+"""Markdown report rendering for evaluation runs.
+
+Turns :class:`~repro.eval.runner.SystemScores` maps and
+:class:`~repro.analysis.errors.ErrorReport` objects into a single
+markdown document — the artefact a reproduction run hands to a reviewer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.analysis.errors import ErrorReport
+from repro.eval.metrics import PRF
+from repro.eval.runner import SystemScores
+from repro.eval.statistics import DatasetStatistics
+
+
+def _prf_cell(prf: PRF) -> str:
+    return f"{prf.precision:.3f} / {prf.recall:.3f} / {prf.f1:.3f}"
+
+
+def render_statistics(stats: Iterable[DatasetStatistics]) -> List[str]:
+    """Table 2-style markdown rows."""
+    lines = [
+        "| Dataset | n./doc | non-linkable nouns | re./doc | "
+        "non-linkable relations | words/doc |",
+        "|---|---|---|---|---|---|",
+    ]
+    for s in stats:
+        relations = (
+            f"{s.relations_per_document:.2f}"
+            if s.relations_per_document is not None
+            else "N.A."
+        )
+        nl_relations = (
+            f"{100 * s.non_linkable_relation_fraction:.1f}%"
+            if s.non_linkable_relation_fraction is not None
+            else "N.A."
+        )
+        lines.append(
+            f"| {s.name} | {s.nouns_per_document:.2f} | "
+            f"{100 * s.non_linkable_noun_fraction:.1f}% | {relations} | "
+            f"{nl_relations} | {s.words_per_document:.1f} |"
+        )
+    return lines
+
+
+def render_task_table(
+    scores_by_dataset: Mapping[str, Mapping[str, SystemScores]],
+    task: str,
+    title: str,
+) -> List[str]:
+    """One P/R/F markdown table for a task over all datasets."""
+    datasets = list(scores_by_dataset)
+    systems: List[str] = []
+    for by_system in scores_by_dataset.values():
+        for name in by_system:
+            if name not in systems:
+                systems.append(name)
+    lines = [f"### {title}", ""]
+    lines.append("| System | " + " | ".join(datasets) + " |")
+    lines.append("|---" * (len(datasets) + 1) + "|")
+    for system in systems:
+        cells = []
+        for dataset in datasets:
+            entry = scores_by_dataset[dataset].get(system)
+            if entry is None:
+                cells.append("—")
+                continue
+            prf = entry.row(task)
+            cells.append(_prf_cell(prf) if prf.predicted or prf.gold else "—")
+        lines.append(f"| {system} | " + " | ".join(cells) + " |")
+    lines.append("")
+    return lines
+
+
+def render_error_report(report: ErrorReport, top: int = 5) -> List[str]:
+    """Error-profile section for one system/dataset pair."""
+    lines = [
+        f"### Error profile — {report.system} on {report.dataset}",
+        "",
+        f"Per-mention accuracy: **{report.accuracy:.3f}**",
+        "",
+        "| Diagnosis | count |",
+        "|---|---|",
+    ]
+    for diagnosis, count in sorted(
+        report.counts().items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"| {diagnosis.value} | {count} |")
+    samples = report.errors()[:top]
+    if samples:
+        lines.extend(["", "Sample errors:", ""])
+        for case in samples:
+            lines.append(
+                f"* `{case.surface}` ({case.doc_id}): "
+                f"{case.diagnosis.value} — gold `{case.gold_concept}`, "
+                f"predicted `{case.predicted_concept}`"
+            )
+    lines.append("")
+    return lines
+
+
+def render_breakdown(breakdown) -> List[str]:
+    """Markdown rows for a :class:`repro.analysis.breakdown.Breakdown`."""
+    lines = [
+        f"### {breakdown.system} on {breakdown.dataset} — by {breakdown.dimension}",
+        "",
+        "| category | accuracy | n |",
+        "|---|---|---|",
+    ]
+    for category in breakdown.categories():
+        lines.append(
+            f"| {category} | {breakdown.accuracy(category):.3f} | "
+            f"{breakdown.total[category]} |"
+        )
+    lines.append("")
+    return lines
+
+
+def render_report(
+    scores_by_dataset: Mapping[str, Mapping[str, SystemScores]],
+    statistics: Optional[Iterable[DatasetStatistics]] = None,
+    error_reports: Iterable[ErrorReport] = (),
+    breakdowns: Iterable = (),
+    title: str = "TENET reproduction report",
+) -> str:
+    """The full markdown document."""
+    lines: List[str] = [f"# {title}", ""]
+    if statistics is not None:
+        lines.extend(["## Dataset statistics", ""])
+        lines.extend(render_statistics(statistics))
+        lines.append("")
+    lines.extend(["## End-to-end results", ""])
+    lines.extend(
+        render_task_table(
+            scores_by_dataset, "entity", "Entity linking (P / R / F)"
+        )
+    )
+    lines.extend(
+        render_task_table(
+            scores_by_dataset, "relation", "Relation linking (P / R / F)"
+        )
+    )
+    lines.extend(
+        render_task_table(
+            scores_by_dataset,
+            "mention_detection",
+            "Mention detection (P / R / F)",
+        )
+    )
+    error_reports = list(error_reports)
+    if error_reports:
+        lines.extend(["## Error analysis", ""])
+        for report in error_reports:
+            lines.extend(render_error_report(report))
+    breakdowns = list(breakdowns)
+    if breakdowns:
+        lines.extend(["## Performance breakdowns", ""])
+        for breakdown in breakdowns:
+            lines.extend(render_breakdown(breakdown))
+    return "\n".join(lines) + "\n"

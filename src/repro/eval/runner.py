@@ -1,0 +1,141 @@
+"""Batch evaluation of linkers over datasets.
+
+``EvaluationRunner`` drives any object with the linker protocol
+(``name``, ``link(text) -> LinkingResult``, optionally
+``disambiguate_mentions(text, spans)``) over an annotated dataset and
+micro-averages the task metrics — the machinery behind Tables 3-4 and
+Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence
+
+from repro.core.result import LinkingResult
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.eval.metrics import (
+    PRF,
+    aggregate,
+    score_entity_linking,
+    score_isolated_detection,
+    score_mention_detection,
+    score_relation_linking,
+)
+from repro.nlp.sentences import split_sentences
+from repro.nlp.spans import Span, SpanKind
+from repro.nlp.tokenizer import tokenize
+
+
+class Linker(Protocol):  # pragma: no cover - typing helper
+    name: str
+
+    def link(self, text: str) -> LinkingResult: ...
+
+
+@dataclass
+class SystemScores:
+    """Micro-averaged scores of one system on one dataset."""
+
+    system: str
+    dataset: str
+    entity: PRF = field(default_factory=PRF)
+    relation: PRF = field(default_factory=PRF)
+    mention_detection: PRF = field(default_factory=PRF)
+    isolated: PRF = field(default_factory=PRF)
+
+    def row(self, task: str) -> PRF:
+        return getattr(self, task)
+
+
+class EvaluationRunner:
+    """Runs a set of linkers over datasets and aggregates scores."""
+
+    def __init__(self, linkers: Sequence[Linker]) -> None:
+        self.linkers = list(linkers)
+
+    def evaluate(self, dataset: Dataset) -> Dict[str, SystemScores]:
+        """End-to-end evaluation (Tables 3-4, Fig. 6(a), Fig. 6(c))."""
+        scores: Dict[str, SystemScores] = {}
+        for linker in self.linkers:
+            entity_scores: List[PRF] = []
+            relation_scores: List[PRF] = []
+            md_scores: List[PRF] = []
+            isolated_scores: List[PRF] = []
+            for document in dataset:
+                result = linker.link(document.text)
+                entity_scores.append(score_entity_linking(result, document))
+                md_scores.append(score_mention_detection(result, document))
+                isolated_scores.append(score_isolated_detection(result, document))
+                if dataset.has_relation_gold:
+                    relation_scores.append(
+                        score_relation_linking(result, document)
+                    )
+            scores[linker.name] = SystemScores(
+                system=linker.name,
+                dataset=dataset.name,
+                entity=aggregate(entity_scores),
+                relation=aggregate(relation_scores),
+                mention_detection=aggregate(md_scores),
+                isolated=aggregate(isolated_scores),
+            )
+        return scores
+
+    def evaluate_disambiguation(self, dataset: Dataset) -> Dict[str, PRF]:
+        """Disambiguation-only evaluation with gold mentions given
+        (Fig. 6(b)); only linkers exposing ``disambiguate_mentions``
+        participate."""
+        scores: Dict[str, PRF] = {}
+        for linker in self.linkers:
+            disambiguate = getattr(linker, "disambiguate_mentions", None)
+            if disambiguate is None:
+                continue
+            per_doc: List[PRF] = []
+            for document in dataset:
+                spans = gold_mentions_to_spans(document, SpanKind.NOUN)
+                result = disambiguate(document.text, spans)
+                per_doc.append(score_entity_linking(result, document))
+            scores[linker.name] = aggregate(per_doc)
+        return scores
+
+
+def gold_mentions_to_spans(
+    document: AnnotatedDocument, kind: Optional[SpanKind] = None
+) -> List[Span]:
+    """Convert gold character annotations into pipeline spans.
+
+    Used to feed gold mentions into disambiguation-only mode: token
+    boundaries are recovered from the document's own tokenisation.
+    """
+    tokens = tokenize(document.text)
+    sentences = split_sentences(tokens)
+    spans: List[Span] = []
+    for gold in document.gold:
+        if kind is not None and gold.kind is not kind:
+            continue
+        covered = [
+            t
+            for t in tokens
+            if t.start < gold.char_end and gold.char_start < t.end
+        ]
+        if not covered:
+            continue
+        token_start = covered[0].index
+        token_end = covered[-1].index + 1
+        sentence_index = 0
+        for sentence in sentences:
+            if sentence.contains_token(token_start):
+                sentence_index = sentence.index
+                break
+        spans.append(
+            Span(
+                text=gold.surface,
+                token_start=token_start,
+                token_end=token_end,
+                sentence_index=sentence_index,
+                kind=gold.kind,
+                char_start=gold.char_start,
+                char_end=gold.char_end,
+            )
+        )
+    return spans

@@ -1,0 +1,152 @@
+"""Bootstrap significance testing for system comparisons.
+
+F1 differences on small corpora (16–50 documents, as in the paper) need
+uncertainty estimates.  This module provides document-level bootstrap
+confidence intervals for a system's F1 and a paired bootstrap test for
+the F1 difference between two systems — the standard methodology for
+comparing linkers on fixed test sets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.result import LinkingResult
+from repro.datasets.schema import AnnotatedDocument, Dataset
+from repro.eval.metrics import PRF, aggregate, score_entity_linking
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """A point estimate with a bootstrap confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    samples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Paired bootstrap comparison of two systems' F1."""
+
+    f1_a: float
+    f1_b: float
+    delta: BootstrapResult  # distribution of F1(a) - F1(b)
+    p_value: float  # P(delta <= 0) under the bootstrap
+
+    @property
+    def significant(self) -> bool:
+        """Whether system a beats system b at the 5% level."""
+        return self.p_value < 0.05
+
+
+def _f1_of_counts(counts: np.ndarray) -> float:
+    correct, predicted, gold = counts.sum(axis=0)
+    precision = correct / predicted if predicted else 0.0
+    recall = correct / gold if gold else 0.0
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def _per_document_counts(
+    results: Sequence[LinkingResult],
+    documents: Sequence[AnnotatedDocument],
+    scorer: Callable[[LinkingResult, AnnotatedDocument], PRF],
+) -> np.ndarray:
+    rows = []
+    for result, document in zip(results, documents):
+        prf = scorer(result, document)
+        rows.append((prf.correct, prf.predicted, prf.gold))
+    return np.array(rows, dtype=np.float64)
+
+
+def bootstrap_f1(
+    results: Sequence[LinkingResult],
+    documents: Sequence[AnnotatedDocument],
+    scorer: Callable[[LinkingResult, AnnotatedDocument], PRF] = score_entity_linking,
+    samples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Document-level bootstrap CI for a system's micro-F1."""
+    counts = _per_document_counts(results, documents, scorer)
+    n = len(counts)
+    if n == 0:
+        return BootstrapResult(0.0, 0.0, 0.0, samples)
+    rng = np.random.default_rng(seed)
+    estimates = np.empty(samples)
+    for i in range(samples):
+        index = rng.integers(0, n, size=n)
+        estimates[i] = _f1_of_counts(counts[index])
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapResult(
+        estimate=_f1_of_counts(counts),
+        low=float(np.quantile(estimates, alpha)),
+        high=float(np.quantile(estimates, 1.0 - alpha)),
+        samples=samples,
+    )
+
+
+def paired_bootstrap(
+    results_a: Sequence[LinkingResult],
+    results_b: Sequence[LinkingResult],
+    documents: Sequence[AnnotatedDocument],
+    scorer: Callable[[LinkingResult, AnnotatedDocument], PRF] = score_entity_linking,
+    samples: int = 1000,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> PairedComparison:
+    """Paired bootstrap over documents: is F1(a) - F1(b) > 0 reliably?
+
+    Both systems are resampled with the *same* document indices, which
+    accounts for per-document difficulty correlation.
+    """
+    counts_a = _per_document_counts(results_a, documents, scorer)
+    counts_b = _per_document_counts(results_b, documents, scorer)
+    n = len(documents)
+    rng = np.random.default_rng(seed)
+    deltas = np.empty(samples)
+    for i in range(samples):
+        index = rng.integers(0, n, size=n)
+        deltas[i] = _f1_of_counts(counts_a[index]) - _f1_of_counts(
+            counts_b[index]
+        )
+    alpha = (1.0 - confidence) / 2.0
+    delta = BootstrapResult(
+        estimate=_f1_of_counts(counts_a) - _f1_of_counts(counts_b),
+        low=float(np.quantile(deltas, alpha)),
+        high=float(np.quantile(deltas, 1.0 - alpha)),
+        samples=samples,
+    )
+    return PairedComparison(
+        f1_a=_f1_of_counts(counts_a),
+        f1_b=_f1_of_counts(counts_b),
+        delta=delta,
+        p_value=float(np.mean(deltas <= 0.0)),
+    )
+
+
+def compare_on_dataset(
+    linker_a,
+    linker_b,
+    dataset: Dataset,
+    scorer: Callable[[LinkingResult, AnnotatedDocument], PRF] = score_entity_linking,
+    samples: int = 1000,
+    seed: int = 0,
+) -> PairedComparison:
+    """Convenience wrapper: run both linkers and compare with the paired
+    bootstrap."""
+    documents = list(dataset)
+    results_a = [linker_a.link(d.text) for d in documents]
+    results_b = [linker_b.link(d.text) for d in documents]
+    return paired_bootstrap(
+        results_a, results_b, documents, scorer, samples=samples, seed=seed
+    )

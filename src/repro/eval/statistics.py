@@ -1,0 +1,65 @@
+"""Dataset statistics (the paper's Table 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.schema import Dataset
+from repro.nlp.spans import SpanKind
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """One row of Table 2."""
+
+    name: str
+    nouns_per_document: float
+    noun_count: int
+    non_linkable_nouns: int
+    relations_per_document: Optional[float]
+    relation_count: Optional[int]
+    non_linkable_relations: Optional[int]
+    words_per_document: float
+
+    @property
+    def non_linkable_noun_fraction(self) -> float:
+        return self.non_linkable_nouns / self.noun_count if self.noun_count else 0.0
+
+    @property
+    def non_linkable_relation_fraction(self) -> Optional[float]:
+        if self.relation_count is None or not self.relation_count:
+            return None
+        return self.non_linkable_relations / self.relation_count
+
+
+def dataset_statistics(dataset: Dataset) -> DatasetStatistics:
+    """Compute the Table 2 row for *dataset* from its gold annotations."""
+    noun_count = 0
+    non_linkable_nouns = 0
+    relation_count = 0
+    non_linkable_relations = 0
+    for document in dataset:
+        for gold in document.gold:
+            if gold.kind is SpanKind.NOUN:
+                noun_count += 1
+                if not gold.is_linkable:
+                    non_linkable_nouns += 1
+            else:
+                relation_count += 1
+                if not gold.is_linkable:
+                    non_linkable_relations += 1
+    docs = max(len(dataset), 1)
+    has_relations = dataset.has_relation_gold
+    return DatasetStatistics(
+        name=dataset.name,
+        nouns_per_document=noun_count / docs,
+        noun_count=noun_count,
+        non_linkable_nouns=non_linkable_nouns,
+        relations_per_document=(relation_count / docs) if has_relations else None,
+        relation_count=relation_count if has_relations else None,
+        non_linkable_relations=(
+            non_linkable_relations if has_relations else None
+        ),
+        words_per_document=dataset.words_per_document,
+    )

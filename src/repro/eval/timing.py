@@ -1,0 +1,62 @@
+"""Wall-clock timing harness (the paper's Fig. 7).
+
+Times linkers on generated documents of controlled size and reports the
+input-size covariates the paper plots against: word count, mention count,
+mention-group count, tree-cover edge count, candidates-per-mention.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.core.linker import TenetLinker
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """One timed linking run with its input-size covariates."""
+
+    system: str
+    seconds: float
+    words: int
+    mentions: int
+    groups: Optional[int] = None
+    cover_edges: Optional[int] = None
+    candidates_per_mention: Optional[int] = None
+
+
+def time_linker(linker, text: str, repeats: int = 1) -> TimingSample:
+    """Time ``linker.link`` on *text* (best of *repeats*)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(repeats, 1)):
+        started = time.perf_counter()
+        result = linker.link(text)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    words = len(text.split())
+    mentions = len(result.links) + len(result.non_linkable)
+    return TimingSample(
+        system=getattr(linker, "name", type(linker).__name__),
+        seconds=best,
+        words=words,
+        mentions=mentions,
+    )
+
+
+def time_tenet_detailed(linker: TenetLinker, text: str) -> TimingSample:
+    """Time TENET and capture the Fig. 7(c)-(e) covariates."""
+    started = time.perf_counter()
+    diagnostics = linker.link_detailed(text)
+    elapsed = time.perf_counter() - started
+    return TimingSample(
+        system=linker.name,
+        seconds=elapsed,
+        words=diagnostics.extraction.word_count,
+        mentions=diagnostics.mention_count,
+        groups=diagnostics.group_count,
+        cover_edges=diagnostics.cover_edge_count,
+        candidates_per_mention=linker.config.max_candidates,
+    )

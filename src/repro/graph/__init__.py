@@ -1,0 +1,27 @@
+"""Graph algorithm substrate for TENET.
+
+This package provides the pure graph machinery the TENET algorithms are
+built on: a disjoint-set forest, Kruskal's minimum spanning tree, the
+Hopcroft--Karp maximum bipartite matching, Dijkstra shortest paths, a
+weighted undirected graph container, and a rooted-tree structure with
+post-order traversal (used by the tree-splitting algorithms).
+"""
+
+from repro.graph.union_find import UnionFind
+from repro.graph.weighted_graph import WeightedGraph
+from repro.graph.mst import kruskal_mst, minimum_spanning_forest
+from repro.graph.matching import hopcroft_karp
+from repro.graph.paths import dijkstra, shortest_path
+from repro.graph.tree import RootedTree, TreeEdge
+
+__all__ = [
+    "UnionFind",
+    "WeightedGraph",
+    "kruskal_mst",
+    "minimum_spanning_forest",
+    "hopcroft_karp",
+    "dijkstra",
+    "shortest_path",
+    "RootedTree",
+    "TreeEdge",
+]

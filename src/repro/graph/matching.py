@@ -1,0 +1,93 @@
+"""Hopcroft--Karp maximum bipartite matching.
+
+Step (f) of Algorithm 1 assigns the subtrees produced by tree splitting to
+mention roots via a maximum matching on a bipartite eligibility graph; the
+paper cites the Hopcroft--Karp algorithm [10].  This implementation is the
+standard BFS-layering / DFS-augmentation formulation in O(E * sqrt(V)).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Iterable, Mapping, Set
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    left: Iterable[Hashable],
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> Dict[Hashable, Hashable]:
+    """Maximum matching of a bipartite graph.
+
+    Parameters
+    ----------
+    left:
+        The left-side vertex set.
+    adjacency:
+        For each left vertex, the right vertices it may match with.  Right
+        vertices are discovered from the adjacency lists.
+
+    Returns
+    -------
+    dict
+        A maximum matching as a mapping ``left_vertex -> right_vertex``.
+        Unmatched left vertices are absent from the mapping.
+    """
+    left_nodes = list(left)
+    adj: Dict[Hashable, list] = {u: list(adjacency.get(u, ())) for u in left_nodes}
+
+    match_left: Dict[Hashable, Hashable] = {}
+    match_right: Dict[Hashable, Hashable] = {}
+    dist: Dict[Hashable, float] = {}
+
+    def bfs() -> bool:
+        queue = deque()
+        for u in left_nodes:
+            if u not in match_left:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found_free = False
+        while queue:
+            u = queue.popleft()
+            for v in adj[u]:
+                partner = match_right.get(v)
+                if partner is None:
+                    found_free = True
+                elif dist[partner] == _INF:
+                    dist[partner] = dist[u] + 1
+                    queue.append(partner)
+        return found_free
+
+    def dfs(u: Hashable) -> bool:
+        for v in adj[u]:
+            partner = match_right.get(v)
+            if partner is None or (dist[partner] == dist[u] + 1 and dfs(partner)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in left_nodes:
+            if u not in match_left:
+                dfs(u)
+    return dict(match_left)
+
+
+def is_valid_matching(
+    matching: Mapping[Hashable, Hashable],
+    adjacency: Mapping[Hashable, Iterable[Hashable]],
+) -> bool:
+    """Check that *matching* only uses admissible edges and is injective."""
+    used_right: Set[Hashable] = set()
+    for u, v in matching.items():
+        if v in used_right:
+            return False
+        used_right.add(v)
+        if v not in set(adjacency.get(u, ())):
+            return False
+    return True

@@ -1,0 +1,52 @@
+"""Kruskal minimum spanning tree / forest.
+
+The paper explicitly prefers Kruskal's algorithm over Prim's (Sec. 4.2,
+"Discussion of Algorithm Design"): edges are processed globally in
+non-decreasing weight order so that low-confidence choices are forced to be
+consistent with more confident decisions made earlier.  The same Kruskal
+edge ordering drives the greedy disambiguation of Algorithm 5.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.graph.union_find import UnionFind
+from repro.graph.weighted_graph import Node, WeightedGraph
+
+
+def sorted_edges(graph: WeightedGraph) -> List[Tuple[Node, Node, float]]:
+    """Edges of *graph* in non-decreasing weight order.
+
+    Ties are broken by the repr of the endpoints so the ordering — and
+    therefore every downstream algorithm — is deterministic.
+    """
+    return sorted(graph.edges(), key=lambda e: (e[2], repr(e[0]), repr(e[1])))
+
+
+def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
+    """Minimum spanning tree of a connected *graph*.
+
+    Raises ``ValueError`` when the graph is disconnected — in Algorithm 1
+    this situation corresponds to the "B is too small" failure warning and
+    is translated by the caller.
+    """
+    forest = minimum_spanning_forest(graph)
+    if graph.node_count > 0 and forest.edge_count != graph.node_count - 1:
+        raise ValueError(
+            "graph is disconnected: spanning forest has "
+            f"{forest.edge_count} edges for {graph.node_count} nodes"
+        )
+    return forest
+
+
+def minimum_spanning_forest(graph: WeightedGraph) -> WeightedGraph:
+    """Minimum spanning forest (one tree per connected component)."""
+    forest = WeightedGraph()
+    for node in graph.nodes():
+        forest.add_node(node)
+    uf = UnionFind(graph.nodes())
+    for u, v, w in sorted_edges(graph):
+        if uf.union(u, v):
+            forest.add_edge(u, v, w)
+    return forest

@@ -1,0 +1,76 @@
+"""Dijkstra shortest paths on :class:`~repro.graph.weighted_graph.WeightedGraph`.
+
+Used in Step (f) of Algorithm 1: a matched subtree is attached to its
+mention root through the shortest path in the pruned coherence graph, and
+subtree/mention eligibility is decided by that distance being in (0, B].
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.graph.weighted_graph import Node, WeightedGraph
+
+
+def dijkstra(
+    graph: WeightedGraph,
+    source: Node,
+    max_distance: Optional[float] = None,
+) -> Tuple[Dict[Node, float], Dict[Node, Node]]:
+    """Single-source shortest path distances and predecessor map.
+
+    Parameters
+    ----------
+    graph:
+        The weighted graph (non-negative weights, enforced on insertion).
+    source:
+        Start node; must exist in the graph.
+    max_distance:
+        If given, exploration stops at this radius — nodes farther away are
+        omitted from the result.  Algorithm 1 only ever needs radius B.
+    """
+    if source not in graph:
+        raise KeyError(f"source node {source!r} not in graph")
+    distances: Dict[Node, float] = {source: 0.0}
+    predecessors: Dict[Node, Node] = {}
+    # Heap entries carry a tie-breaking counter so heterogeneous node types
+    # never get compared directly.
+    counter = 0
+    heap: List[Tuple[float, int, Node]] = [(0.0, counter, source)]
+    settled = set()
+    while heap:
+        dist, _, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbour, weight in graph.neighbours(node).items():
+            candidate = dist + weight
+            if max_distance is not None and candidate > max_distance:
+                continue
+            if candidate < distances.get(neighbour, float("inf")):
+                distances[neighbour] = candidate
+                predecessors[neighbour] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbour))
+    return distances, predecessors
+
+
+def shortest_path(graph: WeightedGraph, source: Node, target: Node) -> List[Node]:
+    """The node sequence of a shortest path from *source* to *target*.
+
+    Raises ``ValueError`` when *target* is unreachable.
+    """
+    distances, predecessors = dijkstra(graph, source)
+    if target not in distances:
+        raise ValueError(f"no path from {source!r} to {target!r}")
+    path = [target]
+    while path[-1] != source:
+        path.append(predecessors[path[-1]])
+    path.reverse()
+    return path
+
+
+def path_weight(graph: WeightedGraph, path: List[Node]) -> float:
+    """Total weight of a node-sequence path."""
+    return sum(graph.weight(u, v) for u, v in zip(path, path[1:]))

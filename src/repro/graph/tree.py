@@ -1,0 +1,242 @@
+"""Rooted weighted trees with post-order traversal.
+
+The tree-splitting procedures of the paper (Algorithms 2 and 3) operate on
+mention-rooted trees obtained by decomposing the contracted MST.  This
+module provides the tree container they manipulate: parent/children
+orientation, subtree weights, post-order edge enumeration, and subtree
+extraction.  All traversals are iterative so document-scale trees never hit
+Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+
+from repro.graph.weighted_graph import Node, WeightedGraph
+
+
+@dataclass(frozen=True)
+class TreeEdge:
+    """A directed (parent -> child) edge of a rooted tree."""
+
+    parent: Node
+    child: Node
+    weight: float
+
+
+class RootedTree:
+    """A weighted tree oriented away from a designated root.
+
+    The structure is mutable only through :meth:`add_edge` and
+    :meth:`detach_subtree`; every query keeps O(1)/O(subtree) costs so the
+    splitting algorithms stay linear as the paper's complexity analysis
+    requires.
+    """
+
+    def __init__(self, root: Node) -> None:
+        self.root = root
+        self._parent: Dict[Node, Node] = {}
+        self._children: Dict[Node, List[Node]] = {root: []}
+        self._edge_weight: Dict[Node, float] = {}  # keyed by child node
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_edge(self, parent: Node, child: Node, weight: float) -> None:
+        """Attach *child* under *parent*.
+
+        *parent* must already be in the tree; *child* must not be (a node
+        has exactly one parent in a tree).
+        """
+        if parent not in self._children:
+            raise KeyError(f"parent node {parent!r} not in tree")
+        if child in self._children:
+            raise ValueError(f"node {child!r} already in tree")
+        self._children[parent].append(child)
+        self._children[child] = []
+        self._parent[child] = parent
+        self._edge_weight[child] = weight
+
+    @classmethod
+    def from_graph(cls, graph: WeightedGraph, root: Node) -> "RootedTree":
+        """Orient the connected acyclic *graph* away from *root*.
+
+        Only the component containing *root* is used; the caller is
+        responsible for *graph* being a tree/forest (e.g. an MST).
+        """
+        tree = cls(root)
+        stack = [root]
+        visited = {root}
+        while stack:
+            node = stack.pop()
+            for neighbour, weight in sorted(
+                graph.neighbours(node).items(), key=lambda kv: repr(kv[0])
+            ):
+                if neighbour in visited:
+                    continue
+                visited.add(neighbour)
+                tree.add_edge(node, neighbour, weight)
+                stack.append(neighbour)
+        return tree
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._children
+
+    def __len__(self) -> int:
+        return len(self._children)
+
+    @property
+    def node_count(self) -> int:
+        return len(self._children)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_weight)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._children)
+
+    def children(self, node: Node) -> List[Node]:
+        return list(self._children[node])
+
+    def parent(self, node: Node) -> Optional[Node]:
+        """Parent of *node*, or ``None`` for the root."""
+        return self._parent.get(node)
+
+    def edge_weight_to(self, child: Node) -> float:
+        """Weight of the edge from ``parent(child)`` to *child*."""
+        return self._edge_weight[child]
+
+    def edges(self) -> List[TreeEdge]:
+        return [
+            TreeEdge(self._parent[child], child, weight)
+            for child, weight in self._edge_weight.items()
+        ]
+
+    def weight(self) -> float:
+        """Total edge weight, the paper's ω(T)."""
+        return sum(self._edge_weight.values())
+
+    def is_singleton(self) -> bool:
+        """True when the tree is only its root (weight 0, no concepts)."""
+        return len(self._children) == 1
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+    def post_order_nodes(self) -> Iterator[Node]:
+        """Nodes in post order (children before parents), iteratively."""
+        stack: List[Tuple[Node, bool]] = [(self.root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+                continue
+            stack.append((node, True))
+            for child in reversed(self._children[node]):
+                stack.append((child, False))
+
+    def post_order_edges(self) -> Iterator[TreeEdge]:
+        """Edges in post order of their child endpoint.
+
+        This is the enumeration order used by the paper's Algorithms 2-3:
+        an edge is reported only after the entire subtree below it has been
+        reported.
+        """
+        for node in self.post_order_nodes():
+            if node != self.root:
+                yield TreeEdge(self._parent[node], node, self._edge_weight[node])
+
+    def subtree_nodes(self, node: Node) -> List[Node]:
+        """All nodes of the subtree rooted at *node* (inclusive)."""
+        result = []
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self._children[current])
+        return result
+
+    def subtree_weight(self, node: Node) -> float:
+        """Total weight of edges inside the subtree rooted at *node*."""
+        total = 0.0
+        stack = list(self._children[node])
+        while stack:
+            current = stack.pop()
+            total += self._edge_weight[current]
+            stack.extend(self._children[current])
+        return total
+
+    def subtree(self, node: Node) -> "RootedTree":
+        """A copy of the subtree rooted at *node*."""
+        sub = RootedTree(node)
+        stack = list(self._children[node])
+        while stack:
+            current = stack.pop()
+            sub.add_edge(self._parent[current], current, self._edge_weight[current])
+            stack.extend(self._children[current])
+        return sub
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def detach_subtree(self, node: Node) -> "RootedTree":
+        """Remove and return the subtree rooted at *node*.
+
+        The connecting edge (parent(node), node) is removed from this tree
+        and is *not* part of the returned subtree.  Detaching the root is
+        an error.
+        """
+        if node == self.root:
+            raise ValueError("cannot detach the root of the tree")
+        detached = self.subtree(node)
+        parent = self._parent[node]
+        self._children[parent].remove(node)
+        for member in detached.nodes():
+            if member == node:
+                self._parent.pop(member, None)
+                self._edge_weight.pop(member, None)
+            else:
+                del self._parent[member]
+                del self._edge_weight[member]
+            del self._children[member]
+        return detached
+
+    def adopt(self, source: "RootedTree") -> None:
+        """Replace this tree's structure with *source*'s.
+
+        Both trees must share the same root; used when a tree is rebuilt
+        from a merged graph (subtree attachment in Algorithm 1, Step (f)).
+        """
+        if source.root != self.root:
+            raise ValueError(
+                f"cannot adopt a tree rooted at {source.root!r} into one "
+                f"rooted at {self.root!r}"
+            )
+        self._parent = dict(source._parent)
+        self._children = {k: list(v) for k, v in source._children.items()}
+        self._edge_weight = dict(source._edge_weight)
+
+    # ------------------------------------------------------------------
+    # conversions
+    # ------------------------------------------------------------------
+    def to_graph(self) -> WeightedGraph:
+        """The undirected view of this tree."""
+        graph = WeightedGraph()
+        graph.add_node(self.root)
+        for edge in self.edges():
+            graph.add_edge(edge.parent, edge.child, edge.weight)
+        return graph
+
+    def node_set(self) -> Set[Node]:
+        return set(self._children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RootedTree(root={self.root!r}, nodes={self.node_count}, "
+            f"weight={self.weight():.3f})"
+        )

@@ -1,0 +1,92 @@
+"""Disjoint-set forest (union-find) with path compression and union by rank.
+
+Used by Kruskal's algorithm (:mod:`repro.graph.mst`) to detect whether an
+edge would close a cycle, and by the disambiguation algorithm to keep track
+of already-merged coherence components.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List
+
+
+class UnionFind:
+    """A disjoint-set forest over arbitrary hashable items.
+
+    Items are added lazily: :meth:`find` and :meth:`union` create
+    singleton sets for unseen items.  All operations are effectively
+    amortised inverse-Ackermann time.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._count = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register *item* as a singleton set if it is not yet tracked."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def __len__(self) -> int:
+        """Number of items tracked (not the number of sets)."""
+        return len(self._parent)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._parent)
+
+    @property
+    def set_count(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._count
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of *item*'s set.
+
+        Unseen items are added as singletons first.  Path compression is
+        applied iteratively so that deep forests never hit the recursion
+        limit.
+        """
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets containing *a* and *b*.
+
+        Returns ``True`` if a merge happened, ``False`` if the items were
+        already in the same set (i.e. the edge (a, b) would close a cycle).
+        """
+        root_a = self.find(a)
+        root_b = self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether *a* and *b* are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    def sets(self) -> List[List[Hashable]]:
+        """Materialise the current partition as a list of member lists."""
+        groups: Dict[Hashable, List[Hashable]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return list(groups.values())

@@ -1,0 +1,35 @@
+"""Knowledge-base substrate.
+
+The paper links against the 2021-02-08 Wikidata dump through a Solr alias
+index and PyTorch-BigGraph embeddings.  This package provides the offline
+equivalent: an in-memory triple store with entity/predicate records
+(:mod:`repro.kb.records`, :mod:`repro.kb.store`), a case-insensitive alias
+index (:mod:`repro.kb.alias_index`), a small type taxonomy
+(:mod:`repro.kb.types`), JSON dump round-tripping (:mod:`repro.kb.dump`)
+and a deterministic synthetic world generator (:mod:`repro.kb.synthetic`).
+"""
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+from repro.kb.alias_index import AliasIndex, CandidateHit
+from repro.kb.types import TypeTaxonomy, DEFAULT_TAXONOMY
+from repro.kb.synthetic import SyntheticKBConfig, SyntheticWorld, build_synthetic_world
+from repro.kb.dump import kb_to_json_dump, kb_from_json_dump, save_dump, load_dump
+
+__all__ = [
+    "EntityRecord",
+    "PredicateRecord",
+    "Triple",
+    "KnowledgeBase",
+    "AliasIndex",
+    "CandidateHit",
+    "TypeTaxonomy",
+    "DEFAULT_TAXONOMY",
+    "SyntheticKBConfig",
+    "SyntheticWorld",
+    "build_synthetic_world",
+    "kb_to_json_dump",
+    "kb_from_json_dump",
+    "save_dump",
+    "load_dump",
+]

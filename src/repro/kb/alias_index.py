@@ -1,0 +1,219 @@
+"""Case-insensitive alias index over KB entities and predicates.
+
+Stands in for the Solr (Lucene) index the paper builds following
+OpenTapioca/KBPearl: labels and aliases of all entities and predicates are
+indexed case-insensitively; a lookup returns candidates ranked by prior
+matching probability P(concept | phrase), estimated from popularity counts
+among the concepts sharing the alias (Sec. 3, Eq. 1-2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.kb.records import EntityRecord, PredicateRecord
+from repro.kb.store import KnowledgeBase
+from repro.kb.types import TypeTaxonomy
+from repro.textnorm import normalize_phrase, tokenize_phrase
+
+
+@dataclass(frozen=True)
+class CandidateHit:
+    """A candidate concept for a surface form.
+
+    ``prior`` is P(concept | phrase) in [0, 1]; within one lookup the
+    priors of all returned hits sum to 1 (before any type filtering).
+    """
+
+    concept_id: str
+    prior: float
+    kind: str  # "entity" | "predicate"
+
+    @property
+    def local_distance(self) -> float:
+        """The paper's local semantic distance d(m, c) = 1 - P(c | m)."""
+        return 1.0 - self.prior
+
+
+class AliasIndex:
+    """Inverted alias index with popularity-based priors.
+
+    Separate posting lists are kept for entities and predicates so that
+    noun phrases only generate entity candidates and relational phrases
+    only generate predicate candidates (the type constraint of Problem 3).
+    """
+
+    def __init__(self, taxonomy: Optional[TypeTaxonomy] = None) -> None:
+        self._entity_postings: Dict[str, List[str]] = {}
+        self._predicate_postings: Dict[str, List[str]] = {}
+        self._entity_popularity: Dict[str, int] = {}
+        self._predicate_popularity: Dict[str, int] = {}
+        self._entity_types: Dict[str, Tuple[str, ...]] = {}
+        self._token_index: Dict[str, List[str]] = {}  # token -> alias keys
+        self._taxonomy = taxonomy
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_kb(
+        cls, kb: KnowledgeBase, taxonomy: Optional[TypeTaxonomy] = None
+    ) -> "AliasIndex":
+        index = cls(taxonomy)
+        for entity in kb.entities():
+            index.add_entity(entity)
+        for predicate in kb.predicates():
+            index.add_predicate(predicate)
+        return index
+
+    def add_entity(self, entity: EntityRecord) -> None:
+        self._entity_popularity[entity.entity_id] = entity.popularity
+        self._entity_types[entity.entity_id] = entity.types
+        for alias in entity.aliases:
+            key = normalize_phrase(alias)
+            if not key:
+                continue
+            postings = self._entity_postings.setdefault(key, [])
+            if entity.entity_id not in postings:
+                postings.append(entity.entity_id)
+            for token in key.split(" "):
+                keys = self._token_index.setdefault(token, [])
+                if key not in keys:
+                    keys.append(key)
+
+    def add_predicate(self, predicate: PredicateRecord) -> None:
+        self._predicate_popularity[predicate.predicate_id] = predicate.popularity
+        for alias in predicate.aliases:
+            key = normalize_phrase(alias)
+            if not key:
+                continue
+            postings = self._predicate_postings.setdefault(key, [])
+            if predicate.predicate_id not in postings:
+                postings.append(predicate.predicate_id)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def lookup_entities(
+        self,
+        phrase: str,
+        mention_type: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> List[CandidateHit]:
+        """Entity candidates for *phrase* ranked by prior.
+
+        ``mention_type`` applies the paper's type filter: a candidate is
+        kept only if one of its KB types is compatible with the mention
+        type under the taxonomy.  ``limit`` truncates to the top-k
+        candidates *after* prior computation, which is the paper's
+        "candidates per mention" knob (Fig. 6(d)).
+        """
+        key = normalize_phrase(phrase)
+        ids = self._entity_postings.get(key, [])
+        hits = self._rank(ids, self._entity_popularity, "entity")
+        if mention_type and self._taxonomy is not None:
+            hits = [
+                hit
+                for hit in hits
+                if self._taxonomy.compatible_any(
+                    mention_type, self._entity_types.get(hit.concept_id, ())
+                )
+            ]
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    def lookup_predicates(
+        self, phrase: str, limit: Optional[int] = None
+    ) -> List[CandidateHit]:
+        """Predicate candidates for *phrase* ranked by prior."""
+        key = normalize_phrase(phrase)
+        ids = self._predicate_postings.get(key, [])
+        hits = self._rank(ids, self._predicate_popularity, "predicate")
+        if limit is not None:
+            hits = hits[:limit]
+        return hits
+
+    def fuzzy_lookup_entities(
+        self, phrase: str, limit: Optional[int] = None
+    ) -> List[CandidateHit]:
+        """Token-overlap fallback lookup.
+
+        Finds indexed aliases sharing every content token with *phrase*
+        (e.g. "M. Jordan" vs "Michael Jordan" will not match, but "Storm
+        on the Sea" matches "The Storm on the Sea of Galilee" minus
+        stopwords).  Priors are scaled by token overlap so fuzzy hits never
+        outrank exact ones.
+        """
+        tokens = [t for t in tokenize_phrase(phrase) if len(t) > 2]
+        if not tokens:
+            return []
+        candidate_keys: Optional[set] = None
+        for token in tokens:
+            keys = set(self._token_index.get(token, ()))
+            candidate_keys = keys if candidate_keys is None else candidate_keys & keys
+            if not candidate_keys:
+                return []
+        assert candidate_keys is not None
+        scored: Dict[str, float] = {}
+        for key in candidate_keys:
+            key_tokens = key.split(" ")
+            overlap = len(tokens) / max(len(key_tokens), 1)
+            for entity_id in self._entity_postings.get(key, ()):
+                scored[entity_id] = max(scored.get(entity_id, 0.0), overlap)
+        hits = self._rank(list(scored), self._entity_popularity, "entity")
+        fuzzy = [
+            CandidateHit(h.concept_id, h.prior * scored[h.concept_id] * 0.5, "entity")
+            for h in hits
+        ]
+        fuzzy.sort(key=lambda h: (-h.prior, h.concept_id))
+        if limit is not None:
+            fuzzy = fuzzy[:limit]
+        return fuzzy
+
+    def has_entity_alias(self, phrase: str) -> bool:
+        return normalize_phrase(phrase) in self._entity_postings
+
+    def has_predicate_alias(self, phrase: str) -> bool:
+        return normalize_phrase(phrase) in self._predicate_postings
+
+    def entity_alias_count(self) -> int:
+        return len(self._entity_postings)
+
+    def predicate_aliases(self) -> List[str]:
+        """All normalised predicate alias strings in the index."""
+        return list(self._predicate_postings)
+
+    def entity_types(self, concept_id: str) -> Tuple[str, ...]:
+        """The indexed KB types of an entity (empty for unknown ids)."""
+        return self._entity_types.get(concept_id, ())
+
+    def entity_alias_tokens(self) -> List[str]:
+        """Every token appearing in any entity alias (for POS priming)."""
+        tokens = set()
+        for alias in self._entity_postings:
+            tokens.update(alias.split(" "))
+        return sorted(tokens)
+
+    def predicate_alias_count(self) -> int:
+        return len(self._predicate_postings)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _rank(
+        ids: Iterable[str], popularity: Dict[str, int], kind: str
+    ) -> List[CandidateHit]:
+        ids = list(ids)
+        if not ids:
+            return []
+        weights = [max(popularity.get(cid, 1), 1) for cid in ids]
+        total = float(sum(weights))
+        hits = [
+            CandidateHit(cid, weight / total, kind)
+            for cid, weight in zip(ids, weights)
+        ]
+        hits.sort(key=lambda h: (-h.prior, h.concept_id))
+        return hits

@@ -1,0 +1,110 @@
+"""JSON dump serialisation for the KB.
+
+The paper indexes the Wikidata JSON dump; this module provides the
+equivalent round-trip for our KB so datasets and worlds can be persisted
+and reloaded (and so tests can assert the dump format is lossless).  The
+layout loosely mirrors the Wikidata dump: one record per concept with
+labels/aliases/claims.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+DUMP_FORMAT_VERSION = 1
+
+
+def kb_to_json_dump(kb: KnowledgeBase) -> Dict[str, Any]:
+    """Serialise *kb* to a JSON-compatible dictionary."""
+    return {
+        "format_version": DUMP_FORMAT_VERSION,
+        "entities": [
+            {
+                "id": e.entity_id,
+                "label": e.label,
+                "aliases": list(e.aliases),
+                "types": list(e.types),
+                "popularity": e.popularity,
+                "description": e.description,
+                "domain": e.domain,
+            }
+            for e in kb.entities()
+        ],
+        "predicates": [
+            {
+                "id": p.predicate_id,
+                "label": p.label,
+                "aliases": list(p.aliases),
+                "popularity": p.popularity,
+                "description": p.description,
+                "domain": p.domain,
+            }
+            for p in kb.predicates()
+        ],
+        "claims": [
+            {
+                "subject": t.subject,
+                "predicate": t.predicate,
+                "object": t.obj,
+                "literal": t.object_is_literal,
+            }
+            for t in kb.triples()
+        ],
+    }
+
+
+def kb_from_json_dump(dump: Dict[str, Any]) -> KnowledgeBase:
+    """Rebuild a KB from :func:`kb_to_json_dump` output."""
+    version = dump.get("format_version")
+    if version != DUMP_FORMAT_VERSION:
+        raise ValueError(f"unsupported dump format version {version!r}")
+    kb = KnowledgeBase()
+    for record in dump["entities"]:
+        kb.add_entity(
+            EntityRecord(
+                entity_id=record["id"],
+                label=record["label"],
+                aliases=tuple(record["aliases"]),
+                types=tuple(record["types"]),
+                popularity=record["popularity"],
+                description=record.get("description", ""),
+                domain=record.get("domain"),
+            )
+        )
+    for record in dump["predicates"]:
+        kb.add_predicate(
+            PredicateRecord(
+                predicate_id=record["id"],
+                label=record["label"],
+                aliases=tuple(record["aliases"]),
+                popularity=record["popularity"],
+                description=record.get("description", ""),
+                domain=record.get("domain"),
+            )
+        )
+    for claim in dump["claims"]:
+        kb.add_fact(
+            Triple(
+                subject=claim["subject"],
+                predicate=claim["predicate"],
+                obj=claim["object"],
+                object_is_literal=claim["literal"],
+            )
+        )
+    return kb
+
+
+def save_dump(kb: KnowledgeBase, path: Union[str, Path]) -> None:
+    """Write the JSON dump of *kb* to *path*."""
+    payload = kb_to_json_dump(kb)
+    Path(path).write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def load_dump(path: Union[str, Path]) -> KnowledgeBase:
+    """Load a KB previously written by :func:`save_dump`."""
+    return kb_from_json_dump(json.loads(Path(path).read_text()))

@@ -1,0 +1,154 @@
+"""Curated name pools for the synthetic world.
+
+The synthetic KB needs surface forms with the properties the paper's
+evaluation leans on: person names that collide across domains ("Michael
+Jordan" the professor vs. the basketball player), multi-token titles built
+around linguistic features ("The Storm on the Sea of Galilee", "Jurassic
+World: Fallen Kingdom"), organisations with acronym aliases ("AAAS"), and
+lower-cased topical phrases ("machine learning").  Keeping the pools in a
+data-only module makes the generator logic readable and the world
+reproducible.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES = (
+    "Michael", "Sarah", "David", "Elena", "James", "Maria", "Robert",
+    "Linda", "John", "Ana", "Thomas", "Julia", "Daniel", "Grace", "Peter",
+    "Laura", "Andrew", "Nina", "Richard", "Clara", "Steven", "Alice",
+    "Kevin", "Diana", "Brian", "Emma", "George", "Iris", "Frank", "Nora",
+    "Adam", "Ruth", "Victor", "Helen", "Oscar", "Jane", "Walter", "Lucy",
+    "Hugo", "Vera",
+)
+
+LAST_NAMES = (
+    "Jordan", "Chen", "Smith", "Garcia", "Miller", "Nakamura", "Brown",
+    "Silva", "Wilson", "Kumar", "Taylor", "Rossi", "Anderson", "Novak",
+    "Thompson", "Ivanov", "Martin", "Dubois", "Clark", "Haber", "Lewis",
+    "Okafor", "Walker", "Lindgren", "Hall", "Costa", "Young", "Weber",
+    "King", "Moreau", "Wright", "Tanaka", "Scott", "Berg", "Green",
+    "Ferrari", "Baker", "Eriksen", "Adams", "Vargas",
+)
+
+CITIES = (
+    "Brooklyn", "Riverton", "Ashford", "Meridian", "Lakewood", "Fairview",
+    "Oakdale", "Springhill", "Granville", "Westport", "Norfield",
+    "Eastbrook", "Hillcrest", "Maplewood", "Clearwater", "Stonebridge",
+    "Redmond Falls", "Silverton", "Crestview", "Harborview",
+)
+
+COUNTRIES = (
+    "Valdoria", "Kestrelia", "Northmark", "Suvania", "Ostrelia",
+    "Cormandy", "Tavria", "Lunesia",
+)
+
+TITLE_NOUNS = (
+    "Storm", "Sea", "Garden", "Mirror", "Tower", "River", "Crown",
+    "Shadow", "Harvest", "Lantern", "Voyage", "Forest", "Echo", "Harbor",
+    "Winter", "Orchard", "Signal", "Meadow", "Compass", "Ember",
+)
+
+TITLE_TAILS = (
+    "Galilee", "Avalon", "Caldera", "Solstice", "Twilight", "Dawn",
+    "Atlantis", "Elysium", "Borealis", "Zenith",
+)
+
+# Linguistic-feature connectors used inside multi-token titles; these are
+# exactly the feature classes of Sec. 5.1 (coordinating conjunction,
+# preposition/subordinating conjunction, punctuation).
+TITLE_CONNECTORS = ("on the", "of the", "and the", "under the", "beyond the")
+
+ORG_HEADS = (
+    "National", "Royal", "United", "Federal", "Central", "Pacific",
+    "Atlantic", "Northern", "Metropolitan", "International",
+)
+
+ORG_BODIES = (
+    "Science", "Arts", "Commerce", "Research", "Technology", "Heritage",
+    "Industry", "Astronomy", "Medicine", "Engineering",
+)
+
+ORG_SUFFIXES = {
+    "university": ("University", "Institute", "Polytechnic"),
+    "company": ("Corporation", "Industries", "Holdings", "Systems"),
+    "team": ("Hawks", "Comets", "Raiders", "Wolves", "Pioneers"),
+    "organization": ("Association", "Society", "Council", "Foundation"),
+}
+
+DOMAIN_TOPICS = {
+    "computer_science": (
+        "artificial intelligence", "machine learning", "databases",
+        "computer vision", "natural language processing", "robotics",
+        "distributed systems", "information retrieval", "data mining",
+        "knowledge graphs",
+    ),
+    "basketball": (
+        "point guard play", "zone defense", "fast break offense",
+        "three point shooting", "rebounding", "pick and roll",
+    ),
+    "cinema": (
+        "film directing", "cinematography", "screenwriting",
+        "film editing", "visual effects", "sound design",
+    ),
+    "geography": (
+        "cartography", "urban planning", "climatology", "oceanography",
+        "geology", "hydrology",
+    ),
+    "politics": (
+        "foreign policy", "public administration", "electoral reform",
+        "fiscal policy", "diplomacy", "constitutional law",
+    ),
+    "music": (
+        "orchestral conducting", "music composition", "jazz improvisation",
+        "opera singing", "choral arrangement", "music production",
+    ),
+    "literature": (
+        "poetry", "literary criticism", "historical fiction",
+        "translation studies", "essay writing", "drama",
+    ),
+    "business": (
+        "venture capital", "supply chain management", "marketing strategy",
+        "corporate finance", "retail analytics", "risk management",
+    ),
+}
+
+DOMAINS = tuple(DOMAIN_TOPICS)
+
+AWARD_PATTERNS = (
+    "Fellow of the {org}",
+    "{org} Medal",
+    "{org} Prize",
+)
+
+# Surface forms for phrases that exist in text but not in the KB; used by
+# the document generator to create non-linkable mentions (fresh products,
+# brand names, jargon).  None of these is ever indexed.
+NON_LINKABLE_PHRASES = (
+    "Glowberry Cleanse", "TurboFresh 9000", "the Quantum Pillow",
+    "SnackWave", "Lumibrow Serum", "the HyperLoop Diet", "Zestify",
+    "CrispAir Pro", "the Nimbus Band", "VeloCharge", "PetalPure",
+    "the EchoSphere", "Brightline Tonic", "FrostGuard Max", "the SolarMop",
+    "KelpBoost", "the DreamLattice", "PulseMint", "AeroWhisk",
+    "the CloudAnchor", "Vitalura", "SteamFox Grill", "the MossLamp",
+    "TangleFree Duo", "OptiGrain", "the WinterHalo", "ZipStride",
+    "the CoralDesk", "FernWhistle", "NovaCrumb",
+)
+
+# Coined relational phrases; past-tense -ed forms so the morphological
+# verb guesser still recognises them as verbal (real Open IE extracts
+# such phrases too — they are simply unlinkable to any KB predicate).
+NON_LINKABLE_VERBS = (
+    "zorbified", "glimmerated", "upcrafted", "refluffed",
+    "microblended", "crispified", "dazzleboosted", "overwhisked",
+)
+
+FILLER_SENTENCES = (
+    "The announcement drew wide attention last week.",
+    "Observers described the development as remarkable.",
+    "Further details are expected in the coming months.",
+    "The report circulated quickly among specialists.",
+    "Local commentators offered a range of opinions.",
+    "The decision had been anticipated for some time.",
+    "Analysts continue to monitor the situation closely.",
+    "The story was picked up by several outlets.",
+)

@@ -1,0 +1,99 @@
+"""Immutable KB records: entities, predicates, facts.
+
+Mirrors the Wikidata data model the paper targets (Definition 1): a KB is
+a collection of (subject, predicate, object) triples, subjects are
+entities, predicates are properties, objects are entities or literals.
+Entity and predicate identifiers follow Wikidata conventions ("Q..." and
+"P...") purely for readability; nothing depends on the format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class EntityRecord:
+    """An entity in the KB (a Wikidata "item").
+
+    Attributes
+    ----------
+    entity_id:
+        Stable identifier, e.g. ``"Q17"``.
+    label:
+        Preferred human-readable name.
+    aliases:
+        All surface forms (including the label) under which the entity can
+        be mentioned; the alias index is built from these.
+    types:
+        Semantic types from the taxonomy (e.g. ``"person"``); used for the
+        candidate-generation type filter (Sec. 3, Step 1).
+    popularity:
+        A raw occurrence count standing in for Wikipedia anchor statistics;
+        candidate priors P(e|n) are derived from it.
+    description:
+        Free-text gloss, as in Wikidata descriptions.
+    domain:
+        Topical domain in the synthetic world (drives embedding coherence);
+        ``None`` for KBs loaded from external dumps.
+    """
+
+    entity_id: str
+    label: str
+    aliases: Tuple[str, ...] = ()
+    types: Tuple[str, ...] = ()
+    popularity: int = 1
+    description: str = ""
+    domain: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.popularity < 0:
+            raise ValueError(f"popularity must be >= 0, got {self.popularity}")
+        if self.label and self.label not in self.aliases:
+            object.__setattr__(self, "aliases", (self.label,) + tuple(self.aliases))
+
+    @property
+    def all_surface_forms(self) -> Tuple[str, ...]:
+        return self.aliases
+
+
+@dataclass(frozen=True)
+class PredicateRecord:
+    """A predicate in the KB (a Wikidata "property").
+
+    ``aliases`` include relational surface forms ("studies", "field of
+    study", ...) used by the relation-linking candidate lookup.
+    """
+
+    predicate_id: str
+    label: str
+    aliases: Tuple[str, ...] = ()
+    popularity: int = 1
+    description: str = ""
+    domain: Optional[str] = None
+    subject_types: Tuple[str, ...] = ()
+    object_types: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.popularity < 0:
+            raise ValueError(f"popularity must be >= 0, got {self.popularity}")
+        if self.label and self.label not in self.aliases:
+            object.__setattr__(self, "aliases", (self.label,) + tuple(self.aliases))
+
+
+@dataclass(frozen=True)
+class Triple:
+    """A fact (subject, predicate, object).
+
+    ``object_is_literal`` distinguishes literal objects (dates, numbers,
+    strings) from entity objects, per Definition 1.
+    """
+
+    subject: str
+    predicate: str
+    obj: str
+    object_is_literal: bool = False
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        return (self.subject, self.predicate, self.obj)

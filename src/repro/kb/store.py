@@ -1,0 +1,242 @@
+"""In-memory triple store with SPO/POS/OSP indexes.
+
+This is the substrate standing in for the Wikidata dump: it stores entity
+and predicate records plus facts, and exposes the adjacency queries the
+embedding trainer and the baselines need.  All query paths are index
+lookups (dict/set), so graph construction stays near O(1) per edge as the
+paper's efficiency discussion assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+
+
+class KnowledgeBase:
+    """A mutable in-memory KB of entities, predicates and facts."""
+
+    def __init__(self) -> None:
+        self._entities: Dict[str, EntityRecord] = {}
+        self._predicates: Dict[str, PredicateRecord] = {}
+        self._triples: List[Triple] = []
+        self._triple_set: Set[Tuple[str, str, str]] = set()
+        # indexes
+        self._spo: Dict[str, Dict[str, Set[str]]] = {}
+        self._pos: Dict[str, Dict[str, Set[str]]] = {}
+        self._osp: Dict[str, Dict[str, Set[str]]] = {}
+
+    # ------------------------------------------------------------------
+    # record management
+    # ------------------------------------------------------------------
+    def add_entity(self, entity: EntityRecord) -> None:
+        if entity.entity_id in self._entities:
+            raise ValueError(f"duplicate entity id {entity.entity_id!r}")
+        self._entities[entity.entity_id] = entity
+
+    def add_predicate(self, predicate: PredicateRecord) -> None:
+        if predicate.predicate_id in self._predicates:
+            raise ValueError(f"duplicate predicate id {predicate.predicate_id!r}")
+        self._predicates[predicate.predicate_id] = predicate
+
+    def replace_entity(self, entity: EntityRecord) -> None:
+        """Overwrite the record for an existing entity id.
+
+        Facts referencing the id are untouched; used for post-hoc record
+        edits such as alias injection in the synthetic world.
+        """
+        if entity.entity_id not in self._entities:
+            raise KeyError(f"unknown entity id {entity.entity_id!r}")
+        self._entities[entity.entity_id] = entity
+
+    def get_entity(self, entity_id: str) -> EntityRecord:
+        return self._entities[entity_id]
+
+    def get_predicate(self, predicate_id: str) -> PredicateRecord:
+        return self._predicates[predicate_id]
+
+    def has_entity(self, entity_id: str) -> bool:
+        return entity_id in self._entities
+
+    def has_predicate(self, predicate_id: str) -> bool:
+        return predicate_id in self._predicates
+
+    def entities(self) -> Iterator[EntityRecord]:
+        return iter(self._entities.values())
+
+    def predicates(self) -> Iterator[PredicateRecord]:
+        return iter(self._predicates.values())
+
+    def entity_ids(self) -> List[str]:
+        return list(self._entities)
+
+    def predicate_ids(self) -> List[str]:
+        return list(self._predicates)
+
+    @property
+    def entity_count(self) -> int:
+        return len(self._entities)
+
+    @property
+    def predicate_count(self) -> int:
+        return len(self._predicates)
+
+    @property
+    def triple_count(self) -> int:
+        return len(self._triples)
+
+    # ------------------------------------------------------------------
+    # fact management
+    # ------------------------------------------------------------------
+    def add_fact(self, triple: Triple) -> bool:
+        """Insert *triple*; returns False if it was already present.
+
+        Referential integrity is enforced: subject and predicate must be
+        registered, and entity objects must be registered entities.
+        """
+        if triple.subject not in self._entities:
+            raise KeyError(f"unknown subject entity {triple.subject!r}")
+        if triple.predicate not in self._predicates:
+            raise KeyError(f"unknown predicate {triple.predicate!r}")
+        if not triple.object_is_literal and triple.obj not in self._entities:
+            raise KeyError(f"unknown object entity {triple.obj!r}")
+        key = triple.as_tuple()
+        if key in self._triple_set:
+            return False
+        self._triple_set.add(key)
+        self._triples.append(triple)
+        s, p, o = key
+        self._spo.setdefault(s, {}).setdefault(p, set()).add(o)
+        self._pos.setdefault(p, {}).setdefault(o, set()).add(s)
+        self._osp.setdefault(o, {}).setdefault(s, set()).add(p)
+        return True
+
+    def triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def has_fact(self, subject: str, predicate: str, obj: str) -> bool:
+        return (subject, predicate, obj) in self._triple_set
+
+    # ------------------------------------------------------------------
+    # index queries
+    # ------------------------------------------------------------------
+    def objects_of(self, subject: str, predicate: Optional[str] = None) -> Set[str]:
+        """Objects o with (subject, predicate, o); all predicates if None."""
+        by_pred = self._spo.get(subject, {})
+        if predicate is not None:
+            return set(by_pred.get(predicate, set()))
+        result: Set[str] = set()
+        for objs in by_pred.values():
+            result |= objs
+        return result
+
+    def subjects_of(self, obj: str, predicate: Optional[str] = None) -> Set[str]:
+        """Subjects s with (s, predicate, obj); all predicates if None."""
+        if predicate is not None:
+            return set(self._pos.get(predicate, {}).get(obj, set()))
+        result: Set[str] = set()
+        for s, preds in self._osp.get(obj, {}).items():
+            if preds:
+                result.add(s)
+        return result
+
+    def predicates_between(self, subject: str, obj: str) -> Set[str]:
+        return set(self._osp.get(obj, {}).get(subject, set()))
+
+    def facts_with_predicate(self, predicate: str) -> List[Triple]:
+        return [t for t in self._triples if t.predicate == predicate]
+
+    def facts_about(self, entity_id: str) -> List[Triple]:
+        """All facts where *entity_id* is subject or (entity) object."""
+        return [
+            t
+            for t in self._triples
+            if t.subject == entity_id
+            or (not t.object_is_literal and t.obj == entity_id)
+        ]
+
+    def entity_neighbours(self, entity_id: str) -> Set[str]:
+        """Entity ids adjacent to *entity_id* through any fact."""
+        neighbours: Set[str] = set()
+        for preds in self._spo.get(entity_id, {}).values():
+            for obj in preds:
+                if obj in self._entities:
+                    neighbours.add(obj)
+        for subject in self._osp.get(entity_id, {}):
+            neighbours.add(subject)
+        neighbours.discard(entity_id)
+        return neighbours
+
+    def entity_degree(self, entity_id: str) -> int:
+        return len(self.entity_neighbours(entity_id))
+
+    def predicates_used_with(self, entity_id: str) -> Set[str]:
+        """Predicate ids appearing in any fact incident to *entity_id*."""
+        predicates: Set[str] = set(self._spo.get(entity_id, {}))
+        for preds in self._osp.get(entity_id, {}).values():
+            predicates |= preds
+        return predicates
+
+    def query(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[str] = None,
+    ) -> List[Triple]:
+        """Triple-pattern matching: any combination of fixed positions.
+
+        ``kb.query(predicate="P1")`` returns all P1 facts;
+        ``kb.query(subject="Q1", obj="Q2")`` all facts between two
+        entities; ``kb.query()`` everything.  Uses the SPO/POS/OSP
+        indexes, so fully- and doubly-bound patterns are O(1)-ish.
+        """
+        if subject is not None and predicate is not None and obj is not None:
+            return (
+                [Triple(subject, predicate, obj, obj not in self._entities)]
+                if (subject, predicate, obj) in self._triple_set
+                else []
+            )
+        if subject is not None and predicate is not None:
+            objs = self._spo.get(subject, {}).get(predicate, set())
+            return [
+                Triple(subject, predicate, o, o not in self._entities)
+                for o in sorted(objs)
+            ]
+        if predicate is not None and obj is not None:
+            subjects = self._pos.get(predicate, {}).get(obj, set())
+            return [
+                Triple(s, predicate, obj, obj not in self._entities)
+                for s in sorted(subjects)
+            ]
+        if subject is not None and obj is not None:
+            predicates = self._osp.get(obj, {}).get(subject, set())
+            return [
+                Triple(subject, p, obj, obj not in self._entities)
+                for p in sorted(predicates)
+            ]
+        return [
+            t
+            for t in self._triples
+            if (subject is None or t.subject == subject)
+            and (predicate is None or t.predicate == predicate)
+            and (obj is None or t.obj == obj)
+        ]
+
+    # ------------------------------------------------------------------
+    # derived statistics
+    # ------------------------------------------------------------------
+    def concept_ids(self) -> List[str]:
+        """All entity and predicate ids (the paper's concept universe)."""
+        return list(self._entities) + list(self._predicates)
+
+    def total_popularity(self) -> int:
+        return sum(e.popularity for e in self._entities.values()) + sum(
+            p.popularity for p in self._predicates.values()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"KnowledgeBase(entities={self.entity_count}, "
+            f"predicates={self.predicate_count}, triples={self.triple_count})"
+        )

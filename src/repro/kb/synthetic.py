@@ -1,0 +1,525 @@
+"""Deterministic synthetic-world generator.
+
+The paper evaluates against the 2021-02-08 Wikidata dump, which is not
+available offline.  This module builds a miniature world with the exact
+properties the TENET algorithms exercise:
+
+* **ambiguous aliases** — the same surface form maps to several entities
+  across topical domains with skewed popularity priors (the "Michael
+  Jordan" effect), and the same relational surface form maps to several
+  predicates ("studies" → *educated at* vs. *field of work*);
+* **domain coherence** — facts connect concepts mostly within a domain, so
+  trained embeddings make same-domain concepts close and cross-domain
+  concepts far, which is what the coherence graph measures;
+* **overlapping mentions** — multi-token titles built around the
+  linguistic features of Sec. 5.1 whose sub-spans are themselves aliases
+  of *other* entities (the "The Storm on the Sea of Galilee" effect);
+* **acronym collisions** — organisations indexed under acronyms shared
+  across domains.
+
+Everything is driven by a single seed; two runs with the same config
+produce byte-identical KBs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kb import namepools
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+from repro.kb.types import DEFAULT_TAXONOMY, TypeTaxonomy, build_default_taxonomy
+
+
+@dataclass(frozen=True)
+class SyntheticKBConfig:
+    """Knobs of the synthetic world.
+
+    The defaults produce a KB of a few hundred concepts — large enough for
+    realistic ambiguity and sparsity, small enough that the full benchmark
+    suite runs on a laptop.
+    """
+
+    domains: Tuple[str, ...] = namepools.DOMAINS
+    people_per_domain: int = 24
+    organizations_per_domain: int = 7
+    works_per_domain: int = 4
+    awards_per_domain: int = 2
+    ambiguous_person_pairs: int = 24
+    extra_facts_per_domain: int = 12
+    seed: int = 7
+
+
+# --------------------------------------------------------------------------
+# Predicate inventory: (key, label, aliases, popularity, literal_object)
+#
+# Several aliases are deliberately shared between predicates to reproduce
+# the paper's relation ambiguity examples: "studies" (educated-at vs.
+# field-of-work), "joined" (member-of vs. employer), "live in" (residence
+# vs. population — the paper's Sec. 6.2 error analysis example).
+# --------------------------------------------------------------------------
+_PREDICATE_SPECS: Tuple[Tuple[str, str, Tuple[str, ...], int, bool], ...] = (
+    ("field", "field of work",
+     ("studies", "works on", "specializes in", "researches"), 60, False),
+    ("educated", "educated at",
+     ("studies", "studied at", "graduated from", "attended"), 80, False),
+    ("member", "member of",
+     ("joined", "belongs to", "is a member of"), 70, False),
+    ("award", "award received",
+     ("was awarded", "received", "won"), 65, False),
+    ("born", "place of birth",
+     ("was born in", "comes from"), 90, False),
+    ("residence", "residence",
+     ("lives in", "live in", "resides in"), 85, False),
+    ("population", "population",
+     ("live in", "has a population of"), 25, True),
+    ("visited", "significant event visit",
+     ("visited", "traveled to", "toured", "attended"), 30, False),
+    ("directed", "director",
+     ("directed", "was directed by", "created"), 55, False),
+    ("wrote", "author",
+     ("wrote", "authored", "created"), 55, False),
+    ("painted", "creator",
+     ("painted", "created"), 45, False),
+    ("employer", "employer",
+     ("works for", "joined", "is employed by"), 50, False),
+    ("twin_city", "twinned administrative body",
+     ("is the sister city of", "is twinned with"), 20, False),
+    ("capital", "capital of",
+     ("is the capital of",), 35, False),
+    ("located", "located in",
+     ("is located in", "lies in", "sits in"), 75, False),
+    ("plays_for", "member of sports team",
+     ("plays for", "signed with", "joined", "won"), 60, False),
+    ("coach", "head coach",
+     ("coaches", "is coached by", "leads"), 30, False),
+    ("performed", "performer",
+     ("performed", "played in", "appeared in"), 40, False),
+    ("composed", "composer",
+     ("composed", "scored", "wrote"), 35, False),
+    ("published", "publisher",
+     ("published", "was published by", "released"), 30, False),
+    ("ceo", "chief executive officer",
+     ("leads", "runs", "heads"), 45, False),
+    ("founded", "founded by",
+     ("founded", "established", "created"), 50, False),
+    ("spouse", "spouse",
+     ("married", "is married to"), 55, False),
+)
+
+_ORG_TYPE_BY_DOMAIN = {
+    "computer_science": "university",
+    "basketball": "team",
+    "cinema": "company",
+    "geography": "organization",
+    "politics": "organization",
+    "music": "organization",
+    "literature": "university",
+    "business": "company",
+}
+
+_WORK_TYPE_BY_DOMAIN = {
+    "cinema": "film",
+    "literature": "book",
+    "music": "painting",  # stands in for "album"-like works
+}
+
+
+@dataclass
+class SyntheticWorld:
+    """The generated KB plus the bookkeeping the dataset generator needs."""
+
+    kb: KnowledgeBase
+    taxonomy: TypeTaxonomy
+    config: SyntheticKBConfig
+    domain_entities: Dict[str, List[str]] = field(default_factory=dict)
+    predicate_ids: Dict[str, str] = field(default_factory=dict)  # key -> P-id
+    cities: List[str] = field(default_factory=list)
+    countries: List[str] = field(default_factory=list)
+
+    def entities_in_domain(self, domain: str) -> List[str]:
+        return list(self.domain_entities.get(domain, ()))
+
+    def entities_of_type(self, domain: str, type_name: str) -> List[str]:
+        return [
+            eid
+            for eid in self.domain_entities.get(domain, ())
+            if type_name in self.kb.get_entity(eid).types
+        ]
+
+    def predicate(self, key: str) -> str:
+        """Predicate id for a spec key such as ``"field"``."""
+        return self.predicate_ids[key]
+
+    def domain_facts(self, domain: str) -> List[Triple]:
+        """Facts whose subject belongs to *domain*."""
+        members = set(self.domain_entities.get(domain, ()))
+        return [t for t in self.kb.triples() if t.subject in members]
+
+
+class _WorldBuilder:
+    """Stateful builder; all randomness flows through one seeded RNG."""
+
+    def __init__(self, config: SyntheticKBConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.kb = KnowledgeBase()
+        self.taxonomy = build_default_taxonomy()
+        self.world = SyntheticWorld(self.kb, self.taxonomy, config)
+        self._next_q = 1
+        self._next_p = 1
+        self._used_person_names: set = set()
+        self._used_titles: set = set()
+
+    # -- id allocation --------------------------------------------------
+    def _new_entity_id(self) -> str:
+        eid = f"Q{self._next_q}"
+        self._next_q += 1
+        return eid
+
+    def _new_predicate_id(self) -> str:
+        pid = f"P{self._next_p}"
+        self._next_p += 1
+        return pid
+
+    def _add_entity(
+        self,
+        label: str,
+        types: Tuple[str, ...],
+        domain: str,
+        aliases: Tuple[str, ...] = (),
+        popularity: Optional[int] = None,
+        description: str = "",
+    ) -> str:
+        eid = self._new_entity_id()
+        if popularity is None:
+            popularity = self.rng.randint(5, 120)
+        record = EntityRecord(
+            entity_id=eid,
+            label=label,
+            aliases=aliases,
+            types=types,
+            popularity=popularity,
+            description=description or f"{types[0]} in {domain}",
+            domain=domain,
+        )
+        self.kb.add_entity(record)
+        self.world.domain_entities.setdefault(domain, []).append(eid)
+        return eid
+
+    # -- predicates -----------------------------------------------------
+    def build_predicates(self) -> None:
+        for key, label, aliases, popularity, _literal in _PREDICATE_SPECS:
+            pid = self._new_predicate_id()
+            self.kb.add_predicate(
+                PredicateRecord(
+                    predicate_id=pid,
+                    label=label,
+                    aliases=aliases,
+                    popularity=popularity,
+                    description=f"predicate: {label}",
+                )
+            )
+            self.world.predicate_ids[key] = pid
+
+    # -- geography ------------------------------------------------------
+    def build_geography(self) -> None:
+        for name in namepools.COUNTRIES:
+            eid = self._add_entity(
+                name, ("country",), "geography", popularity=self.rng.randint(40, 150)
+            )
+            self.world.countries.append(eid)
+        for name in namepools.CITIES:
+            eid = self._add_entity(
+                name, ("city",), "geography", popularity=self.rng.randint(10, 140)
+            )
+            self.world.cities.append(eid)
+        # Title tails double as small locations so sub-spans of multi-token
+        # titles resolve to competing entities ("Galilee" the place vs.
+        # "The Storm on the Sea of Galilee" the painting).
+        for name in namepools.TITLE_TAILS:
+            eid = self._add_entity(
+                name, ("location",), "geography", popularity=self.rng.randint(5, 40)
+            )
+            self.world.cities.append(eid)
+        located = self.world.predicate("located")
+        twin = self.world.predicate("twin_city")
+        for city in self.world.cities:
+            country = self.rng.choice(self.world.countries)
+            self.kb.add_fact(Triple(city, located, country))
+        for _ in range(len(self.world.cities) // 3):
+            a, b = self.rng.sample(self.world.cities, 2)
+            self.kb.add_fact(Triple(a, twin, b))
+
+    # -- per-domain content ----------------------------------------------
+    def build_domain(self, domain: str) -> None:
+        cfg = self.config
+        rng = self.rng
+
+        topics = [
+            self._add_entity(
+                phrase,
+                ("field",),
+                domain,
+                aliases=_topic_aliases(phrase),
+                popularity=rng.randint(20, 100),
+            )
+            for phrase in namepools.DOMAIN_TOPICS[domain]
+        ]
+
+        org_type = _ORG_TYPE_BY_DOMAIN[domain]
+        orgs = []
+        for _ in range(cfg.organizations_per_domain):
+            label = None
+            for _attempt in range(60):
+                head = rng.choice(namepools.ORG_HEADS)
+                body = rng.choice(namepools.ORG_BODIES)
+                suffix = rng.choice(namepools.ORG_SUFFIXES[org_type])
+                candidate = f"{head} {body} {suffix}"
+                if candidate not in self._used_titles:
+                    label = candidate
+                    self._used_titles.add(candidate)
+                    break
+            if label is None:
+                continue
+            # Acronyms may still collide across domains — that ambiguity
+            # is deliberate ("AAAS"-style); only full labels are unique.
+            acronym = "".join(w[0] for w in label.split())
+            orgs.append(
+                self._add_entity(
+                    label,
+                    (org_type,),
+                    domain,
+                    aliases=(acronym,),
+                    popularity=rng.randint(15, 110),
+                )
+            )
+
+        awards = []
+        for _ in range(cfg.awards_per_domain):
+            label = None
+            for _attempt in range(40):
+                pattern = rng.choice(namepools.AWARD_PATTERNS)
+                org_label = self.kb.get_entity(rng.choice(orgs)).label
+                org_acronym = "".join(w[0] for w in org_label.split())
+                candidate = pattern.format(org=org_acronym)
+                if candidate not in self._used_titles:
+                    label = candidate
+                    self._used_titles.add(candidate)
+                    break
+            if label is None:
+                continue
+            awards.append(
+                self._add_entity(
+                    label, ("award",), domain, popularity=rng.randint(10, 60)
+                )
+            )
+
+        works = []
+        work_type = _WORK_TYPE_BY_DOMAIN.get(domain)
+        if work_type is not None:
+            for _ in range(cfg.works_per_domain):
+                label = None
+                for _attempt in range(50):
+                    noun = rng.choice(namepools.TITLE_NOUNS)
+                    connector = rng.choice(namepools.TITLE_CONNECTORS)
+                    tail = rng.choice(namepools.TITLE_TAILS)
+                    candidate = f"The {noun} {connector} {tail}"
+                    if candidate not in self._used_titles:
+                        label = candidate
+                        self._used_titles.add(candidate)
+                        break
+                if label is None:
+                    continue
+                works.append(
+                    self._add_entity(
+                        label, (work_type,), domain, popularity=rng.randint(10, 90)
+                    )
+                )
+            # A handful of short-title works so that sub-spans like
+            # "The Storm" have their own (wrong) entity to link to.
+            for _ in range(2):
+                noun = rng.choice(namepools.TITLE_NOUNS)
+                label = f"The {noun}"
+                works.append(
+                    self._add_entity(
+                        label, (work_type,), domain, popularity=rng.randint(30, 120)
+                    )
+                )
+
+        people = []
+        for _ in range(cfg.people_per_domain):
+            name = self._fresh_person_name()
+            last = name.split()[-1]
+            people.append(
+                self._add_entity(
+                    name,
+                    ("person",),
+                    domain,
+                    aliases=(last,),
+                    popularity=rng.randint(5, 100),
+                    description=f"{domain} figure",
+                )
+            )
+
+        self._add_domain_facts(domain, people, topics, orgs, awards, works)
+
+    def _fresh_person_name(self) -> str:
+        for _ in range(200):
+            name = (
+                f"{self.rng.choice(namepools.FIRST_NAMES)} "
+                f"{self.rng.choice(namepools.LAST_NAMES)}"
+            )
+            if name not in self._used_person_names:
+                self._used_person_names.add(name)
+                return name
+        raise RuntimeError("person name pool exhausted")
+
+    def _add_domain_facts(
+        self,
+        domain: str,
+        people: List[str],
+        topics: List[str],
+        orgs: List[str],
+        awards: List[str],
+        works: List[str],
+    ) -> None:
+        rng = self.rng
+        world = self.world
+        kb = self.kb
+        for person in people:
+            kb.add_fact(Triple(person, world.predicate("field"), rng.choice(topics)))
+            kb.add_fact(Triple(person, world.predicate("member"), rng.choice(orgs)))
+            if rng.random() < 0.6:
+                kb.add_fact(
+                    Triple(person, world.predicate("award"), rng.choice(awards))
+                )
+            kb.add_fact(
+                Triple(person, world.predicate("born"), rng.choice(world.cities))
+            )
+            if rng.random() < 0.5:
+                kb.add_fact(
+                    Triple(
+                        person, world.predicate("residence"), rng.choice(world.cities)
+                    )
+                )
+            if rng.random() < 0.3:
+                kb.add_fact(
+                    Triple(
+                        person, world.predicate("visited"), rng.choice(world.cities)
+                    )
+                )
+            if domain == "basketball":
+                kb.add_fact(
+                    Triple(person, world.predicate("plays_for"), rng.choice(orgs))
+                )
+            if domain in ("business", "cinema"):
+                kb.add_fact(
+                    Triple(person, world.predicate("employer"), rng.choice(orgs))
+                )
+            if domain in ("computer_science", "literature"):
+                kb.add_fact(
+                    Triple(person, world.predicate("educated"), rng.choice(orgs))
+                )
+        creator_key = {
+            "cinema": "directed",
+            "literature": "wrote",
+            "music": "composed",
+        }.get(domain)
+        if creator_key is not None:
+            for work in works:
+                kb.add_fact(
+                    Triple(work, world.predicate(creator_key), rng.choice(people))
+                )
+        for org in orgs:
+            kb.add_fact(
+                Triple(org, world.predicate("located"), rng.choice(world.cities))
+            )
+        for _ in range(self.config.extra_facts_per_domain):
+            a, b = rng.sample(people, 2)
+            if rng.random() < 0.3:
+                kb.add_fact(Triple(a, world.predicate("spouse"), b))
+            else:
+                kb.add_fact(Triple(a, world.predicate("member"), rng.choice(orgs)))
+
+    # -- cross-domain ambiguity ------------------------------------------
+    def inject_ambiguity(self) -> None:
+        """Force shared person names across domains with skewed priors.
+
+        For each forced pair, the dominant sense keeps a high popularity
+        and the minority sense a low one, so prior-only linking picks the
+        dominant sense — exactly the trap coherence must escape.
+        """
+        rng = self.rng
+        domains = list(self.config.domains)
+        pairs_made = 0
+        attempts = 0
+        # Each entity participates in at most one pair: a later donor bump
+        # must never undo an earlier receiver's popularity reduction.
+        used: set = set()
+        while pairs_made < self.config.ambiguous_person_pairs and attempts < 400:
+            attempts += 1
+            dom_a, dom_b = rng.sample(domains, 2)
+            people_a = self.world.entities_of_type(dom_a, "person")
+            people_b = self.world.entities_of_type(dom_b, "person")
+            if not people_a or not people_b:
+                continue
+            donor = self.kb.get_entity(rng.choice(people_a))
+            receiver_id = rng.choice(people_b)
+            receiver = self.kb.get_entity(receiver_id)
+            if donor.entity_id in used or receiver_id in used:
+                continue
+            if donor.label in receiver.aliases:
+                continue
+            used.add(donor.entity_id)
+            used.add(receiver_id)
+            if donor.popularity < 40:
+                # Keep the dominant sense clearly dominant: the prior gap
+                # is what separates prior-following from coherence-forcing
+                # systems on isolated mentions.
+                donor = EntityRecord(
+                    entity_id=donor.entity_id,
+                    label=donor.label,
+                    aliases=donor.aliases,
+                    types=donor.types,
+                    popularity=rng.randint(60, 120),
+                    description=donor.description,
+                    domain=donor.domain,
+                )
+                self.kb.replace_entity(donor)
+            updated = EntityRecord(
+                entity_id=receiver.entity_id,
+                label=receiver.label,
+                aliases=receiver.aliases + (donor.label,),
+                types=receiver.types,
+                popularity=min(receiver.popularity, rng.randint(3, 12)),
+                description=receiver.description,
+                domain=receiver.domain,
+            )
+            self.kb.replace_entity(updated)
+            pairs_made += 1
+
+    def build(self) -> SyntheticWorld:
+        self.build_predicates()
+        self.build_geography()
+        for domain in self.config.domains:
+            self.build_domain(domain)
+        self.inject_ambiguity()
+        return self.world
+
+
+def _topic_aliases(phrase: str) -> Tuple[str, ...]:
+    """Acronym alias for multi-word topics ("AI", "ML", "NLP", ...)."""
+    words = phrase.split()
+    if len(words) >= 2:
+        return ("".join(w[0].upper() for w in words),)
+    return ()
+
+
+def build_synthetic_world(
+    config: Optional[SyntheticKBConfig] = None,
+) -> SyntheticWorld:
+    """Build the full synthetic world; deterministic in ``config.seed``."""
+    return _WorldBuilder(config or SyntheticKBConfig()).build()

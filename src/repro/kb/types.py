@@ -1,0 +1,99 @@
+"""A small semantic type taxonomy with subsumption.
+
+Candidate generation (Sec. 3, Step 1) filters candidate entities by the
+type the linguistic tools assign to a noun phrase; that requires a notion
+of type compatibility.  The taxonomy is a rooted DAG of ``is-a`` edges;
+two types are compatible when one subsumes the other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+ROOT_TYPE = "thing"
+
+
+class TypeTaxonomy:
+    """Rooted is-a hierarchy over type names."""
+
+    def __init__(self) -> None:
+        self._parents: Dict[str, Set[str]] = {ROOT_TYPE: set()}
+
+    def add_type(self, name: str, parents: Iterable[str] = (ROOT_TYPE,)) -> None:
+        """Register *name* under *parents* (all of which must exist)."""
+        parent_set = set(parents)
+        for parent in parent_set:
+            if parent not in self._parents:
+                raise KeyError(f"unknown parent type {parent!r}")
+        if name in self._parents:
+            self._parents[name] |= parent_set
+        else:
+            self._parents[name] = parent_set
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._parents
+
+    def types(self) -> List[str]:
+        return list(self._parents)
+
+    def ancestors(self, name: str) -> Set[str]:
+        """All strict ancestors of *name* (transitively)."""
+        if name not in self._parents:
+            raise KeyError(f"unknown type {name!r}")
+        result: Set[str] = set()
+        stack = list(self._parents[name])
+        while stack:
+            current = stack.pop()
+            if current in result:
+                continue
+            result.add(current)
+            stack.extend(self._parents[current])
+        return result
+
+    def is_subtype(self, name: str, ancestor: str) -> bool:
+        """Whether *name* is *ancestor* or descends from it."""
+        return name == ancestor or ancestor in self.ancestors(name)
+
+    def compatible(self, a: str, b: str) -> bool:
+        """Types are compatible when either subsumes the other.
+
+        Unknown types are treated as compatible with everything — the
+        paper's pipeline never rejects a candidate because a linguistic
+        tool produced a type outside the KB taxonomy.
+        """
+        if a not in self._parents or b not in self._parents:
+            return True
+        return self.is_subtype(a, b) or self.is_subtype(b, a)
+
+    def compatible_any(self, a: str, others: Iterable[str]) -> bool:
+        """Whether *a* is compatible with at least one of *others*."""
+        others = list(others)
+        if not others:
+            return True
+        return any(self.compatible(a, other) for other in others)
+
+
+def build_default_taxonomy() -> TypeTaxonomy:
+    """The taxonomy used by the synthetic world and the NER heuristics."""
+    tax = TypeTaxonomy()
+    tax.add_type("agent")
+    tax.add_type("person", ["agent"])
+    tax.add_type("organization", ["agent"])
+    tax.add_type("location")
+    tax.add_type("city", ["location"])
+    tax.add_type("country", ["location"])
+    tax.add_type("creative_work")
+    tax.add_type("film", ["creative_work"])
+    tax.add_type("book", ["creative_work"])
+    tax.add_type("painting", ["creative_work"])
+    tax.add_type("topic")
+    tax.add_type("field", ["topic"])
+    tax.add_type("award")
+    tax.add_type("event")
+    tax.add_type("team", ["organization"])
+    tax.add_type("university", ["organization"])
+    tax.add_type("company", ["organization"])
+    return tax
+
+
+DEFAULT_TAXONOMY = build_default_taxonomy()

@@ -1,0 +1,42 @@
+"""Linguistic pipeline substrate.
+
+Stands in for the paper's tool stack (NLTK + spaCy + TAGME for noun
+phrases and typing, MinIE safe mode for relational phrases, co-reference
+canonicalisation).  Everything is rule-based and deterministic: a regex
+tokenizer, a punctuation sentence splitter, a lexicon POS tagger, a rule
+lemmatizer, gazetteer-aware noun-phrase candidate generation, verb-centric
+Open IE, heuristic pronoun co-reference, and the J-NERD-style linguistic
+features that drive mention canopies (Sec. 5.1).
+"""
+
+from repro.nlp.spans import Token, Sentence, Span, SpanKind, spans_overlap
+from repro.nlp.tokenizer import tokenize
+from repro.nlp.sentences import split_sentences
+from repro.nlp.pos import PosTagger
+from repro.nlp.lemmatizer import lemmatize
+from repro.nlp.features import LinguisticFeature, classify_gap, FEATURE_WORDS
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.openie import RelationExtractor, ExtractedRelation
+from repro.nlp.coref import resolve_pronouns
+from repro.nlp.pipeline import ExtractionPipeline, DocumentExtraction
+
+__all__ = [
+    "Token",
+    "Sentence",
+    "Span",
+    "SpanKind",
+    "spans_overlap",
+    "tokenize",
+    "split_sentences",
+    "PosTagger",
+    "lemmatize",
+    "LinguisticFeature",
+    "classify_gap",
+    "FEATURE_WORDS",
+    "NounPhraseChunker",
+    "RelationExtractor",
+    "ExtractedRelation",
+    "resolve_pronouns",
+    "ExtractionPipeline",
+    "DocumentExtraction",
+]

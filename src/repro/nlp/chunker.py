@@ -1,0 +1,194 @@
+"""Noun-phrase candidate generation.
+
+TENET considers *all possible spans* as potential mentions (Sec. 1, the
+end-to-end extraction problem) and lets the canopy machinery choose among
+overlapping ones.  The chunker therefore produces, per sentence:
+
+* **maximal nominal regions** — longest token runs of nominals optionally
+  joined by connector tokens (determiners, prepositions, conjunctions,
+  title punctuation);
+* **candidate spans** inside each region — every sub-span that starts and
+  ends on a nominal token (optionally with a leading determiner, since KB
+  titles such as "The Storm" include it), kept when it is (a) a gazetteer
+  hit, (b) a contiguous nominal run, or (c) the full region.
+
+The gazetteer filter is the TAGME-style KB-driven spotting the paper's
+pipeline performs against the Solr alias index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.nlp import pos
+from repro.nlp.spans import Sentence, Span, SpanKind, Token
+
+_NOMINAL_TAGS = {pos.PROPN, pos.NOUN, pos.NUM}
+_CONNECTOR_TAGS = {pos.DET, pos.ADP, pos.CCONJ}
+_CONNECTOR_PUNCT = {":", "-", "'"}
+
+
+class NounPhraseChunker:
+    """Generates overlapping noun-phrase candidate spans."""
+
+    def __init__(
+        self,
+        gazetteer: Optional[Callable[[str], bool]] = None,
+        max_span_tokens: int = 8,
+    ) -> None:
+        self._gazetteer = gazetteer
+        self.max_span_tokens = max_span_tokens
+
+    # ------------------------------------------------------------------
+    # regions
+    # ------------------------------------------------------------------
+    def regions(
+        self,
+        text: str,
+        tokens: List[Token],
+        tags: List[str],
+        sentences: List[Sentence],
+    ) -> List[Span]:
+        """Maximal nominal regions as NOUN spans, in document order."""
+        regions: List[Span] = []
+        for sentence in sentences:
+            regions.extend(
+                self._sentence_regions(text, tokens, tags, sentence)
+            )
+        return regions
+
+    def _sentence_regions(
+        self, text: str, tokens: List[Token], tags: List[str], sentence: Sentence
+    ) -> List[Span]:
+        regions: List[Span] = []
+        i = sentence.token_start
+        while i < sentence.token_end:
+            if tags[i] not in _NOMINAL_TAGS and not self._is_title_det(tokens, tags, i):
+                i += 1
+                continue
+            start = i
+            last_nominal = i if tags[i] in _NOMINAL_TAGS else -1
+            j = i + 1
+            while j < sentence.token_end:
+                if tags[j] in _NOMINAL_TAGS:
+                    last_nominal = j
+                    j += 1
+                    continue
+                if self._is_connector(tokens[j], tags[j]):
+                    # A connector may only continue the region if a nominal
+                    # follows before the region rules run out.
+                    k = j + 1
+                    while k < sentence.token_end and self._is_connector(
+                        tokens[k], tags[k]
+                    ):
+                        k += 1
+                    if (
+                        k < sentence.token_end
+                        and tags[k] in _NOMINAL_TAGS
+                        and k - j <= 3
+                    ):
+                        j = k
+                        continue
+                break
+            if last_nominal >= start:
+                end = last_nominal + 1
+                regions.append(_make_span(text, tokens, start, end, sentence.index))
+            i = max(j, last_nominal + 1, i + 1)
+        return regions
+
+    @staticmethod
+    def _is_title_det(tokens: List[Token], tags: List[str], i: int) -> bool:
+        """A capitalised determiner opening a title ("The Storm ...")."""
+        return (
+            tags[i] == pos.DET
+            and tokens[i].is_capitalized
+            and i + 1 < len(tokens)
+            and tags[i + 1] in _NOMINAL_TAGS
+        )
+
+    @staticmethod
+    def _is_connector(token: Token, tag: str) -> bool:
+        if tag in _CONNECTOR_TAGS:
+            return True
+        return tag == pos.PUNCT and token.text in _CONNECTOR_PUNCT
+
+    # ------------------------------------------------------------------
+    # candidate spans
+    # ------------------------------------------------------------------
+    def chunk(
+        self,
+        text: str,
+        tokens: List[Token],
+        tags: List[str],
+        sentences: List[Sentence],
+    ) -> List[Span]:
+        """All candidate noun-phrase spans, deduplicated, document order."""
+        candidates: List[Span] = []
+        seen = set()
+        for region in self.regions(text, tokens, tags, sentences):
+            for span in self._region_candidates(text, tokens, tags, region):
+                key = (span.token_start, span.token_end)
+                if key not in seen:
+                    seen.add(key)
+                    candidates.append(span)
+        candidates.sort(key=lambda s: (s.token_start, s.token_end))
+        return candidates
+
+    def _region_candidates(
+        self, text: str, tokens: List[Token], tags: List[str], region: Span
+    ) -> List[Span]:
+        lo, hi = region.token_start, region.token_end
+        spans: List[Span] = [region]
+        # Contiguous nominal runs (no connectors inside) — always kept;
+        # these are the short-text mention building blocks.
+        run_start = None
+        for i in range(lo, hi + 1):
+            is_nominal = i < hi and tags[i] in _NOMINAL_TAGS
+            if is_nominal and run_start is None:
+                run_start = i
+            elif not is_nominal and run_start is not None:
+                if (run_start, i) != (lo, hi):
+                    spans.append(
+                        _make_span(text, tokens, run_start, i, region.sentence_index)
+                    )
+                run_start = None
+        # Gazetteer-confirmed sub-spans (incl. leading determiner forms).
+        if self._gazetteer is not None:
+            for start in range(lo, hi):
+                if tags[start] not in _NOMINAL_TAGS and not self._is_title_det(
+                    tokens, tags, start
+                ):
+                    continue
+                max_end = min(hi, start + self.max_span_tokens)
+                for end in range(start + 1, max_end + 1):
+                    if tags[end - 1] not in _NOMINAL_TAGS:
+                        continue
+                    if (start, end) == (lo, hi):
+                        continue
+                    surface = text[tokens[start].start : tokens[end - 1].end]
+                    if self._gazetteer(surface):
+                        spans.append(
+                            _make_span(
+                                text, tokens, start, end, region.sentence_index
+                            )
+                        )
+        unique = {}
+        for span in spans:
+            unique[(span.token_start, span.token_end)] = span
+        return list(unique.values())
+
+
+def _make_span(
+    text: str, tokens: List[Token], start: int, end: int, sentence_index: int
+) -> Span:
+    char_start = tokens[start].start
+    char_end = tokens[end - 1].end
+    return Span(
+        text=text[char_start:char_end],
+        token_start=start,
+        token_end=end,
+        sentence_index=sentence_index,
+        kind=SpanKind.NOUN,
+        char_start=char_start,
+        char_end=char_end,
+    )

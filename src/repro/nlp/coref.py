@@ -1,0 +1,67 @@
+"""Heuristic pronoun co-reference.
+
+The paper canonicalises noun phrases by co-reference [13] before linking.
+For the synthetic documents (news-register prose) the classic recency
+heuristic is sound: a third-person subject pronoun resolves to the most
+recent preceding person-like nominal region.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.nlp import pos
+from repro.nlp.spans import Span, Token
+
+_SUBJECT_PRONOUNS = {"he", "she", "they", "it"}
+_PERSON_PRONOUNS = {"he", "she"}
+
+
+def resolve_pronouns(
+    tokens: List[Token],
+    tags: List[str],
+    regions: List[Span],
+) -> Dict[int, Span]:
+    """Map pronoun token index -> antecedent nominal region.
+
+    Only subject pronouns are resolved.  Person pronouns ("he"/"she")
+    prefer the most recent region that looks like a person name (1-3
+    capitalised tokens); "it"/"they" take the most recent region of any
+    shape.  Pronouns with no preceding candidate stay unresolved.
+    """
+    resolved: Dict[int, Span] = {}
+    sorted_regions = sorted(regions, key=lambda r: r.token_start)
+    for token, tag in zip(tokens, tags):
+        if tag != pos.PRON or token.lower not in _SUBJECT_PRONOUNS:
+            continue
+        antecedent = _find_antecedent(
+            token.index, token.lower, tokens, sorted_regions
+        )
+        if antecedent is not None:
+            resolved[token.index] = antecedent
+    return resolved
+
+
+def _find_antecedent(
+    pronoun_index: int,
+    pronoun: str,
+    tokens: List[Token],
+    regions: List[Span],
+) -> Optional[Span]:
+    best: Optional[Span] = None
+    for region in regions:
+        if region.token_end > pronoun_index:
+            break
+        if pronoun in _PERSON_PRONOUNS and not _looks_like_person(tokens, region):
+            continue
+        best = region
+    return best
+
+
+def _looks_like_person(tokens: List[Token], region: Span) -> bool:
+    if not 1 <= region.length <= 3:
+        return False
+    return all(
+        tokens[i].is_capitalized
+        for i in range(region.token_start, region.token_end)
+    )

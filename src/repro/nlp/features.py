@@ -1,0 +1,90 @@
+"""Linguistic features connecting short-text mentions (Sec. 5.1).
+
+The paper (following J-NERD [48]) uses four feature classes to decide
+whether adjacent short-text mentions may merge into a long-text mention:
+
+* coordinating conjunctions  — "Romeo *and* Juliet";
+* prepositions / subordinating conjunctions — "Storm *on the* Island";
+* numbers — "Apollo *11* mission";
+* punctuation marks — "Jurassic World*:* Fallen Kingdom".
+
+:func:`classify_gap` inspects the tokens strictly between two spans and
+returns the feature class if *every* gap token belongs to one, else None.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional
+
+from repro.nlp.spans import Span, Token
+
+
+class LinguisticFeature(Enum):
+    COORDINATION = "coordination"
+    PREPOSITION = "preposition"
+    NUMBER = "number"
+    PUNCTUATION = "punctuation"
+
+
+_COORD_WORDS = {"and", "or"}
+_PREP_WORDS = {
+    "of", "on", "in", "the", "at", "under", "over", "beyond", "for",
+    "from", "to", "with",
+}
+_PUNCT_MARKS = {":", "-", "'", ","}
+
+# Flat view used by the short-text mention test (Definition 7): a mention
+# containing any of these *inside* it is a long-text mention.
+FEATURE_WORDS = _COORD_WORDS | _PREP_WORDS
+
+
+def _classify_token(token: Token) -> Optional[LinguisticFeature]:
+    lower = token.lower
+    if lower in _COORD_WORDS:
+        return LinguisticFeature.COORDINATION
+    if lower in _PREP_WORDS:
+        return LinguisticFeature.PREPOSITION
+    if lower.isdigit():
+        return LinguisticFeature.NUMBER
+    if token.text in _PUNCT_MARKS:
+        return LinguisticFeature.PUNCTUATION
+    return None
+
+
+def classify_gap(
+    tokens: List[Token], left_end: int, right_start: int
+) -> Optional[LinguisticFeature]:
+    """Feature class of the tokens in [left_end, right_start), if any.
+
+    Returns ``None`` when the gap is empty, too long (> 3 tokens), or
+    contains a non-feature token.  When the gap mixes classes (e.g.
+    "of the") the dominant class is the first non-determiner one.
+    """
+    if right_start <= left_end:
+        return None
+    gap = tokens[left_end:right_start]
+    if len(gap) > 3:
+        return None
+    classes = []
+    for token in gap:
+        cls = _classify_token(token)
+        if cls is None:
+            return None
+        classes.append(cls)
+    for cls in classes:
+        if cls is not LinguisticFeature.PREPOSITION:
+            return cls
+    return classes[0]
+
+
+def contains_feature(tokens: List[Token], span: Span) -> bool:
+    """Whether *span* contains a linguistic feature strictly inside it.
+
+    This implements Definition 7: a *short-text* mention contains no
+    feature; any internal coordination/preposition/number/punctuation
+    token makes it a long-text mention.  Edge tokens are not counted
+    (a mention cannot start or end with a connector anyway).
+    """
+    inner = tokens[span.token_start + 1 : span.token_end - 1]
+    return any(_classify_token(token) is not None for token in inner)

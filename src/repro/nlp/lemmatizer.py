@@ -1,0 +1,92 @@
+"""Rule-based English lemmatiser for relational phrases.
+
+The paper lemmatises relational phrases with NLTK before candidate
+predicate lookup; this module provides the equivalent: an irregular-form
+table plus standard suffix stripping.  It intentionally over-generates
+variants (:func:`lemma_variants`) because alias lookup can try several
+forms cheaply.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+_IRREGULAR = {
+    "was": "be", "were": "be", "is": "be", "are": "be", "been": "be",
+    "am": "be", "being": "be",
+    "has": "have", "had": "have", "having": "have",
+    "did": "do", "does": "do", "done": "do",
+    "went": "go", "gone": "go",
+    "won": "win", "drew": "draw", "drawn": "draw",
+    "wrote": "write", "written": "write",
+    "made": "make", "gave": "give", "given": "give",
+    "took": "take", "taken": "take",
+    "became": "become", "met": "meet", "led": "lead",
+    "said": "say", "got": "get", "ran": "run", "sat": "sit",
+    "held": "hold", "left": "leave", "found": "find",
+}
+
+
+def lemmatize(word: str) -> str:
+    """Best-effort lemma of a single word."""
+    lower = word.lower()
+    if lower in _IRREGULAR:
+        return _IRREGULAR[lower]
+    variants = _suffix_variants(lower)
+    return variants[0] if variants else lower
+
+
+def lemma_variants(word: str) -> List[str]:
+    """All plausible lemmas of *word*, most likely first.
+
+    Includes the word itself (lower-cased) last, so exact-form lookups
+    still work for aliases stored in inflected form.
+    """
+    lower = word.lower()
+    variants: List[str] = []
+    if lower in _IRREGULAR:
+        variants.append(_IRREGULAR[lower])
+    variants.extend(v for v in _suffix_variants(lower) if v not in variants)
+    if lower not in variants:
+        variants.append(lower)
+    return variants
+
+
+def _suffix_variants(lower: str) -> List[str]:
+    variants: List[str] = []
+    if len(lower) > 4 and lower.endswith("ies"):
+        variants.append(lower[:-3] + "y")
+    if len(lower) > 4 and lower.endswith("ied"):
+        variants.append(lower[:-3] + "y")
+    if len(lower) > 4 and lower.endswith("sses"):
+        variants.append(lower[:-2])
+    if len(lower) > 3 and lower.endswith("es"):
+        variants.append(lower[:-2])
+        variants.append(lower[:-1])
+    elif len(lower) > 2 and lower.endswith("s") and not lower.endswith("ss"):
+        variants.append(lower[:-1])
+    if len(lower) > 4 and lower.endswith("ing"):
+        stem = lower[:-3]
+        variants.append(stem)
+        variants.append(stem + "e")
+        if len(stem) > 1 and stem[-1] == stem[-2]:
+            variants.append(stem[:-1])
+    if len(lower) > 3 and lower.endswith("ed"):
+        stem = lower[:-2]
+        variants.append(stem)
+        variants.append(lower[:-1])  # e.g. "awarded" -> "awarde" (filtered by lookup)
+        if len(stem) > 1 and stem[-1] == stem[-2]:
+            variants.append(stem[:-1])
+    return variants
+
+
+def lemmatize_phrase(phrase: str) -> str:
+    """Lemmatise the first word of a multi-word relational phrase.
+
+    "studied at" -> "study at"; later words (particles, prepositions) are
+    left intact because predicate aliases keep them inflected.
+    """
+    words = phrase.split()
+    if not words:
+        return phrase
+    return " ".join([lemmatize(words[0])] + words[1:])

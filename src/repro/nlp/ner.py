@@ -1,0 +1,58 @@
+"""KB-driven mention typing (the TAGME-style entity-typing stage).
+
+Sec. 3 Step 1 filters candidate entities by the type the linguistic
+tools assign to each noun phrase.  This module provides that typing
+signal the way TAGME does: from the KB itself.  A mention's type is the
+prior-weighted majority type over its candidate entities, assigned only
+when the majority is decisive — an indecisive type would filter out
+legitimate candidates and hurt more than it helps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+from repro.kb.alias_index import AliasIndex
+from repro.kb.types import TypeTaxonomy
+
+
+class MentionTyper:
+    """Assigns a semantic type to a surface form, conservatively."""
+
+    def __init__(
+        self,
+        alias_index: AliasIndex,
+        taxonomy: Optional[TypeTaxonomy] = None,
+        min_confidence: float = 0.75,
+    ) -> None:
+        self.alias_index = alias_index
+        self.taxonomy = taxonomy
+        self.min_confidence = min_confidence
+
+    def type_of(self, surface: str) -> Optional[str]:
+        """The decisive majority type of *surface*'s candidates, or None.
+
+        Weighted by prior: if 75%+ of the prior mass of the surface's
+        candidate entities carries one type, that type is returned.
+        Surfaces without candidates, or with mixed-type candidate sets
+        (e.g. "Jordan": person vs. country), stay untyped so the filter
+        never removes a plausible reading.
+        """
+        hits = self.alias_index.lookup_entities(surface)
+        if not hits:
+            return None
+        mass: Dict[str, float] = defaultdict(float)
+        total = 0.0
+        for hit in hits:
+            types = self.alias_index.entity_types(hit.concept_id)
+            if not types:
+                continue
+            total += hit.prior
+            mass[types[0]] += hit.prior
+        if total <= 0.0:
+            return None
+        best_type, best_mass = max(mass.items(), key=lambda kv: kv[1])
+        if best_mass / total >= self.min_confidence:
+            return best_type
+        return None

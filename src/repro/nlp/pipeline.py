@@ -1,0 +1,209 @@
+"""End-to-end extraction pipeline (document text -> spans).
+
+Chains the linguistic substrate exactly as the paper's pre-processing does
+(Sec. 6.1, "Implementation Details"): tokenise, split sentences, POS-tag,
+generate overlapping noun-phrase candidates against the KB gazetteer,
+extract relational phrases, resolve pronouns.  The output is a
+:class:`DocumentExtraction` consumed by TENET and every baseline, so all
+systems compete on identical extractions (as in the paper, where the
+extraction stack is shared).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kb.alias_index import AliasIndex
+from repro.nlp import pos as _pos
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.coref import resolve_pronouns
+from repro.nlp.openie import ExtractedRelation, RelationExtractor, _surface_variants
+from repro.nlp.pos import PosTagger
+from repro.nlp.sentences import sentence_of_token, split_sentences
+from repro.nlp.spans import Sentence, Span, SpanKind, Token
+from repro.nlp.tokenizer import tokenize
+
+
+@dataclass
+class DocumentExtraction:
+    """Everything the linkers need to know about one document."""
+
+    text: str
+    tokens: List[Token]
+    tags: List[str]
+    sentences: List[Sentence]
+    noun_spans: List[Span]
+    regions: List[Span]
+    relations: List[ExtractedRelation]
+    pronoun_antecedents: Dict[int, Span]
+
+    @property
+    def relation_spans(self) -> List[Span]:
+        return [r.span for r in self.relations]
+
+    def relation_for_span(self, span: Span) -> Optional[ExtractedRelation]:
+        for relation in self.relations:
+            if relation.span == span:
+                return relation
+        return None
+
+    @property
+    def word_count(self) -> int:
+        return sum(1 for t in self.tokens if t.text[0].isalnum())
+
+
+class ExtractionPipeline:
+    """Document text -> :class:`DocumentExtraction`.
+
+    ``infer_types=True`` enables the TAGME-style mention typing of
+    Sec. 3 Step 1: each noun span gets the decisive majority type of its
+    candidate entities, which candidate generation then uses as a filter.
+    """
+
+    def __init__(
+        self,
+        alias_index: Optional[AliasIndex] = None,
+        max_span_tokens: int = 8,
+        infer_types: bool = False,
+    ) -> None:
+        self.alias_index = alias_index
+        self.typer = None
+        if infer_types and alias_index is not None:
+            from repro.nlp.ner import MentionTyper
+
+            self.typer = MentionTyper(alias_index)
+        entity_gazetteer = (
+            alias_index.has_entity_alias if alias_index is not None else None
+        )
+        predicate_gazetteer = (
+            alias_index.has_predicate_alias if alias_index is not None else None
+        )
+        if alias_index is not None:
+            self.tagger = PosTagger.from_predicate_aliases(
+                alias_index.predicate_aliases(),
+                nominal_tokens=alias_index.entity_alias_tokens(),
+            )
+        else:
+            self.tagger = PosTagger()
+        self.chunker = NounPhraseChunker(entity_gazetteer, max_span_tokens)
+        self.relation_extractor = RelationExtractor(predicate_gazetteer)
+
+    def extract(self, text: str) -> DocumentExtraction:
+        tokens = tokenize(text)
+        tags = self.tagger.tag(tokens)
+        sentences = split_sentences(tokens)
+        regions = self.chunker.regions(text, tokens, tags, sentences)
+        noun_spans = self.chunker.chunk(text, tokens, tags, sentences)
+        relations = self.relation_extractor.extract(
+            text, tokens, tags, sentences, regions
+        )
+        antecedents = resolve_pronouns(tokens, tags, regions)
+        relations = _add_pronoun_relations(
+            tokens, tags, sentences, relations, antecedents
+        )
+        if self.typer is not None:
+            noun_spans = [
+                Span(
+                    text=span.text,
+                    token_start=span.token_start,
+                    token_end=span.token_end,
+                    sentence_index=span.sentence_index,
+                    kind=span.kind,
+                    mention_type=self.typer.type_of(span.text),
+                    char_start=span.char_start,
+                    char_end=span.char_end,
+                )
+                for span in noun_spans
+            ]
+        return DocumentExtraction(
+            text=text,
+            tokens=tokens,
+            tags=tags,
+            sentences=sentences,
+            noun_spans=noun_spans,
+            regions=regions,
+            relations=relations,
+            pronoun_antecedents=antecedents,
+        )
+
+
+def _add_pronoun_relations(
+    tokens: List[Token],
+    tags: List[str],
+    sentences: List[Sentence],
+    relations: List[ExtractedRelation],
+    antecedents: Dict[int, Span],
+) -> List[ExtractedRelation]:
+    """Synthesise relations whose subject was a resolved pronoun.
+
+    The relation extractor pairs nominal regions, so "He visited
+    Brooklyn." yields no relation on its own (the pronoun is not a
+    region).  For each resolved pronoun we locate the verbal stretch after
+    it and the first following nominal run, then emit a relation whose
+    subject is the *antecedent* region — this is the co-reference
+    canonicalisation of the paper's pre-processing.
+    """
+    result = list(relations)
+    claimed = {(r.span.token_start, r.span.token_end) for r in relations}
+    for pronoun_index, antecedent in sorted(antecedents.items()):
+        sentence = sentence_of_token(sentences, pronoun_index)
+        verb_start = _first_with_tags(
+            tokens, tags, pronoun_index + 1, sentence.token_end,
+            (_pos.VERB, _pos.AUX),
+        )
+        if verb_start is None:
+            continue
+        verb_end = verb_start
+        while verb_end < sentence.token_end and tags[verb_end] in (
+            _pos.VERB, _pos.AUX,
+        ):
+            verb_end += 1
+        while verb_end < sentence.token_end and tags[verb_end] == _pos.ADP:
+            verb_end += 1
+        if (verb_start, verb_end) in claimed:
+            continue
+        obj_start = _first_with_tags(
+            tokens, tags, verb_end, sentence.token_end,
+            (_pos.PROPN, _pos.NOUN, _pos.NUM),
+        )
+        if obj_start is None:
+            continue
+        obj_end = obj_start
+        while obj_end < sentence.token_end and tags[obj_end] in (
+            _pos.PROPN, _pos.NOUN, _pos.NUM,
+        ):
+            obj_end += 1
+        span = _span_from_tokens(
+            tokens, verb_start, verb_end, sentence.index, SpanKind.RELATION
+        )
+        obj_span = _span_from_tokens(
+            tokens, obj_start, obj_end, sentence.index, SpanKind.NOUN
+        )
+        variants = _surface_variants(tokens, tags, verb_start, verb_end, span.text)
+        claimed.add((verb_start, verb_end))
+        result.append(ExtractedRelation(span, antecedent, obj_span, variants))
+    result.sort(key=lambda r: r.span.token_start)
+    return result
+
+
+def _first_with_tags(tokens, tags, start, end, wanted):
+    for i in range(start, end):
+        if tags[i] in wanted:
+            return i
+    return None
+
+
+def _span_from_tokens(
+    tokens: List[Token], start: int, end: int, sentence_index: int, kind: SpanKind
+) -> Span:
+    surface = " ".join(t.text for t in tokens[start:end])
+    return Span(
+        text=surface,
+        token_start=start,
+        token_end=end,
+        sentence_index=sentence_index,
+        kind=kind,
+        char_start=tokens[start].start,
+        char_end=tokens[end - 1].end,
+    )

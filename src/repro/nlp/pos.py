@@ -1,0 +1,158 @@
+"""Lexicon-based part-of-speech tagging.
+
+A closed-class lexicon plus morphological fallbacks, in the spirit of the
+lightweight taggers the paper's pipeline chains together.  The verb
+lexicon can be extended from the KB's predicate aliases so that relational
+surface forms in the target domain are always recognised as verbs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.nlp.spans import Token
+
+# Universal-dependencies-flavoured tag set.
+DET = "DET"
+ADP = "ADP"
+CCONJ = "CCONJ"
+PRON = "PRON"
+AUX = "AUX"
+VERB = "VERB"
+NUM = "NUM"
+PUNCT = "PUNCT"
+PROPN = "PROPN"
+NOUN = "NOUN"
+ADV = "ADV"
+
+_DETERMINERS = {"the", "a", "an", "this", "that", "these", "those"}
+_PREPOSITIONS = {
+    "of", "in", "on", "at", "from", "to", "with", "by", "under", "over",
+    "beyond", "for", "about", "into", "as", "during", "after", "before",
+}
+_CONJUNCTIONS = {"and", "or", "but", "nor"}
+_PRONOUNS = {
+    "he", "she", "it", "they", "we", "i", "you", "him", "her", "them",
+    "his", "hers", "its", "their", "theirs", "our", "us", "me", "my",
+}
+_AUXILIARIES = {
+    "is", "was", "are", "were", "be", "been", "being", "am",
+    "has", "have", "had", "having",
+    "do", "does", "did",
+    "will", "would", "shall", "should", "can", "could", "may", "might", "must",
+}
+_ADVERBS = {"not", "also", "very", "recently", "later", "often", "never"}
+
+_COMMON_VERBS = {
+    "say", "said", "made", "make", "makes", "give", "gave", "took", "take",
+    "went", "go", "goes", "became", "become", "becomes", "won", "win",
+    "wins", "announced", "announce", "announces", "described", "describe",
+    "expected", "expect", "continue", "continues", "offered", "offer",
+    "drew", "draw", "picked", "pick", "circulated", "circulate",
+    "anticipated", "monitor", "met", "meet", "meets",
+}
+
+
+class PosTagger:
+    """Tags a token list; optionally primed with domain lexicons.
+
+    ``extra_verbs`` come from the KB's predicate aliases; ``extra_nominals``
+    from the tokens of the KB's entity aliases.  The nominal lexicon keeps
+    participle tokens inside entity names ("distributed systems", "three
+    point shooting") from being mis-guessed as verbs — the same KB-driven
+    spotting the paper's TAGME stage performs.
+    """
+
+    def __init__(
+        self,
+        extra_verbs: Iterable[str] = (),
+        extra_nominals: Iterable[str] = (),
+    ) -> None:
+        self._verbs: Set[str] = set(_COMMON_VERBS)
+        for form in extra_verbs:
+            self._verbs.add(form.lower())
+        self._nominals: Set[str] = {form.lower() for form in extra_nominals}
+
+    @classmethod
+    def from_predicate_aliases(
+        cls,
+        aliases: Iterable[str],
+        nominal_tokens: Iterable[str] = (),
+    ) -> "PosTagger":
+        """Prime the lexicons from the KB's alias vocabulary.
+
+        The verb lexicon takes the head verb of each predicate alias (for
+        "was awarded" or "is the sister city of", only the first
+        non-auxiliary, non-function token).  ``nominal_tokens`` (entity
+        alias vocabulary) populates the nominal lexicon; verb-lexicon
+        membership wins on conflict so relational heads stay verbal.
+        """
+        verbs: Set[str] = set()
+        for alias in aliases:
+            for word in alias.lower().split():
+                if word in _AUXILIARIES or word in _DETERMINERS:
+                    continue
+                if word in _PREPOSITIONS or word in _CONJUNCTIONS:
+                    continue
+                verbs.add(word)
+                break  # only the head verb of the alias
+        tagger = cls(verbs, nominal_tokens)
+        tagger._nominals -= tagger._verbs
+        return tagger
+
+    def add_verbs(self, forms: Iterable[str]) -> None:
+        for form in forms:
+            self._verbs.add(form.lower())
+
+    def tag(self, tokens: List[Token]) -> List[str]:
+        """One tag per token, same order."""
+        tags: List[str] = []
+        sentence_start = True
+        for token in tokens:
+            tag = self._tag_one(token, sentence_start)
+            tags.append(tag)
+            sentence_start = token.text in {".", "!", "?"}
+        return tags
+
+    def _tag_one(self, token: Token, sentence_start: bool) -> str:
+        text = token.text
+        lower = token.lower
+        if not text[0].isalnum():
+            return PUNCT
+        if text[0].isdigit():
+            return NUM
+        if lower in _DETERMINERS:
+            return DET
+        if lower in _PREPOSITIONS:
+            return ADP
+        if lower in _CONJUNCTIONS:
+            return CCONJ
+        if lower in _PRONOUNS:
+            return PRON
+        if lower in _AUXILIARIES:
+            return AUX
+        if lower in _ADVERBS:
+            return ADV
+        if lower in self._verbs:
+            return VERB
+        if lower in self._nominals:
+            return NOUN
+        if token.is_capitalized and not sentence_start:
+            return PROPN
+        if token.is_capitalized and sentence_start and lower not in self._verbs:
+            # Sentence-initial capitalised tokens are ambiguous; treat
+            # unknown ones as proper nouns (document-style text leads with
+            # names far more often than with common nouns).
+            return PROPN
+        if self._looks_verbal(lower):
+            return VERB
+        return NOUN
+
+    @staticmethod
+    def _looks_verbal(lower: str) -> bool:
+        """Morphological verb guess for unknown lower-case words."""
+        if len(lower) > 4 and lower.endswith("ing"):
+            return True
+        if len(lower) > 3 and lower.endswith("ed"):
+            return True
+        return False

@@ -1,0 +1,39 @@
+"""Punctuation-based sentence splitting over the token stream."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.nlp.spans import Sentence, Token
+
+_TERMINATORS = {".", "!", "?"}
+
+
+def split_sentences(tokens: List[Token]) -> List[Sentence]:
+    """Partition the token stream into sentences.
+
+    A sentence ends at a terminator token; the terminator belongs to the
+    sentence it closes.  Trailing tokens without a terminator form a final
+    sentence.  Every token belongs to exactly one sentence.
+    """
+    sentences: List[Sentence] = []
+    start = 0
+    for token in tokens:
+        if token.text in _TERMINATORS:
+            sentences.append(
+                Sentence(index=len(sentences), token_start=start, token_end=token.index + 1)
+            )
+            start = token.index + 1
+    if start < len(tokens):
+        sentences.append(
+            Sentence(index=len(sentences), token_start=start, token_end=len(tokens))
+        )
+    return sentences
+
+
+def sentence_of_token(sentences: List[Sentence], token_index: int) -> Sentence:
+    """The sentence containing *token_index* (sentences are sorted)."""
+    for sentence in sentences:
+        if sentence.contains_token(token_index):
+            return sentence
+    raise IndexError(f"token index {token_index} outside all sentences")

@@ -1,0 +1,98 @@
+"""Core span data model shared across the linguistic pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Token:
+    """A token with character offsets into the source document."""
+
+    text: str
+    start: int
+    end: int
+    index: int
+
+    @property
+    def lower(self) -> str:
+        return self.text.lower()
+
+    @property
+    def is_capitalized(self) -> bool:
+        return bool(self.text) and self.text[0].isupper()
+
+
+@dataclass(frozen=True)
+class Sentence:
+    """A contiguous token range [token_start, token_end)."""
+
+    index: int
+    token_start: int
+    token_end: int
+
+    def contains_token(self, token_index: int) -> bool:
+        return self.token_start <= token_index < self.token_end
+
+    @property
+    def length(self) -> int:
+        return self.token_end - self.token_start
+
+
+class SpanKind(Enum):
+    """Whether a span is a noun phrase or a relational phrase."""
+
+    NOUN = "noun"
+    RELATION = "relation"
+
+
+@dataclass(frozen=True)
+class Span:
+    """A mention candidate: a token range with surface text and kind.
+
+    ``token_start`` is inclusive, ``token_end`` exclusive.  Identity (for
+    dict keys, graph nodes, gold matching) is the full frozen tuple, so
+    two extractions of the same range compare equal.
+    """
+
+    text: str
+    token_start: int
+    token_end: int
+    sentence_index: int
+    kind: SpanKind
+    mention_type: Optional[str] = None
+    # Character offsets into the source document, excluded from identity:
+    # they are derived from the token list and only used for gold-span
+    # alignment in evaluation.
+    char_start: int = field(default=-1, compare=False)
+    char_end: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.token_end <= self.token_start:
+            raise ValueError(
+                f"empty span [{self.token_start}, {self.token_end}) for {self.text!r}"
+            )
+
+    @property
+    def length(self) -> int:
+        return self.token_end - self.token_start
+
+    def covers(self, other: "Span") -> bool:
+        """Whether this span's token range contains *other*'s."""
+        return (
+            self.token_start <= other.token_start
+            and other.token_end <= self.token_end
+        )
+
+    def same_range(self, other: "Span") -> bool:
+        return (
+            self.token_start == other.token_start
+            and self.token_end == other.token_end
+        )
+
+
+def spans_overlap(a: Span, b: Span) -> bool:
+    """Whether two spans share at least one token position."""
+    return a.token_start < b.token_end and b.token_start < a.token_end

@@ -1,0 +1,41 @@
+"""Regex tokenizer with character offsets.
+
+Word tokens are maximal runs of word characters (periods inside
+abbreviations such as "Dr." stay attached); every other non-space
+character becomes a single punctuation token.  Offsets are preserved so
+gold spans can be aligned back to the source text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.nlp.spans import Token
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z0-9]+(?:[''][A-Za-z]+)?"  # words, incl. simple contractions
+    r"|[^\sA-Za-z0-9]"  # single punctuation marks
+)
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenise *text*, returning :class:`Token` objects with offsets."""
+    tokens: List[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        tokens.append(
+            Token(
+                text=match.group(0),
+                start=match.start(),
+                end=match.end(),
+                index=len(tokens),
+            )
+        )
+    return tokens
+
+
+def detokenize(tokens: List[Token], text: str) -> str:
+    """Original text slice spanned by *tokens* (must be non-empty)."""
+    if not tokens:
+        raise ValueError("cannot detokenize an empty token list")
+    return text[tokens[0].start : tokens[-1].end]

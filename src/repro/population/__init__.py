@@ -1,0 +1,16 @@
+"""Knowledge-base population on top of joint linking.
+
+The paper motivates joint entity and relation linking as the front end
+of KB population (QKBfly, KBPearl).  This package closes that loop: it
+turns a document's linking result into candidate facts, materialises
+placeholder records for non-linkable (new) concepts, and applies the
+facts to a KB while preserving referential integrity.
+"""
+
+from repro.population.populator import (
+    KBPopulator,
+    NewConcept,
+    PopulationResult,
+)
+
+__all__ = ["KBPopulator", "NewConcept", "PopulationResult"]

@@ -1,0 +1,62 @@
+"""Gold-fact reconstruction from annotated documents.
+
+The dataset generator renders one KB fact per fact sentence; the gold
+annotations record the subject, relation, and object mentions of that
+sentence.  This module reassembles those triples — the reference set
+against which KB-population output is scored (the downstream-population
+benchmark).
+
+Reconstruction rule: for each linkable relation gold, the subject is the
+closest linkable noun gold ending at or before the relation, and the
+object the closest linkable noun gold starting at or after it, both
+within the same sentence (approximated by requiring adjacency: no other
+relation gold in between).
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.datasets.schema import AnnotatedDocument, Dataset
+from repro.nlp.spans import SpanKind
+
+Fact = Tuple[str, str, str]
+
+
+def gold_facts(document: AnnotatedDocument) -> Set[Fact]:
+    """The (subject, predicate, object) triples the document asserts."""
+    nouns = [
+        g
+        for g in document.gold
+        if g.kind is SpanKind.NOUN and g.concept_id is not None
+    ]
+    relations = [
+        g
+        for g in document.gold
+        if g.kind is SpanKind.RELATION and g.concept_id is not None
+    ]
+    facts: Set[Fact] = set()
+    for relation in relations:
+        subjects = [n for n in nouns if n.char_end <= relation.char_start]
+        objects = [n for n in nouns if n.char_start >= relation.char_end]
+        if not subjects or not objects:
+            continue
+        subject = max(subjects, key=lambda n: n.char_end)
+        obj = min(objects, key=lambda n: n.char_start)
+        # same-sentence requirement: no sentence terminator may separate
+        # the relation from its arguments (pronoun-subject facts are
+        # skipped — their true subject sits in an earlier sentence)
+        if "." in document.text[subject.char_end : relation.char_start]:
+            continue
+        if "." in document.text[relation.char_end : obj.char_start]:
+            continue
+        facts.add((subject.concept_id, relation.concept_id, obj.concept_id))
+    return facts
+
+
+def dataset_gold_facts(dataset: Dataset) -> Set[Fact]:
+    """Union of gold facts over all documents."""
+    facts: Set[Fact] = set()
+    for document in dataset:
+        facts |= gold_facts(document)
+    return facts

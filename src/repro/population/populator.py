@@ -1,0 +1,220 @@
+"""Turn linking results into KB facts.
+
+For every linked relational phrase, the populator recovers the subject
+and object spans from the extraction, resolves each side to either a
+linked entity or a *new concept* placeholder (for phrases TENET reported
+as non-linkable), and emits a candidate fact.  Facts already present in
+the KB are recognised as confirmations rather than insertions — the
+dedup step KB-population systems perform before writing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.linker import LinkingContext, LinkingDiagnostics, TenetLinker
+from repro.core.result import Link, LinkingResult
+from repro.kb.records import EntityRecord, Triple
+from repro.kb.store import KnowledgeBase
+from repro.nlp.spans import Span, SpanKind, spans_overlap
+from repro.textnorm import normalize_phrase
+
+
+@dataclass(frozen=True)
+class NewConcept:
+    """A placeholder for a non-linkable phrase promoted to a new entity."""
+
+    placeholder_id: str
+    surface: str
+
+    def as_record(self) -> EntityRecord:
+        return EntityRecord(
+            entity_id=self.placeholder_id,
+            label=self.surface,
+            description="new concept discovered during KB population",
+        )
+
+
+@dataclass
+class PopulationResult:
+    """Facts and new concepts extracted from one document."""
+
+    new_facts: List[Triple] = field(default_factory=list)
+    confirmed_facts: List[Triple] = field(default_factory=list)
+    new_concepts: List[NewConcept] = field(default_factory=list)
+    skipped_relations: int = 0
+
+    @property
+    def fact_count(self) -> int:
+        return len(self.new_facts) + len(self.confirmed_facts)
+
+
+class KBPopulator:
+    """Extracts candidate facts from documents via a TENET linker."""
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        linker: Optional[TenetLinker] = None,
+    ) -> None:
+        self.context = context
+        self.linker = linker or TenetLinker(context)
+        self._placeholder_counter = 0
+
+    # ------------------------------------------------------------------
+    def populate(self, text: str) -> PopulationResult:
+        """Extract facts from *text* against the context's KB."""
+        diagnostics = self.linker.link_detailed(text)
+        return self.populate_from_diagnostics(diagnostics)
+
+    def populate_corpus(self, documents) -> PopulationResult:
+        """Populate from many documents, merging results.
+
+        New-concept placeholders are shared across documents: the same
+        fresh surface form seen twice becomes one new entity, and facts
+        are deduplicated corpus-wide (KB-population systems canonicalise
+        across the whole batch before writing).
+        """
+        merged = PopulationResult()
+        placeholders: Dict[str, NewConcept] = {}
+        seen_facts = set()
+        for document in documents:
+            text = document.text if hasattr(document, "text") else document
+            diagnostics = self.linker.link_detailed(text)
+            partial = self._populate(diagnostics, placeholders)
+            for concept in partial.new_concepts:
+                merged.new_concepts.append(concept)
+            for triple in partial.new_facts:
+                if triple.as_tuple() not in seen_facts:
+                    seen_facts.add(triple.as_tuple())
+                    merged.new_facts.append(triple)
+            for triple in partial.confirmed_facts:
+                if triple.as_tuple() not in seen_facts:
+                    seen_facts.add(triple.as_tuple())
+                    merged.confirmed_facts.append(triple)
+            merged.skipped_relations += partial.skipped_relations
+        return merged
+
+    def populate_from_diagnostics(
+        self, diagnostics: LinkingDiagnostics
+    ) -> PopulationResult:
+        return self._populate(diagnostics, {})
+
+    def _populate(
+        self,
+        diagnostics: LinkingDiagnostics,
+        seen_placeholders: Dict[str, NewConcept],
+    ) -> PopulationResult:
+        result = PopulationResult()
+        linking = diagnostics.result
+        for relation_link in linking.relation_links:
+            relation = diagnostics.extraction.relation_for_span(
+                relation_link.span
+            )
+            if relation is None:
+                result.skipped_relations += 1
+                continue
+            subject = self._resolve_argument(
+                relation.subject, linking, seen_placeholders, result
+            )
+            obj = self._resolve_argument(
+                relation.object, linking, seen_placeholders, result
+            )
+            if subject is None or obj is None:
+                result.skipped_relations += 1
+                continue
+            triple = Triple(subject, relation_link.concept_id, obj)
+            if self._fact_exists(triple):
+                result.confirmed_facts.append(triple)
+            else:
+                result.new_facts.append(triple)
+        return result
+
+    def apply(
+        self, kb: KnowledgeBase, result: PopulationResult
+    ) -> int:
+        """Write new concepts and facts into *kb*; returns #facts added."""
+        for concept in result.new_concepts:
+            if not kb.has_entity(concept.placeholder_id):
+                kb.add_entity(concept.as_record())
+        added = 0
+        for triple in result.new_facts:
+            if kb.add_fact(triple):
+                added += 1
+        return added
+
+    def commit(self, result: PopulationResult) -> int:
+        """Apply *result* to the populator's own context — closing the
+        on-the-fly KB-construction loop.
+
+        New concepts are written into the context's KB, registered in
+        the alias index (their surface becomes linkable in subsequent
+        documents), and given a neutral zero embedding (cosine 0 to
+        everything: no spurious coherence until real facts accumulate).
+        """
+        import numpy as np
+
+        for concept in result.new_concepts:
+            if not self.context.kb.has_entity(concept.placeholder_id):
+                record = concept.as_record()
+                self.context.kb.add_entity(record)
+                self.context.alias_index.add_entity(record)
+                if concept.placeholder_id not in self.context.embeddings:
+                    self.context.embeddings.add(
+                        concept.placeholder_id,
+                        np.zeros(self.context.embeddings.dimension),
+                    )
+        added = 0
+        for triple in result.new_facts:
+            if self.context.kb.add_fact(triple):
+                added += 1
+        return added
+
+    # ------------------------------------------------------------------
+    def _resolve_argument(
+        self,
+        span: Span,
+        linking: LinkingResult,
+        seen: Dict[str, NewConcept],
+        result: PopulationResult,
+    ) -> Optional[str]:
+        """Entity id (or placeholder id) for a relation argument span."""
+        link = self._overlapping_entity_link(span, linking)
+        if link is not None:
+            return link.concept_id
+        if self._reported_non_linkable(span, linking):
+            key = normalize_phrase(span.text)
+            if key not in seen:
+                concept = NewConcept(self._next_placeholder(), span.text)
+                seen[key] = concept
+                result.new_concepts.append(concept)
+            return seen[key].placeholder_id
+        return None
+
+    @staticmethod
+    def _overlapping_entity_link(
+        span: Span, linking: LinkingResult
+    ) -> Optional[Link]:
+        best: Optional[Link] = None
+        for link in linking.entity_links:
+            if spans_overlap(link.span, span):
+                if best is None or link.span.length > best.span.length:
+                    best = link
+        return best
+
+    @staticmethod
+    def _reported_non_linkable(span: Span, linking: LinkingResult) -> bool:
+        return any(
+            spans_overlap(span, reported)
+            for reported in linking.non_linkable
+            if reported.kind is SpanKind.NOUN
+        )
+
+    def _fact_exists(self, triple: Triple) -> bool:
+        kb = self.context.kb
+        return kb.has_fact(triple.subject, triple.predicate, triple.obj)
+
+    def _next_placeholder(self) -> str:
+        self._placeholder_counter += 1
+        return f"NEW{self._placeholder_counter}"

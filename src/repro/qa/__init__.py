@@ -1,0 +1,17 @@
+"""Question answering over the KB via joint linking.
+
+The paper's second motivating application (Falcon, EARL): link the
+entities and the relation of a natural-language question, then answer it
+with a KB lookup.
+"""
+
+from repro.qa.answerer import Answer, KBQuestionAnswerer
+from repro.qa.generator import BooleanQuestion, QuestionGenerator, WhQuestion
+
+__all__ = [
+    "Answer",
+    "KBQuestionAnswerer",
+    "BooleanQuestion",
+    "QuestionGenerator",
+    "WhQuestion",
+]

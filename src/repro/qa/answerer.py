@@ -1,0 +1,123 @@
+"""Simple KB question answering on top of the joint linker.
+
+Supported question shapes (the short-text setting of Falcon/EARL):
+
+* ``Who/What/Which ... <relation> <entity>?``  — the linked entity is the
+  *object*; answers are the KB subjects of (?, predicate, entity).
+* ``<Wh-word> did/does <entity> <relation>?`` or
+  ``Where was <entity> born?`` — the linked entity is the *subject*;
+  answers are the KB objects of (entity, predicate, ?).
+
+Direction is decided by span order: an entity mention *after* the linked
+relational phrase is its object, one *before* it is its subject — the
+same subject/object attachment the Open IE stage produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.core.result import Link
+
+
+@dataclass
+class Answer:
+    """The result of answering one question."""
+
+    question: str
+    entity_ids: List[str] = field(default_factory=list)
+    labels: List[str] = field(default_factory=list)
+    # the interpretation that produced the answers
+    anchor_id: Optional[str] = None
+    predicate_id: Optional[str] = None
+    anchor_is_subject: bool = True
+
+    @property
+    def found(self) -> bool:
+        return bool(self.entity_ids)
+
+
+class KBQuestionAnswerer:
+    """Link a question, then answer it with one KB hop."""
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        linker: Optional[TenetLinker] = None,
+    ) -> None:
+        self.context = context
+        self.linker = linker or TenetLinker(context)
+
+    def answer(self, question: str) -> Answer:
+        """Answer a single-hop question; empty answer when unlinkable."""
+        result = self.linker.link(question)
+        pair = self._pick_anchor(result.entity_links, result.relation_links)
+        if pair is None:
+            return Answer(question)
+        entity_link, relation_link = pair
+        anchor_is_subject = (
+            entity_link.span.token_start < relation_link.span.token_start
+        )
+        kb = self.context.kb
+        if anchor_is_subject:
+            ids = kb.objects_of(entity_link.concept_id, relation_link.concept_id)
+            ids = {i for i in ids if kb.has_entity(i)}
+        else:
+            ids = kb.subjects_of(entity_link.concept_id, relation_link.concept_id)
+        ordered = sorted(ids)
+        return Answer(
+            question=question,
+            entity_ids=ordered,
+            labels=[kb.get_entity(i).label for i in ordered],
+            anchor_id=entity_link.concept_id,
+            predicate_id=relation_link.concept_id,
+            anchor_is_subject=anchor_is_subject,
+        )
+
+    def verify(self, question: str) -> Optional[bool]:
+        """Answer a yes/no question about one fact.
+
+        The question is linked jointly; the (subject, predicate, object)
+        reading around the linked relational phrase is checked against
+        the KB.  Returns ``None`` when the question cannot be
+        interpreted (no linked relation with arguments on both sides).
+        """
+        result = self.linker.link(question)
+        for relation in result.relation_links:
+            before = [
+                l
+                for l in result.entity_links
+                if l.span.token_end <= relation.span.token_start
+            ]
+            after = [
+                l
+                for l in result.entity_links
+                if l.span.token_start >= relation.span.token_end
+            ]
+            if not before or not after:
+                continue
+            subject = max(before, key=lambda l: l.span.token_end)
+            obj = min(after, key=lambda l: l.span.token_start)
+            return self.context.kb.has_fact(
+                subject.concept_id, relation.concept_id, obj.concept_id
+            )
+        return None
+
+    @staticmethod
+    def _pick_anchor(
+        entity_links: List[Link], relation_links: List[Link]
+    ) -> Optional[Tuple[Link, Link]]:
+        """The entity/relation pair closest together in the question."""
+        best: Optional[Tuple[int, Link, Link]] = None
+        for relation in relation_links:
+            for entity in entity_links:
+                gap = abs(
+                    entity.span.token_start - relation.span.token_start
+                )
+                if best is None or gap < best[0]:
+                    best = (gap, entity, relation)
+        if best is None:
+            return None
+        return best[1], best[2]

@@ -1,0 +1,34 @@
+"""Shared surface-form normalisation.
+
+Both the alias index (KB side) and the linguistic pipeline (document side)
+must normalise phrases identically, otherwise candidate lookup silently
+fails; keeping the function in one tiny module guarantees that.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE = re.compile(r"\s+")
+_EDGE_PUNCT = re.compile(r"^[^\w]+|[^\w]+$")
+
+
+def normalize_phrase(phrase: str) -> str:
+    """Canonical lookup key for a surface form.
+
+    Lower-cases (the paper indexes aliases case-insensitively via Solr),
+    strips leading/trailing punctuation and collapses internal whitespace.
+    Internal punctuation (hyphens, apostrophes, colons) is preserved since
+    it is meaningful in titles such as "Jurassic World: Fallen Kingdom".
+    """
+    collapsed = _WHITESPACE.sub(" ", phrase.strip())
+    stripped = _EDGE_PUNCT.sub("", collapsed)
+    return stripped.lower()
+
+
+def tokenize_phrase(phrase: str) -> list:
+    """Whitespace tokens of the normalised phrase."""
+    normalized = normalize_phrase(phrase)
+    if not normalized:
+        return []
+    return normalized.split(" ")

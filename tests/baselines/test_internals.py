@@ -1,0 +1,244 @@
+"""White-box unit tests of each baseline's disambiguation core."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.candidates import MentionCandidates
+from repro.core.linker import LinkingContext
+from repro.embeddings.store import EmbeddingStore
+from repro.kb.alias_index import AliasIndex, CandidateHit
+from repro.kb.records import EntityRecord, PredicateRecord
+from repro.kb.store import KnowledgeBase
+from repro.nlp.spans import Span, SpanKind
+
+
+@pytest.fixture(scope="module")
+def toy_context():
+    """A hand-built context with controlled geometry.
+
+    Embeddings: A-cluster concepts share one direction, B-cluster
+    another; priors come from popularities set below.
+    """
+    kb = KnowledgeBase()
+    kb.add_entity(EntityRecord("A1", "Anna Cluster", aliases=("Shared",), popularity=70))
+    kb.add_entity(EntityRecord("A2", "Andy Cluster", popularity=50))
+    kb.add_entity(EntityRecord("B1", "Beta Cluster", aliases=("Shared",), popularity=30))
+    kb.add_entity(EntityRecord("B2", "Bobby Cluster", popularity=50))
+    kb.add_predicate(PredicateRecord("P1", "knows", aliases=("knows",)))
+    context = LinkingContext.build(kb)
+    # overwrite embeddings with a controlled geometry
+    store = EmbeddingStore(4)
+    store.add("A1", np.array([1.0, 0.1, 0.0, 0.0]))
+    store.add("A2", np.array([1.0, -0.1, 0.0, 0.0]))
+    store.add("B1", np.array([0.0, 0.0, 1.0, 0.1]))
+    store.add("B2", np.array([0.0, 0.0, 1.0, -0.1]))
+    store.add("P1", np.array([0.5, 0.5, 0.5, 0.5]))
+    context.embeddings = store
+    return context
+
+
+def _noun(text, start, sentence=0):
+    n = len(text.split())
+    return Span(text, start, start + n, sentence, SpanKind.NOUN,
+                char_start=start * 10, char_end=start * 10 + len(text))
+
+
+def _candidates(mapping):
+    return MentionCandidates(dict(mapping))
+
+
+class TestEarlDensity:
+    def test_density_counts_connected_top_candidates(self, toy_context):
+        earl = EarlLinker(toy_context)
+        shared = _noun("Shared", 0)
+        anchor = _noun("Andy Cluster", 5)
+        candidates = _candidates(
+            {
+                shared: [
+                    CandidateHit("A1", 0.7, "entity"),
+                    CandidateHit("B1", 0.3, "entity"),
+                ],
+                anchor: [CandidateHit("A2", 1.0, "entity")],
+            }
+        )
+        # density of A1 (connected to top candidate A2) vs B1 (not)
+        d_a1 = earl._connection_density(
+            CandidateHit("A1", 0.7, "entity"), shared, [shared, anchor], candidates
+        )
+        d_b1 = earl._connection_density(
+            CandidateHit("B1", 0.3, "entity"), shared, [shared, anchor], candidates
+        )
+        assert d_a1 == 1.0
+        assert d_b1 == 0.0
+
+    def test_earl_picks_connected_candidate(self, toy_context):
+        earl = EarlLinker(toy_context)
+        shared = _noun("Shared", 0)
+        anchor = _noun("Andy Cluster", 5)
+        chosen = earl._disambiguate(
+            None,
+            _candidates(
+                {
+                    shared: [
+                        CandidateHit("A1", 0.3, "entity"),
+                        CandidateHit("B1", 0.7, "entity"),
+                    ],
+                    anchor: [CandidateHit("A2", 1.0, "entity")],
+                }
+            ),
+        )
+        assert chosen[shared].concept_id == "A1"  # density beats prior
+
+
+class TestKBPearl:
+    def test_document_graph_contains_all_pairs(self, toy_context):
+        kbp = KBPearlLinker(toy_context)
+        a, b = _noun("x", 0), _noun("y", 5)
+        candidates = _candidates(
+            {
+                a: [CandidateHit("A1", 1.0, "entity")],
+                b: [CandidateHit("B1", 1.0, "entity")],
+            }
+        )
+        graph = kbp._build_document_graph([a, b], candidates)
+        assert ("A1", "B1") in graph
+        assert graph[("A1", "B1")] == graph[("B1", "A1")]
+
+    def test_near_neighbours_window(self, toy_context):
+        kbp = KBPearlLinker(toy_context, window=1)
+        mentions = [_noun(t, i * 5) for i, t in enumerate("abcde")]
+        neighbours = kbp._near_neighbours(mentions, 2)
+        assert neighbours == [mentions[1], mentions[3]]
+
+    def test_threshold_blocks_weak_links(self, toy_context):
+        strict = KBPearlLinker(toy_context, link_threshold=0.99)
+        a = _noun("x", 0)
+        chosen = strict._disambiguate(
+            None, _candidates({a: [CandidateHit("A1", 0.5, "entity")]})
+        )
+        assert a not in chosen
+
+    def test_prior_coherence_blend(self, toy_context):
+        kbp = KBPearlLinker(toy_context, link_threshold=0.0)
+        shared = _noun("Shared", 0)
+        anchor = _noun("Andy Cluster", 5)
+        chosen = kbp._disambiguate(
+            None,
+            _candidates(
+                {
+                    shared: [
+                        CandidateHit("A1", 0.45, "entity"),
+                        CandidateHit("B1", 0.55, "entity"),
+                    ],
+                    anchor: [CandidateHit("A2", 1.0, "entity")],
+                }
+            ),
+        )
+        # 0.5*0.45 + 0.5*~1.0 for A1 beats 0.5*0.55 + 0.5*~0 for B1
+        assert chosen[shared].concept_id == "A1"
+
+
+class TestQKBfly:
+    def test_peeling_keeps_coherent_candidates(self, toy_context):
+        qkb = QKBflyLinker(toy_context, coherence_threshold=0.0)
+        shared = _noun("Shared", 0)
+        anchor = _noun("Andy Cluster", 5)
+        chosen = qkb._disambiguate(
+            None,
+            _candidates(
+                {
+                    shared: [
+                        CandidateHit("A1", 0.3, "entity"),
+                        CandidateHit("B1", 0.7, "entity"),
+                    ],
+                    anchor: [CandidateHit("A2", 1.0, "entity")],
+                }
+            ),
+        )
+        assert chosen[shared].concept_id == "A1"
+
+    def test_threshold_drops_incoherent_survivors(self, toy_context):
+        qkb = QKBflyLinker(toy_context, coherence_threshold=0.9)
+        a = _noun("x", 0)
+        b = _noun("y", 5)
+        chosen = qkb._disambiguate(
+            None,
+            _candidates(
+                {
+                    a: [CandidateHit("A1", 1.0, "entity")],
+                    b: [CandidateHit("B1", 1.0, "entity")],  # orthogonal
+                }
+            ),
+        )
+        assert chosen == {}
+
+    def test_single_mention_always_links(self, toy_context):
+        qkb = QKBflyLinker(toy_context, coherence_threshold=0.9)
+        a = _noun("x", 0)
+        chosen = qkb._disambiguate(
+            None, _candidates({a: [CandidateHit("A1", 1.0, "entity")]})
+        )
+        assert chosen[a].concept_id == "A1"
+
+    def test_relations_ignored(self, toy_context):
+        qkb = QKBflyLinker(toy_context)
+        rel = Span("knows", 2, 3, 0, SpanKind.RELATION)
+        chosen = qkb._disambiguate(
+            None, _candidates({rel: [CandidateHit("P1", 1.0, "predicate")]})
+        )
+        assert chosen == {}
+
+
+class TestMinTree:
+    def test_minimum_pair_edge_commits_both(self, toy_context):
+        mt = MinTreeLinker(toy_context)
+        a, b = _noun("x", 0), _noun("y", 5)
+        chosen = mt._disambiguate(
+            None,
+            _candidates(
+                {
+                    a: [
+                        CandidateHit("A1", 0.5, "entity"),
+                        CandidateHit("B1", 0.5, "entity"),
+                    ],
+                    b: [CandidateHit("A2", 1.0, "entity")],
+                }
+            ),
+        )
+        assert chosen[a].concept_id == "A1"
+        assert chosen[b].concept_id == "A2"
+
+    def test_forced_connectivity_single_mention(self, toy_context):
+        mt = MinTreeLinker(toy_context)
+        a = _noun("x", 0)
+        chosen = mt._disambiguate(
+            None,
+            _candidates(
+                {
+                    a: [
+                        CandidateHit("A1", 0.9, "entity"),
+                        CandidateHit("B1", 0.1, "entity"),
+                    ]
+                }
+            ),
+        )
+        # no pair edges exist; falls back to the prior
+        assert chosen[a].concept_id == "A1"
+
+
+class TestFalconExtraction:
+    def test_capitalised_prefix_limited_to_three_tokens(self, context, world):
+        falcon = FalconLinker(context)
+        extraction = falcon.pipeline.extract(
+            "Royal Heritage Society Council Foundation arrived."
+        )
+        mentions = falcon.select_mentions(extraction)
+        noun_mentions = [m for m in mentions if m.kind is SpanKind.NOUN]
+        assert all(m.length <= 3 for m in noun_mentions)

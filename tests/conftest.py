@@ -1,0 +1,36 @@
+"""Shared fixtures: one synthetic world / context / suite per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets.benchmarks import BenchmarkSuite, build_benchmark_suite
+from repro.kb.synthetic import SyntheticKBConfig, SyntheticWorld, build_synthetic_world
+
+
+@pytest.fixture(scope="session")
+def world() -> SyntheticWorld:
+    return build_synthetic_world(SyntheticKBConfig(seed=7))
+
+
+@pytest.fixture(scope="session")
+def context(world) -> LinkingContext:
+    return LinkingContext.build(world.kb, world.taxonomy)
+
+
+@pytest.fixture(scope="session")
+def tenet(context) -> TenetLinker:
+    return TenetLinker(context, TenetConfig())
+
+
+@pytest.fixture(scope="session")
+def suite() -> BenchmarkSuite:
+    # Small but non-trivial corpus shared by dataset/eval/integration tests.
+    return build_benchmark_suite(seed=7, scale=0.15)
+
+
+@pytest.fixture(scope="session")
+def suite_context(suite) -> LinkingContext:
+    return LinkingContext.build(suite.world.kb, suite.world.taxonomy)

@@ -1,0 +1,99 @@
+"""Candidate generation tests."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.nlp.pipeline import ExtractionPipeline
+from repro.nlp.spans import Span, SpanKind
+
+
+@pytest.fixture(scope="module")
+def generator(context):
+    return CandidateGenerator(context.alias_index, max_candidates=4)
+
+
+@pytest.fixture(scope="module")
+def pipeline(context):
+    return ExtractionPipeline(context.alias_index)
+
+
+def _noun(text):
+    return Span(text, 0, len(text.split()), 0, SpanKind.NOUN)
+
+
+class TestEntityCandidates:
+    def test_known_phrase(self, generator, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        hits = generator.entity_candidates(_noun(person.label))
+        assert any(h.concept_id == person.entity_id for h in hits)
+
+    def test_unknown_phrase_empty(self, generator):
+        assert generator.entity_candidates(_noun("Zyzzyx Quux")) == []
+
+    def test_limit_respected(self, generator):
+        hits = generator.entity_candidates(_noun("Wilson"))
+        assert len(hits) <= 4
+
+    def test_prior_ordering(self, generator):
+        hits = generator.entity_candidates(_noun("Wilson"))
+        priors = [h.prior for h in hits]
+        assert priors == sorted(priors, reverse=True)
+
+    def test_min_prior_filter(self, context):
+        strict = CandidateGenerator(context.alias_index, min_prior=0.9)
+        hits = strict.entity_candidates(_noun("Wilson"))
+        assert all(h.prior >= 0.9 for h in hits)
+
+
+class TestPredicateCandidates:
+    def test_variant_fallback(self, generator):
+        span = Span("was awarded", 0, 2, 0, SpanKind.RELATION)
+        hits = generator.predicate_candidates(
+            span, ("nonsense variant", "was awarded")
+        )
+        assert hits
+
+    def test_first_matching_variant_wins(self, generator, world):
+        span = Span("studies", 0, 1, 0, SpanKind.RELATION)
+        hits = generator.predicate_candidates(span, ("studies",))
+        ids = {h.concept_id for h in hits}
+        assert world.predicate("field") in ids
+        assert world.predicate("educated") in ids
+
+    def test_no_variants_uses_surface(self, generator):
+        span = Span("studies", 0, 1, 0, SpanKind.RELATION)
+        assert generator.predicate_candidates(span)
+
+
+class TestGenerate:
+    def test_covers_all_mentions(self, generator, pipeline):
+        extraction = pipeline.extract(
+            "Nina Wilson studies databases. Glowberry Cleanse arrived."
+        )
+        candidates = generator.generate(extraction)
+        for span in extraction.noun_spans:
+            assert span in candidates.by_mention
+        for relation in extraction.relations:
+            assert relation.span in candidates.by_mention
+
+    def test_non_linkable_mentions_listed(self, generator, pipeline):
+        extraction = pipeline.extract("Glowberry Cleanse is located in Brooklyn.")
+        candidates = generator.generate(extraction)
+        non_linkable = [m.text for m in candidates.non_linkable_mentions()]
+        assert any("Glowberry" in t for t in non_linkable)
+
+    def test_linkable_mentions_listed(self, generator, pipeline, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        extraction = pipeline.extract(f"{person.label} studies databases.")
+        candidates = generator.generate(extraction)
+        linkable = [m.text for m in candidates.linkable_mentions()]
+        assert person.label in linkable
+
+    def test_total_candidates(self, generator, pipeline):
+        extraction = pipeline.extract("Nina Wilson studies databases.")
+        candidates = generator.generate(extraction)
+        assert candidates.total_candidates >= 2

@@ -1,0 +1,162 @@
+"""Mention group and canopy tests (Sec. 5.1, Algorithm 4, Table 1)."""
+
+import pytest
+
+from repro.core.canopies import Canopy, MentionGroup, build_mention_groups
+from repro.nlp.spans import Span, SpanKind
+from repro.nlp.tokenizer import tokenize
+
+
+def noun(text, start, end, sentence=0):
+    return Span(text, start, end, sentence, SpanKind.NOUN)
+
+
+def relation(text, start, end, sentence=0):
+    return Span(text, start, end, sentence, SpanKind.RELATION)
+
+
+@pytest.fixture
+def storm_tokens():
+    # 0:Rembrandt 1:painted 2:The 3:Storm 4:on 5:the 6:Sea 7:of 8:Galilee 9:.
+    return tokenize("Rembrandt painted The Storm on the Sea of Galilee.")
+
+
+@pytest.fixture
+def storm_inventory(storm_tokens):
+    return [
+        noun("Rembrandt", 0, 1),
+        noun("The Storm", 2, 4),
+        noun("Sea", 6, 7),
+        noun("Galilee", 8, 9),
+        noun("The Storm on the Sea of Galilee", 2, 9),
+    ]
+
+
+class TestGroups:
+    def test_table1_groups(self, storm_tokens, storm_inventory):
+        groups = build_mention_groups(storm_tokens, storm_inventory, [])
+        noun_groups = [g for g in groups if g.short_mentions[0].kind is SpanKind.NOUN]
+        shorts = sorted(
+            tuple(s.text for s in g.short_mentions) for g in noun_groups
+        )
+        assert ("Rembrandt",) in shorts
+        assert ("The Storm", "Sea", "Galilee") in shorts
+
+    def test_chain_requires_same_sentence(self):
+        tokens = tokenize("Storm arrived. Galilee slept.")
+        inventory = [noun("Storm", 0, 1, 0), noun("Galilee", 3, 4, 1)]
+        groups = build_mention_groups(tokens, inventory, [])
+        assert all(len(g.short_mentions) == 1 for g in groups)
+
+    def test_chain_requires_feature_gap(self):
+        tokens = tokenize("Storm met Galilee.")
+        inventory = [noun("Storm", 0, 1), noun("Galilee", 2, 3)]
+        groups = build_mention_groups(tokens, inventory, [])
+        assert all(len(g.short_mentions) == 1 for g in groups)
+
+    def test_relations_get_singleton_groups(self, storm_tokens, storm_inventory):
+        rel = relation("painted", 1, 2)
+        groups = build_mention_groups(storm_tokens, storm_inventory, [rel])
+        rel_groups = [g for g in groups if rel in g.spans()]
+        assert len(rel_groups) == 1
+        assert rel_groups[0].is_singleton
+
+    def test_redundant_contained_span_stays_groupless(self, storm_tokens):
+        inventory = [
+            noun("Nina Wilson", 0, 2),
+            noun("Wilson", 1, 2),
+        ]
+        groups = build_mention_groups(storm_tokens, inventory, [])
+        assigned = set()
+        for g in groups:
+            assigned |= g.spans()
+        assert inventory[0] in assigned
+        assert inventory[1] not in assigned
+
+
+class TestCanopies:
+    def test_all_singles_canopy_exists(self, storm_tokens, storm_inventory):
+        groups = build_mention_groups(storm_tokens, storm_inventory, [])
+        chain_group = next(g for g in groups if len(g.short_mentions) == 3)
+        member_sets = [tuple(m.text for m in c.members) for c in chain_group.canopies]
+        assert ("The Storm", "Sea", "Galilee") in member_sets
+
+    def test_full_merge_canopy_exists(self, storm_tokens, storm_inventory):
+        groups = build_mention_groups(storm_tokens, storm_inventory, [])
+        chain_group = next(g for g in groups if len(g.short_mentions) == 3)
+        member_sets = [tuple(m.text for m in c.members) for c in chain_group.canopies]
+        assert ("The Storm on the Sea of Galilee",) in member_sets
+
+    def test_partial_merge_requires_inventory_span(
+        self, storm_tokens, storm_inventory
+    ):
+        groups = build_mention_groups(storm_tokens, storm_inventory, [])
+        chain_group = next(g for g in groups if len(g.short_mentions) == 3)
+        member_sets = [tuple(m.text for m in c.members) for c in chain_group.canopies]
+        # "The Storm on the Sea" is not in the inventory -> no such canopy
+        assert not any("The Storm on the Sea" in ms for ms in member_sets)
+
+    def test_partial_merge_with_inventory_span(self, storm_tokens, storm_inventory):
+        inventory = storm_inventory + [noun("Storm on the Sea", 3, 7)]
+        groups = build_mention_groups(storm_tokens, inventory, [])
+        chain_group = next(g for g in groups if len(g.short_mentions) == 3)
+        member_sets = [tuple(m.text for m in c.members) for c in chain_group.canopies]
+        assert ("Storm on the Sea", "Galilee") in member_sets
+
+    def test_canopy_count_capped(self):
+        # a long chain must not explode combinatorially
+        words = " and ".join(f"W{i}" for i in range(9))
+        tokens = tokenize(words + ".")
+        inventory = [
+            noun(f"W{i}", 2 * i, 2 * i + 1) for i in range(9)
+        ]
+        groups = build_mention_groups(tokens, inventory, [])
+        for group in groups:
+            assert len(group.canopies) <= 24
+
+
+class TestFallbackCanopies:
+    def test_oov_member_replaced_by_inner_span(self):
+        tokens = tokenize("Mr Miller arrived.")
+        full = noun("Mr Miller", 0, 2)
+        inner = noun("Miller", 1, 2)
+        groups = build_mention_groups(
+            tokens,
+            [full, inner],
+            [],
+            has_candidates=lambda s: s is inner,
+        )
+        group = next(g for g in groups if full in g.spans())
+        member_sets = [tuple(m.text for m in c.members) for c in group.canopies]
+        assert ("Miller",) in member_sets
+
+    def test_rightmost_head_preferred(self):
+        tokens = tokenize("Ms Weber arrived.")
+        full = noun("Ms Weber", 0, 2)
+        left = noun("Ms", 0, 1)
+        right = noun("Weber", 1, 2)
+        groups = build_mention_groups(
+            tokens,
+            [full, left, right],
+            [],
+            has_candidates=lambda s: s in (left, right),
+        )
+        group = next(g for g in groups if full in g.spans())
+        member_sets = [tuple(m.text for m in c.members) for c in group.canopies]
+        assert ("Weber",) in member_sets
+        assert ("Ms",) not in member_sets
+
+    def test_linkable_flag_set(self):
+        tokens = tokenize("Mr Miller arrived.")
+        full = noun("Mr Miller", 0, 2)
+        inner = noun("Miller", 1, 2)
+        groups = build_mention_groups(
+            tokens, [full, inner], [], has_candidates=lambda s: s is inner
+        )
+        group = next(g for g in groups if full in g.spans())
+        flags = {
+            tuple(m.text for m in c.members): c.all_members_linkable
+            for c in group.canopies
+        }
+        assert flags[("Miller",)] is True
+        assert flags[("Mr Miller",)] is False

@@ -1,0 +1,34 @@
+"""TenetConfig validation tests."""
+
+import pytest
+
+from repro.core.config import TenetConfig
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        TenetConfig()
+
+    def test_max_candidates_positive(self):
+        with pytest.raises(ValueError):
+            TenetConfig(max_candidates=0)
+
+    def test_tree_weight_bound_positive(self):
+        with pytest.raises(ValueError):
+            TenetConfig(tree_weight_bound=0.0)
+
+    def test_tree_weight_bound_none_allowed(self):
+        assert TenetConfig(tree_weight_bound=None).tree_weight_bound is None
+
+    def test_min_prior_range(self):
+        with pytest.raises(ValueError):
+            TenetConfig(min_prior=1.5)
+
+    def test_frozen(self):
+        config = TenetConfig()
+        with pytest.raises(AttributeError):
+            config.max_candidates = 7
+
+    def test_paper_default_candidates(self):
+        # Fig. 6(d): 3-4 candidates per mention is the paper's sweet spot
+        assert TenetConfig().max_candidates == 4

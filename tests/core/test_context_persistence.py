@@ -1,0 +1,36 @@
+"""LinkingContext save/load tests."""
+
+import pytest
+
+from repro.core.linker import LinkingContext, TenetLinker
+
+
+class TestPersistence:
+    def test_round_trip(self, context, world, tmp_path):
+        context.save(tmp_path / "ctx")
+        loaded = LinkingContext.load(tmp_path / "ctx")
+        assert loaded.kb.entity_count == world.kb.entity_count
+        assert len(loaded.embeddings) == len(context.embeddings)
+
+    def test_loaded_context_links_identically(self, context, world, tmp_path):
+        context.save(tmp_path / "ctx")
+        loaded = LinkingContext.load(tmp_path / "ctx")
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        text = f"{person.label} studies databases. He visited Brooklyn."
+        original = TenetLinker(context).link(text)
+        reloaded = TenetLinker(loaded).link(text)
+        assert {(l.surface, l.concept_id) for l in original.links} == {
+            (l.surface, l.concept_id) for l in reloaded.links
+        }
+
+    def test_embeddings_identical(self, context, tmp_path):
+        import numpy as np
+
+        context.save(tmp_path / "ctx")
+        loaded = LinkingContext.load(tmp_path / "ctx")
+        for cid in list(context.embeddings.ids())[:10]:
+            assert np.allclose(
+                context.embeddings.vector(cid), loaded.embeddings.vector(cid)
+            )

@@ -1,0 +1,283 @@
+"""Greedy disambiguation tests (Algorithm 5 pruning strategies)."""
+
+import pytest
+
+from repro.core.canopies import Canopy, MentionGroup
+from repro.core.coherence import CandidateNode
+from repro.core.disambiguation import disambiguate
+from repro.core.tree_cover import TreeCoverResult
+from repro.graph.tree import RootedTree
+from repro.nlp.spans import Span, SpanKind
+
+
+def noun(text, start, end=None, sentence=0):
+    return Span(text, start, end or start + 1, sentence, SpanKind.NOUN)
+
+
+def cand(mention, cid, kind="entity"):
+    return CandidateNode(mention, cid, kind)
+
+
+def singleton_groups(*spans):
+    return [
+        MentionGroup(i, (s,), (Canopy((s,)),)) for i, s in enumerate(spans)
+    ]
+
+
+def cover_for(*trees_by_mention):
+    return TreeCoverResult(dict(trees_by_mention), bound=10.0)
+
+
+class TestBasicCommit:
+    def test_prior_edge_links_mention(self):
+        m = noun("Alice", 0)
+        c = cand(m, "Q1")
+        tree = RootedTree(m)
+        tree.add_edge(m, c, 0.3)
+        result = disambiguate(cover_for((m, tree)), singleton_groups(m))
+        assert result.gamma[m] is c
+
+    def test_smallest_edge_wins(self):
+        m = noun("Alice", 0)
+        c1, c2 = cand(m, "Q1"), cand(m, "Q2")
+        tree = RootedTree(m)
+        tree.add_edge(m, c1, 0.6)
+        tree.add_edge(m, c2, 0.2)
+        result = disambiguate(cover_for((m, tree)), singleton_groups(m))
+        assert result.gamma[m] is c2
+
+    def test_strategy1_one_concept_per_mention(self):
+        m = noun("Alice", 0)
+        c1, c2 = cand(m, "Q1"), cand(m, "Q2")
+        tree = RootedTree(m)
+        tree.add_edge(m, c1, 0.2)
+        tree.add_edge(m, c2, 0.3)
+        result = disambiguate(cover_for((m, tree)), singleton_groups(m))
+        assert len(result.gamma) == 1
+
+    def test_coherence_edge_links_both_sides(self):
+        a, b = noun("Alice", 0), noun("Bob", 5)
+        ca, cb = cand(a, "Q1"), cand(b, "Q2")
+        tree = RootedTree(a)
+        tree.add_edge(a, ca, 0.9)
+        tree.add_edge(ca, cb, 0.1)
+        trees = cover_for((a, tree), (b, RootedTree(b)))
+        result = disambiguate(trees, singleton_groups(a, b))
+        assert result.gamma[a] is ca
+        assert result.gamma[b] is cb
+
+    def test_selected_concept_propagates(self):
+        a, b = noun("Alice", 0), noun("Bob", 5)
+        ca, cb = cand(a, "Q1"), cand(b, "Q2")
+        tree = RootedTree(a)
+        tree.add_edge(a, ca, 0.05)   # commits Alice first
+        tree.add_edge(ca, cb, 0.5)   # then drags Bob in
+        result = disambiguate(
+            cover_for((a, tree), (b, RootedTree(b))), singleton_groups(a, b)
+        )
+        assert result.gamma[b] is cb
+
+    def test_strategy2_loser_candidate_cannot_vote(self):
+        # Alice links to Q1 first; the edge (Alice->Q2, Bob->Q3) must be
+        # discarded because Q2 lost.
+        a, b = noun("Alice", 0), noun("Bob", 5)
+        ca1, ca2 = cand(a, "Q1"), cand(a, "Q2")
+        cb3, cb4 = cand(b, "Q3"), cand(b, "Q4")
+        tree = RootedTree(a)
+        tree.add_edge(a, ca1, 0.1)
+        tree.add_edge(a, ca2, 0.5)
+        tree.add_edge(ca2, cb3, 0.2)  # processed before Alice's 0.5 edge? no: 0.2 < ... careful
+        tree_b = RootedTree(b)
+        tree_b.add_edge(b, cb4, 0.9)
+        result = disambiguate(
+            cover_for((a, tree), (b, tree_b)), singleton_groups(a, b)
+        )
+        # 0.1 commits Alice->Q1; 0.2 edge (Q2,Q3): both-unlinked branch no
+        # longer applies to Alice (linked), Q2 not selected => no vote for
+        # Bob; Bob falls back to its prior edge 0.9 -> Q4.
+        assert result.gamma[a] is ca1
+        assert result.gamma[b] is cb4
+
+
+class TestCanopyExclusivity:
+    def _group_with_merge(self):
+        s1 = noun("The Storm", 0, 2)
+        s2 = noun("Galilee", 3, 4)
+        merged = noun("The Storm of Galilee", 0, 4)
+        group = MentionGroup(
+            0,
+            (s1, s2),
+            (
+                Canopy((s1, s2), all_members_linkable=True),
+                Canopy((merged,), all_members_linkable=True),
+            ),
+        )
+        return s1, s2, merged, group
+
+    def test_merged_canopy_commits_first(self):
+        s1, s2, merged, group = self._group_with_merge()
+        cm = cand(merged, "Q9")
+        c1, c2 = cand(s1, "Q1"), cand(s2, "Q2")
+        t = RootedTree(merged)
+        t.add_edge(merged, cm, 0.3)
+        t1 = RootedTree(s1); t1.add_edge(s1, c1, 0.4)
+        t2 = RootedTree(s2); t2.add_edge(s2, c2, 0.5)
+        result = disambiguate(
+            cover_for((merged, t), (s1, t1), (s2, t2)), [group]
+        )
+        assert result.gamma == {merged: cm}
+
+    def test_split_reading_deferred_until_merge_fails(self):
+        # the merged span has no candidates -> split commits at the end
+        s1, s2, merged, _ = self._group_with_merge()
+        group = MentionGroup(
+            0,
+            (s1, s2),
+            (
+                Canopy((s1, s2), all_members_linkable=True),
+                Canopy((merged,), all_members_linkable=False),
+            ),
+        )
+        c1, c2 = cand(s1, "Q1"), cand(s2, "Q2")
+        t1 = RootedTree(s1); t1.add_edge(s1, c1, 0.2)
+        t2 = RootedTree(s2); t2.add_edge(s2, c2, 0.3)
+        result = disambiguate(
+            cover_for((merged, RootedTree(merged)), (s1, t1), (s2, t2)),
+            [group],
+        )
+        assert result.gamma[s1] is c1
+        assert result.gamma[s2] is c2
+
+    def test_split_deferred_when_merge_linkable_but_slow(self):
+        # merged reading completes later but still wins over the split
+        # reading that completed earlier.
+        s1, s2, merged, group = self._group_with_merge()
+        cm = cand(merged, "Q9")
+        c1, c2 = cand(s1, "Q1"), cand(s2, "Q2")
+        t = RootedTree(merged); t.add_edge(merged, cm, 0.9)
+        t1 = RootedTree(s1); t1.add_edge(s1, c1, 0.1)
+        t2 = RootedTree(s2); t2.add_edge(s2, c2, 0.2)
+        result = disambiguate(
+            cover_for((merged, t), (s1, t1), (s2, t2)), [group]
+        )
+        assert result.gamma == {merged: cm}
+
+
+class TestOverlapPruning:
+    def test_cross_group_overlap_blocked(self):
+        full = noun("Nina Wilson", 0, 2)
+        part = noun("Wilson", 1, 2)
+        cf, cp = cand(full, "Q1"), cand(part, "Q2")
+        tf = RootedTree(full); tf.add_edge(full, cf, 0.1)
+        tp = RootedTree(part); tp.add_edge(part, cp, 0.5)
+        result = disambiguate(
+            cover_for((full, tf), (part, tp)), singleton_groups(full, part)
+        )
+        assert full in result.gamma
+        assert part not in result.gamma
+
+    def test_groupless_mentions_dead_on_arrival(self):
+        full = noun("Nina Wilson", 0, 2)
+        part = noun("Wilson", 1, 2)
+        cf, cp = cand(full, "Q1"), cand(part, "Q2")
+        other = noun("Brooklyn", 5)
+        co = cand(other, "Q3")
+        tf = RootedTree(full); tf.add_edge(full, cf, 0.6)
+        tp = RootedTree(part)
+        tp.add_edge(part, cp, 0.7)
+        tp.add_edge(cp, co, 0.05)  # dead mention's candidate must not vote
+        to = RootedTree(other); to.add_edge(other, co, 0.5)
+        groups = singleton_groups(full, other)  # part has NO group
+        result = disambiguate(
+            cover_for((full, tf), (part, tp), (other, to)), groups
+        )
+        assert part not in result.gamma
+        assert result.gamma[other] is co
+
+
+class TestThreshold:
+    def test_weak_coherence_free_prior_dropped(self):
+        m = noun("Maybe", 0)
+        c = cand(m, "Q1")
+        tree = RootedTree(m)
+        tree.add_edge(m, c, 0.9)
+        result = disambiguate(
+            cover_for((m, tree)), singleton_groups(m), prior_link_threshold=0.8
+        )
+        assert m not in result.gamma
+        assert result.demoted == 1
+
+    def test_strong_prior_kept(self):
+        m = noun("Sure", 0)
+        c = cand(m, "Q1")
+        tree = RootedTree(m)
+        tree.add_edge(m, c, 0.3)
+        result = disambiguate(
+            cover_for((m, tree)), singleton_groups(m), prior_link_threshold=0.8
+        )
+        assert result.gamma[m] is c
+
+    def test_coherence_backed_link_immune(self):
+        a, b = noun("Alice", 0), noun("Bob", 5)
+        ca, cb = cand(a, "Q1"), cand(b, "Q2")
+        tree = RootedTree(a)
+        tree.add_edge(a, ca, 0.95)
+        tree.add_edge(ca, cb, 0.9)  # coherence proposal, heavy but coherent
+        result = disambiguate(
+            cover_for((a, tree), (b, RootedTree(b))),
+            singleton_groups(a, b),
+            prior_link_threshold=0.8,
+        )
+        assert a in result.gamma  # proposed from coherence -> kept
+
+
+class TestNonLinkable:
+    def test_uncommitted_group_reported(self):
+        m = noun("Glowberry", 0)
+        result = disambiguate(
+            cover_for((m, RootedTree(m))), singleton_groups(m)
+        )
+        assert m in result.non_linkable
+
+    def test_committed_group_not_reported(self):
+        m = noun("Alice", 0)
+        c = cand(m, "Q1")
+        tree = RootedTree(m)
+        tree.add_edge(m, c, 0.2)
+        result = disambiguate(cover_for((m, tree)), singleton_groups(m))
+        assert result.non_linkable == []
+
+
+class TestAsymmetricPredicateEdges:
+    def test_predicate_cannot_vote_for_entity(self):
+        m = noun("Alice", 0)
+        r = Span("studies", 1, 2, 0, SpanKind.RELATION)
+        ce_wrong = cand(m, "Q_wrong")
+        ce_right = cand(m, "Q_right")
+        cp = cand(r, "P1", kind="predicate")
+        tree = RootedTree(m)
+        tree.add_edge(m, ce_right, 0.5)
+        tree.add_edge(m, ce_wrong, 0.6)
+        tree.add_edge(ce_wrong, cp, 0.1)  # hub edge: may link r, not m
+        tr = RootedTree(r)
+        result = disambiguate(
+            cover_for((m, tree), (r, tr)), singleton_groups(m, r)
+        )
+        assert result.gamma[m] is ce_right
+        assert result.gamma[r] is cp
+
+    def test_entity_votes_for_predicate(self):
+        m = noun("Alice", 0)
+        r = Span("studies", 1, 2, 0, SpanKind.RELATION)
+        ce = cand(m, "Q1")
+        cp1 = cand(r, "P1", kind="predicate")
+        cp2 = cand(r, "P2", kind="predicate")
+        tree = RootedTree(m)
+        tree.add_edge(m, ce, 0.2)
+        tree.add_edge(ce, cp1, 0.3)
+        tr = RootedTree(r)
+        tr.add_edge(r, cp2, 0.4)
+        result = disambiguate(
+            cover_for((m, tree), (r, tr)), singleton_groups(m, r)
+        )
+        assert result.gamma[r] is cp1

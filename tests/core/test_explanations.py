@@ -1,0 +1,54 @@
+"""Link-provenance (explanation) tests."""
+
+import pytest
+
+from repro.core.disambiguation import LinkExplanation
+
+
+class TestExplain:
+    def test_every_link_has_an_explanation(self, tenet, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        result, explanations = tenet.explain(
+            f"{person.label} studies databases. He visited Brooklyn."
+        )
+        for link in result.links:
+            explanation = explanations.get(link.span)
+            assert explanation is not None
+            assert explanation.edge_weight > 0.0
+
+    def test_coherence_decision_names_partner(self, tenet, world):
+        kb = world.kb
+        person_id = world.entities_of_type("computer_science", "person")[0]
+        person = kb.get_entity(person_id)
+        topic_id = next(
+            t.obj for t in kb.triples()
+            if t.subject == person_id and t.predicate == world.predicate("field")
+        )
+        topic = kb.get_entity(topic_id)
+        result, explanations = tenet.explain(
+            f"{person.label} studies {topic.label}."
+        )
+        link = result.find_relation("studies")
+        assert link is not None
+        explanation = explanations[link.span]
+        # "studies" is ambiguous; it must have been decided by coherence
+        # with the topic entity, not by its prior.
+        assert explanation.from_coherence
+        assert explanation.partner_concept == topic.entity_id
+
+    def test_isolated_decision_is_prior_based(self, tenet):
+        result, explanations = tenet.explain("Brooklyn grew quickly.")
+        link = result.find_entity("Brooklyn")
+        assert link is not None
+        explanation = explanations[link.span]
+        assert not explanation.from_coherence
+        assert explanation.partner_concept is None
+
+    def test_describe_strings(self):
+        coherent = LinkExplanation(0.42, True, "Q7")
+        prior = LinkExplanation(0.62, False)
+        assert "coherence" in coherent.describe()
+        assert "Q7" in coherent.describe()
+        assert "prior" in prior.describe()

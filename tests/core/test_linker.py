@@ -1,0 +1,118 @@
+"""End-to-end TenetLinker tests over the synthetic world."""
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.eval.runner import gold_mentions_to_spans
+from repro.nlp.spans import SpanKind
+
+
+@pytest.fixture(scope="module")
+def sample(world):
+    """A document with known gold structure built from world facts."""
+    kb = world.kb
+    person_id = world.entities_of_type("computer_science", "person")[0]
+    person = kb.get_entity(person_id)
+    topic_id = next(
+        t.obj for t in kb.triples()
+        if t.subject == person_id and t.predicate == world.predicate("field")
+    )
+    topic = kb.get_entity(topic_id)
+    city_id = world.cities[0]
+    city = kb.get_entity(city_id)
+    text = (
+        f"{person.label} studies {topic.label}. "
+        f"Glowberry Cleanse is located in {city.label}."
+    )
+    return {
+        "text": text,
+        "person": person,
+        "topic": topic,
+        "city": city,
+        "field_pid": world.predicate("field"),
+    }
+
+
+class TestLinking:
+    def test_entities_linked(self, tenet, sample):
+        result = tenet.link(sample["text"])
+        assert result.find_entity(sample["person"].label).concept_id == (
+            sample["person"].entity_id
+        )
+        assert result.find_entity(sample["topic"].label).concept_id == (
+            sample["topic"].entity_id
+        )
+
+    def test_relation_disambiguated_by_coherence(self, tenet, sample):
+        # "studies" is shared between field-of-work and educated-at; the
+        # topic object must pull it to field-of-work.
+        result = tenet.link(sample["text"])
+        link = result.find_relation("studies")
+        assert link is not None
+        assert link.concept_id == sample["field_pid"]
+
+    def test_non_linkable_detected(self, tenet, sample):
+        result = tenet.link(sample["text"])
+        assert any(
+            "Glowberry" in s.text for s in result.non_linkable
+        )
+
+    def test_results_sorted_by_position(self, tenet, sample):
+        result = tenet.link(sample["text"])
+        starts = [l.span.token_start for l in result.entity_links]
+        assert starts == sorted(starts)
+
+    def test_deterministic(self, tenet, sample):
+        a = tenet.link(sample["text"])
+        b = tenet.link(sample["text"])
+        assert [(l.surface, l.concept_id) for l in a.links] == [
+            (l.surface, l.concept_id) for l in b.links
+        ]
+
+    def test_empty_document(self, tenet):
+        result = tenet.link("")
+        assert result.links == []
+
+    def test_filler_only_document(self, tenet):
+        result = tenet.link("The announcement drew wide attention last week.")
+        assert result.entity_links == []
+
+
+class TestDiagnostics:
+    def test_diagnostics_populated(self, tenet, sample):
+        diagnostics = tenet.link_detailed(sample["text"])
+        assert diagnostics.mention_count > 0
+        assert diagnostics.group_count > 0
+        assert diagnostics.cover_edge_count >= 0
+        assert diagnostics.elapsed_seconds > 0
+        assert diagnostics.result.links
+
+    def test_cover_respects_config_bound(self, context, sample):
+        linker = TenetLinker(context, TenetConfig(tree_weight_bound=50.0))
+        diagnostics = linker.link_detailed(sample["text"])
+        assert diagnostics.cover.bound == 50.0
+
+
+class TestDisambiguationOnlyMode:
+    def test_gold_mentions_linked(self, tenet, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        document = suite.kore50.documents[0]
+        spans = gold_mentions_to_spans(document, SpanKind.NOUN)
+        result = linker.disambiguate_mentions(document.text, spans)
+        assert result.entity_links
+
+    def test_only_given_mentions_linked(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        document = suite.kore50.documents[0]
+        spans = gold_mentions_to_spans(document, SpanKind.NOUN)
+        result = linker.disambiguate_mentions(document.text, spans)
+        given = {(s.token_start, s.token_end) for s in spans}
+        for link in result.entity_links:
+            assert (link.span.token_start, link.span.token_end) in given
+
+
+class TestContext:
+    def test_context_build_indexes_everything(self, world, context):
+        assert context.alias_index.entity_alias_count() > 0
+        assert len(context.embeddings) == len(world.kb.concept_ids())

@@ -1,0 +1,52 @@
+"""Link / LinkingResult tests."""
+
+from repro.core.result import Link, LinkingResult
+from repro.nlp.spans import Span, SpanKind
+
+
+def _span(text, start, kind=SpanKind.NOUN):
+    return Span(text, start, start + len(text.split()), 0, kind)
+
+
+class TestLink:
+    def test_kind_follows_span(self):
+        link = Link(_span("Alice", 0), "Q1")
+        assert link.kind is SpanKind.NOUN
+
+    def test_surface(self):
+        assert Link(_span("Alice", 0), "Q1").surface == "Alice"
+
+    def test_score_excluded_from_equality(self):
+        a = Link(_span("Alice", 0), "Q1", score=0.1)
+        b = Link(_span("Alice", 0), "Q1", score=0.9)
+        assert a == b
+
+
+class TestLinkingResult:
+    def test_links_concatenation(self):
+        result = LinkingResult(
+            entity_links=[Link(_span("Alice", 0), "Q1")],
+            relation_links=[Link(_span("studies", 1, SpanKind.RELATION), "P1")],
+        )
+        assert len(result.links) == 2
+
+    def test_find_entity_case_insensitive(self):
+        result = LinkingResult(entity_links=[Link(_span("Alice", 0), "Q1")])
+        assert result.find_entity("alice").concept_id == "Q1"
+        assert result.find_entity("bob") is None
+
+    def test_find_relation(self):
+        result = LinkingResult(
+            relation_links=[Link(_span("studies", 1, SpanKind.RELATION), "P1")]
+        )
+        assert result.find_relation("STUDIES").concept_id == "P1"
+
+    def test_mention_lists(self):
+        result = LinkingResult(entity_links=[Link(_span("Alice", 0), "Q1")])
+        assert [s.text for s in result.entity_mentions()] == ["Alice"]
+        assert result.relation_mentions() == []
+
+    def test_empty_defaults(self):
+        result = LinkingResult()
+        assert result.links == []
+        assert result.non_linkable == []

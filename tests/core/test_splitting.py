@@ -1,0 +1,131 @@
+"""Tree splitting tests: the paper's Algorithm 2-3 guarantees.
+
+Invariants (Sec. 4.2): for bound B and every edge weight <= B,
+``split_tree`` yields a leftover containing the root with weight <= B and
+subtrees with weight in (B, 2B].
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.splitting import split_tree
+from repro.graph.tree import RootedTree
+
+
+def chain(weights, root="r"):
+    tree = RootedTree(root)
+    parent = root
+    for i, w in enumerate(weights):
+        child = f"n{i}"
+        tree.add_edge(parent, child, w)
+        parent = child
+    return tree
+
+
+class TestBasics:
+    def test_light_tree_untouched(self):
+        tree = chain([0.3, 0.3])
+        leftover, subtrees = split_tree(tree, 1.0)
+        assert subtrees == []
+        assert leftover.weight() == pytest.approx(0.6)
+        assert leftover.root == "r"
+
+    def test_singleton_tree(self):
+        leftover, subtrees = split_tree(RootedTree("m"), 1.0)
+        assert leftover.is_singleton()
+        assert subtrees == []
+
+    def test_chain_split(self):
+        tree = chain([1.0, 1.0, 1.0, 1.0])  # weight 4, bound 1
+        leftover, subtrees = split_tree(tree, 1.0)
+        assert leftover.weight() <= 1.0
+        for subtree in subtrees:
+            assert 1.0 < subtree.weight() <= 2.0
+
+    def test_star_split_bundles_siblings(self):
+        tree = RootedTree("r")
+        for i in range(6):
+            tree.add_edge("r", f"c{i}", 0.5)  # total 3.0, bound 1
+        leftover, subtrees = split_tree(tree, 1.0)
+        assert leftover.weight() <= 1.0
+        assert subtrees
+        for subtree in subtrees:
+            assert 1.0 < subtree.weight() <= 2.0
+            assert subtree.root == "r"  # shared connector node
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            split_tree(chain([0.1]), 0.0)
+
+    def test_heavy_edge_rejected(self):
+        with pytest.raises(ValueError):
+            split_tree(chain([2.0]), 1.0)
+
+    def test_original_tree_not_mutated(self):
+        tree = chain([1.0, 1.0, 1.0])
+        before = tree.weight()
+        split_tree(tree, 1.0)
+        assert tree.weight() == pytest.approx(before)
+
+    def test_root_always_in_leftover(self):
+        tree = chain([1.0] * 7)
+        leftover, _ = split_tree(tree, 1.0)
+        assert leftover.root == "r"
+        assert "r" in leftover
+
+
+def _random_tree(rng, n_nodes, max_edge):
+    tree = RootedTree("root")
+    nodes = ["root"]
+    for i in range(n_nodes):
+        parent = rng.choice(nodes)
+        child = f"n{i}"
+        tree.add_edge(parent, child, rng.uniform(0.01, max_edge))
+        nodes.append(child)
+    return tree
+
+
+class TestNodeCoverage:
+    def test_every_node_in_leftover_or_subtree(self):
+        rng = random.Random(3)
+        tree = _random_tree(rng, 25, 1.0)
+        leftover, subtrees = split_tree(tree, 1.0)
+        covered = leftover.node_set()
+        for subtree in subtrees:
+            covered |= subtree.node_set()
+        assert covered == tree.node_set()
+
+    def test_every_edge_in_exactly_one_piece(self):
+        rng = random.Random(4)
+        tree = _random_tree(rng, 25, 1.0)
+        leftover, subtrees = split_tree(tree, 1.0)
+        pieces = [leftover] + subtrees
+        total_edges = sum(p.edge_count for p in pieces)
+        assert total_edges == tree.edge_count
+        total_weight = sum(p.weight() for p in pieces)
+        assert total_weight == pytest.approx(tree.weight())
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(1, 30), st.floats(0.2, 2.0), st.integers(0, 10_000))
+    def test_weight_bounds_invariant(self, n_nodes, bound, seed):
+        """The paper's guarantees hold for random trees: w(L) <= B and
+        w(S) in (B, 2B] for every subtree."""
+        rng = random.Random(seed)
+        tree = _random_tree(rng, n_nodes, bound)
+        leftover, subtrees = split_tree(tree, bound)
+        assert leftover.weight() <= bound + 1e-9
+        for subtree in subtrees:
+            assert bound - 1e-9 < subtree.weight() <= 2 * bound + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 25), st.integers(0, 10_000))
+    def test_weight_conservation(self, n_nodes, seed):
+        rng = random.Random(seed)
+        tree = _random_tree(rng, n_nodes, 1.0)
+        leftover, subtrees = split_tree(tree, 1.0)
+        total = leftover.weight() + sum(s.weight() for s in subtrees)
+        assert total == pytest.approx(tree.weight())

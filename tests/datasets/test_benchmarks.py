@@ -1,0 +1,84 @@
+"""Benchmark suite builder tests (Table 2 shape)."""
+
+import pytest
+
+from repro.datasets.benchmarks import build_benchmark_suite
+from repro.eval.statistics import dataset_statistics
+
+
+class TestSuite:
+    def test_four_datasets(self, suite):
+        names = [d.name for d in suite.datasets()]
+        assert names == ["News", "T-REx42", "KORE50", "MSNBC19"]
+
+    def test_dataset_lookup(self, suite):
+        assert suite.dataset("kore50").name == "KORE50"
+        with pytest.raises(KeyError):
+            suite.dataset("nope")
+
+    def test_advertisement_subset(self, suite):
+        ads = suite.advertisement_subset()
+        assert len(ads) >= 2
+        assert all(d.doc_id.startswith("news-ad-") for d in ads)
+
+    def test_scale_shrinks_counts(self):
+        small = build_benchmark_suite(seed=7, scale=0.1)
+        assert len(small.kore50) < 50
+
+    def test_full_scale_counts(self):
+        # paper sizes: 16 / 42 / 50 / 19 documents
+        full = build_benchmark_suite(seed=7, scale=1.0)
+        assert len(full.news) == 16
+        assert len(full.trex42) == 42
+        assert len(full.kore50) == 50
+        assert len(full.msnbc19) == 19
+
+    def test_deterministic(self):
+        a = build_benchmark_suite(seed=9, scale=0.1)
+        b = build_benchmark_suite(seed=9, scale=0.1)
+        assert a.news.documents[0].text == b.news.documents[0].text
+
+
+class TestTable2Shape:
+    """The analogs must mirror the paper's dataset profile (Table 2)."""
+
+    def test_kore50_is_short_text(self, suite):
+        stats = dataset_statistics(suite.kore50)
+        assert stats.words_per_document < 25
+
+    def test_msnbc_is_longest(self, suite):
+        lengths = {
+            d.name: dataset_statistics(d).words_per_document
+            for d in suite.datasets()
+        }
+        assert lengths["MSNBC19"] == max(lengths.values())
+
+    def test_msnbc_has_most_entities_per_doc(self, suite):
+        per_doc = {
+            d.name: dataset_statistics(d).nouns_per_document
+            for d in suite.datasets()
+        }
+        assert per_doc["MSNBC19"] == max(per_doc.values())
+
+    def test_relation_gold_only_for_news_and_trex(self, suite):
+        assert suite.news.has_relation_gold
+        assert suite.trex42.has_relation_gold
+        assert not suite.kore50.has_relation_gold
+        assert not suite.msnbc19.has_relation_gold
+
+    def test_news_has_non_linkable_nouns(self, suite):
+        stats = dataset_statistics(suite.news)
+        assert stats.non_linkable_noun_fraction > 0.1
+
+    def test_kore50_nearly_fully_linkable(self, suite):
+        stats = dataset_statistics(suite.kore50)
+        assert stats.non_linkable_noun_fraction < 0.05
+
+    def test_relation_non_linkable_fraction_high(self, suite):
+        news = dataset_statistics(suite.news)
+        assert news.non_linkable_relation_fraction > 0.15
+
+    def test_ad_docs_dominated_by_non_linkables(self, suite):
+        ads = dataset_statistics(suite.advertisement_subset())
+        normal = dataset_statistics(suite.news)
+        assert ads.non_linkable_noun_fraction > normal.non_linkable_noun_fraction

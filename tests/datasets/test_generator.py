@@ -1,0 +1,145 @@
+"""Document generator tests."""
+
+import pytest
+
+from repro.datasets.generator import DocumentGenerator, DocumentSpec, _ing_form
+from repro.nlp.spans import SpanKind
+from repro.textnorm import normalize_phrase
+
+
+@pytest.fixture(scope="module")
+def generator(world):
+    return DocumentGenerator(world, seed=42)
+
+
+@pytest.fixture(scope="module")
+def document(generator):
+    spec = DocumentSpec(
+        domain="computer_science",
+        facts=4,
+        isolated_facts=1,
+        non_linkable_noun_sentences=1,
+        non_linkable_relation_sentences=1,
+        filler_sentences=3,
+    )
+    return generator.generate("doc-0", spec)
+
+
+class TestOffsets:
+    def test_gold_surfaces_match_text(self, document):
+        for gold in document.gold:
+            assert document.text[gold.char_start : gold.char_end] == gold.surface
+
+    def test_gold_spans_non_empty(self, document):
+        for gold in document.gold:
+            assert gold.char_end > gold.char_start
+
+
+class TestComposition:
+    def test_has_linkable_nouns_and_relations(self, document):
+        assert document.gold_entities(linkable_only=True)
+        assert document.gold_relations(linkable_only=True)
+
+    def test_has_non_linkable_gold(self, document):
+        assert document.non_linkable_gold()
+
+    def test_gold_concepts_exist_in_kb(self, document, world):
+        for gold in document.gold:
+            if gold.concept_id is None:
+                continue
+            if gold.kind is SpanKind.NOUN:
+                assert world.kb.has_entity(gold.concept_id)
+            else:
+                assert world.kb.has_predicate(gold.concept_id)
+
+    def test_linkable_surfaces_are_aliases_unless_oov(self, document, world):
+        """Most linkable noun golds use a KB alias of their concept (a
+        controlled fraction is deliberately OOV)."""
+        aliased = 0
+        total = 0
+        for gold in document.gold_entities(linkable_only=True):
+            total += 1
+            entity = world.kb.get_entity(gold.concept_id)
+            if normalize_phrase(gold.surface) in {
+                normalize_phrase(a) for a in entity.aliases
+            }:
+                aliased += 1
+        assert aliased >= total * 0.5
+
+    def test_annotate_relations_false_omits_relation_gold(self, generator):
+        spec = DocumentSpec(domain="music", facts=3, annotate_relations=False)
+        doc = generator.generate("no-rel", spec)
+        assert doc.gold_relations() == []
+        assert doc.gold_entities()
+
+    def test_deterministic(self, world):
+        a = DocumentGenerator(world, seed=5).generate(
+            "d", DocumentSpec(domain="cinema")
+        )
+        b = DocumentGenerator(world, seed=5).generate(
+            "d", DocumentSpec(domain="cinema")
+        )
+        assert a.text == b.text
+        assert a.gold == b.gold
+
+    def test_filler_stretches_document(self, generator):
+        short = generator.generate(
+            "s", DocumentSpec(domain="politics", filler_sentences=0)
+        )
+        long = generator.generate(
+            "l", DocumentSpec(domain="politics", filler_sentences=20)
+        )
+        assert long.word_count > short.word_count
+
+
+class TestTraps:
+    def test_isolated_trap_uses_dominant_sense(self, world):
+        generator = DocumentGenerator(world, seed=3)
+        trap = generator._find_isolated_trap("computer_science")
+        if trap is None:
+            pytest.skip("no trap available")
+        fact, alias = trap
+        owners = generator._alias_owners[normalize_phrase(alias)]
+        top = max(owners, key=lambda e: world.kb.get_entity(e).popularity)
+        assert fact.subject == top
+
+    def test_trap_filtered_against_document(self, world):
+        from repro.datasets.generator import _DocBuilder
+        from repro.datasets.schema import GoldMention
+
+        generator = DocumentGenerator(world, seed=3)
+        options = generator._trap_options("computer_science")
+        if not options:
+            pytest.skip("no trap available")
+        _, _, wrong_owners = options[0]
+        neighbour = next(
+            iter(world.kb.entity_neighbours(wrong_owners[0])), None
+        )
+        if neighbour is None:
+            pytest.skip("wrong owner has no neighbours")
+        builder = _DocBuilder()
+        builder.add("X", SpanKind.NOUN, neighbour, annotate=True)
+        trap = generator._find_isolated_trap("computer_science", builder)
+        if trap is not None:
+            fact, alias = trap
+            owners = generator._alias_owners[normalize_phrase(alias)]
+            for owner in owners:
+                record = world.kb.get_entity(owner)
+                if record.domain == "computer_science":
+                    assert neighbour not in world.kb.entity_neighbours(owner)
+
+
+class TestIngForm:
+    @pytest.mark.parametrize(
+        "verb,expected",
+        [
+            ("studies", "studying"),
+            ("lives", "living"),
+            ("works", "working"),
+            ("directed", "directing"),
+            ("won", "winning"),
+            ("wrote", "writing"),
+        ],
+    )
+    def test_forms(self, verb, expected):
+        assert _ing_form(verb) == expected

@@ -1,0 +1,35 @@
+"""Dataset JSON persistence tests."""
+
+import pytest
+
+from repro.datasets.loaders import (
+    dataset_from_json,
+    dataset_to_json,
+    load_dataset,
+    save_dataset,
+)
+
+
+class TestRoundTrip:
+    def test_in_memory(self, suite):
+        payload = dataset_to_json(suite.kore50)
+        rebuilt = dataset_from_json(payload)
+        assert rebuilt.name == suite.kore50.name
+        assert len(rebuilt) == len(suite.kore50)
+        assert rebuilt.documents[0].gold == suite.kore50.documents[0].gold
+
+    def test_file(self, suite, tmp_path):
+        path = tmp_path / "kore.json"
+        save_dataset(suite.kore50, path)
+        rebuilt = load_dataset(path)
+        assert rebuilt.documents[0].text == suite.kore50.documents[0].text
+
+    def test_relation_gold_flag_preserved(self, suite):
+        rebuilt = dataset_from_json(dataset_to_json(suite.msnbc19))
+        assert rebuilt.has_relation_gold is False
+
+    def test_unknown_version_rejected(self, suite):
+        payload = dataset_to_json(suite.kore50)
+        payload["format_version"] = 42
+        with pytest.raises(ValueError):
+            dataset_from_json(payload)

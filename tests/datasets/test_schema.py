@@ -1,0 +1,71 @@
+"""Gold annotation schema tests."""
+
+import pytest
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.nlp.spans import SpanKind
+
+
+def gold(surface, start, kind=SpanKind.NOUN, concept="Q1"):
+    return GoldMention(surface, start, start + len(surface), kind, concept)
+
+
+class TestGoldMention:
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError):
+            GoldMention("x", 5, 5, SpanKind.NOUN, "Q1")
+
+    def test_linkable_flag(self):
+        assert gold("a", 0).is_linkable
+        assert not gold("a", 0, concept=None).is_linkable
+
+    def test_overlap(self):
+        g = gold("Alice", 10)
+        assert g.overlaps_chars(12, 20)
+        assert not g.overlaps_chars(15, 20)
+        assert not g.overlaps_chars(0, 10)
+
+
+class TestAnnotatedDocument:
+    def _doc(self):
+        return AnnotatedDocument(
+            "d1",
+            "Alice studies math",
+            [
+                gold("Alice", 0),
+                gold("studies", 6, SpanKind.RELATION, "P1"),
+                gold("math", 14, concept=None),
+            ],
+        )
+
+    def test_gold_entities(self):
+        doc = self._doc()
+        assert len(doc.gold_entities()) == 2
+        assert len(doc.gold_entities(linkable_only=True)) == 1
+
+    def test_gold_relations(self):
+        assert len(self._doc().gold_relations()) == 1
+
+    def test_non_linkable(self):
+        assert len(self._doc().non_linkable_gold()) == 1
+
+    def test_word_count(self):
+        assert self._doc().word_count == 3
+
+
+class TestDataset:
+    def test_iteration_and_len(self):
+        ds = Dataset("t", [AnnotatedDocument("a", "x"), AnnotatedDocument("b", "y")])
+        assert len(ds) == 2
+        assert [d.doc_id for d in ds] == ["a", "b"]
+
+    def test_words_per_document(self):
+        ds = Dataset("t", [AnnotatedDocument("a", "one two"),
+                           AnnotatedDocument("b", "three four five six")])
+        assert ds.words_per_document == 3.0
+
+    def test_subset(self):
+        ds = Dataset("t", [AnnotatedDocument("a", "x"), AnnotatedDocument("b", "y")])
+        sub = ds.subset(["b"])
+        assert len(sub) == 1
+        assert sub.documents[0].doc_id == "b"

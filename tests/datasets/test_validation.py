@@ -1,0 +1,81 @@
+"""Dataset validation tests."""
+
+import pytest
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.datasets.validation import validate_dataset
+from repro.nlp.spans import SpanKind
+
+
+class TestGeneratedCorporaAreValid:
+    def test_all_suite_datasets_validate(self, suite):
+        for dataset in suite.datasets():
+            report = validate_dataset(dataset, suite.world.kb)
+            assert report.ok, [str(p) for p in report.errors]
+
+
+class TestErrorDetection:
+    def _dataset(self, documents, has_relation_gold=True):
+        return Dataset("broken", documents, has_relation_gold=has_relation_gold)
+
+    def test_out_of_bounds_span(self):
+        doc = AnnotatedDocument(
+            "d", "short", [GoldMention("ghost", 10, 15, SpanKind.NOUN, "Q1")]
+        )
+        report = validate_dataset(self._dataset([doc]))
+        assert not report.ok
+        assert "outside" in report.errors[0].message
+
+    def test_surface_mismatch(self):
+        doc = AnnotatedDocument(
+            "d",
+            "Alice went home",
+            [GoldMention("Bobby", 0, 5, SpanKind.NOUN, "Q1")],
+        )
+        report = validate_dataset(self._dataset([doc]))
+        assert not report.ok
+        assert "does not match" in report.errors[0].message
+
+    def test_unknown_concept_with_kb(self, world):
+        doc = AnnotatedDocument(
+            "d",
+            "Alice went home",
+            [GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q999999")],
+        )
+        report = validate_dataset(self._dataset([doc]), world.kb)
+        assert not report.ok
+        assert "unknown" in report.errors[0].message
+
+    def test_kind_concept_mismatch(self, world):
+        pid = next(iter(world.predicate_ids.values()))
+        doc = AnnotatedDocument(
+            "d",
+            "Alice went home",
+            [GoldMention("Alice", 0, 5, SpanKind.NOUN, pid)],
+        )
+        report = validate_dataset(self._dataset([doc]), world.kb)
+        assert not report.ok
+
+    def test_relation_gold_in_entity_only_dataset(self):
+        doc = AnnotatedDocument(
+            "d",
+            "Alice went home",
+            [GoldMention("went", 6, 10, SpanKind.RELATION, "P1")],
+        )
+        report = validate_dataset(
+            self._dataset([doc], has_relation_gold=False)
+        )
+        assert not report.ok
+
+    def test_duplicate_annotation_warns(self):
+        gold = GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q1")
+        doc = AnnotatedDocument("d", "Alice went home", [gold, gold])
+        report = validate_dataset(self._dataset([doc]))
+        assert report.ok  # warnings only
+        assert report.warnings
+
+    def test_empty_document_warns(self):
+        doc = AnnotatedDocument("d", "no annotations here")
+        report = validate_dataset(self._dataset([doc]))
+        assert report.ok
+        assert any("no gold" in w.message for w in report.warnings)

@@ -1,0 +1,84 @@
+"""Embedding store tests."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.store import EmbeddingStore
+
+
+@pytest.fixture
+def store():
+    s = EmbeddingStore(4)
+    s.add("Q1", np.array([1.0, 0.0, 0.0, 0.0]))
+    s.add("Q2", np.array([0.0, 2.0, 0.0, 0.0]))
+    s.add("Q3", np.array([3.0, 0.0, 0.0, 0.0]))
+    return s
+
+
+class TestConstruction:
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            EmbeddingStore(0)
+
+    def test_duplicate_id_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("Q1", np.ones(4))
+
+    def test_wrong_dimension_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.add("Q9", np.ones(3))
+
+    def test_from_matrix(self):
+        matrix = np.eye(3, dtype=np.float32)
+        s = EmbeddingStore.from_matrix(["a", "b", "c"], matrix)
+        assert len(s) == 3
+        assert s.cosine("a", "b") == pytest.approx(0.0)
+
+    def test_from_matrix_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            EmbeddingStore.from_matrix(["a"], np.eye(2))
+
+    def test_from_matrix_duplicate_ids(self):
+        with pytest.raises(ValueError):
+            EmbeddingStore.from_matrix(["a", "a"], np.eye(2))
+
+
+class TestQueries:
+    def test_vectors_normalised(self, store):
+        assert np.linalg.norm(store.vector("Q2")) == pytest.approx(1.0)
+
+    def test_cosine_parallel(self, store):
+        assert store.cosine("Q1", "Q3") == pytest.approx(1.0)
+
+    def test_cosine_orthogonal(self, store):
+        assert store.cosine("Q1", "Q2") == pytest.approx(0.0)
+
+    def test_distance(self, store):
+        assert store.distance("Q1", "Q3") == pytest.approx(0.0)
+        assert store.distance("Q1", "Q2") == pytest.approx(1.0)
+
+    def test_contains(self, store):
+        assert "Q1" in store
+        assert "Q9" not in store
+
+    def test_nearest(self, store):
+        nearest = store.nearest("Q1", k=1)
+        assert nearest[0][0] == "Q3"
+
+    def test_nearest_excludes_self(self, store):
+        nearest = store.nearest("Q1", k=5)
+        assert all(cid != "Q1" for cid, _ in nearest)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, store, tmp_path):
+        store.save(tmp_path)
+        loaded = EmbeddingStore.load(tmp_path)
+        assert loaded.ids() == store.ids()
+        assert loaded.cosine("Q1", "Q3") == pytest.approx(1.0)
+
+    def test_memory_mapped_load(self, store, tmp_path):
+        store.save(tmp_path)
+        loaded = EmbeddingStore.load(tmp_path, mmap=True)
+        # memory-mapped matrix still serves queries
+        assert loaded.distance("Q1", "Q2") == pytest.approx(1.0)

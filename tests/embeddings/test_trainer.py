@@ -1,0 +1,92 @@
+"""Embedding trainer tests: determinism and relatedness structure."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.trainer import EmbeddingTrainer, TrainerConfig
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+
+def _two_cluster_kb():
+    kb = KnowledgeBase()
+    kb.add_predicate(PredicateRecord("P1", "related to"))
+    for i in range(8):
+        kb.add_entity(EntityRecord(f"A{i}", f"A {i}"))
+        kb.add_entity(EntityRecord(f"B{i}", f"B {i}"))
+    for i in range(8):
+        for j in range(i + 1, 8):
+            kb.add_fact(Triple(f"A{i}", "P1", f"A{j}"))
+            kb.add_fact(Triple(f"B{i}", "P1", f"B{j}"))
+    return kb
+
+
+class TestConfig:
+    def test_invalid_self_weight(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(self_weight=1.5)
+
+    def test_invalid_sweeps(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(sweeps=-1)
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            TrainerConfig(dimension=0)
+
+
+class TestTraining:
+    def test_deterministic(self):
+        kb = _two_cluster_kb()
+        a = EmbeddingTrainer(kb, TrainerConfig(seed=5)).train()
+        b = EmbeddingTrainer(kb, TrainerConfig(seed=5)).train()
+        for cid in kb.concept_ids():
+            assert np.allclose(a.vector(cid), b.vector(cid))
+
+    def test_covers_all_concepts(self):
+        kb = _two_cluster_kb()
+        store = EmbeddingTrainer(kb).train()
+        assert set(store.ids()) == set(kb.concept_ids())
+
+    def test_intra_cluster_closer_than_inter(self):
+        kb = _two_cluster_kb()
+        store = EmbeddingTrainer(kb, TrainerConfig(dimension=128)).train()
+        intra = store.cosine("A0", "A1")
+        inter = store.cosine("A0", "B0")
+        assert intra > inter + 0.2
+
+    def test_predicates_embedded_with_entities(self):
+        kb = _two_cluster_kb()
+        store = EmbeddingTrainer(kb).train()
+        assert "P1" in store
+
+    def test_empty_kb(self):
+        store = EmbeddingTrainer(KnowledgeBase()).train()
+        assert len(store) == 0
+
+    def test_zero_sweeps_keeps_random_init(self):
+        kb = _two_cluster_kb()
+        store = EmbeddingTrainer(kb, TrainerConfig(sweeps=0, dimension=128)).train()
+        # without propagation, cluster structure is absent
+        assert abs(store.cosine("A0", "A1")) < 0.4
+
+    def test_adjacency_includes_predicate_links(self):
+        kb = _two_cluster_kb()
+        adjacency = EmbeddingTrainer(kb).build_adjacency()
+        assert "P1" in adjacency["A0"]
+        assert "A0" in adjacency["P1"]
+
+    def test_world_embeddings_domain_structure(self, world, context):
+        """In the synthetic world, a person is closer to their own
+        domain's concepts than to a random other domain's."""
+        store = context.embeddings
+        cs_people = world.entities_of_type("computer_science", "person")
+        cs_topics = world.entities_of_type("computer_science", "field")
+        music_topics = world.entities_of_type("music", "field")
+        same = np.mean(
+            [store.cosine(cs_people[0], t) for t in cs_topics]
+        )
+        other = np.mean(
+            [store.cosine(cs_people[0], t) for t in music_topics]
+        )
+        assert same > other

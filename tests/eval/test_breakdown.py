@@ -1,0 +1,48 @@
+"""Performance breakdown tests."""
+
+import pytest
+
+from repro.analysis.breakdown import PerformanceBreakdown
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+
+
+@pytest.fixture(scope="module")
+def breakdown(suite_context):
+    return PerformanceBreakdown(suite_context)
+
+
+class TestBreakdowns:
+    def test_domain_totals_cover_all_linkable_gold(self, breakdown, suite, suite_context):
+        result = breakdown.by_domain(TenetLinker(suite_context), suite.kore50)
+        gold_total = sum(
+            1
+            for d in suite.kore50
+            for g in d.gold_entities(linkable_only=True)
+        )
+        assert sum(result.total.values()) == gold_total
+
+    def test_accuracies_bounded(self, breakdown, suite, suite_context):
+        result = breakdown.by_type(TenetLinker(suite_context), suite.news)
+        for category in result.categories():
+            assert 0.0 <= result.accuracy(category) <= 1.0
+            assert result.correct.get(category, 0) <= result.total[category]
+
+    def test_ambiguity_buckets(self, breakdown, suite, suite_context):
+        result = breakdown.by_ambiguity(TenetLinker(suite_context), suite.kore50)
+        assert set(result.total) <= {"unambiguous", "2-3 senses", "4+ senses"}
+
+    def test_falcon_suffers_on_ambiguous_bucket(self, breakdown, suite, suite_context):
+        """Falcon's accuracy gap vs TENET concentrates in the ambiguous
+        buckets — the quantitative form of its known weakness."""
+        falcon = breakdown.by_ambiguity(FalconLinker(suite_context), suite.kore50)
+        tenet = breakdown.by_ambiguity(TenetLinker(suite_context), suite.kore50)
+        hard = "4+ senses"
+        if falcon.total.get(hard, 0) >= 5:
+            assert tenet.accuracy(hard) > falcon.accuracy(hard)
+
+    def test_rows_render(self, breakdown, suite, suite_context):
+        result = breakdown.by_domain(TenetLinker(suite_context), suite.kore50)
+        rows = result.rows()
+        assert rows[0].startswith("TENET")
+        assert len(rows) == len(result.categories()) + 1

@@ -1,0 +1,36 @@
+"""Operating-point curve tests."""
+
+import pytest
+
+from repro.eval.curves import best_f1_point, threshold_curve
+
+
+@pytest.fixture(scope="module")
+def curve(suite, suite_context):
+    return threshold_curve(
+        suite_context, suite.news, thresholds=(0.7, 0.85, 1.0)
+    )
+
+
+class TestThresholdCurve:
+    def test_one_point_per_threshold(self, curve):
+        assert [p.threshold for p in curve] == [0.7, 0.85, 1.0]
+
+    def test_recall_monotone_in_threshold(self, curve):
+        """Raising the threshold only permits more links."""
+        recalls = [p.recall for p in curve]
+        assert recalls == sorted(recalls)
+
+    def test_metrics_bounded(self, curve):
+        for point in curve:
+            assert 0.0 <= point.precision <= 1.0
+            assert 0.0 <= point.recall <= 1.0
+            assert 0.0 <= point.f1 <= 1.0
+
+    def test_best_f1_point(self, curve):
+        best = best_f1_point(curve)
+        assert best.f1 == max(p.f1 for p in curve)
+
+    def test_best_f1_empty_raises(self):
+        with pytest.raises(ValueError):
+            best_f1_point([])

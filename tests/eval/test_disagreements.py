@@ -1,0 +1,50 @@
+"""Disagreement analysis tests."""
+
+import pytest
+
+from repro.analysis.disagreements import find_disagreements
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+
+
+@pytest.fixture(scope="module")
+def report(suite, suite_context):
+    return find_disagreements(
+        TenetLinker(suite_context), FalconLinker(suite_context), suite.kore50
+    )
+
+
+class TestDisagreements:
+    def test_partition_is_total(self, report, suite):
+        linkable = sum(
+            1
+            for d in suite.kore50
+            for g in d.gold
+            if g.concept_id is not None
+        )
+        assert report.agreements + len(report.disagreements) == linkable
+
+    def test_tenet_wins_more_than_falcon_on_kore(self, report):
+        assert len(report.a_wins()) > len(report.b_wins())
+
+    def test_winner_classification_consistent(self, report):
+        for d in report.disagreements:
+            assert d.winner in ("a", "b", "neither")
+            if d.winner == "a":
+                assert d.a_correct and not d.b_correct
+            if d.winner == "neither":
+                assert not d.a_correct and not d.b_correct
+
+    def test_predictions_differ_in_every_disagreement(self, report):
+        for d in report.disagreements:
+            assert d.prediction_a != d.prediction_b
+
+    def test_summary_lines(self, report):
+        lines = report.summary_lines()
+        assert lines[0].startswith("TENET vs Falcon")
+        assert len(lines) == 5
+
+    def test_self_comparison_has_no_disagreements(self, suite, suite_context):
+        linker = TenetLinker(suite_context)
+        self_report = find_disagreements(linker, linker, suite.kore50)
+        assert self_report.disagreements == []

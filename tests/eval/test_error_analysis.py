@@ -1,0 +1,96 @@
+"""Error analysis tests."""
+
+import pytest
+
+from repro.analysis import Diagnosis, ErrorAnalyzer
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+
+
+@pytest.fixture(scope="module")
+def analyzer(suite_context):
+    return ErrorAnalyzer(suite_context)
+
+
+class TestReport:
+    def test_every_gold_classified(self, analyzer, suite, suite_context):
+        linker = TenetLinker(suite_context)
+        report = analyzer.analyze(linker, suite.kore50)
+        gold_total = sum(len(d.gold) for d in suite.kore50)
+        assert len(report.cases) == gold_total
+
+    def test_relation_gold_skipped_when_absent(self, analyzer, suite, suite_context):
+        linker = TenetLinker(suite_context)
+        report = analyzer.analyze(linker, suite.msnbc19)
+        from repro.nlp.spans import SpanKind
+
+        assert all(c.kind is SpanKind.NOUN for c in report.cases)
+
+    def test_accuracy_between_zero_and_one(self, analyzer, suite, suite_context):
+        report = analyzer.analyze(TenetLinker(suite_context), suite.news)
+        assert 0.0 <= report.accuracy <= 1.0
+
+    def test_summary_lines(self, analyzer, suite, suite_context):
+        report = analyzer.analyze(TenetLinker(suite_context), suite.kore50)
+        lines = report.summary_lines()
+        assert "accuracy" in lines[0]
+        assert len(lines) >= 2
+
+
+class TestDiagnoses:
+    def test_falcon_shows_prior_bias(self, analyzer, suite, suite_context):
+        """Falcon's characteristic error on ambiguous corpora is linking
+        the popular sense: PRIOR_BIAS must appear in its error profile."""
+        report = analyzer.analyze(FalconLinker(suite_context), suite.kore50)
+        counts = report.counts()
+        assert counts.get(Diagnosis.PRIOR_BIAS, 0) > 0
+
+    def test_tenet_fewer_prior_bias_errors_than_falcon(
+        self, analyzer, suite, suite_context
+    ):
+        falcon = analyzer.analyze(FalconLinker(suite_context), suite.kore50)
+        tenet = analyzer.analyze(TenetLinker(suite_context), suite.kore50)
+        assert tenet.counts().get(Diagnosis.PRIOR_BIAS, 0) < falcon.counts().get(
+            Diagnosis.PRIOR_BIAS, 0
+        )
+
+    def test_correct_abstain_on_non_linkables(self, analyzer, suite, suite_context):
+        report = analyzer.analyze(TenetLinker(suite_context), suite.news)
+        counts = report.counts()
+        assert counts.get(Diagnosis.CORRECT_ABSTAIN, 0) > 0
+
+    def test_oov_surfaces_detected(self, analyzer, suite, suite_context):
+        """OOV surfaces ('Dr Wilson', 'is studying') must be diagnosed
+        as alias-coverage gaps; a corpus rendered with forced OOV makes
+        the signal deterministic."""
+        from repro.datasets.generator import DocumentGenerator, DocumentSpec
+        from repro.datasets.schema import Dataset
+
+        generator = DocumentGenerator(suite.world, seed=77)
+        documents = [
+            generator.generate(
+                f"oov-{i}",
+                DocumentSpec(
+                    domain="computer_science",
+                    facts=3,
+                    isolated_facts=0,
+                    non_linkable_noun_sentences=0,
+                    non_linkable_relation_sentences=0,
+                    filler_sentences=0,
+                    oov_noun_prob=1.0,
+                ),
+            )
+            for i in range(3)
+        ]
+        dataset = Dataset("oov", documents, has_relation_gold=True)
+        report = analyzer.analyze(TenetLinker(suite_context), dataset)
+        counts = report.counts()
+        assert counts.get(Diagnosis.OOV_SURFACE, 0) > 0
+
+    def test_errors_listing(self, analyzer, suite, suite_context):
+        report = analyzer.analyze(FalconLinker(suite_context), suite.kore50)
+        for case in report.errors():
+            assert case.diagnosis not in (
+                Diagnosis.CORRECT,
+                Diagnosis.CORRECT_ABSTAIN,
+            )

@@ -1,0 +1,152 @@
+"""Metric tests: the matching protocol behind Tables 3-4 and Fig. 6."""
+
+import pytest
+
+from repro.core.result import Link, LinkingResult
+from repro.datasets.schema import AnnotatedDocument, GoldMention
+from repro.eval.metrics import (
+    PRF,
+    aggregate,
+    score_entity_linking,
+    score_isolated_detection,
+    score_mention_detection,
+    score_relation_linking,
+)
+from repro.nlp.spans import Span, SpanKind
+
+
+def span(text, char_start, kind=SpanKind.NOUN):
+    return Span(
+        text, 0, max(len(text.split()), 1), 0, kind,
+        char_start=char_start, char_end=char_start + len(text),
+    )
+
+
+def doc(*gold):
+    return AnnotatedDocument("d", "x" * 200, list(gold))
+
+
+def gold(surface, start, kind=SpanKind.NOUN, concept="Q1"):
+    return GoldMention(surface, start, start + len(surface), kind, concept)
+
+
+class TestPRF:
+    def test_zero_division_safe(self):
+        empty = PRF()
+        assert empty.precision == 0.0
+        assert empty.recall == 0.0
+        assert empty.f1 == 0.0
+
+    def test_f1_harmonic_mean(self):
+        prf = PRF(correct=1, predicted=2, gold=1)
+        assert prf.precision == 0.5
+        assert prf.recall == 1.0
+        assert prf.f1 == pytest.approx(2 / 3)
+
+    def test_merge(self):
+        merged = PRF(1, 2, 3).merge(PRF(4, 5, 6))
+        assert (merged.correct, merged.predicted, merged.gold) == (5, 7, 9)
+
+    def test_aggregate_micro(self):
+        total = aggregate([PRF(1, 1, 2), PRF(0, 1, 2)])
+        assert total.precision == 0.5
+        assert total.recall == 0.25
+
+
+class TestEntityLinking:
+    def test_correct_link(self):
+        result = LinkingResult(entity_links=[Link(span("Alice", 0), "Q1")])
+        prf = score_entity_linking(result, doc(gold("Alice", 0)))
+        assert (prf.correct, prf.predicted, prf.gold) == (1, 1, 1)
+
+    def test_wrong_concept_penalised(self):
+        result = LinkingResult(entity_links=[Link(span("Alice", 0), "Q9")])
+        prf = score_entity_linking(result, doc(gold("Alice", 0)))
+        assert (prf.correct, prf.predicted) == (0, 1)
+
+    def test_prediction_outside_annotation_ignored(self):
+        result = LinkingResult(entity_links=[Link(span("Ghost", 100), "Q9")])
+        prf = score_entity_linking(result, doc(gold("Alice", 0)))
+        assert prf.predicted == 0
+
+    def test_link_on_non_linkable_gold_is_error(self):
+        result = LinkingResult(entity_links=[Link(span("Fresh", 0), "Q9")])
+        prf = score_entity_linking(
+            result, doc(gold("Fresh", 0, concept=None))
+        )
+        assert (prf.correct, prf.predicted) == (0, 1)
+
+    def test_recall_over_linkable_gold_only(self):
+        prf = score_entity_linking(
+            LinkingResult(), doc(gold("A", 0), gold("B", 10, concept=None))
+        )
+        assert prf.gold == 1
+
+    def test_overlap_matching(self):
+        # predicted span overlaps gold partially but concept matches
+        result = LinkingResult(entity_links=[Link(span("Nina Wilson", 0), "Q1")])
+        prf = score_entity_linking(result, doc(gold("Wilson", 5)))
+        assert prf.correct == 1
+
+    def test_duplicate_predictions_count_once_for_recall(self):
+        result = LinkingResult(
+            entity_links=[
+                Link(span("Alice", 0), "Q1"),
+                Link(span("Alice", 2), "Q1"),
+            ]
+        )
+        prf = score_entity_linking(result, doc(gold("Alice", 0)))
+        assert prf.correct == 1
+        assert prf.predicted == 2
+
+
+class TestRelationLinking:
+    def test_kind_separation(self):
+        result = LinkingResult(
+            relation_links=[Link(span("studies", 6, SpanKind.RELATION), "P1")]
+        )
+        document = doc(
+            gold("Alice", 0),
+            gold("studies", 6, SpanKind.RELATION, "P1"),
+        )
+        assert score_relation_linking(result, document).correct == 1
+        assert score_entity_linking(result, document).predicted == 0
+
+
+class TestMentionDetection:
+    def test_exact_boundary_required(self):
+        result = LinkingResult(entity_links=[Link(span("Nina Wilson", 0), "Q1")])
+        exact = doc(gold("Nina Wilson", 0))
+        loose = doc(gold("Wilson", 5))
+        assert score_mention_detection(result, exact).correct == 1
+        assert score_mention_detection(result, loose).correct == 0
+
+    def test_non_linkable_reports_count_as_detections(self):
+        result = LinkingResult(non_linkable=[span("Fresh", 0)])
+        prf = score_mention_detection(result, doc(gold("Fresh", 0, concept=None)))
+        assert prf.correct == 1
+
+    def test_gold_includes_non_linkable(self):
+        prf = score_mention_detection(
+            LinkingResult(), doc(gold("A", 0), gold("B", 10, concept=None))
+        )
+        assert prf.gold == 2
+
+
+class TestIsolatedDetection:
+    def test_correct_report(self):
+        result = LinkingResult(non_linkable=[span("Fresh", 0)])
+        prf = score_isolated_detection(
+            result, doc(gold("Fresh", 0, concept=None))
+        )
+        assert (prf.correct, prf.predicted, prf.gold) == (1, 1, 1)
+
+    def test_report_on_linkable_gold_is_error(self):
+        result = LinkingResult(non_linkable=[span("Alice", 0)])
+        prf = score_isolated_detection(result, doc(gold("Alice", 0)))
+        assert (prf.correct, prf.predicted) == (0, 1)
+
+    def test_report_outside_annotation_ignored(self):
+        result = LinkingResult(non_linkable=[span("Observers", 150)])
+        prf = score_isolated_detection(result, doc(gold("Alice", 0)))
+        assert prf.predicted == 0

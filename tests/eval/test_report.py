@@ -1,0 +1,92 @@
+"""Markdown report rendering tests."""
+
+import pytest
+
+from repro.analysis import ErrorAnalyzer
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+from repro.eval.report import (
+    render_error_report,
+    render_report,
+    render_statistics,
+    render_task_table,
+)
+from repro.eval.runner import EvaluationRunner
+from repro.eval.statistics import dataset_statistics
+
+
+@pytest.fixture(scope="module")
+def scores(suite, suite_context):
+    runner = EvaluationRunner(
+        [FalconLinker(suite_context), TenetLinker(suite_context)]
+    )
+    return {
+        ds.name: runner.evaluate(ds)
+        for ds in (suite.news, suite.kore50)
+    }
+
+
+class TestRendering:
+    def test_statistics_table(self, suite):
+        lines = render_statistics(
+            [dataset_statistics(d) for d in suite.datasets()]
+        )
+        assert lines[0].startswith("| Dataset")
+        assert any("KORE50" in line for line in lines)
+
+    def test_task_table_includes_all_systems(self, scores):
+        lines = render_task_table(scores, "entity", "EL")
+        body = "\n".join(lines)
+        assert "TENET" in body and "Falcon" in body
+        assert "News" in body and "KORE50" in body
+
+    def test_missing_relation_scores_dashed(self, scores):
+        lines = render_task_table(scores, "relation", "RL")
+        kore_row = next(l for l in lines if l.startswith("| TENET"))
+        assert "—" in kore_row  # KORE50 has no relation gold
+
+    def test_error_report_section(self, suite, suite_context):
+        analyzer = ErrorAnalyzer(suite_context)
+        report = analyzer.analyze(FalconLinker(suite_context), suite.kore50)
+        lines = render_error_report(report)
+        assert any("accuracy" in line for line in lines)
+        assert any("| prior_bias |" in line or "| correct |" in line
+                   for line in lines)
+
+    def test_full_report(self, scores, suite, suite_context):
+        analyzer = ErrorAnalyzer(suite_context)
+        error_report = analyzer.analyze(
+            TenetLinker(suite_context), suite.kore50
+        )
+        document = render_report(
+            scores,
+            statistics=[dataset_statistics(d) for d in suite.datasets()],
+            error_reports=[error_report],
+        )
+        assert document.startswith("# TENET reproduction report")
+        for section in (
+            "## Dataset statistics",
+            "## End-to-end results",
+            "### Entity linking",
+            "## Error analysis",
+        ):
+            assert section in document
+
+    def test_report_is_valid_markdown_tables(self, scores):
+        document = render_report(scores)
+        for line in document.splitlines():
+            if line.startswith("|"):
+                assert line.endswith("|")
+
+
+class TestBreakdownSection:
+    def test_breakdown_rendered(self, scores, suite, suite_context):
+        from repro.analysis import PerformanceBreakdown
+        from repro.eval.report import render_breakdown, render_report
+
+        pb = PerformanceBreakdown(suite_context)
+        breakdown = pb.by_ambiguity(TenetLinker(suite_context), suite.kore50)
+        lines = render_breakdown(breakdown)
+        assert lines[0].startswith("### TENET")
+        document = render_report(scores, breakdowns=[breakdown])
+        assert "## Performance breakdowns" in document

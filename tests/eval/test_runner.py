@@ -1,0 +1,74 @@
+"""Evaluation runner tests."""
+
+import pytest
+
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+from repro.eval.runner import EvaluationRunner, gold_mentions_to_spans
+from repro.nlp.spans import SpanKind
+
+
+@pytest.fixture(scope="module")
+def runner(suite_context):
+    return EvaluationRunner(
+        [FalconLinker(suite_context), TenetLinker(suite_context)]
+    )
+
+
+class TestEvaluate:
+    def test_scores_for_all_systems(self, runner, suite):
+        scores = runner.evaluate(suite.kore50)
+        assert set(scores) == {"Falcon", "TENET"}
+
+    def test_dataset_recorded(self, runner, suite):
+        scores = runner.evaluate(suite.kore50)
+        assert scores["TENET"].dataset == "KORE50"
+
+    def test_relation_scores_empty_without_gold(self, runner, suite):
+        scores = runner.evaluate(suite.kore50)
+        assert scores["TENET"].relation.gold == 0
+
+    def test_relation_scores_present_with_gold(self, runner, suite):
+        scores = runner.evaluate(suite.news)
+        assert scores["TENET"].relation.gold > 0
+
+    def test_entity_scores_plausible(self, runner, suite):
+        scores = runner.evaluate(suite.news)
+        for system in scores.values():
+            assert 0.0 <= system.entity.f1 <= 1.0
+
+
+class TestDisambiguationMode:
+    def test_only_capable_systems_scored(self, suite_context, suite):
+        class NoDisambiguation:
+            name = "stub"
+
+            def link(self, text):  # pragma: no cover - protocol stub
+                raise NotImplementedError
+
+        runner = EvaluationRunner(
+            [TenetLinker(suite_context), NoDisambiguation()]
+        )
+        scores = runner.evaluate_disambiguation(suite.kore50)
+        assert set(scores) == {"TENET"}
+
+    def test_scores_plausible(self, suite_context, suite):
+        runner = EvaluationRunner([TenetLinker(suite_context)])
+        scores = runner.evaluate_disambiguation(suite.kore50)
+        assert 0.0 < scores["TENET"].f1 <= 1.0
+
+
+class TestGoldToSpans:
+    def test_token_alignment(self, suite):
+        document = suite.kore50.documents[0]
+        spans = gold_mentions_to_spans(document, SpanKind.NOUN)
+        assert spans
+        for span in spans:
+            assert document.text[span.char_start : span.char_end] == span.text
+
+    def test_kind_filter(self, suite):
+        document = suite.news.documents[0]
+        nouns = gold_mentions_to_spans(document, SpanKind.NOUN)
+        everything = gold_mentions_to_spans(document)
+        assert len(everything) >= len(nouns)
+        assert all(s.kind is SpanKind.NOUN for s in nouns)

@@ -1,0 +1,88 @@
+"""Bootstrap significance tests."""
+
+import pytest
+
+from repro.baselines import FalconLinker
+from repro.core.linker import TenetLinker
+from repro.core.result import Link, LinkingResult
+from repro.datasets.schema import AnnotatedDocument, GoldMention
+from repro.eval.significance import (
+    bootstrap_f1,
+    compare_on_dataset,
+    paired_bootstrap,
+)
+from repro.nlp.spans import Span, SpanKind
+
+
+def _doc(i, correct):
+    """A one-mention document plus a result that is right or wrong."""
+    gold = GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q1")
+    document = AnnotatedDocument(f"d{i}", "Alice went home", [gold])
+    span = Span("Alice", 0, 1, 0, SpanKind.NOUN, char_start=0, char_end=5)
+    result = LinkingResult(
+        entity_links=[Link(span, "Q1" if correct else "Q9")]
+    )
+    return document, result
+
+
+class TestBootstrapF1:
+    def test_perfect_system(self):
+        docs, results = zip(*[_doc(i, True) for i in range(10)])
+        ci = bootstrap_f1(results, docs, samples=200)
+        assert ci.estimate == 1.0
+        assert ci.low == 1.0 and ci.high == 1.0
+
+    def test_interval_contains_estimate(self):
+        pairs = [_doc(i, i % 2 == 0) for i in range(20)]
+        docs, results = zip(*pairs)
+        ci = bootstrap_f1(results, docs, samples=300)
+        assert ci.low <= ci.estimate <= ci.high
+        assert 0.0 < ci.estimate < 1.0
+
+    def test_deterministic_under_seed(self):
+        pairs = [_doc(i, i % 3 == 0) for i in range(15)]
+        docs, results = zip(*pairs)
+        a = bootstrap_f1(results, docs, samples=100, seed=4)
+        b = bootstrap_f1(results, docs, samples=100, seed=4)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_empty_dataset(self):
+        ci = bootstrap_f1([], [], samples=10)
+        assert ci.estimate == 0.0
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_is_significant(self):
+        docs = []
+        results_good, results_bad = [], []
+        for i in range(25):
+            document, good = _doc(i, True)
+            _, bad = _doc(i, i % 5 == 0)  # mostly wrong
+            docs.append(document)
+            results_good.append(good)
+            results_bad.append(bad)
+        comparison = paired_bootstrap(
+            results_good, results_bad, docs, samples=400
+        )
+        assert comparison.f1_a > comparison.f1_b
+        assert comparison.significant
+        assert comparison.delta.low > 0.0
+
+    def test_identical_systems_not_significant(self):
+        pairs = [_doc(i, i % 2 == 0) for i in range(20)]
+        docs, results = zip(*pairs)
+        comparison = paired_bootstrap(results, results, docs, samples=200)
+        assert comparison.delta.estimate == 0.0
+        assert not comparison.significant
+
+
+class TestOnRealSystems:
+    def test_tenet_vs_falcon_on_kore(self, suite, suite_context):
+        comparison = compare_on_dataset(
+            TenetLinker(suite_context),
+            FalconLinker(suite_context),
+            suite.kore50,
+            samples=300,
+        )
+        assert comparison.f1_a > comparison.f1_b
+        assert comparison.delta.estimate > 0.0

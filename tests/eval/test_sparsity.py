@@ -1,0 +1,48 @@
+"""Sparsity analysis tests (Figs. 4-5 machinery)."""
+
+import pytest
+
+from repro.embeddings.similarity import SimilarityIndex
+from repro.eval.sparsity import DEFAULT_THRESHOLDS, sparsity_curve
+
+
+@pytest.fixture(scope="module")
+def similarity(suite_context):
+    return SimilarityIndex(suite_context.embeddings)
+
+
+class TestCurve:
+    def test_one_point_per_threshold(self, suite, similarity):
+        curve = sparsity_curve(suite.news, similarity)
+        assert len(curve) == len(DEFAULT_THRESHOLDS)
+
+    def test_monotone_in_threshold(self, suite, similarity):
+        """More permissive thresholds can only add edges."""
+        curve = sparsity_curve(suite.news, similarity)
+        densities = [p.density for p in curve]
+        degrees = [p.average_degree for p in curve]
+        assert densities == sorted(densities)
+        assert degrees == sorted(degrees)
+
+    def test_density_bounded(self, suite, similarity):
+        curve = sparsity_curve(suite.news, similarity)
+        for point in curve:
+            assert 0.0 <= point.density <= 1.0
+
+    def test_sparse_at_moderate_threshold(self, suite, similarity):
+        """The paper's motivating claim: at moderate distance thresholds,
+        documents' gold concepts are sparsely connected."""
+        curve = sparsity_curve(suite.msnbc19, similarity)
+        at_half = next(p for p in curve if p.threshold == 0.5)
+        assert at_half.density < 0.5
+
+    def test_entities_only_flag(self, suite, similarity):
+        entities = sparsity_curve(suite.news, similarity, entities_only=True)
+        concepts = sparsity_curve(suite.news, similarity, entities_only=False)
+        # concept graphs include predicates, so they have at least as many
+        # nodes; the curves must simply both be well-formed
+        assert len(entities) == len(concepts)
+
+    def test_custom_thresholds(self, suite, similarity):
+        curve = sparsity_curve(suite.news, similarity, thresholds=[0.2, 0.8])
+        assert [p.threshold for p in curve] == [0.2, 0.8]

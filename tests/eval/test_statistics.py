@@ -1,0 +1,48 @@
+"""Dataset statistics (Table 2) tests."""
+
+from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.eval.statistics import dataset_statistics
+from repro.nlp.spans import SpanKind
+
+
+def _dataset():
+    doc = AnnotatedDocument(
+        "d",
+        "Alice studies math here",
+        [
+            GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q1"),
+            GoldMention("studies", 6, 13, SpanKind.RELATION, "P1"),
+            GoldMention("math", 14, 18, SpanKind.NOUN, None),
+            GoldMention("here", 19, 23, SpanKind.RELATION, None),
+        ],
+    )
+    return Dataset("demo", [doc], has_relation_gold=True)
+
+
+class TestStatistics:
+    def test_counts(self):
+        stats = dataset_statistics(_dataset())
+        assert stats.noun_count == 2
+        assert stats.non_linkable_nouns == 1
+        assert stats.relation_count == 2
+        assert stats.non_linkable_relations == 1
+
+    def test_fractions(self):
+        stats = dataset_statistics(_dataset())
+        assert stats.non_linkable_noun_fraction == 0.5
+        assert stats.non_linkable_relation_fraction == 0.5
+
+    def test_per_document_rates(self):
+        stats = dataset_statistics(_dataset())
+        assert stats.nouns_per_document == 2.0
+        assert stats.relations_per_document == 2.0
+
+    def test_no_relation_gold_marks_na(self):
+        ds = _dataset()
+        ds.has_relation_gold = False
+        stats = dataset_statistics(ds)
+        assert stats.relation_count is None
+        assert stats.non_linkable_relation_fraction is None
+
+    def test_words_per_document(self):
+        assert dataset_statistics(_dataset()).words_per_document == 4.0

@@ -1,0 +1,28 @@
+"""Timing harness tests."""
+
+from repro.core.linker import TenetLinker
+from repro.eval.timing import TimingSample, time_linker, time_tenet_detailed
+
+
+class TestTiming:
+    def test_time_linker_fields(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        sample = time_linker(linker, suite.kore50.documents[0].text)
+        assert sample.system == "TENET"
+        assert sample.seconds > 0
+        assert sample.words > 0
+
+    def test_best_of_repeats(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        text = suite.kore50.documents[0].text
+        single = time_linker(linker, text, repeats=1)
+        best = time_linker(linker, text, repeats=3)
+        assert best.seconds <= single.seconds * 3  # sanity, not strict
+
+    def test_detailed_covariates(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        sample = time_tenet_detailed(linker, suite.news.documents[0].text)
+        assert sample.mentions > 0
+        assert sample.groups > 0
+        assert sample.cover_edges >= 0
+        assert sample.candidates_per_mention == linker.config.max_candidates

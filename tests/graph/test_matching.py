@@ -1,0 +1,85 @@
+"""Hopcroft--Karp tests, including maximality vs. brute force."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.matching import hopcroft_karp, is_valid_matching
+
+
+class TestBasics:
+    def test_perfect_matching(self):
+        adj = {"l1": ["r1"], "l2": ["r2"]}
+        matching = hopcroft_karp(["l1", "l2"], adj)
+        assert matching == {"l1": "r1", "l2": "r2"}
+
+    def test_contested_right_vertex(self):
+        adj = {"l1": ["r1"], "l2": ["r1"]}
+        matching = hopcroft_karp(["l1", "l2"], adj)
+        assert len(matching) == 1
+
+    def test_augmenting_path_found(self):
+        # greedy l1->r1 would block l2; augmentation resolves it
+        adj = {"l1": ["r1", "r2"], "l2": ["r1"]}
+        matching = hopcroft_karp(["l1", "l2"], adj)
+        assert len(matching) == 2
+        assert matching["l2"] == "r1"
+        assert matching["l1"] == "r2"
+
+    def test_empty_graph(self):
+        assert hopcroft_karp([], {}) == {}
+
+    def test_left_vertex_without_edges(self):
+        adj = {"l1": [], "l2": ["r1"]}
+        matching = hopcroft_karp(["l1", "l2"], adj)
+        assert matching == {"l2": "r1"}
+
+    def test_long_augmenting_chain(self):
+        # Only three right vertices exist, so the maximum is 3 — reached
+        # only by pushing l1 onto r1 and cascading the rest.
+        adj = {
+            "l1": ["r1"],
+            "l2": ["r1", "r2"],
+            "l3": ["r2", "r3"],
+            "l4": ["r3"],
+        }
+        matching = hopcroft_karp(["l1", "l2", "l3", "l4"], adj)
+        assert len(matching) == 3
+        assert matching["l1"] == "r1"
+
+    def test_matching_is_valid(self):
+        adj = {"l1": ["r1", "r2"], "l2": ["r2"], "l3": ["r1", "r3"]}
+        matching = hopcroft_karp(list(adj), adj)
+        assert is_valid_matching(matching, adj)
+
+    def test_is_valid_matching_rejects_duplicates(self):
+        assert not is_valid_matching(
+            {"l1": "r1", "l2": "r1"}, {"l1": ["r1"], "l2": ["r1"]}
+        )
+
+    def test_is_valid_matching_rejects_non_edges(self):
+        assert not is_valid_matching({"l1": "r9"}, {"l1": ["r1"]})
+
+
+def _brute_force_max_matching(left, adj):
+    best = 0
+    right = sorted({r for rs in adj.values() for r in rs})
+    for assignment in itertools.product(*([[None] + adj[l] for l in left] or [[None]])):
+        used = [a for a in assignment if a is not None]
+        if len(used) != len(set(used)):
+            continue
+        best = max(best, len(used))
+    return best
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(1, 5), st.integers(1, 5), st.data())
+def test_matching_size_matches_brute_force(n_left, n_right, data):
+    left = [f"l{i}" for i in range(n_left)]
+    rights = [f"r{i}" for i in range(n_right)]
+    adj = {
+        l: [r for r in rights if data.draw(st.booleans())] for l in left
+    }
+    matching = hopcroft_karp(left, adj)
+    assert is_valid_matching(matching, adj)
+    assert len(matching) == _brute_force_max_matching(left, adj)

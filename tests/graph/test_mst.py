@@ -1,0 +1,108 @@
+"""Kruskal MST tests, including optimality vs. brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.mst import kruskal_mst, minimum_spanning_forest, sorted_edges
+from repro.graph.weighted_graph import WeightedGraph
+
+
+def _path_graph(weights):
+    g = WeightedGraph()
+    for i, w in enumerate(weights):
+        g.add_edge(i, i + 1, w)
+    return g
+
+
+class TestKruskal:
+    def test_tree_of_tree_is_itself(self):
+        g = _path_graph([1.0, 2.0, 3.0])
+        mst = kruskal_mst(g)
+        assert mst.edge_count == 3
+        assert mst.total_weight() == pytest.approx(6.0)
+
+    def test_drops_heaviest_cycle_edge(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("b", "c", 2.0)
+        g.add_edge("a", "c", 5.0)
+        mst = kruskal_mst(g)
+        assert not mst.has_edge("a", "c")
+        assert mst.total_weight() == pytest.approx(3.0)
+
+    def test_disconnected_raises(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_node("island")
+        with pytest.raises(ValueError):
+            kruskal_mst(g)
+
+    def test_forest_handles_components(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "d", 2.0)
+        forest = minimum_spanning_forest(g)
+        assert forest.edge_count == 2
+
+    def test_single_node(self):
+        g = WeightedGraph()
+        g.add_node("solo")
+        mst = kruskal_mst(g)
+        assert mst.node_count == 1
+        assert mst.edge_count == 0
+
+    def test_sorted_edges_non_decreasing(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 3.0)
+        g.add_edge("b", "c", 1.0)
+        g.add_edge("c", "d", 2.0)
+        weights = [w for _, _, w in sorted_edges(g)]
+        assert weights == sorted(weights)
+
+    def test_deterministic_under_ties(self):
+        g = WeightedGraph()
+        for u, v in itertools.combinations("abcd", 2):
+            g.add_edge(u, v, 1.0)
+        first = sorted(repr(e) for e in kruskal_mst(g).edges())
+        second = sorted(repr(e) for e in kruskal_mst(g).edges())
+        assert first == second
+
+
+def _brute_force_mst_weight(graph: WeightedGraph) -> float:
+    """Minimum spanning tree weight by exhaustive edge-subset search."""
+    edges = graph.edges()
+    n = graph.node_count
+    best = None
+    for subset in itertools.combinations(edges, n - 1):
+        candidate = WeightedGraph()
+        for node in graph.nodes():
+            candidate.add_node(node)
+        for u, v, w in subset:
+            candidate.add_edge(u, v, w)
+        if candidate.is_connected():
+            weight = sum(w for _, _, w in subset)
+            if best is None or weight < best:
+                best = weight
+    return best
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(3, 6),
+    st.data(),
+)
+def test_mst_matches_brute_force(n, data):
+    """Kruskal's MST weight equals the exhaustive optimum on small graphs."""
+    g = WeightedGraph()
+    nodes = list(range(n))
+    # ensure connectivity with a random spanning path, then extra edges
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, data.draw(st.floats(0.1, 10.0)))
+    for u, v in itertools.combinations(nodes, 2):
+        if not g.has_edge(u, v) and data.draw(st.booleans()):
+            g.add_edge(u, v, data.draw(st.floats(0.1, 10.0)))
+    mst = kruskal_mst(g)
+    assert mst.edge_count == n - 1
+    assert mst.total_weight() == pytest.approx(_brute_force_mst_weight(g))

@@ -1,0 +1,74 @@
+"""Dijkstra shortest-path tests."""
+
+import pytest
+
+from repro.graph.paths import dijkstra, path_weight, shortest_path
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def diamond():
+    g = WeightedGraph()
+    g.add_edge("s", "a", 1.0)
+    g.add_edge("s", "b", 4.0)
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("a", "t", 5.0)
+    g.add_edge("b", "t", 1.0)
+    return g
+
+
+class TestDijkstra:
+    def test_distances(self, diamond):
+        distances, _ = dijkstra(diamond, "s")
+        assert distances["t"] == pytest.approx(3.0)  # s-a-b-t
+        assert distances["b"] == pytest.approx(2.0)  # s-a-b
+
+    def test_source_distance_zero(self, diamond):
+        distances, _ = dijkstra(diamond, "s")
+        assert distances["s"] == 0.0
+
+    def test_unknown_source_raises(self, diamond):
+        with pytest.raises(KeyError):
+            dijkstra(diamond, "zzz")
+
+    def test_max_distance_truncates(self, diamond):
+        distances, _ = dijkstra(diamond, "s", max_distance=2.0)
+        assert "t" not in distances
+        assert "b" in distances
+
+    def test_unreachable_node_absent(self):
+        g = WeightedGraph()
+        g.add_edge("s", "a", 1.0)
+        g.add_node("island")
+        distances, _ = dijkstra(g, "s")
+        assert "island" not in distances
+
+    def test_heterogeneous_node_types_no_comparison_error(self):
+        # heap tie-breaking must never compare nodes directly
+        g = WeightedGraph()
+        g.add_edge("s", ("tuple", 1), 1.0)
+        g.add_edge("s", "string", 1.0)
+        g.add_edge(("tuple", 1), "t", 1.0)
+        g.add_edge("string", "t", 1.0)
+        distances, _ = dijkstra(g, "s")
+        assert distances["t"] == pytest.approx(2.0)
+
+
+class TestShortestPath:
+    def test_path_sequence(self, diamond):
+        assert shortest_path(diamond, "s", "t") == ["s", "a", "b", "t"]
+
+    def test_path_to_self(self, diamond):
+        assert shortest_path(diamond, "s", "s") == ["s"]
+
+    def test_unreachable_raises(self):
+        g = WeightedGraph()
+        g.add_edge("s", "a", 1.0)
+        g.add_node("island")
+        with pytest.raises(ValueError):
+            shortest_path(g, "s", "island")
+
+    def test_path_weight_matches_distance(self, diamond):
+        path = shortest_path(diamond, "s", "t")
+        distances, _ = dijkstra(diamond, "s")
+        assert path_weight(diamond, path) == pytest.approx(distances["t"])

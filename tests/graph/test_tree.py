@@ -1,0 +1,128 @@
+"""Rooted-tree structure tests."""
+
+import pytest
+
+from repro.graph.tree import RootedTree, TreeEdge
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def tree():
+    #        r
+    #      /   \
+    #     a(1)  b(2)
+    #    /  \
+    #  c(3)  d(4)
+    t = RootedTree("r")
+    t.add_edge("r", "a", 1.0)
+    t.add_edge("r", "b", 2.0)
+    t.add_edge("a", "c", 3.0)
+    t.add_edge("a", "d", 4.0)
+    return t
+
+
+class TestConstruction:
+    def test_single_node_tree(self):
+        t = RootedTree("solo")
+        assert t.is_singleton()
+        assert t.weight() == 0.0
+
+    def test_add_edge_unknown_parent_raises(self):
+        t = RootedTree("r")
+        with pytest.raises(KeyError):
+            t.add_edge("ghost", "x", 1.0)
+
+    def test_add_duplicate_child_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.add_edge("b", "a", 1.0)
+
+    def test_from_graph_orients_edges(self):
+        g = WeightedGraph()
+        g.add_edge("x", "y", 1.0)
+        g.add_edge("y", "z", 2.0)
+        t = RootedTree.from_graph(g, "y")
+        assert t.parent("x") == "y"
+        assert t.parent("z") == "y"
+        assert t.parent("y") is None
+
+
+class TestQueries:
+    def test_weight(self, tree):
+        assert tree.weight() == pytest.approx(10.0)
+
+    def test_counts(self, tree):
+        assert tree.node_count == 5
+        assert tree.edge_count == 4
+
+    def test_children(self, tree):
+        assert set(tree.children("a")) == {"c", "d"}
+
+    def test_edge_weight_to(self, tree):
+        assert tree.edge_weight_to("d") == 4.0
+
+    def test_subtree_weight(self, tree):
+        assert tree.subtree_weight("a") == pytest.approx(7.0)
+        assert tree.subtree_weight("c") == 0.0
+
+    def test_subtree_nodes(self, tree):
+        assert set(tree.subtree_nodes("a")) == {"a", "c", "d"}
+
+    def test_subtree_copy(self, tree):
+        sub = tree.subtree("a")
+        assert sub.root == "a"
+        assert sub.node_count == 3
+        assert sub.weight() == pytest.approx(7.0)
+
+
+class TestTraversal:
+    def test_post_order_children_before_parents(self, tree):
+        order = list(tree.post_order_nodes())
+        assert order.index("c") < order.index("a")
+        assert order.index("d") < order.index("a")
+        assert order[-1] == "r"
+
+    def test_post_order_edges_cover_all(self, tree):
+        edges = list(tree.post_order_edges())
+        assert len(edges) == 4
+        children = {e.child for e in edges}
+        assert children == {"a", "b", "c", "d"}
+
+    def test_post_order_edge_after_subtree(self, tree):
+        edges = [e.child for e in tree.post_order_edges()]
+        assert edges.index("c") < edges.index("a")
+
+
+class TestMutation:
+    def test_detach_subtree(self, tree):
+        detached = tree.detach_subtree("a")
+        assert detached.root == "a"
+        assert detached.node_count == 3
+        assert tree.node_count == 2
+        assert "c" not in tree
+        # connecting edge removed from both
+        assert tree.weight() == pytest.approx(2.0)
+        assert detached.weight() == pytest.approx(7.0)
+
+    def test_detach_root_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.detach_subtree("r")
+
+    def test_adopt_replaces_structure(self, tree):
+        other = RootedTree("r")
+        other.add_edge("r", "x", 9.0)
+        tree.adopt(other)
+        assert tree.node_count == 2
+        assert tree.weight() == pytest.approx(9.0)
+
+    def test_adopt_wrong_root_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.adopt(RootedTree("different"))
+
+
+class TestConversion:
+    def test_to_graph_roundtrip(self, tree):
+        g = tree.to_graph()
+        assert g.edge_count == 4
+        rebuilt = RootedTree.from_graph(g, "r")
+        assert rebuilt.node_set() == tree.node_set()
+        assert rebuilt.weight() == pytest.approx(tree.weight())

@@ -1,0 +1,128 @@
+"""Unit and property tests for the disjoint-set forest."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.union_find import UnionFind
+
+
+class TestBasics:
+    def test_new_item_is_own_representative(self):
+        uf = UnionFind()
+        assert uf.find("a") == "a"
+
+    def test_union_merges_sets(self):
+        uf = UnionFind()
+        assert uf.union("a", "b") is True
+        assert uf.connected("a", "b")
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert uf.union("b", "a") is False
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+
+    def test_disjoint_items_not_connected(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+
+    def test_constructor_registers_items(self):
+        uf = UnionFind(["x", "y", "z"])
+        assert len(uf) == 3
+        assert uf.set_count == 3
+
+    def test_set_count_decreases_on_union(self):
+        uf = UnionFind(["a", "b", "c"])
+        uf.union("a", "b")
+        assert uf.set_count == 2
+        uf.union("b", "c")
+        assert uf.set_count == 1
+
+    def test_add_is_idempotent(self):
+        uf = UnionFind()
+        uf.add("a")
+        uf.add("a")
+        assert len(uf) == 1
+
+    def test_contains(self):
+        uf = UnionFind(["a"])
+        assert "a" in uf
+        assert "b" not in uf
+
+    def test_find_adds_unseen_items(self):
+        uf = UnionFind()
+        uf.find("ghost")
+        assert "ghost" in uf
+
+    def test_sets_partition(self):
+        uf = UnionFind(["a", "b", "c", "d"])
+        uf.union("a", "b")
+        uf.union("c", "d")
+        sets = sorted(sorted(s) for s in uf.sets())
+        assert sets == [["a", "b"], ["c", "d"]]
+
+    def test_iter_yields_all_items(self):
+        uf = UnionFind(["a", "b"])
+        assert sorted(uf) == ["a", "b"]
+
+    def test_works_with_tuple_items(self):
+        uf = UnionFind()
+        uf.union((1, 2), (3, 4))
+        assert uf.connected((1, 2), (3, 4))
+
+    def test_deep_chain_no_recursion_error(self):
+        uf = UnionFind()
+        for i in range(10000):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 10000)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 30), st.integers(0, 30)), max_size=100
+        )
+    )
+    def test_set_count_invariant(self, unions):
+        """items - successful unions == number of disjoint sets."""
+        uf = UnionFind()
+        successful = 0
+        for a, b in unions:
+            if uf.union(a, b):
+                successful += 1
+        assert uf.set_count == len(uf) - successful
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=60
+        )
+    )
+    def test_connectivity_matches_reference(self, unions):
+        """Union-find agrees with a naive set-merging reference."""
+        uf = UnionFind()
+        reference = {}
+        for a, b in unions:
+            uf.union(a, b)
+            sa = reference.setdefault(a, {a})
+            sb = reference.setdefault(b, {b})
+            if sa is not sb:
+                merged = sa | sb
+                for item in merged:
+                    reference[item] = merged
+        for a in reference:
+            for b in reference:
+                assert uf.connected(a, b) == (reference[a] is reference[b])
+
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15))))
+    def test_representative_is_member_of_set(self, unions):
+        uf = UnionFind()
+        for a, b in unions:
+            uf.union(a, b)
+        for group in uf.sets():
+            representative = uf.find(group[0])
+            assert representative in group

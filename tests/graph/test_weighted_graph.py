@@ -1,0 +1,129 @@
+"""Tests for the weighted undirected graph container."""
+
+import pytest
+
+from repro.graph.weighted_graph import WeightedGraph
+
+
+@pytest.fixture
+def triangle():
+    g = WeightedGraph()
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 3.0)
+    return g
+
+
+class TestConstruction:
+    def test_add_edge_creates_nodes(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 0.5)
+        assert "a" in g and "b" in g
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a", 1.0)
+
+    def test_negative_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", -0.1)
+
+    def test_add_edge_overwrites_weight(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 2.0)
+        assert g.weight("a", "b") == 2.0
+        assert g.edge_count == 1
+
+    def test_isolated_node(self):
+        g = WeightedGraph()
+        g.add_node("lonely")
+        assert g.node_count == 1
+        assert g.degree("lonely") == 0
+
+
+class TestQueries:
+    def test_weight_symmetric(self, triangle):
+        assert triangle.weight("a", "b") == triangle.weight("b", "a")
+
+    def test_get_weight_default(self, triangle):
+        assert triangle.get_weight("a", "zz") is None
+        assert triangle.get_weight("a", "zz", 9.0) == 9.0
+
+    def test_edges_listed_once(self, triangle):
+        assert len(triangle.edges()) == 3
+
+    def test_edge_count(self, triangle):
+        assert triangle.edge_count == 3
+
+    def test_total_weight(self, triangle):
+        assert triangle.total_weight() == pytest.approx(6.0)
+
+    def test_neighbours(self, triangle):
+        assert set(triangle.neighbours("a")) == {"b", "c"}
+
+    def test_degree(self, triangle):
+        assert triangle.degree("b") == 2
+
+    def test_has_edge(self, triangle):
+        assert triangle.has_edge("a", "b")
+        assert not triangle.has_edge("a", "missing")
+
+
+class TestMutation:
+    def test_remove_edge(self, triangle):
+        triangle.remove_edge("a", "b")
+        assert not triangle.has_edge("a", "b")
+        assert triangle.node_count == 3
+
+    def test_remove_edge_missing_raises(self, triangle):
+        with pytest.raises(KeyError):
+            triangle.remove_edge("a", "zz")
+
+    def test_remove_node_clears_incident_edges(self, triangle):
+        triangle.remove_node("a")
+        assert "a" not in triangle
+        assert triangle.edge_count == 1  # only (b, c) left
+        assert not triangle.has_edge("b", "a")
+
+
+class TestTransforms:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge("a", "b")
+        assert triangle.has_edge("a", "b")
+
+    def test_pruned_removes_heavy_edges(self, triangle):
+        pruned = triangle.pruned(1.5)
+        assert pruned.has_edge("a", "b")
+        assert not pruned.has_edge("b", "c")
+        # nodes are preserved even when isolated
+        assert pruned.node_count == 3
+
+    def test_pruned_keeps_boundary_edge(self, triangle):
+        pruned = triangle.pruned(2.0)
+        assert pruned.has_edge("b", "c")
+
+    def test_subgraph(self, triangle):
+        sub = triangle.subgraph(["a", "b"])
+        assert sub.node_count == 2
+        assert sub.has_edge("a", "b")
+        assert sub.edge_count == 1
+
+    def test_connected_components(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "d", 1.0)
+        g.add_node("e")
+        components = sorted(sorted(c) for c in g.connected_components())
+        assert components == [["a", "b"], ["c", "d"], ["e"]]
+
+    def test_is_connected(self, triangle):
+        assert triangle.is_connected()
+        triangle.add_node("island")
+        assert not triangle.is_connected()
+
+    def test_empty_graph_is_connected(self):
+        assert WeightedGraph().is_connected()

@@ -1,0 +1,72 @@
+"""Gold-fact reconstruction tests."""
+
+import pytest
+
+from repro.datasets.schema import AnnotatedDocument, GoldMention
+from repro.nlp.spans import SpanKind
+from repro.population.goldfacts import dataset_gold_facts, gold_facts
+
+
+def _doc():
+    text = "Alice studies math. Bob visited Springfield."
+    return AnnotatedDocument(
+        "d",
+        text,
+        [
+            GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q1"),
+            GoldMention("studies", 6, 13, SpanKind.RELATION, "P1"),
+            GoldMention("math", 14, 18, SpanKind.NOUN, "Q2"),
+            GoldMention("Bob", 20, 23, SpanKind.NOUN, "Q3"),
+            GoldMention("visited", 24, 31, SpanKind.RELATION, "P2"),
+            GoldMention("Springfield", 32, 43, SpanKind.NOUN, "Q4"),
+        ],
+    )
+
+
+class TestReconstruction:
+    def test_two_facts(self):
+        facts = gold_facts(_doc())
+        assert facts == {("Q1", "P1", "Q2"), ("Q3", "P2", "Q4")}
+
+    def test_non_linkable_relations_skipped(self):
+        doc = AnnotatedDocument(
+            "d",
+            "Alice zorbified math.",
+            [
+                GoldMention("Alice", 0, 5, SpanKind.NOUN, "Q1"),
+                GoldMention("zorbified", 6, 15, SpanKind.RELATION, None),
+                GoldMention("math", 16, 20, SpanKind.NOUN, "Q2"),
+            ],
+        )
+        assert gold_facts(doc) == set()
+
+    def test_non_linkable_arguments_skipped(self):
+        doc = AnnotatedDocument(
+            "d",
+            "Glowberry studies math.",
+            [
+                GoldMention("Glowberry", 0, 9, SpanKind.NOUN, None),
+                GoldMention("studies", 10, 17, SpanKind.RELATION, "P1"),
+                GoldMention("math", 18, 22, SpanKind.NOUN, "Q2"),
+            ],
+        )
+        # the non-linkable subject is invisible to reconstruction, and no
+        # other linkable noun precedes the relation
+        assert gold_facts(doc) == set()
+
+    def test_generated_corpus_yields_facts(self, suite, world):
+        facts = dataset_gold_facts(suite.news)
+        assert facts
+        # every reconstructed fact must reference known concepts
+        for subject, predicate, obj in facts:
+            assert world.kb.has_entity(subject)
+            assert world.kb.has_predicate(predicate)
+            assert world.kb.has_entity(obj)
+
+    def test_most_reconstructed_facts_exist_in_kb(self, suite, world):
+        """The generator renders real KB facts, so reconstruction should
+        recover mostly true triples (pronoun objects may attach to a
+        different-sentence subject occasionally)."""
+        facts = dataset_gold_facts(suite.news)
+        hits = sum(1 for f in facts if world.kb.has_fact(*f))
+        assert hits / len(facts) > 0.8

@@ -1,0 +1,110 @@
+"""System-level invariants of linking outputs.
+
+Whatever the document, a :class:`LinkingResult` must be internally
+consistent: committed mentions never overlap each other, every concept
+id exists in the KB with the right kind, non-linkable reports never
+contradict links, and everything is deterministic.  Checked for TENET
+and every baseline over a sample of generated documents.
+"""
+
+import pytest
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.linker import TenetLinker
+from repro.nlp.spans import SpanKind, spans_overlap
+
+
+@pytest.fixture(scope="module")
+def sample_documents(suite):
+    docs = []
+    for dataset in suite.datasets():
+        docs.extend(dataset.documents[:2])
+    return docs
+
+
+def all_linkers(context):
+    return [
+        TenetLinker(context),
+        FalconLinker(context),
+        EarlLinker(context),
+        KBPearlLinker(context),
+        MinTreeLinker(context),
+        QKBflyLinker(context),
+    ]
+
+
+class TestInvariants:
+    def test_no_overlapping_entity_links(self, suite_context, sample_documents):
+        for linker in all_linkers(suite_context):
+            for document in sample_documents:
+                links = linker.link(document.text).entity_links
+                for i, a in enumerate(links):
+                    for b in links[i + 1 :]:
+                        assert not spans_overlap(a.span, b.span), (
+                            linker.name,
+                            document.doc_id,
+                            a.surface,
+                            b.surface,
+                        )
+
+    def test_concepts_exist_and_kinds_match(
+        self, suite_context, sample_documents, suite
+    ):
+        kb = suite.world.kb
+        for linker in all_linkers(suite_context):
+            for document in sample_documents:
+                result = linker.link(document.text)
+                for link in result.entity_links:
+                    assert kb.has_entity(link.concept_id), linker.name
+                    assert link.span.kind is SpanKind.NOUN
+                for link in result.relation_links:
+                    assert kb.has_predicate(link.concept_id), linker.name
+                    assert link.span.kind is SpanKind.RELATION
+
+    def test_non_linkable_disjoint_from_links(
+        self, suite_context, sample_documents
+    ):
+        tenet = TenetLinker(suite_context)
+        for document in sample_documents:
+            result = tenet.link(document.text)
+            for reported in result.non_linkable:
+                for link in result.links:
+                    assert not spans_overlap(reported, link.span), (
+                        document.doc_id,
+                        reported.text,
+                        link.surface,
+                    )
+
+    def test_deterministic_across_runs(self, suite_context, sample_documents):
+        for linker in all_linkers(suite_context):
+            document = sample_documents[0]
+            first = linker.link(document.text)
+            second = linker.link(document.text)
+            assert [(l.surface, l.concept_id) for l in first.links] == [
+                (l.surface, l.concept_id) for l in second.links
+            ], linker.name
+
+    def test_scores_within_bounds(self, suite_context, sample_documents):
+        tenet = TenetLinker(suite_context)
+        for document in sample_documents:
+            for link in tenet.link(document.text).links:
+                assert 0.0 <= link.score <= 1.0
+
+    def test_char_offsets_match_document(self, suite_context, sample_documents):
+        tenet = TenetLinker(suite_context)
+        for document in sample_documents:
+            result = tenet.link(document.text)
+            for link in result.entity_links:
+                span = link.span
+                sliced = document.text[span.char_start : span.char_end]
+                # surfaces built from token joins may normalise whitespace
+                assert sliced.split() == span.text.split(), (
+                    document.doc_id,
+                    span.text,
+                )

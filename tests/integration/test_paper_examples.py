@@ -1,0 +1,155 @@
+"""The paper's own running examples, as integration tests.
+
+Section 1 motivates TENET with two concrete documents; both are
+reconstructed here against hand-built KBs so the tests pin the exact
+behaviours the paper promises.
+"""
+
+import pytest
+
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+
+@pytest.fixture(scope="module")
+def mary_and_max_context():
+    kb = KnowledgeBase()
+    kb.add_entity(EntityRecord("Q1", "Mary and Max", types=("film",), popularity=40))
+    kb.add_entity(EntityRecord("Q2", "Adam Elliot", types=("person",), popularity=30))
+    kb.add_entity(
+        EntityRecord("Q3", "Mary Daly", aliases=("Mary",), types=("person",), popularity=80)
+    )
+    kb.add_entity(
+        EntityRecord("Q4", "Max Weber", aliases=("Max",), types=("person",), popularity=80)
+    )
+    kb.add_predicate(
+        PredicateRecord("P1", "director", aliases=("directed", "was directed by"))
+    )
+    kb.add_fact(Triple("Q1", "P1", "Q2"))
+    return LinkingContext.build(kb)
+
+
+@pytest.fixture(scope="module")
+def jordan_context():
+    """The Figure 1 world: two Michael Jordans, AI, the AAAS, Brooklyn."""
+    kb = KnowledgeBase()
+    kb.add_entity(
+        EntityRecord(
+            "Qprof", "Michael Jordan", types=("person",), popularity=30,
+            description="professor",
+        )
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Qbb", "Michael Jordan", types=("person",), popularity=70,
+            description="basketball player",
+        )
+    )
+    kb.add_entity(
+        EntityRecord("Qai", "artificial intelligence", types=("field",), popularity=50)
+    )
+    kb.add_entity(
+        EntityRecord("Qml", "machine learning", types=("field",), popularity=50)
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Qaaas", "Fellow of the AAAS", types=("award",), popularity=20
+        )
+    )
+    kb.add_entity(EntityRecord("Qbk", "Brooklyn", types=("city",), popularity=60))
+    kb.add_entity(EntityRecord("Qnba", "NBA", types=("organization",), popularity=60))
+    kb.add_predicate(
+        PredicateRecord("Pfield", "field of study", aliases=("studies",), popularity=40)
+    )
+    kb.add_predicate(
+        PredicateRecord("Pedu", "educated at", aliases=("studies",), popularity=60)
+    )
+    kb.add_predicate(
+        PredicateRecord("Paward", "award received", aliases=("was awarded",))
+    )
+    kb.add_predicate(
+        PredicateRecord("Pvisit", "visited", aliases=("visited",))
+    )
+    kb.add_predicate(PredicateRecord("Pplay", "plays for", aliases=("plays for",)))
+    # the professor's world
+    kb.add_fact(Triple("Qprof", "Pfield", "Qai"))
+    kb.add_fact(Triple("Qprof", "Pfield", "Qml"))
+    kb.add_fact(Triple("Qprof", "Paward", "Qaaas"))
+    # the player's world
+    kb.add_fact(Triple("Qbb", "Pplay", "Qnba"))
+    return LinkingContext.build(kb)
+
+
+class TestMaryAndMax:
+    def test_merged_film_reading_wins(self, mary_and_max_context):
+        linker = TenetLinker(mary_and_max_context)
+        result = linker.link("Mary and Max was directed by Adam Elliot.")
+        merged = result.find_entity("Mary and Max")
+        assert merged is not None
+        assert merged.concept_id == "Q1"
+        assert result.find_entity("Mary") is None
+        assert result.find_entity("Max") is None
+
+    def test_fragments_win_without_the_director(self, mary_and_max_context):
+        """Without coherent context, the popular person readings are the
+        rational fragments — the exact contrast the paper draws."""
+        linker = TenetLinker(mary_and_max_context)
+        result = linker.link("Mary and Max arrived early.")
+        # either the fragments link to the popular persons, or the merged
+        # film wins by prior; both readings must not coexist
+        merged = result.find_entity("Mary and Max")
+        fragments = [result.find_entity("Mary"), result.find_entity("Max")]
+        assert (merged is None) or all(f is None for f in fragments)
+
+
+class TestFigureOne:
+    def test_professor_wins_with_ai_context(self, jordan_context):
+        """Figure 1: with 'artificial intelligence' in the document, the
+        less popular professor beats the basketball player."""
+        linker = TenetLinker(jordan_context)
+        result = linker.link(
+            "Michael Jordan studies artificial intelligence and machine "
+            "learning. He was awarded Fellow of the AAAS. He visited "
+            "Brooklyn."
+        )
+        link = result.find_entity("Michael Jordan")
+        assert link is not None
+        assert link.concept_id == "Qprof"
+
+    def test_studies_links_to_field_of_study(self, jordan_context):
+        linker = TenetLinker(jordan_context)
+        result = linker.link(
+            "Michael Jordan studies artificial intelligence."
+        )
+        relation = result.find_relation("studies")
+        assert relation is not None
+        assert relation.concept_id == "Pfield"
+
+    def test_brooklyn_isolated_but_linked(self, jordan_context):
+        linker = TenetLinker(jordan_context)
+        result = linker.link(
+            "Michael Jordan studies artificial intelligence. He visited "
+            "Brooklyn."
+        )
+        brooklyn = result.find_entity("Brooklyn")
+        assert brooklyn is not None
+        assert brooklyn.concept_id == "Qbk"
+
+    def test_fellow_of_the_aaas_merged(self, jordan_context):
+        """'Fellow of the AAAS' must link as one mention, not split."""
+        linker = TenetLinker(jordan_context)
+        result = linker.link(
+            "Michael Jordan studies artificial intelligence. He was "
+            "awarded Fellow of the AAAS."
+        )
+        award = result.find_entity("Fellow of the AAAS")
+        assert award is not None
+        assert award.concept_id == "Qaaas"
+
+    def test_player_wins_in_sports_context(self, jordan_context):
+        linker = TenetLinker(jordan_context)
+        result = linker.link("Michael Jordan plays for NBA.")
+        link = result.find_entity("Michael Jordan")
+        assert link is not None
+        assert link.concept_id == "Qbb"

@@ -1,0 +1,172 @@
+"""KB population tests."""
+
+import pytest
+
+from repro.kb.dump import kb_from_json_dump, kb_to_json_dump
+from repro.population import KBPopulator
+
+
+@pytest.fixture(scope="module")
+def populator(context):
+    return KBPopulator(context)
+
+
+@pytest.fixture(scope="module")
+def sample(world):
+    kb = world.kb
+    person_id = world.entities_of_type("computer_science", "person")[0]
+    person = kb.get_entity(person_id)
+    known_fact = next(
+        t
+        for t in kb.triples()
+        if t.subject == person_id
+        and t.predicate == world.predicate("field")
+    )
+    topic = kb.get_entity(known_fact.obj)
+    other = kb.get_entity(world.entities_of_type("computer_science", "person")[1])
+    city = kb.get_entity(world.cities[0])
+    return {
+        "person": person,
+        "topic": topic,
+        "known_fact": known_fact,
+        "other": other,
+        "city": city,
+        "field_pid": world.predicate("field"),
+        "visited_pid": world.predicate("visited"),
+    }
+
+
+class TestFactExtraction:
+    def test_known_fact_confirmed(self, populator, sample):
+        text = f"{sample['person'].label} researches {sample['topic'].label}."
+        result = populator.populate(text)
+        assert any(
+            t.subject == sample["person"].entity_id
+            and t.obj == sample["topic"].entity_id
+            for t in result.confirmed_facts
+        )
+
+    def test_unknown_fact_is_new(self, populator, sample, world):
+        text = f"{sample['other'].label} visited {sample['city'].label}."
+        result = populator.populate(text)
+        already_known = world.kb.has_fact(
+            sample["other"].entity_id,
+            sample["visited_pid"],
+            sample["city"].entity_id,
+        )
+        bucket = result.confirmed_facts if already_known else result.new_facts
+        assert any(
+            t.subject == sample["other"].entity_id
+            and t.obj == sample["city"].entity_id
+            for t in bucket
+        )
+
+    def test_new_concept_promoted(self, populator, sample):
+        text = f"Glowberry Cleanse is located in {sample['city'].label}."
+        result = populator.populate(text)
+        assert result.new_concepts
+        assert result.new_concepts[0].surface == "Glowberry Cleanse"
+        assert any(
+            t.subject == result.new_concepts[0].placeholder_id
+            for t in result.new_facts
+        )
+
+    def test_duplicate_new_concept_reused(self, populator, sample):
+        text = (
+            f"Glowberry Cleanse is located in {sample['city'].label}. "
+            f"Glowberry Cleanse zorbified {sample['person'].label}."
+        )
+        result = populator.populate(text)
+        surfaces = [c.surface for c in result.new_concepts]
+        assert surfaces.count("Glowberry Cleanse") == 1
+
+    def test_unresolvable_relation_skipped(self, populator):
+        result = populator.populate(
+            "TurboFresh 9000 zorbified the Quantum Pillow."
+        )
+        # the coined relation is non-linkable -> nothing to extract
+        assert result.fact_count == 0
+
+
+class TestApply:
+    def test_apply_adds_facts_and_entities(self, populator, sample, world):
+        text = (
+            f"{sample['other'].label} visited {sample['city'].label}. "
+            f"Glowberry Cleanse is located in {sample['city'].label}."
+        )
+        result = populator.populate(text)
+        target = kb_from_json_dump(kb_to_json_dump(world.kb))
+        before_triples = target.triple_count
+        before_entities = target.entity_count
+        added = populator.apply(target, result)
+        assert added == len(result.new_facts)
+        assert target.triple_count == before_triples + added
+        assert target.entity_count >= before_entities + len(result.new_concepts)
+
+    def test_apply_is_idempotent(self, populator, sample, world):
+        text = f"Glowberry Cleanse is located in {sample['city'].label}."
+        result = populator.populate(text)
+        target = kb_from_json_dump(kb_to_json_dump(world.kb))
+        populator.apply(target, result)
+        again = populator.apply(target, result)
+        assert again == 0
+
+
+class TestCorpusPopulation:
+    def test_placeholders_shared_across_documents(self, populator, sample):
+        docs = [
+            f"Glowberry Cleanse is located in {sample['city'].label}.",
+            f"Glowberry Cleanse zorbified {sample['person'].label}. "
+            f"Glowberry Cleanse is located in {sample['city'].label}.",
+        ]
+        result = populator.populate_corpus(docs)
+        surfaces = [c.surface for c in result.new_concepts]
+        assert surfaces.count("Glowberry Cleanse") == 1
+
+    def test_corpus_facts_deduplicated(self, populator, sample):
+        text = f"{sample['other'].label} visited {sample['city'].label}."
+        result = populator.populate_corpus([text, text, text])
+        keys = [t.as_tuple() for t in result.new_facts + result.confirmed_facts]
+        assert len(keys) == len(set(keys))
+
+    def test_accepts_annotated_documents(self, populator, suite):
+        result = populator.populate_corpus(suite.news.documents[:2])
+        assert result.fact_count >= 0  # runs end to end on real documents
+
+
+class TestOnTheFlyLoop:
+    def test_committed_concepts_become_linkable(self, world, sample):
+        """QKBfly's premise, closed: a fresh phrase committed from one
+        document links as an entity in the next document."""
+        from repro.core.linker import LinkingContext, TenetLinker
+        from repro.population import KBPopulator
+
+        # private KB copy: commit() mutates the context's KB
+        kb = kb_from_json_dump(kb_to_json_dump(world.kb))
+        context = LinkingContext.build(kb, world.taxonomy)
+        populator = KBPopulator(context)
+        first = f"PulseMint is located in {sample['city'].label}."
+        result = populator.populate(first)
+        assert result.new_concepts
+        populator.commit(result)
+
+        linker = TenetLinker(context)
+        second = f"PulseMint zorbified {sample['person'].label}."
+        linked = linker.link(second)
+        link = linked.find_entity("PulseMint")
+        assert link is not None
+        assert link.concept_id == result.new_concepts[0].placeholder_id
+
+    def test_commit_is_idempotent(self, world, sample):
+        from repro.core.linker import LinkingContext
+        from repro.population import KBPopulator
+
+        kb = kb_from_json_dump(kb_to_json_dump(world.kb))
+        context = LinkingContext.build(kb, world.taxonomy)
+        populator = KBPopulator(context)
+        result = populator.populate(
+            f"AeroWhisk is located in {sample['city'].label}."
+        )
+        populator.commit(result)
+        again = populator.commit(result)
+        assert again == 0

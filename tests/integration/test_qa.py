@@ -1,0 +1,76 @@
+"""Question answering tests."""
+
+import pytest
+
+from repro.qa import KBQuestionAnswerer
+
+
+@pytest.fixture(scope="module")
+def answerer(context):
+    return KBQuestionAnswerer(context)
+
+
+@pytest.fixture(scope="module")
+def facts(world):
+    kb = world.kb
+    person_id = world.entities_of_type("computer_science", "person")[0]
+    person = kb.get_entity(person_id)
+    topic_id = next(
+        t.obj
+        for t in kb.triples()
+        if t.subject == person_id and t.predicate == world.predicate("field")
+    )
+    return {
+        "person": person,
+        "topic": kb.get_entity(topic_id),
+        "field_pid": world.predicate("field"),
+        "born_pid": world.predicate("born"),
+    }
+
+
+class TestAnswering:
+    def test_subject_question(self, answerer, facts, world):
+        """'Who studies X?' -> subjects of (?, field, X)."""
+        answer = answerer.answer(f"Who studies {facts['topic'].label}?")
+        assert answer.found
+        assert facts["person"].entity_id in answer.entity_ids
+        expected = world.kb.subjects_of(
+            facts["topic"].entity_id, facts["field_pid"]
+        )
+        assert set(answer.entity_ids) == expected
+
+    def test_object_question(self, answerer, facts, world):
+        """'<person> researches which topics?' -> objects of the fact."""
+        answer = answerer.answer(
+            f"{facts['person'].label} researches which topics?"
+        )
+        assert answer.found
+        assert facts["topic"].entity_id in answer.entity_ids
+        assert answer.anchor_is_subject
+
+    def test_born_question(self, answerer, facts, world):
+        born = world.kb.objects_of(
+            facts["person"].entity_id, facts["born_pid"]
+        )
+        if not born:
+            pytest.skip("person has no birth fact")
+        answer = answerer.answer(
+            f"{facts['person'].label} was born in which city?"
+        )
+        assert answer.found
+        assert set(answer.entity_ids) == born
+
+    def test_interpretation_recorded(self, answerer, facts):
+        answer = answerer.answer(f"Who studies {facts['topic'].label}?")
+        assert answer.anchor_id == facts["topic"].entity_id
+        assert answer.predicate_id == facts["field_pid"]
+        assert not answer.anchor_is_subject
+
+    def test_unanswerable_question(self, answerer):
+        answer = answerer.answer("Who zorbified the Quantum Pillow?")
+        assert not answer.found
+
+    def test_labels_match_ids(self, answerer, facts, world):
+        answer = answerer.answer(f"Who studies {facts['topic'].label}?")
+        for entity_id, label in zip(answer.entity_ids, answer.labels):
+            assert world.kb.get_entity(entity_id).label == label

@@ -1,0 +1,74 @@
+"""Question generator and boolean verification tests."""
+
+import pytest
+
+from repro.qa import KBQuestionAnswerer, QuestionGenerator
+
+
+@pytest.fixture(scope="module")
+def generator(world):
+    return QuestionGenerator(world, seed=3)
+
+
+class TestWhGeneration:
+    def test_requested_count(self, generator):
+        assert len(generator.wh_questions(10)) == 10
+
+    def test_expected_ids_are_kb_subjects(self, generator, world):
+        for item in generator.wh_questions(10):
+            reference = world.kb.subjects_of(item.fact.obj, item.fact.predicate)
+            assert set(item.expected_ids) == reference
+
+    def test_question_mentions_object_label(self, generator, world):
+        for item in generator.wh_questions(5):
+            obj = world.kb.get_entity(item.fact.obj)
+            assert obj.label in item.question
+
+    def test_deterministic(self, world):
+        a = QuestionGenerator(world, seed=9).wh_questions(5)
+        b = QuestionGenerator(world, seed=9).wh_questions(5)
+        assert [q.question for q in a] == [q.question for q in b]
+
+
+class TestBooleanGeneration:
+    def test_balanced_labels(self, generator):
+        questions = generator.boolean_questions(30)
+        positives = sum(q.answer for q in questions)
+        assert 10 <= positives <= 20
+
+    def test_positive_items_hold_in_kb(self, generator, world):
+        for item in generator.boolean_questions(20):
+            holds = world.kb.has_fact(
+                item.subject_id, item.predicate_id, item.object_id
+            )
+            assert holds == item.answer
+
+    def test_ambiguous_fraction_honoured(self, generator):
+        none_ambiguous = generator.boolean_questions(
+            20, ambiguous_fraction=0.0
+        )
+        assert not any(q.ambiguous_subject for q in none_ambiguous)
+
+
+class TestVerify:
+    def test_true_fact_verified(self, context, world, tenet):
+        answerer = KBQuestionAnswerer(context, tenet)
+        generator = QuestionGenerator(world, seed=4)
+        item = next(
+            q for q in generator.boolean_questions(30, ambiguous_fraction=0.0)
+            if q.answer
+        )
+        assert answerer.verify(item.question) is True
+
+    def test_false_fact_rejected(self, context, world, tenet):
+        answerer = KBQuestionAnswerer(context, tenet)
+        generator = QuestionGenerator(world, seed=4)
+        item = next(
+            q for q in generator.boolean_questions(30, ambiguous_fraction=0.0)
+            if not q.answer
+        )
+        assert answerer.verify(item.question) is False
+
+    def test_unparseable_returns_none(self, context, tenet):
+        answerer = KBQuestionAnswerer(context, tenet)
+        assert answerer.verify("Glowberry zorbified?") is None

@@ -1,0 +1,99 @@
+"""Result-shape assertions: the paper's comparative claims must hold on
+the benchmark suite (small scale for test speed; the benchmarks run the
+full scale)."""
+
+import pytest
+
+from repro.baselines import (
+    EarlLinker,
+    FalconLinker,
+    KBPearlLinker,
+    MinTreeLinker,
+    QKBflyLinker,
+)
+from repro.core.linker import TenetLinker
+from repro.eval.runner import EvaluationRunner
+
+
+@pytest.fixture(scope="module")
+def scores(suite, suite_context):
+    linkers = [
+        FalconLinker(suite_context),
+        QKBflyLinker(suite_context),
+        KBPearlLinker(suite_context),
+        EarlLinker(suite_context),
+        MinTreeLinker(suite_context),
+        TenetLinker(suite_context),
+    ]
+    runner = EvaluationRunner(linkers)
+    return {ds.name: runner.evaluate(ds) for ds in suite.datasets()}
+
+
+class TestTable3Shape:
+    def test_tenet_at_or_near_top_everywhere(self, scores):
+        """TENET's EL F1 is within epsilon of the best system on every
+        dataset (strictly best at full scale; the tiny test corpus allows
+        slack)."""
+        for dataset, by_system in scores.items():
+            best = max(s.entity.f1 for s in by_system.values())
+            assert by_system["TENET"].entity.f1 >= best - 0.06, dataset
+
+    def test_falcon_never_best(self, scores):
+        for dataset, by_system in scores.items():
+            best = max(s.entity.f1 for s in by_system.values())
+            assert by_system["Falcon"].entity.f1 < best, dataset
+
+    def test_coherence_beats_prior_only_on_kore(self, scores):
+        """KORE50's ambiguous mentions require context (the paper's
+        headline claim for short text)."""
+        kore = scores["KORE50"]
+        assert kore["TENET"].entity.f1 > kore["Falcon"].entity.f1 + 0.05
+
+
+class TestTable4Shape:
+    def test_tenet_best_relation_linking(self, scores):
+        for dataset in ("News", "T-REx42"):
+            by_system = scores[dataset]
+            tenet = by_system["TENET"].relation.f1
+            for name, system in by_system.items():
+                if name == "TENET" or system.relation.predicted == 0:
+                    continue
+                assert tenet >= system.relation.f1 - 0.03, (dataset, name)
+
+    def test_entities_only_systems_produce_no_relations(self, scores):
+        for dataset in ("News", "T-REx42"):
+            assert scores[dataset]["QKBfly"].relation.predicted == 0
+            assert scores[dataset]["MINTREE"].relation.predicted == 0
+
+    def test_earl_relation_recall_low(self, scores):
+        """EARL's head-lemma normalisation caps its relation recall."""
+        for dataset in ("News", "T-REx42"):
+            earl = scores[dataset]["EARL"].relation
+            tenet = scores[dataset]["TENET"].relation
+            assert earl.recall < tenet.recall
+
+
+class TestFig6Shape:
+    def test_tenet_mention_detection_at_top(self, scores):
+        for dataset, by_system in scores.items():
+            best = max(s.mention_detection.f1 for s in by_system.values())
+            assert by_system["TENET"].mention_detection.f1 >= best - 0.04, dataset
+
+    def test_isolated_detection_only_for_capable_systems(self, scores):
+        for dataset, by_system in scores.items():
+            assert by_system["Falcon"].isolated.predicted == 0
+            assert by_system["EARL"].isolated.predicted == 0
+            assert by_system["MINTREE"].isolated.predicted == 0
+
+    def test_tenet_isolated_precision_strong(self, scores, suite, suite_context):
+        runner = EvaluationRunner(
+            [
+                QKBflyLinker(suite_context),
+                KBPearlLinker(suite_context),
+                TenetLinker(suite_context),
+            ]
+        )
+        ads = runner.evaluate(suite.advertisement_subset())
+        tenet = ads["TENET"].isolated.precision
+        assert tenet > 0.5
+        assert tenet >= ads["KBPearl"].isolated.precision - 0.1

@@ -1,0 +1,126 @@
+"""Alias index tests."""
+
+import pytest
+
+from repro.kb.alias_index import AliasIndex
+from repro.kb.records import EntityRecord, PredicateRecord
+from repro.kb.store import KnowledgeBase
+from repro.kb.types import build_default_taxonomy
+
+
+@pytest.fixture
+def index():
+    kb = KnowledgeBase()
+    kb.add_entity(
+        EntityRecord(
+            "Q1", "Michael Jordan", aliases=("Jordan",),
+            types=("person",), popularity=70,
+        )
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Q2", "Michael Jordan", aliases=("Jordan", "M. Jordan"),
+            types=("person",), popularity=30,
+        )
+    )
+    kb.add_entity(
+        EntityRecord("Q3", "Jordan", types=("country",), popularity=50)
+    )
+    kb.add_predicate(
+        PredicateRecord("P1", "field of work", aliases=("studies",), popularity=60)
+    )
+    kb.add_predicate(
+        PredicateRecord("P2", "educated at", aliases=("studies",), popularity=40)
+    )
+    return AliasIndex.from_kb(kb, build_default_taxonomy())
+
+
+class TestEntityLookup:
+    def test_priors_proportional_to_popularity(self, index):
+        hits = index.lookup_entities("Michael Jordan")
+        assert [h.concept_id for h in hits] == ["Q1", "Q2"]
+        assert hits[0].prior == pytest.approx(0.7)
+        assert hits[1].prior == pytest.approx(0.3)
+
+    def test_priors_sum_to_one(self, index):
+        hits = index.lookup_entities("Jordan")
+        assert sum(h.prior for h in hits) == pytest.approx(1.0)
+
+    def test_case_insensitive(self, index):
+        assert index.lookup_entities("michael jordan")
+        assert index.lookup_entities("MICHAEL JORDAN")
+
+    def test_edge_punctuation_stripped(self, index):
+        assert index.lookup_entities("  Michael Jordan, ")
+
+    def test_unknown_phrase_empty(self, index):
+        assert index.lookup_entities("Zaphod Beeblebrox") == []
+
+    def test_limit(self, index):
+        hits = index.lookup_entities("Jordan", limit=1)
+        assert len(hits) == 1
+
+    def test_type_filter(self, index):
+        hits = index.lookup_entities("Jordan", mention_type="country")
+        assert [h.concept_id for h in hits] == ["Q3"]
+
+    def test_type_filter_person(self, index):
+        hits = index.lookup_entities("Jordan", mention_type="person")
+        assert {h.concept_id for h in hits} == {"Q1", "Q2"}
+
+    def test_local_distance(self, index):
+        hit = index.lookup_entities("Michael Jordan")[0]
+        assert hit.local_distance == pytest.approx(0.3)
+
+    def test_has_entity_alias(self, index):
+        assert index.has_entity_alias("M. Jordan")
+        assert not index.has_entity_alias("nothing here")
+
+
+class TestPredicateLookup:
+    def test_shared_alias_ranked_by_popularity(self, index):
+        hits = index.lookup_predicates("studies")
+        assert [h.concept_id for h in hits] == ["P1", "P2"]
+        assert hits[0].prior == pytest.approx(0.6)
+
+    def test_label_lookup(self, index):
+        hits = index.lookup_predicates("educated at")
+        assert hits[0].concept_id == "P2"
+
+    def test_kind_marker(self, index):
+        assert index.lookup_predicates("studies")[0].kind == "predicate"
+        assert index.lookup_entities("Jordan")[0].kind == "entity"
+
+    def test_predicate_aliases_listing(self, index):
+        assert "studies" in index.predicate_aliases()
+
+    def test_has_predicate_alias(self, index):
+        assert index.has_predicate_alias("Studies")
+
+
+class TestFuzzyLookup:
+    def test_token_subset_matches(self, index):
+        hits = index.fuzzy_lookup_entities("Michael")
+        assert any(h.concept_id in ("Q1", "Q2") for h in hits)
+
+    def test_fuzzy_weaker_than_exact(self, index):
+        exact = index.lookup_entities("Michael Jordan")[0].prior
+        fuzzy = index.fuzzy_lookup_entities("Michael")[0].prior
+        assert fuzzy < exact
+
+    def test_fuzzy_no_match(self, index):
+        assert index.fuzzy_lookup_entities("completely unrelated words") == []
+
+    def test_short_tokens_ignored(self, index):
+        assert index.fuzzy_lookup_entities("a an of") == []
+
+
+class TestVocabulary:
+    def test_entity_alias_tokens(self, index):
+        tokens = index.entity_alias_tokens()
+        assert "michael" in tokens
+        assert "jordan" in tokens
+
+    def test_alias_count(self, index):
+        # michael jordan, jordan, m. jordan
+        assert index.entity_alias_count() == 3

@@ -1,0 +1,48 @@
+"""JSON dump round-trip tests."""
+
+import pytest
+
+from repro.kb.dump import (
+    kb_from_json_dump,
+    kb_to_json_dump,
+    load_dump,
+    save_dump,
+)
+
+
+class TestRoundTrip:
+    def test_counts_preserved(self, world):
+        dump = kb_to_json_dump(world.kb)
+        rebuilt = kb_from_json_dump(dump)
+        assert rebuilt.entity_count == world.kb.entity_count
+        assert rebuilt.predicate_count == world.kb.predicate_count
+        assert rebuilt.triple_count == world.kb.triple_count
+
+    def test_records_preserved(self, world):
+        rebuilt = kb_from_json_dump(kb_to_json_dump(world.kb))
+        for entity in world.kb.entities():
+            clone = rebuilt.get_entity(entity.entity_id)
+            assert clone == entity
+
+    def test_facts_preserved(self, world):
+        rebuilt = kb_from_json_dump(kb_to_json_dump(world.kb))
+        originals = {t.as_tuple() for t in world.kb.triples()}
+        clones = {t.as_tuple() for t in rebuilt.triples()}
+        assert originals == clones
+
+    def test_file_round_trip(self, world, tmp_path):
+        path = tmp_path / "dump.json"
+        save_dump(world.kb, path)
+        rebuilt = load_dump(path)
+        assert rebuilt.entity_count == world.kb.entity_count
+
+    def test_unknown_version_rejected(self, world):
+        dump = kb_to_json_dump(world.kb)
+        dump["format_version"] = 99
+        with pytest.raises(ValueError):
+            kb_from_json_dump(dump)
+
+    def test_dump_is_json_serialisable(self, world):
+        import json
+
+        json.dumps(kb_to_json_dump(world.kb))

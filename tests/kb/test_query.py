@@ -1,0 +1,68 @@
+"""Triple-pattern query tests."""
+
+import pytest
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    for i in range(4):
+        kb.add_entity(EntityRecord(f"Q{i}", f"E{i}"))
+    kb.add_predicate(PredicateRecord("P1", "knows"))
+    kb.add_predicate(PredicateRecord("P2", "likes"))
+    kb.add_fact(Triple("Q0", "P1", "Q1"))
+    kb.add_fact(Triple("Q0", "P1", "Q2"))
+    kb.add_fact(Triple("Q0", "P2", "Q1"))
+    kb.add_fact(Triple("Q3", "P1", "Q1"))
+    kb.add_fact(Triple("Q3", "P2", "1984", object_is_literal=True))
+    return kb
+
+
+class TestQuery:
+    def test_fully_bound_hit(self, kb):
+        facts = kb.query(subject="Q0", predicate="P1", obj="Q1")
+        assert len(facts) == 1
+        assert facts[0].as_tuple() == ("Q0", "P1", "Q1")
+
+    def test_fully_bound_miss(self, kb):
+        assert kb.query(subject="Q1", predicate="P1", obj="Q0") == []
+
+    def test_subject_predicate(self, kb):
+        facts = kb.query(subject="Q0", predicate="P1")
+        assert {f.obj for f in facts} == {"Q1", "Q2"}
+
+    def test_predicate_object(self, kb):
+        facts = kb.query(predicate="P1", obj="Q1")
+        assert {f.subject for f in facts} == {"Q0", "Q3"}
+
+    def test_subject_object(self, kb):
+        facts = kb.query(subject="Q0", obj="Q1")
+        assert {f.predicate for f in facts} == {"P1", "P2"}
+
+    def test_subject_only(self, kb):
+        assert len(kb.query(subject="Q0")) == 3
+
+    def test_predicate_only(self, kb):
+        assert len(kb.query(predicate="P2")) == 2
+
+    def test_object_only(self, kb):
+        assert len(kb.query(obj="Q1")) == 3
+
+    def test_unbound_returns_everything(self, kb):
+        assert len(kb.query()) == kb.triple_count
+
+    def test_literal_flag_preserved(self, kb):
+        facts = kb.query(subject="Q3", predicate="P2")
+        assert facts[0].object_is_literal
+
+    def test_consistency_with_full_scan(self, kb):
+        indexed = {t.as_tuple() for t in kb.query(predicate="P1", obj="Q1")}
+        scanned = {
+            t.as_tuple()
+            for t in kb.query()
+            if t.predicate == "P1" and t.obj == "Q1"
+        }
+        assert indexed == scanned

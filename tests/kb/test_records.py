@@ -1,0 +1,55 @@
+"""Entity/predicate/triple record tests."""
+
+import pytest
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+
+
+class TestEntityRecord:
+    def test_label_auto_added_to_aliases(self):
+        e = EntityRecord("Q1", "Ada Lovelace", aliases=("Ada",))
+        assert e.aliases[0] == "Ada Lovelace"
+        assert "Ada" in e.aliases
+
+    def test_label_not_duplicated(self):
+        e = EntityRecord("Q1", "Ada", aliases=("Ada", "A. L."))
+        assert e.aliases.count("Ada") == 1
+
+    def test_negative_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            EntityRecord("Q1", "X", popularity=-1)
+
+    def test_frozen(self):
+        e = EntityRecord("Q1", "X")
+        with pytest.raises(AttributeError):
+            e.label = "Y"
+
+    def test_defaults(self):
+        e = EntityRecord("Q1", "X")
+        assert e.types == ()
+        assert e.domain is None
+        assert e.popularity == 1
+
+
+class TestPredicateRecord:
+    def test_label_auto_added_to_aliases(self):
+        p = PredicateRecord("P1", "educated at", aliases=("studied at",))
+        assert "educated at" in p.aliases
+
+    def test_negative_popularity_rejected(self):
+        with pytest.raises(ValueError):
+            PredicateRecord("P1", "x", popularity=-5)
+
+
+class TestTriple:
+    def test_as_tuple(self):
+        t = Triple("Q1", "P1", "Q2")
+        assert t.as_tuple() == ("Q1", "P1", "Q2")
+
+    def test_literal_flag(self):
+        t = Triple("Q1", "P1", "42", object_is_literal=True)
+        assert t.object_is_literal
+
+    def test_equality(self):
+        assert Triple("Q1", "P1", "Q2") == Triple("Q1", "P1", "Q2")
+        assert Triple("Q1", "P1", "Q2") != Triple("Q1", "P1", "Q3")

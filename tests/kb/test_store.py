@@ -1,0 +1,111 @@
+"""Triple store tests."""
+
+import pytest
+
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+
+
+@pytest.fixture
+def kb():
+    kb = KnowledgeBase()
+    kb.add_entity(EntityRecord("Q1", "Alice", types=("person",)))
+    kb.add_entity(EntityRecord("Q2", "Acme University", types=("university",)))
+    kb.add_entity(EntityRecord("Q3", "Springfield", types=("city",)))
+    kb.add_predicate(PredicateRecord("P1", "educated at"))
+    kb.add_predicate(PredicateRecord("P2", "located in"))
+    kb.add_fact(Triple("Q1", "P1", "Q2"))
+    kb.add_fact(Triple("Q2", "P2", "Q3"))
+    kb.add_fact(Triple("Q1", "P2", "1984", object_is_literal=True))
+    return kb
+
+
+class TestRecords:
+    def test_counts(self, kb):
+        assert kb.entity_count == 3
+        assert kb.predicate_count == 2
+        assert kb.triple_count == 3
+
+    def test_duplicate_entity_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_entity(EntityRecord("Q1", "Clone"))
+
+    def test_duplicate_predicate_rejected(self, kb):
+        with pytest.raises(ValueError):
+            kb.add_predicate(PredicateRecord("P1", "clone"))
+
+    def test_get_entity(self, kb):
+        assert kb.get_entity("Q1").label == "Alice"
+
+    def test_replace_entity(self, kb):
+        kb.replace_entity(EntityRecord("Q1", "Alice", popularity=99))
+        assert kb.get_entity("Q1").popularity == 99
+
+    def test_replace_unknown_entity_raises(self, kb):
+        with pytest.raises(KeyError):
+            kb.replace_entity(EntityRecord("Q99", "Ghost"))
+
+    def test_has_entity(self, kb):
+        assert kb.has_entity("Q1")
+        assert not kb.has_entity("Q99")
+
+
+class TestFacts:
+    def test_duplicate_fact_returns_false(self, kb):
+        assert kb.add_fact(Triple("Q1", "P1", "Q2")) is False
+        assert kb.triple_count == 3
+
+    def test_unknown_subject_rejected(self, kb):
+        with pytest.raises(KeyError):
+            kb.add_fact(Triple("Q99", "P1", "Q2"))
+
+    def test_unknown_predicate_rejected(self, kb):
+        with pytest.raises(KeyError):
+            kb.add_fact(Triple("Q1", "P99", "Q2"))
+
+    def test_unknown_entity_object_rejected(self, kb):
+        with pytest.raises(KeyError):
+            kb.add_fact(Triple("Q1", "P1", "Q99"))
+
+    def test_literal_object_allowed(self, kb):
+        assert kb.has_fact("Q1", "P2", "1984")
+
+    def test_has_fact(self, kb):
+        assert kb.has_fact("Q1", "P1", "Q2")
+        assert not kb.has_fact("Q2", "P1", "Q1")
+
+
+class TestIndexes:
+    def test_objects_of(self, kb):
+        assert kb.objects_of("Q1", "P1") == {"Q2"}
+        assert kb.objects_of("Q1") == {"Q2", "1984"}
+
+    def test_subjects_of(self, kb):
+        assert kb.subjects_of("Q2", "P1") == {"Q1"}
+        assert kb.subjects_of("Q3") == {"Q2"}
+
+    def test_predicates_between(self, kb):
+        assert kb.predicates_between("Q1", "Q2") == {"P1"}
+        assert kb.predicates_between("Q2", "Q1") == set()
+
+    def test_facts_about_includes_object_position(self, kb):
+        facts = kb.facts_about("Q2")
+        assert len(facts) == 2  # subject of one, object of another
+
+    def test_entity_neighbours(self, kb):
+        assert kb.entity_neighbours("Q2") == {"Q1", "Q3"}
+
+    def test_entity_neighbours_excludes_literals(self, kb):
+        assert "1984" not in kb.entity_neighbours("Q1")
+
+    def test_entity_degree(self, kb):
+        assert kb.entity_degree("Q2") == 2
+
+    def test_predicates_used_with(self, kb):
+        assert kb.predicates_used_with("Q2") == {"P1", "P2"}
+
+    def test_concept_ids(self, kb):
+        assert set(kb.concept_ids()) == {"Q1", "Q2", "Q3", "P1", "P2"}
+
+    def test_facts_with_predicate(self, kb):
+        assert len(kb.facts_with_predicate("P2")) == 2

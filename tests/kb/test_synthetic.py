@@ -1,0 +1,132 @@
+"""Synthetic world generator tests."""
+
+import pytest
+
+from repro.kb.synthetic import SyntheticKBConfig, build_synthetic_world
+from repro.textnorm import normalize_phrase
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_synthetic_world(SyntheticKBConfig(seed=11))
+        b = build_synthetic_world(SyntheticKBConfig(seed=11))
+        assert a.kb.entity_count == b.kb.entity_count
+        assert [t.as_tuple() for t in a.kb.triples()] == [
+            t.as_tuple() for t in b.kb.triples()
+        ]
+
+    def test_different_seed_different_world(self):
+        a = build_synthetic_world(SyntheticKBConfig(seed=11))
+        b = build_synthetic_world(SyntheticKBConfig(seed=12))
+        assert [t.as_tuple() for t in a.kb.triples()] != [
+            t.as_tuple() for t in b.kb.triples()
+        ]
+
+
+class TestStructure:
+    def test_all_domains_populated(self, world):
+        for domain in world.config.domains:
+            assert world.entities_in_domain(domain)
+
+    def test_people_per_domain(self, world):
+        for domain in world.config.domains:
+            people = world.entities_of_type(domain, "person")
+            assert len(people) == world.config.people_per_domain
+
+    def test_predicates_registered(self, world):
+        for key in ("field", "educated", "member", "born", "residence"):
+            pid = world.predicate(key)
+            assert world.kb.has_predicate(pid)
+
+    def test_cities_located_in_countries(self, world):
+        located = world.predicate("located")
+        for city in world.cities:
+            assert world.kb.objects_of(city, located)
+
+    def test_every_person_has_facts(self, world):
+        for domain in world.config.domains:
+            for person in world.entities_of_type(domain, "person"):
+                assert world.kb.facts_about(person)
+
+    def test_referential_integrity(self, world):
+        for triple in world.kb.triples():
+            assert world.kb.has_entity(triple.subject)
+            assert world.kb.has_predicate(triple.predicate)
+            if not triple.object_is_literal:
+                assert world.kb.has_entity(triple.obj)
+
+    def test_work_titles_unique(self, world):
+        titles = [
+            e.label
+            for e in world.kb.entities()
+            if len(e.label.split()) >= 4 and e.label.startswith("The ")
+        ]
+        assert len(titles) == len(set(titles))
+
+    def test_domain_facts_filter(self, world):
+        facts = world.domain_facts("computer_science")
+        members = set(world.entities_in_domain("computer_science"))
+        assert facts
+        assert all(t.subject in members for t in facts)
+
+
+class TestAmbiguity:
+    def test_shared_aliases_exist(self, world):
+        owners = {}
+        for entity in world.kb.entities():
+            for alias in entity.aliases:
+                owners.setdefault(normalize_phrase(alias), []).append(
+                    entity.entity_id
+                )
+        shared = [k for k, v in owners.items() if len(v) >= 2]
+        assert len(shared) >= world.config.ambiguous_person_pairs
+
+    def test_injected_receivers_are_unpopular(self, world):
+        """Injected cross-domain alias receivers keep a low popularity so
+        the dominant sense stays clearly dominant."""
+        label_owner = {}
+        for entity in world.kb.entities():
+            label_owner.setdefault(normalize_phrase(entity.label), entity)
+        for entity in world.kb.entities():
+            for alias in entity.aliases:
+                key = normalize_phrase(alias)
+                donor = label_owner.get(key)
+                if (
+                    donor is not None
+                    and donor.entity_id != entity.entity_id
+                    and "person" in entity.types
+                    and "person" in donor.types
+                    and alias != entity.label
+                    and len(alias.split()) == 2
+                    and alias.split()[-1] != entity.label.split()[-1]
+                ):
+                    assert entity.popularity <= 12
+
+    def test_predicate_alias_collisions(self, world):
+        owners = {}
+        for predicate in world.kb.predicates():
+            for alias in predicate.aliases:
+                owners.setdefault(normalize_phrase(alias), []).append(
+                    predicate.predicate_id
+                )
+        assert len(owners.get("studies", [])) == 2
+        assert len(owners.get("live in", [])) == 2
+        assert len(owners.get("joined", [])) >= 2
+
+    def test_surname_aliases(self, world):
+        person = next(
+            e for e in world.kb.entities() if "person" in e.types
+        )
+        assert person.label.split()[-1] in person.aliases
+
+    def test_acronym_aliases_for_orgs(self, world):
+        orgs = [
+            e
+            for e in world.kb.entities()
+            if any(t in ("university", "company", "team", "organization")
+                   for t in e.types)
+        ]
+        assert orgs
+        sample = orgs[0]
+        acronyms = [a for a in sample.aliases if a.isupper()]
+        assert acronyms

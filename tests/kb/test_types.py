@@ -1,0 +1,75 @@
+"""Type taxonomy tests."""
+
+import pytest
+
+from repro.kb.types import DEFAULT_TAXONOMY, ROOT_TYPE, TypeTaxonomy
+
+
+@pytest.fixture
+def tax():
+    t = TypeTaxonomy()
+    t.add_type("agent")
+    t.add_type("person", ["agent"])
+    t.add_type("organization", ["agent"])
+    t.add_type("location")
+    t.add_type("city", ["location"])
+    return t
+
+
+class TestStructure:
+    def test_root_exists(self):
+        assert ROOT_TYPE in TypeTaxonomy()
+
+    def test_add_type_with_unknown_parent_raises(self, tax):
+        with pytest.raises(KeyError):
+            tax.add_type("x", ["nope"])
+
+    def test_readd_merges_parents(self, tax):
+        tax.add_type("person", ["location"])  # now person is-a location too
+        assert tax.is_subtype("person", "location")
+
+    def test_ancestors_transitive(self, tax):
+        assert tax.ancestors("city") == {"location", ROOT_TYPE}
+        assert tax.ancestors("person") == {"agent", ROOT_TYPE}
+
+    def test_ancestors_unknown_raises(self, tax):
+        with pytest.raises(KeyError):
+            tax.ancestors("ghost")
+
+
+class TestCompatibility:
+    def test_subtype_compatible(self, tax):
+        assert tax.compatible("person", "agent")
+        assert tax.compatible("agent", "person")
+
+    def test_siblings_incompatible(self, tax):
+        assert not tax.compatible("person", "organization")
+
+    def test_unrelated_incompatible(self, tax):
+        assert not tax.compatible("person", "city")
+
+    def test_self_compatible(self, tax):
+        assert tax.compatible("person", "person")
+
+    def test_unknown_type_compatible_with_all(self, tax):
+        # the paper's pipeline never rejects candidates on unknown types
+        assert tax.compatible("made-up", "person")
+
+    def test_compatible_any(self, tax):
+        assert tax.compatible_any("person", ["city", "agent"])
+        assert not tax.compatible_any("person", ["city", "organization"])
+
+    def test_compatible_any_empty_is_true(self, tax):
+        assert tax.compatible_any("person", [])
+
+
+class TestDefaultTaxonomy:
+    def test_expected_types_present(self):
+        for name in ("person", "organization", "city", "film", "award", "field"):
+            assert name in DEFAULT_TAXONOMY
+
+    def test_team_is_organization(self):
+        assert DEFAULT_TAXONOMY.is_subtype("team", "organization")
+
+    def test_film_is_creative_work(self):
+        assert DEFAULT_TAXONOMY.is_subtype("film", "creative_work")

@@ -1,0 +1,88 @@
+"""Noun-phrase chunker tests."""
+
+import pytest
+
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.pos import PosTagger
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+def run_chunker(text, gazetteer=None, extra_nominals=()):
+    tagger = PosTagger.from_predicate_aliases(
+        ["studies", "painted", "visited"], nominal_tokens=extra_nominals
+    )
+    tokens = tokenize(text)
+    tags = tagger.tag(tokens)
+    sentences = split_sentences(tokens)
+    chunker = NounPhraseChunker(gazetteer)
+    return (
+        chunker.regions(text, tokens, tags, sentences),
+        chunker.chunk(text, tokens, tags, sentences),
+    )
+
+
+class TestRegions:
+    def test_simple_names(self):
+        regions, _ = run_chunker("Alice Brown visited Springfield.")
+        texts = [r.text for r in regions]
+        assert "Alice Brown" in texts
+        assert "Springfield" in texts
+
+    def test_connector_joins_nominals(self):
+        regions, _ = run_chunker("Rembrandt painted The Storm on the Sea.")
+        texts = [r.text for r in regions]
+        assert "The Storm on the Sea" in texts
+
+    def test_verb_breaks_region(self):
+        regions, _ = run_chunker("Alice Brown studies Bob Green.")
+        texts = [r.text for r in regions]
+        assert "Alice Brown" in texts
+        assert "Bob Green" in texts
+        assert all("studies" not in t for t in texts)
+
+    def test_region_never_ends_with_connector(self):
+        regions, _ = run_chunker("Alice went to the market of.")
+        for region in regions:
+            assert not region.text.lower().endswith((" of", " the", " and"))
+
+    def test_title_determiner_included(self):
+        regions, _ = run_chunker("Rembrandt painted The Storm.")
+        assert any(r.text == "The Storm" for r in regions)
+
+    def test_sentence_boundary_respected(self):
+        regions, _ = run_chunker("Alice arrived. Brown arrived.")
+        texts = [r.text for r in regions]
+        assert "Alice" in texts
+        assert "Brown" in texts
+        assert "Alice Brown" not in texts
+
+
+class TestCandidates:
+    def test_nominal_runs_included(self):
+        _, spans = run_chunker("Rembrandt painted The Storm on the Sea.")
+        texts = [s.text for s in spans]
+        assert "The Storm on the Sea" in texts
+        assert "Sea" in texts or "The Storm" in texts
+
+    def test_gazetteer_subspans(self):
+        known = {"the storm", "sea of galilee"}
+        _, spans = run_chunker(
+            "Rembrandt painted The Storm on the Sea of Galilee.",
+            gazetteer=lambda s: s.lower() in known,
+        )
+        texts = [s.text for s in spans]
+        assert "The Storm" in texts
+        assert "Sea of Galilee" in texts
+
+    def test_spans_sorted_and_unique(self):
+        _, spans = run_chunker("Alice Brown visited Springfield.")
+        keys = [(s.token_start, s.token_end) for s in spans]
+        assert keys == sorted(keys)
+        assert len(keys) == len(set(keys))
+
+    def test_char_offsets_populated(self):
+        text = "Alice Brown visited Springfield."
+        _, spans = run_chunker(text)
+        for span in spans:
+            assert text[span.char_start : span.char_end] == span.text

@@ -1,0 +1,57 @@
+"""Pronoun co-reference tests."""
+
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.coref import resolve_pronouns
+from repro.nlp.pos import PosTagger
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+def resolve(text):
+    tagger = PosTagger.from_predicate_aliases(["studies", "visited"])
+    tokens = tokenize(text)
+    tags = tagger.tag(tokens)
+    sentences = split_sentences(tokens)
+    regions = NounPhraseChunker().regions(text, tokens, tags, sentences)
+    resolved = resolve_pronouns(tokens, tags, regions)
+    return tokens, resolved
+
+
+class TestResolution:
+    def test_he_resolves_to_person(self):
+        tokens, resolved = resolve("Michael Jordan studies math. He visited Springfield.")
+        pronoun_index = next(i for i, t in enumerate(tokens) if t.text == "He")
+        assert pronoun_index in resolved
+        assert resolved[pronoun_index].text == "Michael Jordan"
+
+    def test_she_resolves_to_most_recent_person(self):
+        tokens, resolved = resolve(
+            "Alice Brown met Clara Novak. She visited Springfield."
+        )
+        pronoun_index = next(i for i, t in enumerate(tokens) if t.text == "She")
+        assert resolved[pronoun_index].text == "Clara Novak"
+
+    def test_no_antecedent_unresolved(self):
+        tokens, resolved = resolve("He visited Springfield.")
+        assert resolved == {}
+
+    def test_person_pronoun_skips_long_regions(self):
+        tokens, resolved = resolve(
+            "The Storm on the Sea of Galilee amazed Alice Brown. She left."
+        )
+        pronoun_index = next(i for i, t in enumerate(tokens) if t.text == "She")
+        assert resolved[pronoun_index].text == "Alice Brown"
+
+    def test_it_resolves_to_any_region(self):
+        tokens, resolved = resolve("Springfield grew. It thrived.")
+        pronoun_index = next(i for i, t in enumerate(tokens) if t.text == "It")
+        assert pronoun_index in resolved
+
+    def test_object_pronouns_not_resolved(self):
+        tokens, resolved = resolve("Alice Brown met him.")
+        assert resolved == {}
+
+    def test_antecedent_must_precede(self):
+        tokens, resolved = resolve("She studies math. Alice Brown left.")
+        pronoun_index = next(i for i, t in enumerate(tokens) if t.text == "She")
+        assert pronoun_index not in resolved

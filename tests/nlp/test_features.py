@@ -1,0 +1,75 @@
+"""Linguistic feature tests (Sec. 5.1 feature classes)."""
+
+from repro.nlp.features import LinguisticFeature, classify_gap, contains_feature
+from repro.nlp.spans import Span, SpanKind
+from repro.nlp.tokenizer import tokenize
+
+
+def gap_between(text, left_words, right_word):
+    tokens = tokenize(text)
+    words = [t.text for t in tokens]
+    left_end = words.index(left_words) + 1
+    right_start = words.index(right_word)
+    return classify_gap(tokens, left_end, right_start)
+
+
+class TestClassifyGap:
+    def test_coordination(self):
+        assert gap_between("Romeo and Juliet", "Romeo", "Juliet") is (
+            LinguisticFeature.COORDINATION
+        )
+
+    def test_preposition(self):
+        assert gap_between("Storm on Island", "Storm", "Island") is (
+            LinguisticFeature.PREPOSITION
+        )
+
+    def test_preposition_with_determiner(self):
+        assert gap_between("Lord of the Ring", "Lord", "Ring") is (
+            LinguisticFeature.PREPOSITION
+        )
+
+    def test_number(self):
+        assert gap_between("Apollo 11 mission", "Apollo", "mission") is (
+            LinguisticFeature.NUMBER
+        )
+
+    def test_punctuation(self):
+        tokens = tokenize("World : Kingdom")
+        assert classify_gap(tokens, 1, 2) is LinguisticFeature.PUNCTUATION
+
+    def test_non_feature_word(self):
+        assert gap_between("Alice met Bob", "Alice", "Bob") is None
+
+    def test_empty_gap(self):
+        tokens = tokenize("a b")
+        assert classify_gap(tokens, 1, 1) is None
+
+    def test_too_long_gap(self):
+        tokens = tokenize("a of of of of b")
+        assert classify_gap(tokens, 1, 5) is None
+
+    def test_mixed_gap_prefers_non_preposition(self):
+        # "and the" classifies as coordination, not preposition
+        tokens = tokenize("Romeo and the Juliet")
+        assert classify_gap(tokens, 1, 3) is LinguisticFeature.COORDINATION
+
+
+class TestContainsFeature:
+    def _span(self, text, start, end):
+        return Span(text, start, end, 0, SpanKind.NOUN)
+
+    def test_long_text_mention(self):
+        tokens = tokenize("The Storm on the Sea of Galilee")
+        span = self._span("Storm on the Sea", 1, 7)
+        assert contains_feature(tokens, span)
+
+    def test_short_text_mention(self):
+        tokens = tokenize("National Science Association")
+        span = self._span("National Science Association", 0, 3)
+        assert not contains_feature(tokens, span)
+
+    def test_single_token(self):
+        tokens = tokenize("Galilee")
+        span = self._span("Galilee", 0, 1)
+        assert not contains_feature(tokens, span)

@@ -1,0 +1,56 @@
+"""Lemmatizer tests."""
+
+from repro.nlp.lemmatizer import lemma_variants, lemmatize, lemmatize_phrase
+
+
+class TestLemmatize:
+    def test_irregulars(self):
+        assert lemmatize("was") == "be"
+        assert lemmatize("won") == "win"
+        assert lemmatize("wrote") == "write"
+        assert lemmatize("went") == "go"
+
+    def test_plural_s(self):
+        assert lemmatize("studies") == "study"
+        assert lemmatize("cats") == "cat"
+
+    def test_ing(self):
+        assert "work" in lemma_variants("working")
+        assert "make" in lemma_variants("making")
+
+    def test_ed(self):
+        assert "visit" in lemma_variants("visited")
+        assert "award" in lemma_variants("awarded")
+
+    def test_doubled_consonant(self):
+        assert "run" in lemma_variants("running")
+
+    def test_short_words_untouched(self):
+        assert lemmatize("is") == "be"  # irregular
+        assert lemmatize("as") == "as"
+
+    def test_ss_not_stripped(self):
+        assert lemmatize("chess") == "chess"
+
+
+class TestVariants:
+    def test_original_form_included(self):
+        assert "studies" in lemma_variants("studies")
+
+    def test_irregular_first(self):
+        assert lemma_variants("was")[0] == "be"
+
+    def test_no_duplicates(self):
+        variants = lemma_variants("studies")
+        assert len(variants) == len(set(variants))
+
+
+class TestPhrase:
+    def test_head_word_lemmatised(self):
+        assert lemmatize_phrase("studied at") == "study at"
+
+    def test_single_word(self):
+        assert lemmatize_phrase("visited") == "visit"
+
+    def test_empty(self):
+        assert lemmatize_phrase("") == ""

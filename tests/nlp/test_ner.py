@@ -1,0 +1,84 @@
+"""Mention typing tests."""
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.kb.alias_index import AliasIndex
+from repro.kb.records import EntityRecord
+from repro.kb.store import KnowledgeBase
+from repro.nlp.ner import MentionTyper
+
+
+@pytest.fixture
+def typer():
+    kb = KnowledgeBase()
+    kb.add_entity(
+        EntityRecord("Q1", "Ada Lovelace", types=("person",), popularity=90)
+    )
+    kb.add_entity(
+        EntityRecord("Q2", "Springfield", types=("city",), popularity=50)
+    )
+    # "Jordan": person-dominant but mixed
+    kb.add_entity(
+        EntityRecord("Q3", "Jordan", types=("person",), popularity=50)
+    )
+    kb.add_entity(
+        EntityRecord(
+            "Q4", "Jordan Kingdom", aliases=("Jordan",),
+            types=("country",), popularity=50,
+        )
+    )
+    return MentionTyper(AliasIndex.from_kb(kb))
+
+
+class TestTyping:
+    def test_unambiguous_type(self, typer):
+        assert typer.type_of("Ada Lovelace") == "person"
+        assert typer.type_of("Springfield") == "city"
+
+    def test_mixed_types_stay_untyped(self, typer):
+        # 50/50 person/country mass is below the decisiveness threshold
+        assert typer.type_of("Jordan") is None
+
+    def test_unknown_surface_untyped(self, typer):
+        assert typer.type_of("Glowberry Cleanse") is None
+
+    def test_threshold_configurable(self):
+        kb = KnowledgeBase()
+        kb.add_entity(EntityRecord("Q1", "X", types=("person",), popularity=60))
+        kb.add_entity(
+            EntityRecord("Q2", "Y", aliases=("X",), types=("city",), popularity=40)
+        )
+        lax = MentionTyper(AliasIndex.from_kb(kb), min_confidence=0.55)
+        strict = MentionTyper(AliasIndex.from_kb(kb), min_confidence=0.75)
+        assert lax.type_of("X") == "person"
+        assert strict.type_of("X") is None
+
+
+class TestPipelineIntegration:
+    def test_types_assigned_when_enabled(self, context, world):
+        linker = TenetLinker(context, TenetConfig(use_type_filter=True))
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        extraction = linker.pipeline.extract(f"{person.label} studies databases.")
+        span = next(s for s in extraction.noun_spans if s.text == person.label)
+        assert span.mention_type in ("person", None)
+
+    def test_types_absent_by_default(self, tenet, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        extraction = tenet.pipeline.extract(f"{person.label} studies databases.")
+        assert all(s.mention_type is None for s in extraction.noun_spans)
+
+    def test_linking_still_works_with_filter(self, context, world):
+        linker = TenetLinker(context, TenetConfig(use_type_filter=True))
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        result = linker.link(f"{person.label} studies databases.")
+        link = result.find_entity(person.label)
+        assert link is not None
+        assert link.concept_id == person.entity_id

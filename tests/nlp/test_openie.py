@@ -1,0 +1,99 @@
+"""Open IE (relation extraction) tests."""
+
+import pytest
+
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.openie import RelationExtractor
+from repro.nlp.pos import PosTagger
+from repro.nlp.sentences import split_sentences
+from repro.nlp.tokenizer import tokenize
+
+_PREDICATE_ALIASES = [
+    "studies", "was awarded", "is the sister city of", "visited",
+    "painted", "lives in",
+]
+_KNOWN_PREDICATES = {a.lower() for a in _PREDICATE_ALIASES}
+
+
+def extract(text):
+    tagger = PosTagger.from_predicate_aliases(_PREDICATE_ALIASES)
+    tokens = tokenize(text)
+    tags = tagger.tag(tokens)
+    sentences = split_sentences(tokens)
+    chunker = NounPhraseChunker()
+    regions = chunker.regions(text, tokens, tags, sentences)
+    extractor = RelationExtractor(lambda s: s.lower() in _KNOWN_PREDICATES)
+    return extractor.extract(text, tokens, tags, sentences, regions)
+
+
+class TestAdjacent:
+    def test_simple_verb(self):
+        relations = extract("Alice studies math.")
+        assert any(r.span.text == "studies" for r in relations)
+
+    def test_subject_object_attached(self):
+        relations = extract("Alice studies math.")
+        rel = next(r for r in relations if r.span.text == "studies")
+        assert rel.subject.text == "Alice"
+        assert rel.object.text == "math"
+
+    def test_auxiliary_included_in_span(self):
+        relations = extract("Alice was awarded gold.")
+        assert any(r.span.text == "was awarded" for r in relations)
+
+    def test_trailing_preposition(self):
+        relations = extract("Alice lives in Springfield.")
+        assert any(r.span.text == "lives in" for r in relations)
+
+    def test_no_verb_no_relation(self):
+        relations = extract("Alice Brown Springfield.")
+        assert relations == []
+
+    def test_variants_include_aux_stripped(self):
+        relations = extract("Alice was awarded gold.")
+        rel = next(r for r in relations if "awarded" in r.span.text)
+        assert "awarded" in [v.lower() for v in rel.surface_variants]
+
+    def test_variants_include_lemma(self):
+        relations = extract("Alice studies math.")
+        rel = next(r for r in relations if r.span.text == "studies")
+        variants = [v.lower() for v in rel.surface_variants]
+        assert any(v.startswith("stud") and v != "studies" for v in variants)
+
+
+class TestBridged:
+    def test_sister_city_pattern(self):
+        # Both the full bridged phrase and the less informative adjacent
+        # fragment are emitted (the paper's Sec. 6.2 error-analysis
+        # example); span selection is the linker's job.
+        relations = extract("Rome is the sister city of Paris.")
+        bridged = [
+            r for r in relations if r.span.text == "is the sister city of"
+        ]
+        assert bridged
+        assert bridged[0].subject.text == "Rome"
+        assert bridged[0].object.text == "Paris"
+
+    def test_bridged_requires_gazetteer(self):
+        tagger = PosTagger.from_predicate_aliases(_PREDICATE_ALIASES)
+        text = "Rome is the sister city of Paris."
+        tokens = tokenize(text)
+        tags = tagger.tag(tokens)
+        sentences = split_sentences(tokens)
+        regions = NounPhraseChunker().regions(text, tokens, tags, sentences)
+        extractor = RelationExtractor(None)  # no gazetteer
+        relations = extractor.extract(text, tokens, tags, sentences, regions)
+        assert not any("sister city" in r.span.text for r in relations)
+
+
+class TestMultiSentence:
+    def test_relations_per_sentence(self):
+        relations = extract("Alice studies math. Bob visited Springfield.")
+        texts = [r.span.text for r in relations]
+        assert "studies" in texts
+        assert "visited" in texts
+
+    def test_no_cross_sentence_relation(self):
+        relations = extract("Alice studies math. Bob visited Springfield.")
+        for rel in relations:
+            assert rel.subject.sentence_index == rel.object.sentence_index

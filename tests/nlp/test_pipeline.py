@@ -1,0 +1,71 @@
+"""Extraction pipeline integration tests (against the synthetic world)."""
+
+import pytest
+
+from repro.nlp.pipeline import ExtractionPipeline
+from repro.nlp.spans import SpanKind
+
+
+@pytest.fixture(scope="module")
+def pipeline(context):
+    return ExtractionPipeline(context.alias_index)
+
+
+class TestExtraction:
+    def test_noun_spans_found(self, pipeline):
+        extraction = pipeline.extract(
+            "Nina Wilson studies artificial intelligence."
+        )
+        texts = [s.text for s in extraction.noun_spans]
+        assert "Nina Wilson" in texts
+        assert "artificial intelligence" in texts
+
+    def test_relation_found(self, pipeline):
+        extraction = pipeline.extract("Nina Wilson studies machine learning.")
+        assert any(r.span.text == "studies" for r in extraction.relations)
+
+    def test_pronoun_relation_synthesised(self, pipeline):
+        extraction = pipeline.extract(
+            "Nina Wilson studies databases. He visited Brooklyn."
+        )
+        visited = [r for r in extraction.relations if r.span.text == "visited"]
+        assert visited
+        assert visited[0].subject.text == "Nina Wilson"
+        assert visited[0].object.text == "Brooklyn"
+
+    def test_word_count_excludes_punctuation(self, pipeline):
+        extraction = pipeline.extract("One two three.")
+        assert extraction.word_count == 3
+
+    def test_relation_for_span(self, pipeline):
+        extraction = pipeline.extract("Nina Wilson studies databases.")
+        span = extraction.relations[0].span
+        assert extraction.relation_for_span(span) is extraction.relations[0]
+
+    def test_overlapping_candidates_for_titles(self, pipeline, world):
+        # any multi-token work title yields both the merged span and parts
+        work = next(
+            e
+            for e in world.kb.entities()
+            if e.label.startswith("The ") and len(e.label.split()) >= 4
+        )
+        extraction = pipeline.extract(f"{work.label} amazed everyone.")
+        texts = [s.text for s in extraction.noun_spans]
+        assert work.label in texts
+        assert len(texts) > 1  # sub-spans extracted too
+
+    def test_all_spans_have_char_offsets(self, pipeline):
+        text = "Nina Wilson studies databases. He visited Brooklyn."
+        extraction = pipeline.extract(text)
+        for span in extraction.noun_spans + extraction.relation_spans:
+            assert span.char_start >= 0
+            assert span.char_end > span.char_start
+
+    def test_deterministic(self, pipeline):
+        text = "Nina Wilson studies databases."
+        first = pipeline.extract(text)
+        second = pipeline.extract(text)
+        assert first.noun_spans == second.noun_spans
+        assert [r.span for r in first.relations] == [
+            r.span for r in second.relations
+        ]

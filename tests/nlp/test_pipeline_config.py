@@ -1,0 +1,88 @@
+"""Pipeline/tagger configuration behaviour tests."""
+
+import pytest
+
+from repro.core.candidates import CandidateGenerator
+from repro.nlp.chunker import NounPhraseChunker
+from repro.nlp.pipeline import ExtractionPipeline
+from repro.nlp.pos import PosTagger
+from repro.nlp.sentences import split_sentences
+from repro.nlp.spans import SpanKind
+from repro.nlp.tokenizer import tokenize
+
+
+class TestTaggerExtension:
+    def test_add_verbs_extends_lexicon(self):
+        tagger = PosTagger()
+        tokens = tokenize("she zorbs daily")
+        assert tagger.tag(tokens)[1] == "NOUN"  # unknown word defaults
+        tagger.add_verbs(["zorbs"])
+        assert tagger.tag(tokens)[1] == "VERB"
+
+    def test_pipeline_without_index_still_extracts(self):
+        pipeline = ExtractionPipeline(None)
+        extraction = pipeline.extract("Alice Brown visited Springfield.")
+        assert any(s.text == "Alice Brown" for s in extraction.noun_spans)
+
+
+class TestChunkerLimits:
+    def test_max_span_tokens_caps_gazetteer_spans(self):
+        long_alias = "a b c d e f"
+        gazetteer = lambda s: s.lower() == long_alias
+        text = "Rembrandt saw a b c d e f there."
+        tokens = tokenize(text)
+        tagger = PosTagger()
+        tags = tagger.tag(tokens)
+        sentences = split_sentences(tokens)
+        narrow = NounPhraseChunker(gazetteer, max_span_tokens=3)
+        spans = narrow.chunk(text, tokens, tags, sentences)
+        assert not any(s.text == long_alias for s in spans if s.length == 6)
+
+
+class TestFuzzyCandidates:
+    def test_fuzzy_fallback_config(self, context, world):
+        work = next(
+            e
+            for e in world.kb.entities()
+            if e.label.startswith("The ") and len(e.label.split()) >= 4
+        )
+        # a sub-phrase of the title that is not an exact alias
+        words = work.label.split()
+        fragment = " ".join(words[1:3])
+        strict = CandidateGenerator(context.alias_index, use_fuzzy=False)
+        fuzzy = CandidateGenerator(context.alias_index, use_fuzzy=True)
+        from repro.nlp.spans import Span
+
+        span = Span(fragment, 0, len(fragment.split()), 0, SpanKind.NOUN)
+        strict_hits = strict.entity_candidates(span)
+        fuzzy_hits = fuzzy.entity_candidates(span)
+        # fuzzy finds at least as much as exact lookup
+        assert len(fuzzy_hits) >= len(strict_hits)
+
+
+class TestBaselineMentionSelection:
+    def test_entities_only_systems_skip_relation_spans(self, context, world):
+        from repro.baselines import MinTreeLinker
+
+        linker = MinTreeLinker(context)
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        extraction = linker.pipeline.extract(
+            f"{person.label} studies databases."
+        )
+        mentions = linker.select_mentions(extraction)
+        assert all(m.kind is SpanKind.NOUN for m in mentions)
+
+    def test_relation_linking_systems_include_relations(self, context, world):
+        from repro.baselines import KBPearlLinker
+
+        linker = KBPearlLinker(context)
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        extraction = linker.pipeline.extract(
+            f"{person.label} studies databases."
+        )
+        mentions = linker.select_mentions(extraction)
+        assert any(m.kind is SpanKind.RELATION for m in mentions)

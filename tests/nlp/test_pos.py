@@ -1,0 +1,93 @@
+"""POS tagger tests."""
+
+import pytest
+
+from repro.nlp import pos
+from repro.nlp.pos import PosTagger
+from repro.nlp.tokenizer import tokenize
+
+
+@pytest.fixture
+def tagger():
+    return PosTagger.from_predicate_aliases(
+        ["studies", "was awarded", "is the sister city of", "works on"],
+        nominal_tokens=["distributed", "systems", "learning", "shooting"],
+    )
+
+
+def tags_of(tagger, text):
+    tokens = tokenize(text)
+    return list(zip([t.text for t in tokens], tagger.tag(tokens)))
+
+
+class TestClosedClasses:
+    def test_determiners(self, tagger):
+        assert dict(tags_of(tagger, "the cat"))["the"] == pos.DET
+
+    def test_prepositions(self, tagger):
+        assert dict(tags_of(tagger, "walk of fame"))["of"] == pos.ADP
+
+    def test_conjunctions(self, tagger):
+        assert dict(tags_of(tagger, "salt and pepper"))["and"] == pos.CCONJ
+
+    def test_pronouns(self, tagger):
+        assert dict(tags_of(tagger, "he left"))["he"] == pos.PRON
+
+    def test_auxiliaries(self, tagger):
+        assert dict(tags_of(tagger, "it was good"))["was"] == pos.AUX
+
+    def test_numbers(self, tagger):
+        assert dict(tags_of(tagger, "Apollo 11"))["11"] == pos.NUM
+
+    def test_punctuation(self, tagger):
+        assert dict(tags_of(tagger, "Hello , world"))[","] == pos.PUNCT
+
+
+class TestLexicons:
+    def test_primed_verb_head(self, tagger):
+        tagged = dict(tags_of(tagger, "Ada studies math"))
+        assert tagged["studies"] == pos.VERB
+
+    def test_alias_head_skips_auxiliaries(self, tagger):
+        # "was awarded" primes "awarded", not "was"
+        tagged = dict(tags_of(tagger, "Ada was awarded gold"))
+        assert tagged["awarded"] == pos.VERB
+
+    def test_alias_head_skips_function_words(self, tagger):
+        # "is the sister city of" primes "sister"
+        tagged = dict(tags_of(tagger, "Rome is the sister city of Paris"))
+        assert tagged["sister"] == pos.VERB  # primed as relational head
+
+    def test_nominal_lexicon_beats_morphology(self, tagger):
+        tagged = dict(tags_of(tagger, "Ada studies distributed systems"))
+        assert tagged["distributed"] == pos.NOUN
+        assert tagged["systems"] == pos.NOUN
+
+    def test_verb_lexicon_beats_nominal_lexicon(self):
+        tagger = PosTagger.from_predicate_aliases(
+            ["works on"], nominal_tokens=["works"]
+        )
+        tagged = dict(tags_of(tagger, "she works on robots"))
+        assert tagged["works"] == pos.VERB
+
+
+class TestHeuristics:
+    def test_capitalized_mid_sentence_is_propn(self, tagger):
+        tagged = tags_of(tagger, "we met Alice")
+        assert tagged[2][1] == pos.PROPN
+
+    def test_morphological_ing(self, tagger):
+        tagged = dict(tags_of(tagger, "she was dancing"))
+        assert tagged["dancing"] == pos.VERB
+
+    def test_morphological_ed(self, tagger):
+        tagged = dict(tags_of(tagger, "he zorbified it"))
+        assert tagged["zorbified"] == pos.VERB
+
+    def test_default_noun(self, tagger):
+        tagged = dict(tags_of(tagger, "the zyzzyx"))
+        assert tagged["zyzzyx"] == pos.NOUN
+
+    def test_one_tag_per_token(self, tagger):
+        tokens = tokenize("Alice studies math. She was awarded gold.")
+        assert len(tagger.tag(tokens)) == len(tokens)

@@ -1,0 +1,53 @@
+"""Sentence splitter tests."""
+
+import pytest
+
+from repro.nlp.sentences import sentence_of_token, split_sentences
+from repro.nlp.tokenizer import tokenize
+
+
+class TestSplit:
+    def test_two_sentences(self):
+        tokens = tokenize("Ada met Bob. Bob left.")
+        sentences = split_sentences(tokens)
+        assert len(sentences) == 2
+
+    def test_terminator_belongs_to_sentence(self):
+        tokens = tokenize("Hi. Bye.")
+        sentences = split_sentences(tokens)
+        assert tokens[sentences[0].token_end - 1].text == "."
+
+    def test_partition_is_total(self):
+        tokens = tokenize("One. Two! Three? Four")
+        sentences = split_sentences(tokens)
+        covered = sum(s.length for s in sentences)
+        assert covered == len(tokens)
+
+    def test_trailing_without_terminator(self):
+        tokens = tokenize("Hello world")
+        sentences = split_sentences(tokens)
+        assert len(sentences) == 1
+        assert sentences[0].token_end == len(tokens)
+
+    def test_empty(self):
+        assert split_sentences([]) == []
+
+    def test_indices_sequential(self):
+        tokens = tokenize("A. B. C.")
+        sentences = split_sentences(tokens)
+        assert [s.index for s in sentences] == [0, 1, 2]
+
+
+class TestSentenceOfToken:
+    def test_lookup(self):
+        tokens = tokenize("Ada met Bob. Bob left.")
+        sentences = split_sentences(tokens)
+        last = len(tokens) - 1
+        assert sentence_of_token(sentences, last).index == 1
+        assert sentence_of_token(sentences, 0).index == 0
+
+    def test_out_of_range_raises(self):
+        tokens = tokenize("Hi.")
+        sentences = split_sentences(tokens)
+        with pytest.raises(IndexError):
+            sentence_of_token(sentences, 99)

@@ -1,0 +1,68 @@
+"""Span data-model tests."""
+
+import pytest
+
+from repro.nlp.spans import Span, SpanKind, Token, spans_overlap
+
+
+def noun(start, end, text="x"):
+    return Span(text, start, end, 0, SpanKind.NOUN)
+
+
+class TestToken:
+    def test_lower(self):
+        assert Token("Hello", 0, 5, 0).lower == "hello"
+
+    def test_capitalized(self):
+        assert Token("Hello", 0, 5, 0).is_capitalized
+        assert not Token("hello", 0, 5, 0).is_capitalized
+        assert not Token("", 0, 0, 0).is_capitalized
+
+
+class TestSpan:
+    def test_empty_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span("x", 3, 3, 0, SpanKind.NOUN)
+
+    def test_length(self):
+        assert noun(2, 5).length == 3
+
+    def test_covers(self):
+        outer, inner = noun(0, 5), noun(1, 3)
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+    def test_same_range(self):
+        assert noun(1, 3, "a").same_range(noun(1, 3, "b"))
+        assert not noun(1, 3).same_range(noun(1, 4))
+
+    def test_char_offsets_excluded_from_identity(self):
+        a = Span("x", 0, 1, 0, SpanKind.NOUN, char_start=0, char_end=1)
+        b = Span("x", 0, 1, 0, SpanKind.NOUN, char_start=99, char_end=100)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_kind_part_of_identity(self):
+        a = Span("x", 0, 1, 0, SpanKind.NOUN)
+        b = Span("x", 0, 1, 0, SpanKind.RELATION)
+        assert a != b
+
+
+class TestOverlap:
+    @pytest.mark.parametrize(
+        "a,b,expected",
+        [
+            ((0, 3), (2, 5), True),
+            ((0, 3), (3, 5), False),  # touching is not overlapping
+            ((2, 5), (0, 3), True),
+            ((0, 10), (4, 5), True),
+            ((0, 1), (5, 6), False),
+        ],
+    )
+    def test_cases(self, a, b, expected):
+        assert spans_overlap(noun(*a), noun(*b)) is expected
+
+    def test_symmetric(self):
+        a, b = noun(0, 4), noun(3, 8)
+        assert spans_overlap(a, b) == spans_overlap(b, a)

@@ -1,0 +1,34 @@
+"""Surface normalisation tests."""
+
+from repro.textnorm import normalize_phrase, tokenize_phrase
+
+
+class TestNormalize:
+    def test_lowercases(self):
+        assert normalize_phrase("Michael Jordan") == "michael jordan"
+
+    def test_strips_edge_punctuation(self):
+        assert normalize_phrase("  'Hello,' ") == "hello"
+
+    def test_collapses_whitespace(self):
+        assert normalize_phrase("a   b\tc") == "a b c"
+
+    def test_keeps_internal_punctuation(self):
+        assert (
+            normalize_phrase("Jurassic World: Fallen Kingdom")
+            == "jurassic world: fallen kingdom"
+        )
+
+    def test_empty(self):
+        assert normalize_phrase("") == ""
+        assert normalize_phrase("  !! ") == ""
+
+
+class TestTokenizePhrase:
+    def test_splits_on_whitespace(self):
+        assert tokenize_phrase("The Storm on the Sea") == [
+            "the", "storm", "on", "the", "sea",
+        ]
+
+    def test_empty(self):
+        assert tokenize_phrase(" . ") == []

@@ -1,0 +1,51 @@
+"""Tokenizer tests."""
+
+from repro.nlp.tokenizer import detokenize, tokenize
+
+
+class TestTokenize:
+    def test_words_and_punct(self):
+        tokens = tokenize("Hello, world!")
+        assert [t.text for t in tokens] == ["Hello", ",", "world", "!"]
+
+    def test_char_offsets(self):
+        text = "Ada met Bob."
+        tokens = tokenize(text)
+        for token in tokens:
+            assert text[token.start : token.end] == token.text
+
+    def test_indices_sequential(self):
+        tokens = tokenize("a b c")
+        assert [t.index for t in tokens] == [0, 1, 2]
+
+    def test_numbers(self):
+        tokens = tokenize("Apollo 11 mission")
+        assert tokens[1].text == "11"
+
+    def test_empty_text(self):
+        assert tokenize("") == []
+
+    def test_whitespace_only(self):
+        assert tokenize("   \n\t ") == []
+
+    def test_capitalisation_flag(self):
+        tokens = tokenize("Alice met bob")
+        assert tokens[0].is_capitalized
+        assert not tokens[2].is_capitalized
+
+    def test_colon_is_separate_token(self):
+        tokens = tokenize("Jurassic World: Fallen Kingdom")
+        assert ":" in [t.text for t in tokens]
+
+
+class TestDetokenize:
+    def test_returns_original_slice(self):
+        text = "The Storm on the Sea."
+        tokens = tokenize(text)
+        assert detokenize(tokens[:5], text) == "The Storm on the Sea"
+
+    def test_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            detokenize([], "x")

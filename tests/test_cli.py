@@ -1,0 +1,137 @@
+"""CLI tests (in-process, via main())."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["link", "text", "--system", "nope"])
+
+
+class TestWorld:
+    def test_writes_dump(self, tmp_path, capsys):
+        path = tmp_path / "kb.json"
+        assert main(["world", str(path)]) == 0
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["entities"]
+        out = capsys.readouterr().out
+        assert "entities" in out
+
+
+class TestDatasets:
+    def test_writes_all_datasets(self, tmp_path):
+        out = tmp_path / "data"
+        assert main(["datasets", str(out), "--scale", "0.05"]) == 0
+        for name in ("kb", "news", "t-rex42", "kore50", "msnbc19"):
+            assert (out / f"{name}.json").exists()
+
+
+class TestLink:
+    def test_link_text_argument(self, capsys):
+        code = main(
+            ["link", "Glowberry Cleanse is located in Brooklyn."]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "TENET"
+        assert any(e["surface"] == "Brooklyn" for e in payload["entities"])
+        assert any(
+            e["surface"] == "Glowberry Cleanse" for e in payload["non_linkable"]
+        )
+
+    def test_link_from_file(self, tmp_path, capsys):
+        path = tmp_path / "doc.txt"
+        path.write_text("Brooklyn is twinned with Brooklyn.")
+        assert main(["link", "--file", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entities"]
+
+    def test_link_baseline_system(self, capsys):
+        assert main(["link", "Brooklyn grew.", "--system", "falcon"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["system"] == "Falcon"
+
+    def test_empty_document_fails(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(["link"]) == 2
+
+
+class TestEvaluate:
+    def test_small_evaluation(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scale", "0.05",
+                "--systems", "falcon,tenet",
+                "--datasets", "kore50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "KORE50" in out
+        assert "TENET" in out and "Falcon" in out
+
+    def test_unknown_system_errors(self, capsys):
+        assert main(["evaluate", "--systems", "nope"]) == 2
+
+
+class TestStats:
+    def test_prints_all_rows(self, capsys):
+        assert main(["stats", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        for name in ("News", "T-REx42", "KORE50", "MSNBC19"):
+            assert name in out
+
+
+class TestReport:
+    def test_writes_markdown_report(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "report", str(out),
+                "--scale", "0.05",
+                "--systems", "falcon,tenet",
+            ]
+        )
+        assert code == 0
+        document = out.read_text()
+        assert document.startswith("# TENET reproduction report")
+        assert "Entity linking" in document
+        assert "Error analysis" in document
+
+    def test_unknown_system_rejected(self, tmp_path):
+        assert main(["report", str(tmp_path / "r.md"), "--systems", "zzz"]) == 2
+
+
+class TestValidate:
+    def test_valid_dataset_passes(self, tmp_path):
+        out = tmp_path / "data"
+        main(["datasets", str(out), "--scale", "0.05"])
+        code = main(
+            ["validate", str(out / "kore50.json"), "--kb", str(out / "kb.json")]
+        )
+        assert code == 0
+
+    def test_broken_dataset_fails(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "data"
+        main(["datasets", str(out, ), "--scale", "0.05"])
+        payload = json.loads((out / "kore50.json").read_text())
+        payload["documents"][0]["gold"][0]["surface"] = "CORRUPTED"
+        (out / "broken.json").write_text(json.dumps(payload))
+        code = main(["validate", str(out / "broken.json")])
+        assert code == 1
+        assert "error" in capsys.readouterr().out

@@ -1,0 +1,33 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are documentation; a broken example is a broken promise.  Each
+script is executed in-process (sharing the interpreter keeps the world
+construction fast) with stdout captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[p.stem for p in EXAMPLES]
+)
+def test_example_runs(script, capsys, monkeypatch):
+    # benchmark_evaluation accepts an optional scale argument; keep the
+    # smoke run small for every script.
+    monkeypatch.setattr(sys, "argv", [str(script), "0.1"])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 5
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

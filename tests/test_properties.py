@@ -1,0 +1,220 @@
+"""Cross-cutting property-based tests (hypothesis) on core invariants."""
+
+import string
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canopies import build_mention_groups
+from repro.eval.metrics import PRF
+from repro.kb.alias_index import AliasIndex
+from repro.kb.dump import kb_from_json_dump, kb_to_json_dump
+from repro.kb.records import EntityRecord, PredicateRecord, Triple
+from repro.kb.store import KnowledgeBase
+from repro.nlp.sentences import split_sentences
+from repro.nlp.spans import Span, SpanKind, spans_overlap
+from repro.nlp.tokenizer import tokenize
+from repro.textnorm import normalize_phrase
+
+# ---------------------------------------------------------------------------
+# text normalisation
+# ---------------------------------------------------------------------------
+
+text_strategy = st.text(
+    alphabet=string.ascii_letters + string.digits + " .,:'-!?",
+    max_size=60,
+)
+
+
+class TestTextNormProperties:
+    @given(text_strategy)
+    def test_idempotent(self, text):
+        once = normalize_phrase(text)
+        assert normalize_phrase(once) == once
+
+    @given(text_strategy)
+    def test_case_insensitive(self, text):
+        assert normalize_phrase(text.upper()) == normalize_phrase(text.lower())
+
+    @given(text_strategy)
+    def test_no_leading_trailing_space(self, text):
+        normalized = normalize_phrase(text)
+        assert normalized == normalized.strip()
+
+
+# ---------------------------------------------------------------------------
+# tokenizer / sentences
+# ---------------------------------------------------------------------------
+
+class TestTokenizerProperties:
+    @given(text_strategy)
+    def test_offsets_reconstruct_tokens(self, text):
+        for token in tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    @given(text_strategy)
+    def test_tokens_non_overlapping_and_ordered(self, text):
+        tokens = tokenize(text)
+        for a, b in zip(tokens, tokens[1:]):
+            assert a.end <= b.start
+
+    @given(text_strategy)
+    def test_sentences_partition_tokens(self, text):
+        tokens = tokenize(text)
+        sentences = split_sentences(tokens)
+        covered = []
+        for sentence in sentences:
+            covered.extend(range(sentence.token_start, sentence.token_end))
+        assert covered == list(range(len(tokens)))
+
+
+# ---------------------------------------------------------------------------
+# alias index
+# ---------------------------------------------------------------------------
+
+alias_strategy = st.text(alphabet=string.ascii_lowercase + " ", min_size=1, max_size=20)
+
+
+class TestAliasIndexProperties:
+    @given(
+        st.lists(
+            st.tuples(alias_strategy, st.integers(1, 200)),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    def test_priors_sum_to_one_per_alias(self, entries):
+        kb = KnowledgeBase()
+        shared = "shared alias"
+        for i, (label, popularity) in enumerate(entries):
+            kb.add_entity(
+                EntityRecord(
+                    f"Q{i}", f"{label} {i}", aliases=(shared,),
+                    popularity=popularity,
+                )
+            )
+        index = AliasIndex.from_kb(kb)
+        hits = index.lookup_entities(shared)
+        assert len(hits) == len(entries)
+        assert sum(h.prior for h in hits) == pytest.approx(1.0)
+        priors = [h.prior for h in hits]
+        assert priors == sorted(priors, reverse=True)
+
+
+# ---------------------------------------------------------------------------
+# KB dump round trip
+# ---------------------------------------------------------------------------
+
+ident = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def small_kbs(draw):
+    kb = KnowledgeBase()
+    n_entities = draw(st.integers(1, 6))
+    n_predicates = draw(st.integers(1, 3))
+    for i in range(n_entities):
+        kb.add_entity(
+            EntityRecord(
+                f"Q{i}",
+                draw(ident),
+                aliases=tuple(draw(st.lists(ident, max_size=2))),
+                types=tuple(draw(st.lists(ident, max_size=2))),
+                popularity=draw(st.integers(0, 100)),
+            )
+        )
+    for i in range(n_predicates):
+        kb.add_predicate(PredicateRecord(f"P{i}", draw(ident)))
+    for _ in range(draw(st.integers(0, 8))):
+        s = f"Q{draw(st.integers(0, n_entities - 1))}"
+        p = f"P{draw(st.integers(0, n_predicates - 1))}"
+        if draw(st.booleans()):
+            kb.add_fact(Triple(s, p, f"Q{draw(st.integers(0, n_entities - 1))}"))
+        else:
+            kb.add_fact(Triple(s, p, draw(ident), object_is_literal=True))
+    return kb
+
+
+class TestDumpProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(small_kbs())
+    def test_round_trip_lossless(self, kb):
+        rebuilt = kb_from_json_dump(kb_to_json_dump(kb))
+        assert {t.as_tuple() for t in rebuilt.triples()} == {
+            t.as_tuple() for t in kb.triples()
+        }
+        for entity in kb.entities():
+            assert rebuilt.get_entity(entity.entity_id) == entity
+        for predicate in kb.predicates():
+            assert rebuilt.get_predicate(predicate.predicate_id) == predicate
+
+
+# ---------------------------------------------------------------------------
+# canopies
+# ---------------------------------------------------------------------------
+
+class TestCanopyProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 5), st.integers(0, 100))
+    def test_all_singles_always_present(self, n, seed):
+        """For any feature-joined chain, the all-singles canopy exists and
+        every canopy covers the chain's token extent exactly once."""
+        words = " of ".join(f"Word{i}" for i in range(n))
+        text = f"{words}."
+        tokens = tokenize(text)
+        inventory = [
+            Span(f"Word{i}", 2 * i, 2 * i + 1, 0, SpanKind.NOUN)
+            for i in range(n)
+        ]
+        # add the full merge span when n > 1
+        if n > 1:
+            inventory.append(
+                Span(words, 0, 2 * n - 1, 0, SpanKind.NOUN)
+            )
+        groups = build_mention_groups(tokens, inventory, [])
+        chain_groups = [g for g in groups if len(g.short_mentions) == n]
+        assert chain_groups
+        group = chain_groups[0]
+        sizes = {len(c.members) for c in group.canopies}
+        assert n in sizes  # all-singles
+        for canopy in group.canopies:
+            # members of one canopy never overlap each other
+            members = list(canopy.members)
+            for i, a in enumerate(members):
+                for b in members[i + 1 :]:
+                    assert not spans_overlap(a, b)
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+class TestMetricProperties:
+    @given(st.integers(0, 50), st.integers(0, 50), st.integers(0, 50))
+    def test_prf_bounds(self, correct, extra_predicted, extra_gold):
+        prf = PRF(
+            correct=correct,
+            predicted=correct + extra_predicted,
+            gold=correct + extra_gold,
+        )
+        assert 0.0 <= prf.precision <= 1.0
+        assert 0.0 <= prf.recall <= 1.0
+        assert min(prf.precision, prf.recall) - 1e-9 <= prf.f1
+        assert prf.f1 <= max(prf.precision, prf.recall) + 1e-9
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+            max_size=10,
+        )
+    )
+    def test_merge_associative(self, triples):
+        from repro.eval.metrics import aggregate
+
+        prfs = [
+            PRF(c, c + p, c + g) for c, p, g in triples
+        ]
+        total = aggregate(prfs)
+        assert total.correct == sum(p.correct for p in prfs)
+        assert total.predicted == sum(p.predicted for p in prfs)
+        assert total.gold == sum(p.gold for p in prfs)

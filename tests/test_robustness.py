@@ -1,0 +1,151 @@
+"""Robustness / failure-injection tests: the linker must degrade
+gracefully on degenerate, adversarial, or malformed input rather than
+crash or emit garbage."""
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.kb.alias_index import AliasIndex
+from repro.kb.records import EntityRecord, PredicateRecord
+from repro.kb.store import KnowledgeBase
+
+
+class TestDegenerateDocuments:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            " ",
+            ".",
+            "...",
+            "?!.,;:",
+            "a",
+            "the of and in",
+            "\n\n\t\n",
+            "12345 67890.",
+        ],
+        ids=[
+            "empty", "space", "dot", "dots", "punct", "single-char",
+            "stopwords", "whitespace", "numbers",
+        ],
+    )
+    def test_no_crash_on_degenerate_text(self, tenet, text):
+        result = tenet.link(text)
+        assert result.links == [] or all(
+            link.concept_id for link in result.links
+        )
+
+    def test_repeated_sentence(self, tenet, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        sentence = f"{person.label} studies databases. "
+        result = tenet.link(sentence * 20)
+        # every repetition is a distinct span; all link consistently
+        links = [
+            l for l in result.entity_links if l.surface == person.label
+        ]
+        assert links
+        assert len({l.concept_id for l in links}) == 1
+
+    def test_very_long_token(self, tenet):
+        result = tenet.link("A" * 5000 + " arrived.")
+        assert isinstance(result.entity_links, list)
+
+    def test_unicode_text(self, tenet):
+        result = tenet.link("Zoë Ångström visited Brooklyn. Müller left.")
+        # must not crash; Brooklyn should still link
+        assert result.find_entity("Brooklyn") is not None
+
+    def test_no_terminal_period(self, tenet, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        result = tenet.link(f"{person.label} studies databases")
+        assert result.find_entity(person.label) is not None
+
+    def test_newlines_between_sentences(self, tenet, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        result = tenet.link(
+            f"{person.label} studies databases.\n\nHe visited Brooklyn."
+        )
+        assert result.find_entity("Brooklyn") is not None
+
+
+class TestDegenerateKBs:
+    def test_empty_kb(self):
+        from repro.core.linker import LinkingContext
+
+        kb = KnowledgeBase()
+        context = LinkingContext.build(kb)
+        linker = TenetLinker(context)
+        result = linker.link("Anything at all. Nothing links.")
+        assert result.links == []
+
+    def test_kb_without_predicates(self):
+        from repro.core.linker import LinkingContext
+
+        kb = KnowledgeBase()
+        kb.add_entity(EntityRecord("Q1", "Brooklyn", types=("city",)))
+        context = LinkingContext.build(kb)
+        linker = TenetLinker(context)
+        result = linker.link("Brooklyn visited Brooklyn.")
+        assert result.relation_links == []
+
+    def test_entity_with_empty_alias_ignored(self):
+        kb = KnowledgeBase()
+        kb.add_entity(EntityRecord("Q1", "Valid", aliases=("", "  ")))
+        index = AliasIndex.from_kb(kb)
+        assert index.lookup_entities("Valid")
+        assert index.lookup_entities("") == []
+
+    def test_single_entity_single_mention(self):
+        from repro.core.linker import LinkingContext
+
+        kb = KnowledgeBase()
+        kb.add_entity(EntityRecord("Q1", "Solo", popularity=10))
+        context = LinkingContext.build(kb)
+        result = TenetLinker(context).link("Solo arrived.")
+        link = result.find_entity("Solo")
+        assert link is not None and link.concept_id == "Q1"
+
+
+class TestConfigEdgeCases:
+    def test_k_equals_one(self, context, world):
+        linker = TenetLinker(context, TenetConfig(max_candidates=1))
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        result = linker.link(f"{person.label} studies databases.")
+        assert result.entity_links
+
+    def test_huge_bound(self, context, world):
+        linker = TenetLinker(context, TenetConfig(tree_weight_bound=1e6))
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        assert linker.link(f"{person.label} studies databases.").entity_links
+
+    def test_threshold_one_links_everything_possible(self, context, world):
+        strict = TenetLinker(context, TenetConfig(prior_link_threshold=0.7))
+        lax = TenetLinker(context, TenetConfig(prior_link_threshold=1.0))
+        text = "Wilson arrived yesterday."
+        assert len(lax.link(text).entity_links) >= len(
+            strict.link(text).entity_links
+        )
+
+    def test_dense_graph_equivalent_results(self, context, world):
+        person = world.kb.get_entity(
+            world.entities_of_type("computer_science", "person")[0]
+        )
+        text = f"{person.label} studies databases. He visited Brooklyn."
+        sparse = TenetLinker(context).link(text)
+        dense = TenetLinker(
+            context, TenetConfig(coherence_max_neighbours=None)
+        ).link(text)
+        assert {(l.surface, l.concept_id) for l in sparse.links} == {
+            (l.surface, l.concept_id) for l in dense.links
+        }
