@@ -1,6 +1,6 @@
 # Convenience targets for the TENET reproduction.
 
-.PHONY: install test bench examples report clean
+.PHONY: install test bench examples report serve clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -16,6 +16,11 @@ examples:
 
 report:
 	python -m repro.cli report reproduction_report.md --scale 1.0
+
+# Launch the JSON-over-HTTP linking service against the seed synthetic
+# world (endpoints: /link /batch /metrics /healthz).
+serve:
+	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \

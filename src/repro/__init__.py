@@ -24,6 +24,9 @@ Sub-packages:
 * ``repro.datasets`` — synthetic analogs of News / T-REx42 / KORE50 /
   MSNBC19;
 * ``repro.eval`` — metrics, runners, sparsity analysis, timing;
+* ``repro.service`` — the concurrent serving layer: request schema,
+  cross-request caches, thread-pooled engine with deadlines and
+  micro-batching, metrics, and the ``tenet-repro serve`` HTTP server;
 * ``repro.population`` / ``repro.qa`` — the downstream applications the
   paper motivates (KB population, question answering).
 """

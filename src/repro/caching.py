@@ -1,0 +1,152 @@
+"""Shared bounded LRU cache primitive.
+
+Lives at the top level (next to :mod:`repro.textnorm`) because both the
+KB layer (:class:`repro.kb.alias_index.AliasIndex`'s fuzzy-lookup memo)
+and the serving layer (:mod:`repro.service.cache`) need the same
+thread-safe bounded cache without introducing a dependency cycle
+between ``repro.kb`` and ``repro.service``.
+
+The cache is deliberately simple: an :class:`collections.OrderedDict`
+guarded by a lock, with hit/miss/eviction counters.  Values stored in it
+must be immutable (tuples of frozen dataclasses, floats) so that a hit
+can be handed to concurrent callers without copying.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Optional
+
+_MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Monotonic counters of one cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class LRUCache:
+    """Thread-safe bounded LRU mapping with hit/miss statistics.
+
+    ``get_or_compute`` runs the compute callable *outside* the lock: for
+    the pure-function memos this repo uses (alias lookups, candidate
+    generation, pairwise cosine), a duplicated computation under
+    contention is idempotent and cheaper than serialising every worker
+    behind one lock.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # mapping-style access
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (marking recency) or *default*."""
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._stats.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._stats.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or refresh *key*, evicting the LRU entry when full."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+                self._stats.evictions += 1
+
+    def get_or_compute(
+        self, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Cached value for *key*, computing (and storing) it on a miss."""
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __getitem__(self, key: Hashable) -> Any:
+        value = self.get(key, _MISSING)
+        if value is _MISSING:
+            raise KeyError(key)
+        return value
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        """Drop every entry (statistics are kept)."""
+        with self._lock:
+            self._data.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def snapshot(self) -> Dict[str, float]:
+        """JSON-compatible view: size, capacity, and counters."""
+        with self._lock:
+            payload: Dict[str, float] = {
+                "size": len(self._data),
+                "maxsize": self.maxsize,
+            }
+        payload.update(self._stats.snapshot())
+        return payload
+
+
+def make_cache(maxsize: Optional[int]) -> Optional[LRUCache]:
+    """``LRUCache(maxsize)`` or ``None`` when *maxsize* is falsy.
+
+    Callers treat ``None`` as "caching disabled", keeping the unhooked
+    code path byte-identical to the pre-cache behaviour.
+    """
+    if not maxsize or maxsize < 1:
+        return None
+    return LRUCache(maxsize)

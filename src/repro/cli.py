@@ -6,10 +6,14 @@ Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
 * ``world``     — build the synthetic world and save its JSON dump;
 * ``datasets``  — generate the four benchmark dataset analogs as JSON;
 * ``link``      — link a document (text argument, file, or stdin) and
-  print the result as JSON;
+  print the result as JSON; ``--jsonl`` switches to batch mode (one
+  document per input line, one result JSON per output line) over a
+  single warm context;
 * ``evaluate``  — run the end-to-end evaluation (Tables 3-4) for a
   chosen set of systems and print P/R/F rows;
-* ``stats``     — print the Table 2 dataset statistics.
+* ``stats``     — print the Table 2 dataset statistics;
+* ``serve``     — run the JSON-over-HTTP linking service (see
+  ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -82,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
     link_parser.add_argument(
         "--max-candidates", type=int, default=4, metavar="K"
     )
+    link_parser.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="batch mode: one document per input line, one result JSON "
+        "per output line, all linked over a single warm context",
+    )
 
     eval_parser = subparsers.add_parser(
         "evaluate", help="run the Tables 3-4 evaluation"
@@ -109,6 +119,31 @@ def build_parser() -> argparse.ArgumentParser:
     validate_parser.add_argument("dataset", type=Path)
     validate_parser.add_argument(
         "--kb", type=Path, help="KB dump to check concept ids against"
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the JSON-over-HTTP linking service"
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument("--port", type=int, default=8080)
+    serve_parser.add_argument(
+        "--workers", type=int, default=4, help="linker worker threads"
+    )
+    serve_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="default per-request deadline (on expiry the request is "
+        "answered by the prior-only fallback)",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the cross-request candidate/similarity caches",
+    )
+    serve_parser.add_argument(
+        "--max-candidates", type=int, default=4, metavar="K"
     )
 
     report_parser = subparsers.add_parser(
@@ -159,9 +194,21 @@ def _read_text(args: argparse.Namespace) -> str:
     return sys.stdin.read()
 
 
+def _link_payload(linker, kb, text: str) -> Dict:
+    """Link one document and return the labelled JSON payload."""
+    result = linker.link(text)
+    payload = result.to_json()
+    payload["system"] = linker.name
+    for entry in payload["entities"]:
+        entry["label"] = kb.get_entity(entry["concept_id"]).label
+    for entry in payload["relations"]:
+        entry["label"] = kb.get_predicate(entry["concept_id"]).label
+    return payload
+
+
 def _cmd_link(args: argparse.Namespace) -> int:
-    text = _read_text(args).strip()
-    if not text:
+    text = _read_text(args)
+    if not text.strip():
         print("error: empty document", file=sys.stderr)
         return 2
     world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
@@ -174,14 +221,45 @@ def _cmd_link(args: argparse.Namespace) -> int:
         linker = SYSTEM_FACTORIES[args.system](
             context, max_candidates=args.max_candidates
         )
-    result = linker.link(text)
-    payload = result.to_json()
-    payload["system"] = linker.name
-    for entry in payload["entities"]:
-        entry["label"] = world.kb.get_entity(entry["concept_id"]).label
-    for entry in payload["relations"]:
-        entry["label"] = world.kb.get_predicate(entry["concept_id"]).label
-    print(json.dumps(payload, indent=1))
+    if args.jsonl:
+        # Batch mode: every non-empty input line is one document, linked
+        # over the warm context built above, streamed as one JSON line.
+        for line in text.splitlines():
+            document = line.strip()
+            if not document:
+                continue
+            print(json.dumps(_link_payload(linker, world.kb, document)))
+        return 0
+    print(json.dumps(_link_payload(linker, world.kb, text.strip()), indent=1))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import LinkerCacheConfig, LinkingService, ServiceConfig
+    from repro.service.server import create_server
+
+    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
+    context = LinkingContext.build(world.kb, world.taxonomy)
+    service = LinkingService(
+        context,
+        ServiceConfig(
+            workers=args.workers,
+            default_timeout_seconds=args.timeout,
+            cache=LinkerCacheConfig(enabled=not args.no_cache),
+        ),
+        TenetConfig(max_candidates=args.max_candidates),
+    )
+    server = create_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    print(f"tenet-repro serving on http://{host}:{port}  "
+          f"(endpoints: /link /batch /metrics /healthz; Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.close()
     return 0
 
 
@@ -298,6 +376,7 @@ _COMMANDS = {
     "link": _cmd_link,
     "evaluate": _cmd_evaluate,
     "stats": _cmd_stats,
+    "serve": _cmd_serve,
     "report": _cmd_report,
     "validate": _cmd_validate,
 }

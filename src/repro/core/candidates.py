@@ -12,9 +12,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.caching import LRUCache
 from repro.kb.alias_index import AliasIndex, CandidateHit
 from repro.nlp.pipeline import DocumentExtraction
 from repro.nlp.spans import Span, SpanKind
+from repro.textnorm import normalize_phrase
 
 
 @dataclass
@@ -53,11 +55,17 @@ class CandidateGenerator:
         max_candidates: int = 4,
         min_prior: float = 0.0,
         use_fuzzy: bool = False,
+        cache: Optional[LRUCache] = None,
     ) -> None:
         self.alias_index = alias_index
         self.max_candidates = max_candidates
         self.min_prior = min_prior
         self.use_fuzzy = use_fuzzy
+        # Injectable memo (see repro.service.cache): keys are the
+        # normalised phrase plus everything else the lookup depends on,
+        # values are immutable tuples of CandidateHit.  ``None`` leaves
+        # behaviour byte-identical to the uncached generator.
+        self.cache = cache
 
     def generate(self, extraction: DocumentExtraction) -> MentionCandidates:
         """Candidates for every noun span and relational phrase."""
@@ -72,6 +80,30 @@ class CandidateGenerator:
 
     # ------------------------------------------------------------------
     def entity_candidates(self, span: Span) -> List[CandidateHit]:
+        if self.cache is None:
+            return self._entity_candidates(span)
+        # The alias index normalises the phrase itself, so the
+        # normalised form plus the type filter fully determine the hits.
+        key = ("entity", normalize_phrase(span.text), span.mention_type)
+        hits = self.cache.get_or_compute(
+            key, lambda: tuple(self._entity_candidates(span))
+        )
+        return list(hits)
+
+    def predicate_candidates(
+        self, span: Span, surface_variants: Tuple[str, ...] = ()
+    ) -> List[CandidateHit]:
+        variants = surface_variants or (span.text,)
+        if self.cache is None:
+            return self._predicate_candidates(variants)
+        key = ("predicate",) + tuple(normalize_phrase(v) for v in variants)
+        hits = self.cache.get_or_compute(
+            key, lambda: tuple(self._predicate_candidates(variants))
+        )
+        return list(hits)
+
+    # ------------------------------------------------------------------
+    def _entity_candidates(self, span: Span) -> List[CandidateHit]:
         hits = self.alias_index.lookup_entities(
             span.text, mention_type=span.mention_type, limit=None
         )
@@ -79,10 +111,9 @@ class CandidateGenerator:
             hits = self.alias_index.fuzzy_lookup_entities(span.text)
         return self._filter(hits)
 
-    def predicate_candidates(
-        self, span: Span, surface_variants: Tuple[str, ...] = ()
+    def _predicate_candidates(
+        self, variants: Tuple[str, ...]
     ) -> List[CandidateHit]:
-        variants = surface_variants or (span.text,)
         for variant in variants:
             hits = self.alias_index.lookup_predicates(variant, limit=None)
             if hits:

@@ -102,6 +102,7 @@ class LinkingDiagnostics:
     disambiguation: DisambiguationResult
     result: LinkingResult
     elapsed_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def mention_count(self) -> int:
@@ -149,13 +150,66 @@ class TenetLinker:
         return self.link_detailed(text).result
 
     def link_detailed(self, text: str) -> LinkingDiagnostics:
-        """Link one document, returning every intermediate artefact."""
+        """Link one document, returning every intermediate artefact.
+
+        Per-stage wall-clock timings are recorded once here (and in
+        :meth:`_link_candidates`) and attached to both the diagnostics
+        and ``result.stage_seconds`` — the single source of truth that
+        ``eval/timing.py`` and the serving layer's metrics read.
+        """
+        timings: Dict[str, float] = {}
         started = time.perf_counter()
         extraction = self.pipeline.extract(text)
+        timings["extract"] = time.perf_counter() - started
+        stage = time.perf_counter()
         candidates = self.generator.generate(extraction)
-        diagnostics = self._link_candidates(extraction, candidates)
+        timings["candidates"] = time.perf_counter() - stage
+        diagnostics = self._link_candidates(
+            extraction, candidates, timings=timings
+        )
         diagnostics.elapsed_seconds = time.perf_counter() - started
+        timings["total"] = diagnostics.elapsed_seconds
+        diagnostics.stage_seconds = timings
+        diagnostics.result.stage_seconds = dict(timings)
         return diagnostics
+
+    def link_prior_only(self, text: str) -> LinkingResult:
+        """Fast degraded linking: extraction + top-prior candidate only.
+
+        Skips the coherence graph, tree cover, and greedy disambiguation
+        entirely — each mention commits to its highest-prior candidate
+        unless that candidate's local distance exceeds the non-linkable
+        threshold.  The serving layer uses this as the graceful
+        fallback when a request exceeds its deadline.
+        """
+        timings: Dict[str, float] = {}
+        started = time.perf_counter()
+        extraction = self.pipeline.extract(text)
+        timings["extract"] = time.perf_counter() - started
+        stage = time.perf_counter()
+        candidates = self.generator.generate(extraction)
+        timings["candidates"] = time.perf_counter() - stage
+        stage = time.perf_counter()
+        result = LinkingResult()
+        for mention, hits in candidates.by_mention.items():
+            best = hits[0] if hits else None
+            if best is None or best.local_distance > self.config.prior_link_threshold:
+                result.non_linkable.append(mention)
+                continue
+            link = Link(mention, best.concept_id, score=best.prior)
+            if mention.kind is SpanKind.NOUN and best.kind == "entity":
+                result.entity_links.append(link)
+            elif mention.kind is SpanKind.RELATION and best.kind == "predicate":
+                result.relation_links.append(link)
+            else:
+                result.non_linkable.append(mention)
+        result.entity_links.sort(key=lambda l: l.span.token_start)
+        result.relation_links.sort(key=lambda l: l.span.token_start)
+        result.non_linkable.sort(key=lambda s: s.token_start)
+        timings["prior_only"] = time.perf_counter() - stage
+        timings["total"] = time.perf_counter() - started
+        result.stage_seconds = timings
+        return result
 
     def explain(self, text: str):
         """Link *text* and return (result, explanations).
@@ -254,8 +308,14 @@ class TenetLinker:
     # internals
     # ------------------------------------------------------------------
     def _link_candidates(
-        self, extraction: DocumentExtraction, candidates: MentionCandidates
+        self,
+        extraction: DocumentExtraction,
+        candidates: MentionCandidates,
+        timings: Optional[Dict[str, float]] = None,
     ) -> LinkingDiagnostics:
+        if timings is None:
+            timings = {}
+        stage = time.perf_counter()
         concept_ids = {
             hit.concept_id
             for hits in candidates.by_mention.values()
@@ -271,7 +331,11 @@ class TenetLinker:
             prior_distance_curve=self.config.prior_distance_curve,
             max_neighbours=self.config.coherence_max_neighbours,
         )
+        timings["coherence"] = time.perf_counter() - stage
+        stage = time.perf_counter()
         cover = derive_tree_cover(coherence, self.config.tree_weight_bound)
+        timings["tree_cover"] = time.perf_counter() - stage
+        stage = time.perf_counter()
         if self.config.use_canopies:
             groups = build_mention_groups(
                 extraction.tokens,
@@ -289,12 +353,15 @@ class TenetLinker:
                     extraction.noun_spans + extraction.relation_spans
                 )
             ]
+        timings["grouping"] = time.perf_counter() - stage
+        stage = time.perf_counter()
         disambiguation = disambiguate(
             cover,
             groups,
             self.config.prior_link_threshold,
             extra_edges=self._shared_edges(coherence, cover.bound),
         )
+        timings["disambiguation"] = time.perf_counter() - stage
         result = self._to_result(disambiguation, candidates)
         return LinkingDiagnostics(
             extraction=extraction,

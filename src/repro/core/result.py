@@ -37,6 +37,11 @@ class LinkingResult:
     entity_links: List[Link] = field(default_factory=list)
     relation_links: List[Link] = field(default_factory=list)
     non_linkable: List[Span] = field(default_factory=list)
+    # Wall-clock seconds per pipeline stage (plus a "total" key), filled
+    # by the linker so that eval/timing.py and the serving layer's
+    # /metrics endpoint report from one source of truth.  Excluded from
+    # equality: two runs of the same document are the same result.
+    stage_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def links(self) -> List[Link]:
@@ -74,8 +79,13 @@ class LinkingResult:
             links.sort(key=lambda l: l.span.token_start)
         return clusters
 
-    def to_json(self) -> Dict[str, object]:
-        """JSON-compatible representation of the result."""
+    def to_json(self, include_timings: bool = True) -> Dict[str, object]:
+        """JSON-compatible representation of the result.
+
+        ``include_timings=False`` omits the wall-clock ``timings`` block,
+        which is the deterministic form the serving layer uses so that
+        identical documents produce byte-identical response bodies.
+        """
         def link_payload(link: Link) -> Dict[str, object]:
             return {
                 "surface": link.surface,
@@ -85,7 +95,7 @@ class LinkingResult:
                 "score": link.score,
             }
 
-        return {
+        payload: Dict[str, object] = {
             "entities": [link_payload(l) for l in self.entity_links],
             "relations": [link_payload(l) for l in self.relation_links],
             "non_linkable": [
@@ -97,6 +107,9 @@ class LinkingResult:
                 for span in self.non_linkable
             ],
         }
+        if include_timings and self.stage_seconds:
+            payload["timings"] = dict(self.stage_seconds)
+        return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -9,11 +9,14 @@ store, plus a bulk pre-computation entry point.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.caching import LRUCache
 from repro.embeddings.store import EmbeddingStore
+
+_MISSING = object()
 
 
 def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
@@ -27,11 +30,22 @@ def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
 
 
 class SimilarityIndex:
-    """Cached pairwise semantic distance over an embedding store."""
+    """Cached pairwise semantic distance over an embedding store.
 
-    def __init__(self, store: EmbeddingStore) -> None:
+    By default the pair cache is an unbounded dict (the paper's
+    per-document precomputation).  A long-lived serving process can
+    instead inject a bounded, thread-safe :class:`repro.caching.LRUCache`
+    so the cache survives across requests without growing forever;
+    values are identical either way.
+    """
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        cache: Optional[LRUCache] = None,
+    ) -> None:
         self._store = store
-        self._cache: Dict[Tuple[str, str], float] = {}
+        self._cache: Union[dict, LRUCache] = cache if cache is not None else {}
 
     @staticmethod
     def _key(a: str, b: str) -> Tuple[str, str]:
@@ -42,9 +56,11 @@ class SimilarityIndex:
         if a == b:
             return 1.0
         key = self._key(a, b)
-        if key not in self._cache:
-            self._cache[key] = self._store.cosine(a, b)
-        return self._cache[key]
+        value = self._cache.get(key, _MISSING)
+        if value is _MISSING:
+            value = self._store.cosine(a, b)
+            self._cache[key] = value
+        return value
 
     def distance(self, a: str, b: str) -> float:
         """The paper's global semantic distance 1 - cos(a, b)."""

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.caching import LRUCache, make_cache
 from repro.kb.records import EntityRecord, PredicateRecord
 from repro.kb.store import KnowledgeBase
 from repro.kb.types import TypeTaxonomy
@@ -44,7 +45,11 @@ class AliasIndex:
     only generate predicate candidates (the type constraint of Problem 3).
     """
 
-    def __init__(self, taxonomy: Optional[TypeTaxonomy] = None) -> None:
+    def __init__(
+        self,
+        taxonomy: Optional[TypeTaxonomy] = None,
+        fuzzy_cache_size: Optional[int] = 2048,
+    ) -> None:
         self._entity_postings: Dict[str, List[str]] = {}
         self._predicate_postings: Dict[str, List[str]] = {}
         self._entity_popularity: Dict[str, int] = {}
@@ -52,6 +57,10 @@ class AliasIndex:
         self._entity_types: Dict[str, Tuple[str, ...]] = {}
         self._token_index: Dict[str, List[str]] = {}  # token -> alias keys
         self._taxonomy = taxonomy
+        # Fuzzy lookup scans the token index; it is a pure function of
+        # the normalised phrase, so repeated mentions across documents
+        # are memoised (invalidated whenever an entity is added).
+        self._fuzzy_cache: Optional[LRUCache] = make_cache(fuzzy_cache_size)
 
     # ------------------------------------------------------------------
     # construction
@@ -68,6 +77,8 @@ class AliasIndex:
         return index
 
     def add_entity(self, entity: EntityRecord) -> None:
+        if self._fuzzy_cache is not None:
+            self._fuzzy_cache.clear()
         self._entity_popularity[entity.entity_id] = entity.popularity
         self._entity_types[entity.entity_id] = entity.types
         for alias in entity.aliases:
@@ -145,7 +156,22 @@ class AliasIndex:
         on the Sea" matches "The Storm on the Sea of Galilee" minus
         stopwords).  Priors are scaled by token overlap so fuzzy hits never
         outrank exact ones.
+
+        Results are memoised per normalised phrase (the lookup's only
+        real input) in a bounded LRU, so the token-index scan runs once
+        per distinct surface form instead of once per mention.
         """
+        if self._fuzzy_cache is None:
+            return self._fuzzy_lookup_uncached(phrase, limit)
+        key = (normalize_phrase(phrase), limit)
+        hits = self._fuzzy_cache.get_or_compute(
+            key, lambda: tuple(self._fuzzy_lookup_uncached(phrase, limit))
+        )
+        return list(hits)
+
+    def _fuzzy_lookup_uncached(
+        self, phrase: str, limit: Optional[int] = None
+    ) -> List[CandidateHit]:
         tokens = [t for t in tokenize_phrase(phrase) if len(t) > 2]
         if not tokens:
             return []
@@ -171,6 +197,18 @@ class AliasIndex:
         if limit is not None:
             fuzzy = fuzzy[:limit]
         return fuzzy
+
+    def fuzzy_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss/eviction counters of the fuzzy-lookup memo.
+
+        Returns an all-zero snapshot when the memo is disabled
+        (``fuzzy_cache_size=None``), so callers can report stats
+        unconditionally.
+        """
+        if self._fuzzy_cache is None:
+            return {"size": 0, "maxsize": 0, "hits": 0, "misses": 0,
+                    "evictions": 0, "hit_rate": 0.0}
+        return self._fuzzy_cache.snapshot()
 
     def has_entity_alias(self, phrase: str) -> bool:
         return normalize_phrase(phrase) in self._entity_postings

@@ -1,0 +1,40 @@
+"""Concurrent linking service layer (serving subsystem).
+
+Turns the one-shot :class:`repro.core.linker.TenetLinker` into a
+long-lived service: typed request/response schema, bounded caches that
+amortise candidate generation and similarity lookups across requests, a
+thread-pooled engine with micro-batching / per-request deadlines /
+graceful degradation, process metrics, and a stdlib-only JSON-over-HTTP
+server (``tenet-repro serve``).
+"""
+
+from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
+from repro.service.engine import LinkingService, ServiceConfig
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.schema import (
+    BatchLinkRequest,
+    BatchLinkResponse,
+    LinkRequest,
+    LinkResponse,
+    SchemaError,
+    ServiceError,
+)
+from repro.service.server import LinkingHTTPServer, create_server
+
+__all__ = [
+    "BatchLinkRequest",
+    "BatchLinkResponse",
+    "LatencyHistogram",
+    "LinkerCacheConfig",
+    "LinkerCaches",
+    "LinkingHTTPServer",
+    "LinkingService",
+    "LinkRequest",
+    "LinkResponse",
+    "MetricsRegistry",
+    "SchemaError",
+    "ServiceConfig",
+    "ServiceError",
+    "attach_caches",
+    "create_server",
+]

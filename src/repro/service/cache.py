@@ -1,0 +1,104 @@
+"""Cross-request caches of the serving layer.
+
+One :class:`LinkerCaches` bundle holds the bounded LRU caches a warm
+service keeps between requests:
+
+* **candidates** — memoises :class:`repro.core.candidates.CandidateGenerator`
+  lookups per normalised phrase (+ type filter / surface variants), so a
+  mention repeated across documents is resolved against the alias index
+  once;
+* **similarity** — replaces :class:`repro.embeddings.similarity.SimilarityIndex`'s
+  unbounded per-process dict with a bounded pair cache that survives
+  across requests without growing forever;
+* the **alias fuzzy memo** lives inside :class:`repro.kb.alias_index.AliasIndex`
+  itself (it is useful to batch evaluation too); its stats are surfaced
+  here alongside the rest.
+
+All hooks are injectable and optional: with caching disabled the wired
+objects behave byte-identically to the unhooked pipeline, which the
+parity tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.caching import LRUCache, make_cache
+from repro.core.linker import TenetLinker
+from repro.embeddings.similarity import SimilarityIndex
+
+
+@dataclass(frozen=True)
+class LinkerCacheConfig:
+    """Sizes of the cross-request caches (0 disables one; ``enabled=False``
+    disables the whole bundle)."""
+
+    enabled: bool = True
+    candidate_cache_size: int = 8192
+    similarity_cache_size: int = 131072
+
+    def __post_init__(self) -> None:
+        if self.candidate_cache_size < 0:
+            raise ValueError("candidate_cache_size must be >= 0")
+        if self.similarity_cache_size < 0:
+            raise ValueError("similarity_cache_size must be >= 0")
+
+
+class LinkerCaches:
+    """The live cache bundle built from a :class:`LinkerCacheConfig`."""
+
+    def __init__(self, config: LinkerCacheConfig = LinkerCacheConfig()) -> None:
+        self.config = config
+        self.candidates: Optional[LRUCache] = None
+        self.similarity: Optional[LRUCache] = None
+        if config.enabled:
+            self.candidates = make_cache(config.candidate_cache_size)
+            self.similarity = make_cache(config.similarity_cache_size)
+
+    @classmethod
+    def disabled(cls) -> "LinkerCaches":
+        return cls(LinkerCacheConfig(enabled=False))
+
+    @property
+    def enabled(self) -> bool:
+        return self.candidates is not None or self.similarity is not None
+
+    def clear(self) -> None:
+        for cache in (self.candidates, self.similarity):
+            if cache is not None:
+                cache.clear()
+
+    def snapshot(self, linker: Optional[TenetLinker] = None) -> Dict[str, Any]:
+        """JSON-compatible stats of every cache (all-zero when disabled).
+
+        Passing the wired *linker* additionally reports the alias
+        index's fuzzy-lookup memo, giving ``/metrics`` one block with
+        every cache the process holds.
+        """
+        payload: Dict[str, Any] = {"enabled": self.enabled}
+        payload["candidates"] = (
+            self.candidates.snapshot() if self.candidates is not None else None
+        )
+        payload["similarity"] = (
+            self.similarity.snapshot() if self.similarity is not None else None
+        )
+        if linker is not None:
+            payload["alias_fuzzy"] = linker.context.alias_index.fuzzy_cache_stats()
+        return payload
+
+
+def attach_caches(linker: TenetLinker, caches: LinkerCaches) -> TenetLinker:
+    """Wire a cache bundle into an already-built linker, in place.
+
+    The candidate memo is installed on the generator's injectable hook;
+    the similarity index is rebuilt around the bounded pair cache (same
+    embedding store, so values are identical).  Returns the linker for
+    chaining.
+    """
+    linker.generator.cache = caches.candidates
+    if caches.similarity is not None:
+        linker.similarity = SimilarityIndex(
+            linker.context.embeddings, cache=caches.similarity
+        )
+    return linker

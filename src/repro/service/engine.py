@@ -1,0 +1,327 @@
+"""The linking engine: a warm, concurrent, deadline-aware service.
+
+:class:`LinkingService` owns one warm :class:`LinkingContext` and one
+:class:`TenetLinker` wired with the cross-request caches, and dispatches
+documents to a ``ThreadPoolExecutor``.  Linking is a pure function of
+the document (the caches are idempotent memos), so N threads produce
+results identical to sequential calls — the property the parity tests
+pin down.
+
+Request paths:
+
+* :meth:`link` — synchronous, enforces the per-request deadline and
+  degrades gracefully: on timeout the caller gets the fast prior-only
+  fallback (marked ``degraded``) instead of an error, while the worker
+  finishes in the background and warms the caches for the next hit.
+* :meth:`submit` — fire-and-collect future for callers managing their
+  own deadlines.
+* :meth:`link_batch` — one micro-batch through the pool, responses in
+  request order.
+* :meth:`enqueue` — hands the request to the :class:`MicroBatcher`,
+  which coalesces queued singles into batches (size- or delay-bound)
+  before dispatch; useful for high-QPS callers that want batching
+  without assembling batches themselves.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.core.result import LinkingResult
+from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
+from repro.service.metrics import MetricsRegistry
+from repro.service.schema import (
+    BatchLinkRequest,
+    BatchLinkResponse,
+    LinkRequest,
+    LinkResponse,
+    ServiceError,
+)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the serving engine."""
+
+    workers: int = 4
+    default_timeout_seconds: Optional[float] = None
+    batch_max_size: int = 16
+    batch_max_delay_seconds: float = 0.005
+    cache: LinkerCacheConfig = field(default_factory=LinkerCacheConfig)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch_max_size < 1:
+            raise ValueError(f"batch_max_size must be >= 1, got {self.batch_max_size}")
+        if self.batch_max_delay_seconds < 0:
+            raise ValueError("batch_max_delay_seconds must be >= 0")
+        if (
+            self.default_timeout_seconds is not None
+            and self.default_timeout_seconds < 0
+        ):
+            raise ValueError("default_timeout_seconds must be >= 0")
+
+
+class LinkingService:
+    """Concurrent linking over one warm context."""
+
+    def __init__(
+        self,
+        context: LinkingContext,
+        config: ServiceConfig = ServiceConfig(),
+        linker_config: TenetConfig = TenetConfig(),
+    ) -> None:
+        self.config = config
+        self.caches = LinkerCaches(config.cache)
+        self.linker = attach_caches(TenetLinker(context, linker_config), self.caches)
+        self.metrics = MetricsRegistry()
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.workers, thread_name_prefix="tenet-link"
+        )
+        self._batcher = MicroBatcher(
+            self,
+            max_size=config.batch_max_size,
+            max_delay_seconds=config.batch_max_delay_seconds,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # request paths
+    # ------------------------------------------------------------------
+    def handle(self, request: LinkRequest) -> LinkResponse:
+        """Link one request in the calling thread (no deadline).
+
+        Never raises: failures come back as an ``error`` envelope so one
+        poisonous document cannot take down a worker or a batch.
+        """
+        started = time.perf_counter()
+        self.metrics.incr("requests.total")
+        try:
+            result = self.linker.link(request.text)
+        except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
+            self.metrics.incr("requests.errors")
+            return LinkResponse(
+                request_id=request.request_id,
+                elapsed_seconds=time.perf_counter() - started,
+                error=ServiceError("internal", f"{type(exc).__name__}: {exc}"),
+            )
+        return self._respond(request, result, started, degraded=False)
+
+    def link(self, request: LinkRequest) -> LinkResponse:
+        """Link with the per-request deadline and graceful degradation."""
+        started = time.perf_counter()
+        timeout = (
+            request.timeout_seconds
+            if request.timeout_seconds is not None
+            else self.config.default_timeout_seconds
+        )
+        future = self._pool.submit(self.handle, request)
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            return self._degrade(request, started)
+
+    def submit(self, request: LinkRequest) -> "Future[LinkResponse]":
+        """Asynchronous variant: a future of the (deadline-free) response."""
+        return self._pool.submit(self.handle, request)
+
+    def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
+        """Queue for micro-batched dispatch (see :class:`MicroBatcher`)."""
+        return self._batcher.enqueue(request)
+
+    def link_batch(self, batch: BatchLinkRequest) -> BatchLinkResponse:
+        """Link one explicit batch; responses keep the request order."""
+        self.metrics.incr("requests.batches")
+        self.metrics.incr("requests.batched_documents", len(batch.requests))
+        futures = [self._pool.submit(self.handle, r) for r in batch.requests]
+        responses: List[LinkResponse] = []
+        for request, future in zip(batch.requests, futures):
+            started = time.perf_counter()
+            timeout = (
+                request.timeout_seconds
+                if request.timeout_seconds is not None
+                else self.config.default_timeout_seconds
+            )
+            try:
+                responses.append(future.result(timeout))
+            except FutureTimeoutError:
+                future.cancel()
+                responses.append(self._degrade(request, started))
+        return BatchLinkResponse(tuple(responses))
+
+    def link_text(self, text: str) -> LinkingResult:
+        """Convenience: link raw text through the warm linker."""
+        return self.linker.link(text)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """The ``/metrics`` payload: counters, latencies, cache stats."""
+        payload = self.metrics.snapshot()
+        payload["caches"] = self.caches.snapshot(self.linker)
+        payload["config"] = {
+            "workers": self.config.workers,
+            "default_timeout_seconds": self.config.default_timeout_seconds,
+            "batch_max_size": self.config.batch_max_size,
+            "batch_max_delay_seconds": self.config.batch_max_delay_seconds,
+            "cache_enabled": self.caches.enabled,
+        }
+        return payload
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "LinkingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _respond(
+        self,
+        request: LinkRequest,
+        result: LinkingResult,
+        started: float,
+        degraded: bool,
+    ) -> LinkResponse:
+        timings = dict(result.stage_seconds)
+        self.metrics.observe_stages(timings)
+        elapsed = time.perf_counter() - started
+        self.metrics.observe("latency.link", elapsed)
+        if degraded:
+            self.metrics.incr("requests.degraded")
+        else:
+            self.metrics.incr("requests.completed")
+        return LinkResponse(
+            result=result.to_json(include_timings=False),
+            request_id=request.request_id,
+            degraded=degraded,
+            elapsed_seconds=elapsed,
+            timings=timings,
+        )
+
+    def _degrade(self, request: LinkRequest, started: float) -> LinkResponse:
+        """Deadline exceeded: answer from the prior-only fast path."""
+        self.metrics.incr("requests.timeouts")
+        try:
+            result = self.linker.link_prior_only(request.text)
+        except Exception as exc:  # noqa: BLE001 - last resort envelope
+            self.metrics.incr("requests.errors")
+            return LinkResponse(
+                request_id=request.request_id,
+                elapsed_seconds=time.perf_counter() - started,
+                degraded=True,
+                error=ServiceError("timeout", f"{type(exc).__name__}: {exc}"),
+            )
+        return self._respond(request, result, started, degraded=True)
+
+
+class _QueuedRequest:
+    """One enqueued request awaiting micro-batch dispatch."""
+
+    __slots__ = ("request", "future")
+
+    def __init__(self, request: LinkRequest) -> None:
+        self.request = request
+        self.future: "Future[LinkResponse]" = Future()
+
+
+class MicroBatcher:
+    """Coalesces queued single requests into batches before dispatch.
+
+    A daemon dispatcher thread drains the queue: a batch closes when it
+    reaches ``max_size`` or when ``max_delay_seconds`` has passed since
+    its first request, whichever comes first — the standard
+    latency/throughput trade of serving systems.  Each batch is then
+    fanned out to the service's worker pool and every caller's future is
+    resolved with its own response.
+    """
+
+    def __init__(
+        self,
+        service: LinkingService,
+        max_size: int = 16,
+        max_delay_seconds: float = 0.005,
+    ) -> None:
+        self._service = service
+        self.max_size = max_size
+        self.max_delay_seconds = max_delay_seconds
+        self._queue: "queue.Queue[Optional[_QueuedRequest]]" = queue.Queue()
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name="tenet-batcher", daemon=True
+        )
+        self._thread.start()
+
+    def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
+        if self._closed:
+            raise RuntimeError("MicroBatcher is closed")
+        item = _QueuedRequest(request)
+        self._queue.put(item)
+        return item.future
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(None)
+        self._thread.join(timeout=5.0)
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            batch = [item]
+            deadline = time.monotonic() + self.max_delay_seconds
+            while len(batch) < self.max_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    extra = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if extra is None:
+                    self._dispatch(batch)
+                    return
+                batch.append(extra)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: List[_QueuedRequest]) -> None:
+        self._service.metrics.incr("batcher.batches")
+        self._service.metrics.incr("batcher.documents", len(batch))
+        self._service.metrics.observe("batcher.batch_size", float(len(batch)))
+        for item in batch:
+            pooled = self._service.submit(item.request)
+            pooled.add_done_callback(_chain_future(item.future))
+
+
+def _chain_future(target: "Future[LinkResponse]"):
+    def _copy(source: "Future[LinkResponse]") -> None:
+        exc = source.exception()
+        if exc is not None:
+            target.set_exception(exc)
+        else:
+            target.set_result(source.result())
+
+    return _copy

@@ -1,0 +1,208 @@
+"""Typed request/response schema of the linking service.
+
+Every wire object is a frozen dataclass with an exact JSON round-trip
+(``to_json`` / ``from_json``).  Parsing is strict: unknown fields and
+wrong types raise :class:`SchemaError`, which the HTTP layer maps to a
+400 error envelope, so malformed client input never reaches the engine.
+
+Response bodies are deterministic for a given document: the linking
+``result`` block excludes wall-clock timings (those travel in the
+separate ``timings`` field), so identical documents produce
+byte-identical ``result`` payloads whether linked sequentially or by
+many threads — the property the service-parity tests pin down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+
+class SchemaError(ValueError):
+    """A request body that does not match the schema."""
+
+
+def _require(payload: Mapping[str, Any], cls: str, allowed: Tuple[str, ...]) -> None:
+    if not isinstance(payload, Mapping):
+        raise SchemaError(f"{cls}: expected a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise SchemaError(f"{cls}: unknown fields {unknown}")
+
+
+@dataclass(frozen=True)
+class ServiceError:
+    """Error envelope carried in responses and HTTP error bodies.
+
+    ``code`` is a stable machine-readable slug (``bad_request``,
+    ``timeout``, ``internal``, ``not_found``); ``message`` is for humans.
+    """
+
+    code: str
+    message: str
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "ServiceError":
+        _require(payload, "ServiceError", ("code", "message"))
+        try:
+            return cls(code=str(payload["code"]), message=str(payload["message"]))
+        except KeyError as exc:
+            raise SchemaError(f"ServiceError: missing field {exc}") from exc
+
+
+@dataclass(frozen=True)
+class LinkRequest:
+    """One document to link.
+
+    ``timeout_seconds`` overrides the service's default per-request
+    deadline (``None`` keeps the service default).
+    """
+
+    text: str
+    request_id: Optional[str] = None
+    timeout_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.text, str):
+            raise SchemaError(
+                f"LinkRequest.text must be a string, got {type(self.text).__name__}"
+            )
+        if not self.text.strip():
+            raise SchemaError("LinkRequest.text must be non-empty")
+        if self.timeout_seconds is not None and self.timeout_seconds < 0:
+            raise SchemaError("LinkRequest.timeout_seconds must be >= 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"text": self.text}
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.timeout_seconds is not None:
+            payload["timeout_seconds"] = self.timeout_seconds
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "LinkRequest":
+        _require(payload, "LinkRequest", ("text", "request_id", "timeout_seconds"))
+        if "text" not in payload:
+            raise SchemaError("LinkRequest: missing field 'text'")
+        request_id = payload.get("request_id")
+        if request_id is not None and not isinstance(request_id, str):
+            raise SchemaError("LinkRequest.request_id must be a string")
+        timeout = payload.get("timeout_seconds")
+        if timeout is not None and not isinstance(timeout, (int, float)):
+            raise SchemaError("LinkRequest.timeout_seconds must be a number")
+        return cls(
+            text=payload["text"],
+            request_id=request_id,
+            timeout_seconds=float(timeout) if timeout is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class LinkResponse:
+    """Outcome of linking one document.
+
+    ``result`` is the deterministic ``LinkingResult.to_json`` payload
+    (timings stripped); ``degraded`` marks a deadline-exceeded request
+    answered by the prior-only fallback; ``error`` is set (and
+    ``result`` is None) only when linking failed outright.
+    """
+
+    result: Optional[Dict[str, Any]] = None
+    request_id: Optional[str] = None
+    degraded: bool = False
+    elapsed_seconds: float = 0.0
+    timings: Dict[str, float] = field(default_factory=dict)
+    error: Optional[ServiceError] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "result": self.result,
+            "degraded": self.degraded,
+            "elapsed_seconds": self.elapsed_seconds,
+            "timings": dict(self.timings),
+        }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        if self.error is not None:
+            payload["error"] = self.error.to_json()
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "LinkResponse":
+        _require(
+            payload,
+            "LinkResponse",
+            ("result", "degraded", "elapsed_seconds", "timings", "request_id", "error"),
+        )
+        error = payload.get("error")
+        return cls(
+            result=payload.get("result"),
+            request_id=payload.get("request_id"),
+            degraded=bool(payload.get("degraded", False)),
+            elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+            timings=dict(payload.get("timings", {})),
+            error=ServiceError.from_json(error) if error is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class BatchLinkRequest:
+    """Several documents linked as one micro-batch."""
+
+    requests: Tuple[LinkRequest, ...]
+
+    def __post_init__(self) -> None:
+        if not self.requests:
+            raise SchemaError("BatchLinkRequest: 'documents' must be non-empty")
+
+    @classmethod
+    def of_texts(cls, *texts: str) -> "BatchLinkRequest":
+        return cls(tuple(LinkRequest(text=t) for t in texts))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"documents": [r.to_json() for r in self.requests]}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "BatchLinkRequest":
+        _require(payload, "BatchLinkRequest", ("documents",))
+        documents = payload.get("documents")
+        if not isinstance(documents, list) or not documents:
+            raise SchemaError("BatchLinkRequest: 'documents' must be a non-empty list")
+        requests = []
+        for entry in documents:
+            # Bare strings are accepted as shorthand for {"text": ...}.
+            if isinstance(entry, str):
+                requests.append(LinkRequest(text=entry))
+            else:
+                requests.append(LinkRequest.from_json(entry))
+        return cls(tuple(requests))
+
+
+@dataclass(frozen=True)
+class BatchLinkResponse:
+    """Responses in the same order as the batch's documents."""
+
+    responses: Tuple[LinkResponse, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.responses)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"responses": [r.to_json() for r in self.responses]}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, Any]) -> "BatchLinkResponse":
+        _require(payload, "BatchLinkResponse", ("responses",))
+        responses = payload.get("responses")
+        if not isinstance(responses, list):
+            raise SchemaError("BatchLinkResponse: 'responses' must be a list")
+        return cls(tuple(LinkResponse.from_json(r) for r in responses))

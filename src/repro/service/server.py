@@ -1,0 +1,148 @@
+"""Stdlib-only JSON-over-HTTP front end for :class:`LinkingService`.
+
+``ThreadingHTTPServer`` gives one handler thread per connection; each
+handler parses the request against the typed schema and calls into the
+shared service (which does its own pooling, deadlines, and metrics).
+
+Endpoints:
+
+* ``POST /link``   — body :class:`LinkRequest`, returns :class:`LinkResponse`;
+* ``POST /batch``  — body :class:`BatchLinkRequest`, returns :class:`BatchLinkResponse`;
+* ``GET /metrics`` — counters, latency histograms, cache stats;
+* ``GET /healthz`` — liveness probe.
+
+Errors are JSON envelopes: 400 for malformed bodies (``bad_request``),
+404 for unknown paths (``not_found``), 500 for engine failures
+(``internal``).
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+
+from repro.service.engine import LinkingService
+from repro.service.schema import (
+    BatchLinkRequest,
+    LinkRequest,
+    SchemaError,
+    ServiceError,
+)
+
+MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd payloads outright
+
+
+class LinkingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server that owns a :class:`LinkingService`."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], service: LinkingService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: LinkingHTTPServer
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/healthz":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/metrics":
+            self._send(200, self.server.service.snapshot())
+        else:
+            self._send_error(404, "not_found", f"unknown path {self.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path == "/link":
+            self._handle_link()
+        elif self.path == "/batch":
+            self._handle_batch()
+        else:
+            self._send_error(404, "not_found", f"unknown path {self.path}")
+
+    # ------------------------------------------------------------------
+    # endpoint bodies
+    # ------------------------------------------------------------------
+    def _handle_link(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            request = LinkRequest.from_json(payload)
+        except SchemaError as exc:
+            self._send_error(400, "bad_request", str(exc))
+            return
+        response = self.server.service.link(request)
+        self._send(200 if response.ok else 500, response.to_json())
+
+    def _handle_batch(self) -> None:
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            batch = BatchLinkRequest.from_json(payload)
+        except SchemaError as exc:
+            self._send_error(400, "bad_request", str(exc))
+            return
+        response = self.server.service.link_batch(batch)
+        self._send(200 if response.ok else 500, response.to_json())
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _read_json(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            self._send_error(400, "bad_request", "empty request body")
+            return None
+        if length > MAX_BODY_BYTES:
+            self._send_error(400, "bad_request", "request body too large")
+            return None
+        body = self.rfile.read(length)
+        try:
+            return json.loads(body)
+        except json.JSONDecodeError as exc:
+            self._send_error(400, "bad_request", f"invalid JSON: {exc}")
+            return None
+
+    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error(self, status: int, code: str, message: str) -> None:
+        self._send(status, {"error": ServiceError(code, message).to_json()})
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        # Request logging goes through the service metrics, not stderr;
+        # keep the test output and CLI quiet.
+        pass
+
+
+def create_server(
+    service: LinkingService, host: str = "127.0.0.1", port: int = 8080
+) -> LinkingHTTPServer:
+    """Bind (``port=0`` picks a free port) without starting the loop."""
+    return LinkingHTTPServer((host, port), service)
+
+
+def serve_forever(
+    service: LinkingService, host: str = "127.0.0.1", port: int = 8080
+) -> None:
+    """Blocking convenience used by ``tenet-repro serve``."""
+    server = create_server(service, host, port)
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()
+        service.close()

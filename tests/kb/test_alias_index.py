@@ -124,3 +124,44 @@ class TestVocabulary:
     def test_alias_count(self, index):
         # michael jordan, jordan, m. jordan
         assert index.entity_alias_count() == 3
+
+
+class TestFuzzyCache:
+    def test_repeat_lookup_hits_memo(self, index):
+        first = index.fuzzy_lookup_entities("Michael")
+        stats = index.fuzzy_cache_stats()
+        assert stats["misses"] == 1 and stats["hits"] == 0
+        second = index.fuzzy_lookup_entities("Michael")
+        stats = index.fuzzy_cache_stats()
+        assert stats["hits"] == 1
+        assert second == first
+
+    def test_memo_keyed_on_normalised_phrase(self, index):
+        index.fuzzy_lookup_entities("Michael")
+        index.fuzzy_lookup_entities("  MICHAEL  ")
+        assert index.fuzzy_cache_stats()["hits"] == 1
+
+    def test_adding_entity_invalidates_memo(self, index):
+        from repro.kb.records import EntityRecord
+
+        assert index.fuzzy_lookup_entities("Maxwell") == []
+        index.add_entity(
+            EntityRecord("Q9", "James Maxwell", types=("person",), popularity=10)
+        )
+        hits = index.fuzzy_lookup_entities("Maxwell")
+        assert [h.concept_id for h in hits] == ["Q9"]
+
+    def test_cached_results_are_fresh_lists(self, index):
+        first = index.fuzzy_lookup_entities("Michael")
+        first.append("mutated")
+        second = index.fuzzy_lookup_entities("Michael")
+        assert "mutated" not in second
+
+    def test_memo_can_be_disabled(self):
+        index = AliasIndex(fuzzy_cache_size=None)
+        index.add_entity(
+            EntityRecord("Q1", "Michael Jordan", types=("person",), popularity=1)
+        )
+        index.fuzzy_lookup_entities("Michael")
+        index.fuzzy_lookup_entities("Michael")
+        assert index.fuzzy_cache_stats()["hits"] == 0

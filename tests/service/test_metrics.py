@@ -1,0 +1,73 @@
+"""Metrics registry and histogram tests."""
+
+import threading
+
+import pytest
+
+from repro.service.metrics import LatencyHistogram, MetricsRegistry
+
+
+class TestLatencyHistogram:
+    def test_observe_and_snapshot(self):
+        histogram = LatencyHistogram()
+        for value in (0.002, 0.003, 0.2):
+            histogram.observe(value)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 3
+        assert snapshot["sum_seconds"] == pytest.approx(0.205)
+        assert snapshot["min_seconds"] == pytest.approx(0.002)
+        assert snapshot["max_seconds"] == pytest.approx(0.2)
+        assert snapshot["mean_seconds"] == pytest.approx(0.205 / 3)
+
+    def test_quantiles_monotone(self):
+        histogram = LatencyHistogram()
+        for i in range(100):
+            histogram.observe(i / 1000.0)
+        p50, p90, p99 = (
+            histogram.quantile(0.5),
+            histogram.quantile(0.9),
+            histogram.quantile(0.99),
+        )
+        assert p50 <= p90 <= p99
+
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.quantile(0.5) is None
+        assert histogram.snapshot()["count"] == 0
+
+    def test_overflow_bucket(self):
+        histogram = LatencyHistogram(buckets=(0.1,))
+        histogram.observe(5.0)
+        assert histogram.snapshot()["overflow"] == 1
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        metrics = MetricsRegistry()
+        metrics.incr("requests")
+        metrics.incr("requests", 2)
+        assert metrics.counter("requests") == 3
+        assert metrics.counter("unknown") == 0
+
+    def test_observe_stages(self):
+        metrics = MetricsRegistry()
+        metrics.observe_stages({"extract": 0.01, "total": 0.05})
+        snapshot = metrics.snapshot()
+        assert snapshot["latencies"]["stage.extract"]["count"] == 1
+        assert snapshot["latencies"]["stage.total"]["count"] == 1
+
+    def test_thread_safety(self):
+        metrics = MetricsRegistry()
+
+        def worker():
+            for _ in range(500):
+                metrics.incr("n")
+                metrics.observe("lat", 0.01)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("n") == 4000
+        assert metrics.snapshot()["latencies"]["lat"]["count"] == 4000

@@ -1,0 +1,93 @@
+"""Wire-schema round-trip and validation tests."""
+
+import json
+
+import pytest
+
+from repro.service.schema import (
+    BatchLinkRequest,
+    BatchLinkResponse,
+    LinkRequest,
+    LinkResponse,
+    SchemaError,
+    ServiceError,
+)
+
+
+class TestLinkRequest:
+    def test_round_trip(self):
+        request = LinkRequest(text="Brooklyn grew.", request_id="r1", timeout_seconds=0.5)
+        rebuilt = LinkRequest.from_json(json.loads(json.dumps(request.to_json())))
+        assert rebuilt == request
+
+    def test_minimal_round_trip(self):
+        request = LinkRequest(text="x")
+        assert LinkRequest.from_json(request.to_json()) == request
+        assert "request_id" not in request.to_json()
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest(text="   ")
+
+    def test_non_string_text_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest.from_json({"text": 42})
+
+    def test_missing_text_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest.from_json({})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest.from_json({"text": "x", "bogus": 1})
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest(text="x", timeout_seconds=-1)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SchemaError):
+            LinkRequest.from_json("just text")
+
+
+class TestLinkResponse:
+    def test_round_trip(self):
+        response = LinkResponse(
+            result={"entities": [], "relations": [], "non_linkable": []},
+            request_id="r1",
+            degraded=True,
+            elapsed_seconds=0.25,
+            timings={"extract": 0.1, "total": 0.25},
+        )
+        rebuilt = LinkResponse.from_json(json.loads(json.dumps(response.to_json())))
+        assert rebuilt == response
+        assert rebuilt.ok
+
+    def test_error_round_trip(self):
+        response = LinkResponse(error=ServiceError("internal", "boom"))
+        rebuilt = LinkResponse.from_json(response.to_json())
+        assert not rebuilt.ok
+        assert rebuilt.error.code == "internal"
+
+
+class TestBatch:
+    def test_round_trip(self):
+        batch = BatchLinkRequest.of_texts("one doc", "another doc")
+        rebuilt = BatchLinkRequest.from_json(json.loads(json.dumps(batch.to_json())))
+        assert rebuilt == batch
+
+    def test_bare_strings_accepted(self):
+        batch = BatchLinkRequest.from_json({"documents": ["a doc", {"text": "b doc"}]})
+        assert [r.text for r in batch.requests] == ["a doc", "b doc"]
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(SchemaError):
+            BatchLinkRequest.from_json({"documents": []})
+
+    def test_response_round_trip(self):
+        response = BatchLinkResponse(
+            (LinkResponse(result={"entities": []}), LinkResponse(degraded=True))
+        )
+        rebuilt = BatchLinkResponse.from_json(response.to_json())
+        assert rebuilt == response
+        assert rebuilt.ok

@@ -1,0 +1,150 @@
+"""HTTP front-end tests over a real socket (loopback, ephemeral port)."""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.linker import TenetLinker
+from repro.service.engine import LinkingService, ServiceConfig
+from repro.service.server import create_server
+
+
+@pytest.fixture(scope="module")
+def served(suite_context):
+    service = LinkingService(suite_context, ServiceConfig(workers=4))
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def _request(served, method, path, payload=None):
+    connection = http.client.HTTPConnection(
+        "127.0.0.1", served.server_address[1], timeout=60
+    )
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        connection.request(method, path, body=body)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        status, payload = _request(served, "GET", "/healthz")
+        assert status == 200
+        assert payload == {"status": "ok"}
+
+    def test_link_matches_sequential(self, served, suite_context, suite):
+        text = suite.kore50.documents[0].text
+        expected = TenetLinker(suite_context).link(text).to_json(
+            include_timings=False
+        )
+        status, payload = _request(served, "POST", "/link", {"text": text})
+        assert status == 200
+        assert payload["result"] == expected
+        assert payload["degraded"] is False
+        assert "timings" in payload
+
+    def test_concurrent_clients_identical_responses(
+        self, served, suite_context, suite
+    ):
+        texts = [doc.text for doc in suite.news.documents[:4]] * 2
+        linker = TenetLinker(suite_context)
+        expected = [
+            linker.link(text).to_json(include_timings=False) for text in texts
+        ]
+        results = [None] * len(texts)
+        errors = []
+
+        def client(indices):
+            try:
+                for i in indices:
+                    _, payload = _request(
+                        served, "POST", "/link", {"text": texts[i]}
+                    )
+                    results[i] = payload["result"]
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(range(n, len(texts), 4),))
+            for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert results == expected
+
+    def test_batch(self, served, suite):
+        texts = [doc.text for doc in suite.kore50.documents[:3]]
+        status, payload = _request(
+            served, "POST", "/batch", {"documents": texts}
+        )
+        assert status == 200
+        assert len(payload["responses"]) == 3
+        assert all(r["result"] is not None for r in payload["responses"])
+
+    def test_metrics_reports_counters_and_caches(self, served, suite):
+        _request(served, "POST", "/link", {"text": suite.news.documents[0].text})
+        status, payload = _request(served, "GET", "/metrics")
+        assert status == 200
+        assert payload["counters"]["requests.total"] >= 1
+        assert "latency.link" in payload["latencies"]
+        assert payload["caches"]["enabled"] is True
+        assert payload["config"]["workers"] == 4
+
+    def test_request_id_echo(self, served, suite):
+        status, payload = _request(
+            served,
+            "POST",
+            "/link",
+            {"text": suite.news.documents[0].text, "request_id": "cli-7"},
+        )
+        assert status == 200
+        assert payload["request_id"] == "cli-7"
+
+
+class TestErrors:
+    def test_unknown_path(self, served):
+        status, payload = _request(served, "GET", "/nope")
+        assert status == 404
+        assert payload["error"]["code"] == "not_found"
+
+    def test_invalid_json(self, served):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", served.server_address[1], timeout=30
+        )
+        try:
+            connection.request("POST", "/link", body="{not json")
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_schema_violation(self, served):
+        status, payload = _request(served, "POST", "/link", {"wrong": "field"})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_empty_body(self, served):
+        status, payload = _request(served, "POST", "/link")
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+
+    def test_empty_text(self, served):
+        status, payload = _request(served, "POST", "/link", {"text": "  "})
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"

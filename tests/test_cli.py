@@ -68,6 +68,53 @@ class TestLink:
         assert main(["link"]) == 2
 
 
+class TestLinkJsonl:
+    def test_streams_one_json_per_line(self, tmp_path, capsys):
+        path = tmp_path / "docs.jsonl"
+        path.write_text(
+            "Brooklyn grew.\n"
+            "\n"
+            "Brooklyn is twinned with Brooklyn.\n"
+        )
+        assert main(["link", "--jsonl", "--file", str(path)]) == 0
+        lines = [l for l in capsys.readouterr().out.splitlines() if l.strip()]
+        assert len(lines) == 2  # the blank input line is skipped
+        for line in lines:
+            payload = json.loads(line)
+            assert payload["system"] == "TENET"
+            assert any(e["surface"] == "Brooklyn" for e in payload["entities"])
+
+    def test_jsonl_matches_single_link(self, capsys):
+        text = "Brooklyn grew."
+        assert main(["link", text]) == 0
+        single = json.loads(capsys.readouterr().out)
+        assert main(["link", "--jsonl", text]) == 0
+        batched = json.loads(capsys.readouterr().out.strip())
+        single.pop("timings", None)
+        batched.pop("timings", None)
+        assert batched == single
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.timeout is None
+        assert not args.no_cache
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--workers", "2",
+             "--timeout", "1.5", "--no-cache"]
+        )
+        assert args.port == 0
+        assert args.workers == 2
+        assert args.timeout == 1.5
+        assert args.no_cache
+
+
 class TestEvaluate:
     def test_small_evaluation(self, capsys):
         code = main(
