@@ -1,6 +1,6 @@
 # Convenience targets for the TENET reproduction.
 
-.PHONY: install test bench examples report serve clean
+.PHONY: install test bench bench-compare examples report serve clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -8,8 +8,15 @@ install:
 test:
 	pytest tests/
 
+# Quick perf record of the current tree (schema-versioned JSON; see
+# docs/benchmarking.md).  Full profile: python -m repro.cli bench
 bench:
-	pytest benchmarks/ --benchmark-only
+	PYTHONPATH=src python -m repro.cli bench --quick --output BENCH_local.json
+
+# Quick run + regression gate against the committed baseline.
+bench-compare: bench
+	PYTHONPATH=src python -m repro.cli bench compare \
+	    benchmarks/results/BENCH_baseline.json BENCH_local.json
 
 examples:
 	@for f in examples/*.py; do echo "== $$f"; python $$f; echo; done
@@ -24,4 +31,5 @@ serve:
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \
-	    src/repro.egg-info test_output.txt bench_output.txt
+	    src/repro.egg-info test_output.txt bench_output.txt \
+	    BENCH_local.json

@@ -18,7 +18,6 @@ relation gold):
   trade).
 """
 
-import pytest
 from conftest import emit
 
 from repro.core.config import TenetConfig

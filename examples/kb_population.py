@@ -8,7 +8,6 @@ Run:  python examples/kb_population.py
 """
 
 from repro import LinkingContext, build_synthetic_world
-from repro.kb.store import KnowledgeBase
 from repro.population import KBPopulator
 
 

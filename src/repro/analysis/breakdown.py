@@ -10,11 +10,10 @@ diagnoses of :mod:`repro.analysis.errors`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.linker import LinkingContext
 from repro.datasets.schema import Dataset, GoldMention
-from repro.eval.metrics import PRF
 from repro.nlp.spans import SpanKind
 from repro.textnorm import normalize_phrase
 

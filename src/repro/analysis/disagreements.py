@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.datasets.schema import Dataset, GoldMention
 from repro.nlp.spans import SpanKind
 
 

@@ -26,11 +26,11 @@ from __future__ import annotations
 import enum
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.core.candidates import CandidateGenerator
 from repro.core.linker import LinkingContext
-from repro.core.result import Link, LinkingResult
+from repro.core.result import LinkingResult
 from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
 from repro.nlp.spans import SpanKind
 

@@ -13,7 +13,7 @@ exactly the gap the paper's canopy machinery targets.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.core.candidates import CandidateGenerator, MentionCandidates
 from repro.core.linker import LinkingContext

@@ -33,7 +33,7 @@ class FalconLinker(BaselineLinker):
     max_mention_tokens = 3
 
     def select_mentions(self, extraction: DocumentExtraction):
-        from repro.nlp.spans import SpanKind, spans_overlap
+        from repro.nlp.spans import spans_overlap
 
         mentions = []
         for region in sorted(

@@ -16,7 +16,7 @@ the paper observes on News: fewer links, precision > recall).
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.baselines.base import BaselineLinker
 from repro.core.candidates import MentionCandidates

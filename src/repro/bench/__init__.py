@@ -1,0 +1,52 @@
+"""Machine-readable performance trajectory of the linker.
+
+``repro.bench`` is the repo's benchmark harness (``python -m repro.cli
+bench``): it times the named pipeline stages — candidate generation,
+coherence-graph construction, tree-cover solve, grouping/matching,
+disambiguation — plus service-layer throughput over the synthetic world
+at several dataset scales, and writes a schema-versioned
+``BENCH_<rev>.json`` record.  ``bench compare`` diffs two such records
+and exits non-zero past a configurable regression threshold, which is
+how CI guards the hot paths.
+
+The harness is deterministic in its *workload* (fixed seeds, fixed
+document corpora) and dependency-free (stdlib + numpy, like the rest of
+the repo); wall-clock numbers naturally vary with the hardware, which is
+why the JSON embeds an environment fingerprint.
+"""
+
+from repro.bench.compare import (
+    ComparisonResult,
+    StageDelta,
+    compare_reports,
+    format_comparison,
+    load_report,
+)
+from repro.bench.harness import (
+    BenchConfig,
+    default_report_name,
+    git_rev,
+    run_benchmark,
+)
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    summarize,
+    validate_report,
+)
+
+__all__ = [
+    "BenchConfig",
+    "BenchSchemaError",
+    "ComparisonResult",
+    "SCHEMA_VERSION",
+    "StageDelta",
+    "compare_reports",
+    "default_report_name",
+    "format_comparison",
+    "git_rev",
+    "load_report",
+    "run_benchmark",
+    "summarize",
+    "validate_report",
+]

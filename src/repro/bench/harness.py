@@ -1,0 +1,432 @@
+"""The benchmark runner behind ``python -m repro.cli bench``.
+
+One run builds the synthetic world once, then for each dataset scale
+links the full four-dataset corpus (warmup passes first, then the timed
+repeats), aggregating the per-stage wall-clock record every
+``LinkingResult`` already carries — candidate generation, coherence
+graph, tree-cover solve, grouping, disambiguation.  On top of the
+per-stage view it measures:
+
+* **coherence comparison** — the batched (``E @ E.T``) concept-concept
+  similarity path against the retained scalar per-pair reference, at the
+  largest scale, verifying the two produce identical graphs (the
+  acceptance gate for the vectorised hot path);
+* **service throughput** — documents/second through a warm
+  :class:`repro.service.LinkingService` worker pool, with the
+  cross-request LRU cache counters (candidate memo, similarity pair
+  cache, alias fuzzy memo) captured into the record;
+* **peak RSS** and an environment fingerprint, so records from
+  different machines are never silently compared as equals.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.bench.schema import REPORT_KIND, SCHEMA_VERSION, summarize
+from repro.core.coherence import build_coherence_graph
+from repro.core.config import TenetConfig
+from repro.core.linker import LinkingContext, TenetLinker
+from repro.datasets.benchmarks import build_benchmark_suite
+from repro.eval.timing import aggregate_stage_seconds
+
+Echo = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """Knobs of one benchmark run."""
+
+    scales: Tuple[float, ...] = (0.25, 0.5, 1.0)
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = 7
+    service_workers: int = 4
+    scalar_baseline: bool = True
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise ValueError("scales must be non-empty")
+        if any(s <= 0 for s in self.scales):
+            raise ValueError(f"scales must be positive, got {self.scales}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.warmup < 0:
+            raise ValueError(f"warmup must be >= 0, got {self.warmup}")
+        if self.service_workers < 1:
+            raise ValueError("service_workers must be >= 1")
+
+    @classmethod
+    def quick(cls) -> "BenchConfig":
+        """The CI smoke profile: small scales, one repeat, no warmup."""
+        return cls(scales=(0.1, 0.3), repeats=1, warmup=0, service_workers=2)
+
+
+def git_rev(default: str = "local") -> str:
+    """Short git revision of the working tree (env/``default`` fallback)."""
+    env_rev = os.environ.get("BENCH_REV")
+    if env_rev:
+        return env_rev
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return default
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else default
+
+
+def default_report_name(rev: Optional[str] = None) -> str:
+    return f"BENCH_{rev or git_rev()}.json"
+
+
+def _env_fingerprint() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": np.__version__,
+    }
+
+
+def _peak_rss_kb() -> Optional[int]:
+    """Peak resident set size in KiB (None where unsupported)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - ru_maxrss is bytes
+        peak //= 1024
+    return int(peak)
+
+
+def _coherence_kwargs(config: TenetConfig) -> Dict[str, object]:
+    """The coherence-graph knobs exactly as the linker passes them."""
+    return {
+        "predicate_similarity_scale": config.predicate_similarity_scale,
+        "prior_distance_floor": config.prior_distance_floor,
+        "coherence_prior_blend": config.coherence_prior_blend,
+        "prior_distance_curve": config.prior_distance_curve,
+        "max_neighbours": config.coherence_max_neighbours,
+    }
+
+
+def _graphs_match(a, b, tolerance: float = 1e-9) -> bool:
+    """Same edge set with weights within *tolerance*."""
+    def edge_map(graph) -> Dict[Tuple[str, str], float]:
+        edges = {}
+        for u, v, w in graph.edges():
+            ru, rv = repr(u), repr(v)
+            edges[(ru, rv) if ru <= rv else (rv, ru)] = w
+        return edges
+
+    left, right = edge_map(a.graph), edge_map(b.graph)
+    if left.keys() != right.keys():
+        return False
+    return all(abs(left[key] - right[key]) <= tolerance for key in left)
+
+
+def _measure_scale(
+    linker: TenetLinker,
+    scale: float,
+    texts: List[str],
+    repeats: int,
+    warmup: int,
+) -> Dict[str, object]:
+    for _ in range(warmup):
+        for text in texts:
+            linker.link(text)
+
+    records: List[Dict[str, float]] = []
+    graph = {
+        "mentions": 0,
+        "candidate_nodes": 0,
+        "nodes": 0,
+        "edges": 0,
+        "total_weight": 0.0,
+        "max_degree": 0,
+        "cover_edges": 0,
+    }
+    words = 0
+    started = time.perf_counter()
+    for run in range(repeats):
+        for text in texts:
+            diagnostics = linker.link_detailed(text)
+            records.append(dict(diagnostics.stage_seconds))
+            if run == 0:
+                coherence = diagnostics.coherence
+                graph["mentions"] += coherence.mention_count
+                graph["candidate_nodes"] += coherence.concept_node_count
+                graph["nodes"] += coherence.graph.node_count
+                graph["edges"] += coherence.graph.edge_count
+                graph["total_weight"] += coherence.graph.total_weight()
+                graph["max_degree"] = max(
+                    graph["max_degree"], coherence.graph.max_degree()
+                )
+                graph["cover_edges"] += diagnostics.cover.total_edges
+                words += diagnostics.extraction.word_count
+    wall = time.perf_counter() - started
+    graph["total_weight"] = round(graph["total_weight"], 6)
+
+    stages = {
+        name: summarize(values)
+        for name, values in sorted(aggregate_stage_seconds(records).items())
+    }
+    return {
+        "scale": scale,
+        "documents": len(texts),
+        "words": words,
+        "runs": repeats,
+        "wall_seconds": wall,
+        "documents_per_second": (len(texts) * repeats) / wall if wall else None,
+        "stages": stages,
+        "graph": graph,
+    }
+
+
+def _coherence_comparison(
+    linker: TenetLinker,
+    scale: float,
+    texts: List[str],
+    repeats: int,
+) -> Optional[Dict[str, object]]:
+    """Batched vs. scalar concept-edge construction at one scale.
+
+    Returns ``None`` when the installed ``build_coherence_graph`` has no
+    ``similarity_mode`` knob (pre-vectorisation trees), so old and new
+    revisions can both run the harness and their records stay comparable.
+    """
+    if "similarity_mode" not in inspect.signature(build_coherence_graph).parameters:
+        return None
+    kwargs = _coherence_kwargs(linker.config)
+    inputs = []
+    for text in texts:
+        extraction = linker.pipeline.extract(text)
+        inputs.append(linker.generator.generate(extraction).by_mention)
+
+    def best_pass(mode: str) -> float:
+        best = float("inf")
+        for _ in range(max(repeats, 1)):
+            started = time.perf_counter()
+            for by_mention in inputs:
+                build_coherence_graph(
+                    by_mention, linker.similarity, similarity_mode=mode, **kwargs
+                )
+            best = min(best, time.perf_counter() - started)
+        return best
+
+    parity = all(
+        _graphs_match(
+            build_coherence_graph(
+                by_mention, linker.similarity, similarity_mode="batch", **kwargs
+            ),
+            build_coherence_graph(
+                by_mention, linker.similarity, similarity_mode="scalar", **kwargs
+            ),
+        )
+        for by_mention in inputs
+    )
+    batch = best_pass("batch")
+    scalar = best_pass("scalar")
+    return {
+        "scale": scale,
+        "documents": len(inputs),
+        "batch_seconds": batch,
+        "scalar_seconds": scalar,
+        "speedup": scalar / batch if batch > 0 else None,
+        "parity": parity,
+    }
+
+
+def _service_throughput(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    texts: List[str],
+    workers: int,
+) -> Dict[str, object]:
+    from repro.service import LinkingService, ServiceConfig
+    from repro.service.schema import BatchLinkRequest, LinkRequest
+
+    requests = tuple(
+        LinkRequest(text=text, request_id=f"bench-{i}")
+        for i, text in enumerate(texts)
+    )
+    with LinkingService(
+        context, ServiceConfig(workers=workers), linker_config
+    ) as service:
+        started = time.perf_counter()
+        responses = service.link_batch(BatchLinkRequest(requests))
+        wall = time.perf_counter() - started
+        errors = sum(1 for r in responses.responses if r.error is not None)
+        snapshot = service.snapshot()
+    latency = snapshot.get("latencies", {}).get("latency.link", {})
+    return {
+        "scale": scale,
+        "documents": len(texts),
+        "workers": workers,
+        "wall_seconds": wall,
+        "documents_per_second": len(texts) / wall if wall else None,
+        "errors": errors,
+        "latency": {
+            key: latency.get(key)
+            for key in (
+                "count",
+                "mean_seconds",
+                "p50_seconds",
+                "p90_seconds",
+                "p99_seconds",
+                "max_seconds",
+            )
+        },
+        "caches": snapshot.get("caches", {}),
+    }
+
+
+def run_benchmark(
+    config: BenchConfig = BenchConfig(),
+    linker_config: TenetConfig = TenetConfig(),
+    echo: Echo = None,
+) -> Dict[str, object]:
+    """Run the full harness and return the bench record as a dict."""
+    def say(message: str) -> None:
+        if echo is not None:
+            echo(message)
+
+    overall = time.perf_counter()
+    say(f"building synthetic world (seed {config.seed}) ...")
+    started = time.perf_counter()
+    suite = build_benchmark_suite(seed=config.seed, scale=max(config.scales))
+    context = LinkingContext.build(suite.world.kb, suite.world.taxonomy)
+    context_build = time.perf_counter() - started
+    linker = TenetLinker(context, linker_config)
+
+    scales: List[Dict[str, object]] = []
+    corpus_by_scale: Dict[float, List[str]] = {}
+    for scale in sorted(set(config.scales)):
+        scale_suite = (
+            suite
+            if scale == max(config.scales)
+            else build_benchmark_suite(seed=config.seed, scale=scale)
+        )
+        texts = [
+            document.text
+            for dataset in scale_suite.datasets()
+            for document in dataset.documents
+        ]
+        corpus_by_scale[scale] = texts
+        say(
+            f"scale {scale:g}: {len(texts)} documents x "
+            f"{config.repeats} repeats (+{config.warmup} warmup) ..."
+        )
+        scales.append(
+            _measure_scale(linker, scale, texts, config.repeats, config.warmup)
+        )
+
+    largest = max(corpus_by_scale)
+    comparison = None
+    if config.scalar_baseline:
+        say(f"coherence batch-vs-scalar comparison at scale {largest:g} ...")
+        comparison = _coherence_comparison(
+            linker, largest, corpus_by_scale[largest], config.repeats
+        )
+
+    say(
+        f"service throughput at scale {largest:g} "
+        f"({config.service_workers} workers) ..."
+    )
+    service = _service_throughput(
+        context,
+        linker_config,
+        largest,
+        corpus_by_scale[largest],
+        config.service_workers,
+    )
+
+    report: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "kind": REPORT_KIND,
+        "rev": git_rev(),
+        "label": config.label,
+        "generated_unix": time.time(),
+        "config": {
+            "scales": list(config.scales),
+            "repeats": config.repeats,
+            "warmup": config.warmup,
+            "seed": config.seed,
+            "service_workers": config.service_workers,
+        },
+        "env": _env_fingerprint(),
+        "context_build_seconds": context_build,
+        "peak_rss_kb": _peak_rss_kb(),
+        "total_seconds": time.perf_counter() - overall,
+        "scales": scales,
+        "coherence_comparison": comparison,
+        "service": service,
+    }
+    return report
+
+
+def write_report(
+    report: Dict[str, object], path: Union[str, Path]
+) -> Path:
+    """Write one bench record as pretty JSON, returning the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=1, sort_keys=False) + "\n")
+    return path
+
+
+def format_report_summary(report: Dict[str, object]) -> str:
+    """Short human-readable digest of one bench record."""
+    lines: List[str] = []
+    env = report.get("env", {})
+    lines.append(
+        f"rev {report.get('rev')} | python {env.get('python')} | "
+        f"numpy {env.get('numpy')} | peak RSS "
+        f"{report.get('peak_rss_kb')} KiB"
+    )
+    for entry in report.get("scales", []):
+        stages = entry.get("stages", {})
+        parts = []
+        for stage in ("candidates", "coherence", "tree_cover", "disambiguation"):
+            block = stages.get(stage)
+            if block:
+                parts.append(f"{stage}={1000 * block['mean']:.2f}ms")
+        dps = entry.get("documents_per_second")
+        lines.append(
+            f"scale {entry.get('scale'):g}: {entry.get('documents')} docs, "
+            f"{dps:.1f} docs/s | " + " ".join(parts)
+        )
+    comparison = report.get("coherence_comparison")
+    if comparison:
+        lines.append(
+            f"coherence batch vs scalar: {comparison['speedup']:.2f}x speedup "
+            f"(parity={'ok' if comparison['parity'] else 'MISMATCH'})"
+        )
+    service = report.get("service")
+    if service:
+        lines.append(
+            f"service: {service['documents_per_second']:.1f} docs/s over "
+            f"{service['workers']} workers"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,187 @@
+"""The ``BENCH_*.json`` record schema.
+
+One benchmark run produces one JSON document::
+
+    {
+      "schema_version": 1,
+      "kind": "tenet-bench",
+      "rev": "<git short rev or label>",
+      "label": "<freeform run label>",
+      "generated_unix": 1754000000.0,
+      "config": {"scales": [...], "repeats": N, "warmup": N, "seed": N,
+                 "service_workers": N},
+      "env": {"python": ..., "implementation": ..., "platform": ...,
+              "machine": ..., "cpu_count": ..., "numpy": ...},
+      "context_build_seconds": ...,
+      "peak_rss_kb": ...,
+      "total_seconds": ...,
+      "scales": [
+        {"scale": 1.0, "documents": N, "words": N, "runs": N,
+         "documents_per_second": ...,
+         "stages": {"extract": {<stats>}, "candidates": {<stats>},
+                    "coherence": {<stats>}, "tree_cover": {<stats>},
+                    "grouping": {<stats>}, "disambiguation": {<stats>},
+                    "total": {<stats>}},
+         "graph": {"mentions": N, "candidate_nodes": N, "nodes": N,
+                   "edges": N, "total_weight": ..., "max_degree": N,
+                   "cover_edges": N}},
+        ...
+      ],
+      "coherence_comparison": {"scale": ..., "documents": N,
+                               "batch_seconds": ..., "scalar_seconds": ...,
+                               "speedup": ..., "parity": true} | null,
+      "service": {"scale": ..., "documents": N, "workers": N,
+                  "wall_seconds": ..., "documents_per_second": ...,
+                  "latency": {...}, "caches": {...}} | null
+    }
+
+where ``<stats>`` is the :func:`summarize` block (count / total / mean /
+min / max / p50 / stdev, all in seconds).  The ``caches`` block carries
+the :mod:`repro.caching` LRU hit/miss/eviction counters (candidate
+memo, similarity pair cache, alias fuzzy memo) so cache efficacy is part
+of the recorded trajectory.
+
+``schema_version`` is bumped whenever a field changes meaning; readers
+(:func:`repro.bench.compare.load_report`) refuse records from a newer
+schema instead of misinterpreting them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "tenet-bench"
+
+# Stage names the harness always times (via LinkingResult.stage_seconds,
+# the same record eval/timing.py and the service's /metrics read).
+CORE_STAGES = (
+    "extract",
+    "candidates",
+    "coherence",
+    "tree_cover",
+    "grouping",
+    "disambiguation",
+    "total",
+)
+
+
+class BenchSchemaError(ValueError):
+    """A bench JSON document does not conform to the schema."""
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Count/total/mean/min/max/p50/stdev summary of a sample list."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    total = sum(ordered)
+    mean = total / n
+    if n % 2:
+        median = ordered[n // 2]
+    else:
+        median = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    variance = sum((v - mean) ** 2 for v in ordered) / n
+    return {
+        "count": n,
+        "total": total,
+        "mean": mean,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "p50": median,
+        "stdev": math.sqrt(variance),
+    }
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _check_stats(block: object, where: str, problems: List[str]) -> None:
+    if not isinstance(block, dict):
+        problems.append(f"{where}: stats block must be an object")
+        return
+    for field in ("count", "total", "mean", "min", "max", "p50", "stdev"):
+        if field not in block:
+            problems.append(f"{where}: missing stats field {field!r}")
+        elif not _is_number(block[field]):
+            problems.append(f"{where}: stats field {field!r} is not a number")
+    if _is_number(block.get("mean")) and block["mean"] < 0:
+        problems.append(f"{where}: negative mean")
+
+
+def validate_report(payload: object) -> List[str]:
+    """All schema problems of one parsed bench document (empty = valid)."""
+    problems: List[str] = []
+    if not isinstance(payload, dict):
+        return ["report must be a JSON object"]
+
+    version = payload.get("schema_version")
+    if not isinstance(version, int):
+        problems.append("missing or non-integer schema_version")
+    elif version > SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported {SCHEMA_VERSION}"
+        )
+    if payload.get("kind") != REPORT_KIND:
+        problems.append(f"kind must be {REPORT_KIND!r}")
+    if not isinstance(payload.get("rev"), str):
+        problems.append("missing rev")
+
+    env = payload.get("env")
+    if not isinstance(env, dict):
+        problems.append("missing env fingerprint")
+    else:
+        for field in ("python", "platform", "numpy"):
+            if field not in env:
+                problems.append(f"env: missing field {field!r}")
+
+    scales = payload.get("scales")
+    if not isinstance(scales, list) or not scales:
+        problems.append("scales must be a non-empty list")
+        scales = []
+    for i, entry in enumerate(scales):
+        where = f"scales[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        if not _is_number(entry.get("scale")):
+            problems.append(f"{where}: missing numeric scale")
+        if not isinstance(entry.get("documents"), int):
+            problems.append(f"{where}: missing document count")
+        stages = entry.get("stages")
+        if not isinstance(stages, dict) or not stages:
+            problems.append(f"{where}: stages must be a non-empty object")
+            continue
+        for stage in CORE_STAGES:
+            if stage not in stages:
+                problems.append(f"{where}: missing stage {stage!r}")
+        for stage, block in stages.items():
+            _check_stats(block, f"{where}.stages[{stage!r}]", problems)
+
+    comparison = payload.get("coherence_comparison")
+    if comparison is not None:
+        if not isinstance(comparison, dict):
+            problems.append("coherence_comparison must be an object or null")
+        else:
+            for field in ("batch_seconds", "scalar_seconds", "speedup"):
+                if not _is_number(comparison.get(field)):
+                    problems.append(
+                        f"coherence_comparison: missing numeric {field!r}"
+                    )
+            if not isinstance(comparison.get("parity"), bool):
+                problems.append("coherence_comparison: missing parity flag")
+
+    service = payload.get("service")
+    if service is not None:
+        if not isinstance(service, dict):
+            problems.append("service must be an object or null")
+        else:
+            if not _is_number(service.get("documents_per_second")):
+                problems.append("service: missing documents_per_second")
+            if not isinstance(service.get("caches"), dict):
+                problems.append("service: missing caches block")
+
+    return problems

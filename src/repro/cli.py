@@ -13,7 +13,11 @@ Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
   chosen set of systems and print P/R/F rows;
 * ``stats``     — print the Table 2 dataset statistics;
 * ``serve``     — run the JSON-over-HTTP linking service (see
-  ``docs/serving.md``).
+  ``docs/serving.md``);
+* ``bench``     — run the benchmark harness and write a schema-versioned
+  ``BENCH_<rev>.json``; ``bench compare A.json B.json`` diffs two such
+  records and exits non-zero past the regression threshold (see
+  ``docs/benchmarking.md``).
 """
 
 from __future__ import annotations
@@ -21,8 +25,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.baselines import (
     EarlLinker,
@@ -146,6 +151,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-candidates", type=int, default=4, metavar="K"
     )
 
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the benchmark harness (or `bench compare A.json B.json`)",
+    )
+    bench_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke profile: small scales, one repeat, no warmup",
+    )
+    bench_parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="bench JSON path (default: BENCH_<git rev>.json)",
+    )
+    bench_parser.add_argument(
+        "--scales",
+        default=None,
+        metavar="S1,S2,...",
+        help="comma-separated dataset scale factors (overrides the profile)",
+    )
+    bench_parser.add_argument(
+        "--repeats", type=int, default=None, help="timed passes per scale"
+    )
+    bench_parser.add_argument(
+        "--warmup", type=int, default=None, help="untimed warmup passes"
+    )
+    bench_parser.add_argument(
+        "--workers", type=int, default=None, help="service throughput workers"
+    )
+    bench_parser.add_argument("--label", default="", help="freeform run label")
+    bench_parser.add_argument(
+        "--no-scalar-baseline",
+        action="store_true",
+        help="skip the batch-vs-scalar coherence comparison",
+    )
+    bench_sub = bench_parser.add_subparsers(dest="bench_command")
+    bench_compare = bench_sub.add_parser(
+        "compare", help="diff two bench JSON files; exit 1 on regression"
+    )
+    bench_compare.add_argument("baseline", type=Path)
+    bench_compare.add_argument("current", type=Path)
+    bench_compare.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fail when any stage regresses past this fraction (default 0.25)",
+    )
+    bench_compare.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.001,
+        metavar="SECONDS",
+        help="noise floor: stages faster than this in both records are skipped",
+    )
+    bench_compare.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (PR mode)",
+    )
+
     report_parser = subparsers.add_parser(
         "report",
         help="run the full evaluation and write a markdown report",
@@ -263,6 +330,80 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchConfig,
+        BenchSchemaError,
+        compare_reports,
+        default_report_name,
+        format_comparison,
+        load_report,
+        run_benchmark,
+        validate_report,
+    )
+    from repro.bench.harness import format_report_summary, write_report
+
+    if args.bench_command == "compare":
+        try:
+            baseline = load_report(args.baseline)
+            current = load_report(args.current)
+        except BenchSchemaError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = compare_reports(
+            baseline,
+            current,
+            threshold=args.threshold,
+            min_seconds=args.min_seconds,
+        )
+        print(format_comparison(result, str(args.baseline), str(args.current)))
+        if result.ok or args.warn_only:
+            return 0
+        return 1
+
+    config = BenchConfig.quick() if args.quick else BenchConfig()
+    overrides = {}
+    if args.scales is not None:
+        try:
+            scales = tuple(
+                float(s) for s in args.scales.split(",") if s.strip()
+            )
+        except ValueError:
+            print(f"error: bad --scales {args.scales!r}", file=sys.stderr)
+            return 2
+        overrides["scales"] = scales
+    if args.repeats is not None:
+        overrides["repeats"] = args.repeats
+    if args.warmup is not None:
+        overrides["warmup"] = args.warmup
+    if args.workers is not None:
+        overrides["service_workers"] = args.workers
+    if args.no_scalar_baseline:
+        overrides["scalar_baseline"] = False
+    if args.label:
+        overrides["label"] = args.label
+    overrides["seed"] = args.seed
+    config = replace(config, **overrides)
+
+    report = run_benchmark(config, echo=lambda line: print(f"# {line}"))
+    problems = validate_report(report)
+    if problems:  # pragma: no cover - harness/schema drift guard
+        print(f"error: generated record is invalid: {problems}", file=sys.stderr)
+        return 2
+    output = args.output or Path(default_report_name(report["rev"]))
+    write_report(report, output)
+    print(format_report_summary(report))
+    print(f"wrote {output}")
+    comparison = report.get("coherence_comparison")
+    if comparison is not None and not comparison.get("parity", True):
+        print(
+            "error: batched and scalar coherence graphs diverged",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     wanted_systems = [s.strip().lower() for s in args.systems.split(",") if s.strip()]
     unknown = [s for s in wanted_systems if s not in SYSTEM_FACTORIES]
@@ -371,6 +512,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 _COMMANDS = {
+    "bench": _cmd_bench,
     "world": _cmd_world,
     "datasets": _cmd_datasets,
     "link": _cmd_link,

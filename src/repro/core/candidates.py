@@ -15,7 +15,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.caching import LRUCache
 from repro.kb.alias_index import AliasIndex, CandidateHit
 from repro.nlp.pipeline import DocumentExtraction
-from repro.nlp.spans import Span, SpanKind
+from repro.nlp.spans import Span
 from repro.textnorm import normalize_phrase
 
 

@@ -21,10 +21,10 @@ overlap pruning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from repro.nlp.features import classify_gap, contains_feature
-from repro.nlp.spans import Span, SpanKind, Token, spans_overlap
+from repro.nlp.spans import Span, Token, spans_overlap
 
 _MAX_CHAIN_FOR_FULL_ENUMERATION = 6
 _MAX_CANOPIES = 24

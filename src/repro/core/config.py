@@ -43,6 +43,11 @@ class TenetConfig:
         kNN sparsification of the coherence graph: each candidate keeps
         only this many lightest admissible concept edges (``None`` for
         the dense graph; quality-neutral per the ablation).
+    coherence_similarity_mode:
+        ``"batch"`` (default) builds concept-concept edges from one
+        ``E @ E.T`` similarity block; ``"scalar"`` uses the per-pair
+        reference path (parity tests and the benchmark harness only —
+        output is identical, just slower).
     use_canopies:
         Ablation switch for the Sec. 5.1 mention-group/canopy machinery;
         off, every extracted span competes as its own singleton group.
@@ -62,12 +67,18 @@ class TenetConfig:
     coherence_prior_blend: float = 0.06
     prior_distance_curve: float = 0.5
     coherence_max_neighbours: Optional[int] = 12
+    coherence_similarity_mode: str = "batch"
     use_canopies: bool = True
     use_type_filter: bool = False
 
     def __post_init__(self) -> None:
         if self.max_candidates < 1:
             raise ValueError(f"max_candidates must be >= 1, got {self.max_candidates}")
+        if self.coherence_similarity_mode not in ("batch", "scalar"):
+            raise ValueError(
+                "coherence_similarity_mode must be 'batch' or 'scalar', "
+                f"got {self.coherence_similarity_mode!r}"
+            )
         if self.tree_weight_bound is not None and self.tree_weight_bound <= 0:
             raise ValueError(
                 f"tree_weight_bound must be positive, got {self.tree_weight_bound}"

@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
-from repro.core.canopies import Canopy, MentionGroup
+from repro.core.canopies import MentionGroup
 from repro.core.coherence import CandidateNode
 from repro.core.tree_cover import TreeCoverResult
 from repro.nlp.spans import Span, spans_overlap

@@ -232,7 +232,6 @@ class TenetLinker:
         bypassed, each provided span forms its own singleton group, and
         only the coherence machinery decides the links.
         """
-        extraction = self.pipeline.extract(text)
         by_mention = {}
         for span in mentions:
             if span.kind is SpanKind.NOUN:
@@ -240,12 +239,6 @@ class TenetLinker:
             else:
                 by_mention[span] = self.generator.predicate_candidates(span)
         candidates = MentionCandidates(by_mention)
-        concept_ids = {
-            hit.concept_id
-            for hits in by_mention.values()
-            for hit in hits
-        }
-        self.similarity.precompute(concept_ids)
         coherence = build_coherence_graph(
             by_mention,
             self.similarity,
@@ -254,6 +247,7 @@ class TenetLinker:
             coherence_prior_blend=self.config.coherence_prior_blend,
             prior_distance_curve=self.config.prior_distance_curve,
             max_neighbours=self.config.coherence_max_neighbours,
+            similarity_mode=self.config.coherence_similarity_mode,
         )
         cover = derive_tree_cover(coherence, self.config.tree_weight_bound)
         # In disambiguation-only mode every provided mention is its own
@@ -316,12 +310,10 @@ class TenetLinker:
         if timings is None:
             timings = {}
         stage = time.perf_counter()
-        concept_ids = {
-            hit.concept_id
-            for hits in candidates.by_mention.values()
-            for hit in hits
-        }
-        self.similarity.precompute(concept_ids)
+        # No pair-cache precompute here: build_coherence_graph consumes
+        # the batched similarity matrix directly, so filling the scalar
+        # pair cache first would re-add the O(n^2) Python loop the
+        # batched path removed from this stage.
         coherence = build_coherence_graph(
             candidates.by_mention,
             self.similarity,
@@ -330,6 +322,7 @@ class TenetLinker:
             coherence_prior_blend=self.config.coherence_prior_blend,
             prior_distance_curve=self.config.prior_distance_curve,
             max_neighbours=self.config.coherence_max_neighbours,
+            similarity_mode=self.config.coherence_similarity_mode,
         )
         timings["coherence"] = time.perf_counter() - stage
         stage = time.perf_counter()

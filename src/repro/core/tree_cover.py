@@ -26,7 +26,7 @@ the binary search (:func:`minimal_feasible_bound`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.coherence import CandidateNode, CoherenceGraph

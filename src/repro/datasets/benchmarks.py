@@ -18,8 +18,8 @@ All four are generated against one shared synthetic world so a single
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.datasets.generator import DocumentGenerator, DocumentSpec
 from repro.datasets.schema import AnnotatedDocument, Dataset

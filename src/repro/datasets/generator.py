@@ -23,8 +23,8 @@ measures:
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.datasets.schema import AnnotatedDocument, GoldMention
 from repro.kb import namepools

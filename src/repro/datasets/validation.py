@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.datasets.schema import AnnotatedDocument, Dataset
 from repro.kb.store import KnowledgeBase
 from repro.nlp.spans import SpanKind
 

@@ -18,7 +18,7 @@ dependency-free, and linear in the number of facts per sweep.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Set
 
 import numpy as np
 

@@ -16,7 +16,7 @@ from typing import Callable, List, Sequence
 from repro.core.config import TenetConfig
 from repro.core.linker import LinkingContext, TenetLinker
 from repro.datasets.schema import Dataset
-from repro.eval.metrics import PRF, aggregate, score_entity_linking
+from repro.eval.metrics import aggregate, score_entity_linking
 
 DEFAULT_THRESHOLDS = (0.70, 0.80, 0.85, 0.90, 0.95, 1.00)
 

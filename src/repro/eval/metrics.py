@@ -19,7 +19,7 @@ as in Fig. 6(c).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.core.result import Link, LinkingResult
 from repro.datasets.schema import AnnotatedDocument, GoldMention
@@ -101,18 +101,15 @@ def _score_linking(
         if not overlapping:
             continue  # outside the annotation: ignored
         prf.predicted += 1
-        hit = False
         for g in overlapping:
             if g.concept_id == link.concept_id:
                 key = id(g)
                 if key not in matched:
                     matched.add(key)
                     prf.correct += 1
-                hit = True
                 break
         # An overlapping prediction with the wrong concept (or on a
         # non-linkable gold) counts against precision only.
-        del hit
     return prf
 
 

@@ -7,7 +7,7 @@ markdown document — the artefact a reproduction run hands to a reviewer.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional
+from typing import Iterable, List, Mapping, Optional
 
 from repro.analysis.errors import ErrorReport
 from repro.eval.metrics import PRF

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence
 
 from repro.core.result import LinkingResult
-from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
+from repro.datasets.schema import AnnotatedDocument, Dataset
 from repro.eval.metrics import (
     PRF,
     aggregate,

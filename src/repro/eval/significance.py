@@ -10,13 +10,13 @@ comparing linkers on fixed test sets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.core.result import LinkingResult
 from repro.datasets.schema import AnnotatedDocument, Dataset
-from repro.eval.metrics import PRF, aggregate, score_entity_linking
+from repro.eval.metrics import PRF, score_entity_linking
 
 
 @dataclass(frozen=True)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.datasets.schema import Dataset
 from repro.nlp.spans import SpanKind

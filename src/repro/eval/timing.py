@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.linker import TenetLinker
 
@@ -56,6 +56,23 @@ def time_linker(linker, text: str, repeats: int = 1) -> TimingSample:
         mentions=mentions,
         stage_seconds=best_stages,
     )
+
+
+def aggregate_stage_seconds(records: Iterable) -> Dict[str, List[float]]:
+    """Pool per-stage timing records by stage name.
+
+    Accepts :class:`TimingSample` objects, ``LinkingResult``-style objects
+    carrying ``stage_seconds``, or raw ``{stage: seconds}`` mappings — all
+    three are views of the same ``LinkingResult.stage_seconds`` record, so
+    the Fig. 7 harness, the serving ``/metrics`` feed, and the benchmark
+    harness (:mod:`repro.bench`) aggregate from one source of truth.
+    """
+    pooled: Dict[str, List[float]] = {}
+    for record in records:
+        stages = getattr(record, "stage_seconds", record)
+        for stage, seconds in stages.items():
+            pooled.setdefault(stage, []).append(float(seconds))
+    return pooled
 
 
 def time_tenet_detailed(linker: TenetLinker, text: str) -> TimingSample:

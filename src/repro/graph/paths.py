@@ -8,7 +8,7 @@ subtree/mention eligibility is decided by that distance being in (0, B].
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.weighted_graph import Node, WeightedGraph
 

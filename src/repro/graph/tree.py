@@ -11,7 +11,7 @@ Python's recursion limit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.graph.weighted_graph import Node, WeightedGraph
 

@@ -116,6 +116,12 @@ class WeightedGraph:
         """Sum of all edge weights."""
         return sum(w for _, _, w in self.edges())
 
+    def max_degree(self) -> int:
+        """Largest node degree (0 for an empty or edgeless graph)."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
     # ------------------------------------------------------------------
     # transforms
     # ------------------------------------------------------------------

@@ -9,7 +9,7 @@ paper's efficiency discussion assumes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.kb.records import EntityRecord, PredicateRecord, Triple
 

@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.kb import namepools
 from repro.kb.records import EntityRecord, PredicateRecord, Triple
 from repro.kb.store import KnowledgeBase
-from repro.kb.types import DEFAULT_TAXONOMY, TypeTaxonomy, build_default_taxonomy
+from repro.kb.types import TypeTaxonomy, build_default_taxonomy
 
 
 @dataclass(frozen=True)

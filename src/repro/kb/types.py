@@ -8,7 +8,7 @@ two types are compatible when one subsumes the other.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Set
 
 ROOT_TYPE = "thing"
 

@@ -18,7 +18,7 @@ pipeline performs against the Solr alias index.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional
 
 from repro.nlp import pos
 from repro.nlp.spans import Sentence, Span, SpanKind, Token

@@ -19,7 +19,7 @@ predicate lookup, mirroring the paper's lemmatisation step.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.nlp import pos
 from repro.nlp.lemmatizer import lemma_variants

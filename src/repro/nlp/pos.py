@@ -8,7 +8,7 @@ surface forms in the target domain are always recognised as verbs.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Iterable, List, Set
 
 from repro.nlp.spans import Token
 

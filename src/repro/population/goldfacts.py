@@ -15,7 +15,7 @@ relation gold in between).
 
 from __future__ import annotations
 
-from typing import List, Set, Tuple
+from typing import Set, Tuple
 
 from repro.datasets.schema import AnnotatedDocument, Dataset
 from repro.nlp.spans import SpanKind

@@ -11,7 +11,7 @@ dedup step KB-population systems perform before writing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core.linker import LinkingContext, LinkingDiagnostics, TenetLinker
 from repro.core.result import Link, LinkingResult

@@ -85,6 +85,10 @@ class LinkerCaches:
         )
         if linker is not None:
             payload["alias_fuzzy"] = linker.context.alias_index.fuzzy_cache_stats()
+            # The batched E @ E.T path bypasses the pair cache by design;
+            # its call/pair counters sit next to the LRU stats so the
+            # bench trajectory sees both sides of the trade.
+            payload["similarity_batch"] = linker.similarity.batch_stats()
         return payload
 
 

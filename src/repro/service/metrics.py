@@ -10,7 +10,7 @@ Fig. 7 timing harness report from a single source of truth.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 # Upper bounds (seconds) of the latency buckets; the last bucket is
 # open-ended.  Spaced for a linker whose requests run 1 ms - 10 s.

@@ -15,7 +15,7 @@ many threads — the property the service-parity tests pin down.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 
 class SchemaError(ValueError):

@@ -13,7 +13,7 @@ from repro.baselines import (
 from repro.core.candidates import MentionCandidates
 from repro.core.linker import LinkingContext
 from repro.embeddings.store import EmbeddingStore
-from repro.kb.alias_index import AliasIndex, CandidateHit
+from repro.kb.alias_index import CandidateHit
 from repro.kb.records import EntityRecord, PredicateRecord
 from repro.kb.store import KnowledgeBase
 from repro.nlp.spans import Span, SpanKind

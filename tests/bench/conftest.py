@@ -1,0 +1,18 @@
+"""Shared fixtures: one micro benchmark run reused across bench tests."""
+
+import pytest
+
+from repro.bench import BenchConfig, run_benchmark
+
+
+@pytest.fixture(scope="session")
+def micro_report():
+    """A real (tiny) harness run: one scale, one repeat, no warmup."""
+    config = BenchConfig(
+        scales=(0.05,),
+        repeats=1,
+        warmup=0,
+        service_workers=2,
+        label="micro",
+    )
+    return run_benchmark(config)

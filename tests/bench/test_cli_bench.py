@@ -1,0 +1,94 @@
+"""The ``bench`` CLI: run + compare subcommands, exit codes, artifacts."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import validate_report
+from repro.bench.harness import write_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cli_report_path(tmp_path_factory):
+    """One micro bench run through the real CLI entry point."""
+    path = tmp_path_factory.mktemp("bench") / "BENCH_cli.json"
+    rc = main(
+        [
+            "bench",
+            "--scales",
+            "0.05",
+            "--repeats",
+            "1",
+            "--warmup",
+            "0",
+            "--workers",
+            "2",
+            "--label",
+            "cli-test",
+            "--output",
+            str(path),
+        ]
+    )
+    assert rc == 0
+    return path
+
+
+class TestBenchRun:
+    def test_writes_valid_record(self, cli_report_path):
+        payload = json.loads(cli_report_path.read_text())
+        assert validate_report(payload) == []
+        assert payload["label"] == "cli-test"
+
+    def test_scales_flag_respected(self, cli_report_path):
+        payload = json.loads(cli_report_path.read_text())
+        assert [entry["scale"] for entry in payload["scales"]] == [0.05]
+
+    def test_bad_scales_flag_errors(self, tmp_path, capsys):
+        rc = main(["bench", "--scales", "fast,slow"])
+        assert rc == 2
+        assert "scales" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def test_identical_exits_zero(self, cli_report_path):
+        rc = main(
+            ["bench", "compare", str(cli_report_path), str(cli_report_path)]
+        )
+        assert rc == 0
+
+    def test_degraded_exits_one(self, cli_report_path, tmp_path):
+        payload = json.loads(cli_report_path.read_text())
+        worse = copy.deepcopy(payload)
+        for block in worse["scales"][0]["stages"].values():
+            block["mean"] *= 3.0
+        worse_path = write_report(worse, tmp_path / "BENCH_worse.json")
+        rc = main(
+            ["bench", "compare", str(cli_report_path), str(worse_path)]
+        )
+        assert rc == 1
+
+    def test_warn_only_exits_zero(self, cli_report_path, tmp_path):
+        payload = json.loads(cli_report_path.read_text())
+        worse = copy.deepcopy(payload)
+        for block in worse["scales"][0]["stages"].values():
+            block["mean"] *= 3.0
+        worse_path = write_report(worse, tmp_path / "BENCH_worse.json")
+        rc = main(
+            [
+                "bench",
+                "compare",
+                str(cli_report_path),
+                str(worse_path),
+                "--warn-only",
+            ]
+        )
+        assert rc == 0
+
+    def test_invalid_file_exits_two(self, cli_report_path, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{}")
+        rc = main(["bench", "compare", str(cli_report_path), str(bad)])
+        assert rc == 2
+        assert "invalid" in capsys.readouterr().err

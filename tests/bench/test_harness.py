@@ -1,0 +1,92 @@
+"""The benchmark harness end to end (one shared micro run)."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, default_report_name, git_rev
+from repro.bench.schema import CORE_STAGES
+
+
+class TestBenchConfig:
+    def test_quick_profile_is_small(self):
+        quick = BenchConfig.quick()
+        assert max(quick.scales) < 1.0
+        assert quick.repeats == 1
+        assert quick.warmup == 0
+
+    def test_rejects_empty_scales(self):
+        with pytest.raises(ValueError):
+            BenchConfig(scales=())
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            BenchConfig(scales=(0.5, -1.0))
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            BenchConfig(repeats=0)
+
+
+class TestReportShape:
+    def test_json_serializable(self, micro_report):
+        parsed = json.loads(json.dumps(micro_report))
+        assert parsed["kind"] == "tenet-bench"
+
+    def test_all_core_stages_timed(self, micro_report):
+        stages = micro_report["scales"][0]["stages"]
+        for stage in CORE_STAGES:
+            assert stage in stages
+            assert stages[stage]["count"] > 0
+            assert stages[stage]["mean"] >= 0.0
+
+    def test_stage_counts_match_documents(self, micro_report):
+        entry = micro_report["scales"][0]
+        assert entry["stages"]["total"]["count"] == (
+            entry["documents"] * entry["runs"]
+        )
+
+    def test_graph_sizes_recorded(self, micro_report):
+        graph = micro_report["scales"][0]["graph"]
+        assert graph["mentions"] > 0
+        assert graph["nodes"] > graph["mentions"]  # mentions + candidates
+        assert graph["edges"] > 0
+        assert graph["total_weight"] > 0.0
+        assert graph["max_degree"] >= 1
+
+    def test_env_fingerprint(self, micro_report):
+        env = micro_report["env"]
+        assert env["numpy"]
+        assert env["python"].count(".") >= 1
+
+    def test_peak_rss_recorded(self, micro_report):
+        assert micro_report["peak_rss_kb"] is None or micro_report["peak_rss_kb"] > 0
+
+    def test_coherence_comparison_present_and_faster(self, micro_report):
+        comparison = micro_report["coherence_comparison"]
+        assert comparison is not None
+        assert comparison["parity"] is True
+        # The batched path must beat the scalar per-pair reference.
+        assert comparison["speedup"] > 1.0
+
+    def test_service_throughput_and_caches(self, micro_report):
+        service = micro_report["service"]
+        assert service["documents_per_second"] > 0
+        assert service["errors"] == 0
+        caches = service["caches"]
+        # The repro.caching LRU counters are part of the trajectory.
+        assert caches["candidates"]["hits"] + caches["candidates"]["misses"] > 0
+        assert "similarity" in caches
+        assert "alias_fuzzy" in caches
+        assert "similarity_batch" in caches
+        assert caches["similarity_batch"]["batch_calls"] > 0
+
+
+class TestNaming:
+    def test_default_report_name_embeds_rev(self):
+        assert default_report_name("abc123") == "BENCH_abc123.json"
+
+    def test_git_rev_env_override(self, monkeypatch):
+        monkeypatch.setenv("BENCH_REV", "pinned")
+        assert git_rev() == "pinned"
+        assert default_report_name() == "BENCH_pinned.json"

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.canopies import Canopy, MentionGroup, build_mention_groups
+from repro.core.canopies import build_mention_groups
 from repro.nlp.spans import Span, SpanKind
 from repro.nlp.tokenizer import tokenize
 

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.coherence import CandidateNode, build_coherence_graph
+from repro.core.coherence import build_coherence_graph
 from repro.embeddings.similarity import SimilarityIndex
 from repro.embeddings.store import EmbeddingStore
 from repro.kb.alias_index import CandidateHit

@@ -1,6 +1,5 @@
 """LinkingContext save/load tests."""
 
-import pytest
 
 from repro.core.linker import LinkingContext, TenetLinker
 

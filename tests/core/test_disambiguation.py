@@ -1,6 +1,5 @@
 """Greedy disambiguation tests (Algorithm 5 pruning strategies)."""
 
-import pytest
 
 from repro.core.canopies import Canopy, MentionGroup
 from repro.core.coherence import CandidateNode

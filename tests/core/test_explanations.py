@@ -1,6 +1,5 @@
 """Link-provenance (explanation) tests."""
 
-import pytest
 
 from repro.core.disambiguation import LinkExplanation
 

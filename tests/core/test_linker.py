@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import TenetConfig
-from repro.core.linker import LinkingContext, TenetLinker
+from repro.core.linker import TenetLinker
 from repro.eval.runner import gold_mentions_to_spans
 from repro.nlp.spans import SpanKind
 

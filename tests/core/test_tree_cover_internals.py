@@ -60,7 +60,6 @@ class TestContract:
         graph, _ = coherence
         pruned = graph.graph.pruned(10.0)
         contracted, _ = _contract(graph, pruned, 10.0)
-        nodes = graph.candidate_nodes()
         concept_edges = [
             (u, v)
             for u, v, _ in contracted.edges()

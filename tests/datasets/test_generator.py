@@ -105,7 +105,6 @@ class TestTraps:
 
     def test_trap_filtered_against_document(self, world):
         from repro.datasets.generator import _DocBuilder
-        from repro.datasets.schema import GoldMention
 
         generator = DocumentGenerator(world, seed=3)
         options = generator._trap_options("computer_science")

@@ -1,6 +1,5 @@
 """Dataset validation tests."""
 
-import pytest
 
 from repro.datasets.schema import AnnotatedDocument, Dataset, GoldMention
 from repro.datasets.validation import validate_dataset

@@ -1,0 +1,115 @@
+"""Batched similarity matrix vs. the scalar per-pair path.
+
+The satellite property of the vectorised hot path: for any embedding
+store, ``SimilarityIndex.batch_similarity`` must reproduce the scalar
+``similarity`` / ``1 - cosine`` values within 1e-9 — a single
+``E @ E.T`` block may not change the numbers, only the cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.embeddings.similarity import SimilarityIndex
+from repro.embeddings.store import EmbeddingStore
+
+
+def make_store(matrix):
+    ids = [f"Q{i}" for i in range(matrix.shape[0])]
+    return ids, EmbeddingStore.from_matrix(ids, matrix)
+
+
+@st.composite
+def embedding_matrices(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    dim = draw(st.integers(min_value=1, max_value=16))
+    values = draw(
+        st.lists(
+            st.floats(
+                min_value=-10.0,
+                max_value=10.0,
+                allow_nan=False,
+                allow_infinity=False,
+                width=32,
+            ),
+            min_size=n * dim,
+            max_size=n * dim,
+        )
+    )
+    return np.array(values, dtype=np.float32).reshape(n, dim)
+
+
+class TestBatchMatchesScalar:
+    @settings(max_examples=60, deadline=None)
+    @given(embedding_matrices())
+    def test_batch_equals_scalar_within_1e9(self, matrix):
+        ids, store = make_store(matrix)
+        index = SimilarityIndex(store)
+        batch = index.batch_similarity(ids)
+        for i, a in enumerate(ids):
+            for j, b in enumerate(ids):
+                assert batch[i, j] == pytest.approx(
+                    index.similarity(a, b), abs=1e-9
+                )
+
+    @settings(max_examples=30, deadline=None)
+    @given(embedding_matrices())
+    def test_batch_distance_is_complement(self, matrix):
+        ids, store = make_store(matrix)
+        index = SimilarityIndex(store)
+        np.testing.assert_allclose(
+            index.batch_distance(ids),
+            1.0 - index.batch_similarity(ids),
+            atol=1e-12,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(embedding_matrices())
+    def test_precompute_cache_matches_batch(self, matrix):
+        ids, store = make_store(matrix)
+        index = SimilarityIndex(store)
+        batch = index.batch_similarity(ids)
+        index.precompute(ids)
+        for i, a in enumerate(ids):
+            for j in range(i + 1, len(ids)):
+                assert index.similarity(a, ids[j]) == pytest.approx(
+                    batch[i, j], abs=1e-12
+                )
+
+
+class TestBatchSemantics:
+    @pytest.fixture
+    def index(self):
+        store = EmbeddingStore(3)
+        store.add("a", np.array([1.0, 0.0, 0.0]))
+        store.add("b", np.array([0.0, 1.0, 0.0]))
+        return SimilarityIndex(store)
+
+    def test_matrix_is_symmetric_with_unit_diagonal(self, index):
+        sims = index.batch_similarity(["a", "b"])
+        np.testing.assert_allclose(sims, sims.T)
+        np.testing.assert_allclose(np.diag(sims), 1.0)
+
+    def test_duplicate_ids_are_exactly_one(self, index):
+        sims = index.batch_similarity(["a", "b", "a"])
+        assert sims[0, 2] == 1.0 == sims[2, 0]
+
+    def test_unknown_ids_have_zero_similarity(self, index):
+        sims = index.batch_similarity(["a", "ghost"])
+        assert sims[0, 1] == 0.0
+        assert sims[1, 0] == 0.0
+        assert sims[1, 1] == 1.0  # same-id shortcut, known or not
+
+    def test_empty_input(self, index):
+        assert index.batch_similarity([]).shape == (0, 0)
+
+    def test_counters_advance(self, index):
+        before = index.batch_stats()["batch_calls"]
+        index.batch_similarity(["a", "b"])
+        stats = index.batch_stats()
+        assert stats["batch_calls"] == before + 1
+        assert stats["batch_pairs"] >= 1
+
+    def test_batch_does_not_fill_pair_cache(self, index):
+        index.batch_similarity(["a", "b"])
+        assert index.cache_size == 0

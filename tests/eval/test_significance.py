@@ -1,6 +1,5 @@
 """Bootstrap significance tests."""
 
-import pytest
 
 from repro.baselines import FalconLinker
 from repro.core.linker import TenetLinker

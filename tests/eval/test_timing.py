@@ -1,7 +1,7 @@
 """Timing harness tests."""
 
 from repro.core.linker import TenetLinker
-from repro.eval.timing import TimingSample, time_linker, time_tenet_detailed
+from repro.eval.timing import time_linker, time_tenet_detailed
 
 
 class TestTiming:

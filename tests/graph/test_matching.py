@@ -63,7 +63,6 @@ class TestBasics:
 
 def _brute_force_max_matching(left, adj):
     best = 0
-    right = sorted({r for rs in adj.values() for r in rs})
     for assignment in itertools.product(*([[None] + adj[l] for l in left] or [[None]])):
         used = [a for a in assignment if a is not None]
         if len(used) != len(set(used)):

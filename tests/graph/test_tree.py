@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.graph.tree import RootedTree, TreeEdge
+from repro.graph.tree import RootedTree
 from repro.graph.weighted_graph import WeightedGraph
 
 

@@ -1,6 +1,5 @@
 """Unit and property tests for the disjoint-set forest."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.graph.union_find import UnionFind

@@ -1,6 +1,5 @@
 """Gold-fact reconstruction tests."""
 
-import pytest
 
 from repro.datasets.schema import AnnotatedDocument, GoldMention
 from repro.nlp.spans import SpanKind

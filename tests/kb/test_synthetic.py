@@ -1,6 +1,5 @@
 """Synthetic world generator tests."""
 
-import pytest
 
 from repro.kb.synthetic import SyntheticKBConfig, build_synthetic_world
 from repro.textnorm import normalize_phrase

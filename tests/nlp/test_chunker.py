@@ -1,6 +1,5 @@
 """Noun-phrase chunker tests."""
 
-import pytest
 
 from repro.nlp.chunker import NounPhraseChunker
 from repro.nlp.pos import PosTagger

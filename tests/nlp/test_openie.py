@@ -1,6 +1,5 @@
 """Open IE (relation extraction) tests."""
 
-import pytest
 
 from repro.nlp.chunker import NounPhraseChunker
 from repro.nlp.openie import RelationExtractor

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.nlp.pipeline import ExtractionPipeline
-from repro.nlp.spans import SpanKind
 
 
 @pytest.fixture(scope="module")

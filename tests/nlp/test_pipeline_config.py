@@ -1,6 +1,5 @@
 """Pipeline/tagger configuration behaviour tests."""
 
-import pytest
 
 from repro.core.candidates import CandidateGenerator
 from repro.nlp.chunker import NounPhraseChunker

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.caching import CacheStats, LRUCache, make_cache
+from repro.caching import LRUCache, make_cache
 from repro.core.candidates import CandidateGenerator
 from repro.core.linker import TenetLinker
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.linker import TenetLinker
 from repro.service.cache import LinkerCacheConfig
-from repro.service.engine import LinkingService, MicroBatcher, ServiceConfig
+from repro.service.engine import LinkingService, ServiceConfig
 from repro.service.schema import BatchLinkRequest, LinkRequest
 
 

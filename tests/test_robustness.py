@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import TenetConfig
 from repro.core.linker import TenetLinker
 from repro.kb.alias_index import AliasIndex
-from repro.kb.records import EntityRecord, PredicateRecord
+from repro.kb.records import EntityRecord
 from repro.kb.store import KnowledgeBase
 
 
