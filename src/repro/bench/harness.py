@@ -54,6 +54,10 @@ class BenchConfig:
     seed: int = 7
     service_workers: int = 4
     scalar_baseline: bool = True
+    # When set, add a deadline-mode pass: every document is linked with
+    # this per-request deadline through a warm service, measuring the
+    # degraded-path latency and the cooperative-cancellation counters.
+    deadline_seconds: Optional[float] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -67,6 +71,8 @@ class BenchConfig:
             raise ValueError(f"warmup must be >= 0, got {self.warmup}")
         if self.service_workers < 1:
             raise ValueError("service_workers must be >= 1")
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be > 0")
 
     @classmethod
     def quick(cls) -> "BenchConfig":
@@ -303,6 +309,76 @@ def _service_throughput(
     }
 
 
+def _deadline_mode(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    texts: List[str],
+    workers: int,
+    deadline_seconds: float,
+) -> Dict[str, object]:
+    """Degraded-path latency under a per-request deadline.
+
+    Every document is linked through a warm service whose default
+    timeout is *deadline_seconds*; requests that blow the budget abort
+    cooperatively at the next stage checkpoint and fall back to the
+    prior-only answer.  The block records how many requests degraded,
+    which stage they aborted in, and the latency of the degraded path
+    (wall clock from submission to the salvaged response).
+    """
+    from repro.service import LinkingService, ServiceConfig
+    from repro.service.schema import LinkRequest
+
+    service_config = ServiceConfig(
+        workers=workers, default_timeout_seconds=deadline_seconds
+    )
+    degraded_latencies: List[float] = []
+    completed_latencies: List[float] = []
+    errors = 0
+    started = time.perf_counter()
+    with LinkingService(context, service_config, linker_config) as service:
+        for i, text in enumerate(texts):
+            request_started = time.perf_counter()
+            response = service.link(
+                LinkRequest(text=text, request_id=f"deadline-{i}")
+            )
+            elapsed = time.perf_counter() - request_started
+            if response.error is not None:
+                errors += 1
+            elif response.degraded:
+                degraded_latencies.append(elapsed)
+            else:
+                completed_latencies.append(elapsed)
+        snapshot = service.snapshot()
+    wall = time.perf_counter() - started
+    counters = snapshot.get("counters", {})
+    aborted_stages = {
+        name[len("stage."):-len(".aborted")]: count
+        for name, count in counters.items()
+        if name.startswith("stage.") and name.endswith(".aborted")
+    }
+    return {
+        "scale": scale,
+        "documents": len(texts),
+        "workers": workers,
+        "deadline_seconds": deadline_seconds,
+        "wall_seconds": wall,
+        "completed": len(completed_latencies),
+        "degraded": len(degraded_latencies),
+        "errors": errors,
+        "cancelled": counters.get("requests.cancelled", 0),
+        "timeouts": counters.get("requests.timeouts", 0),
+        "abandoned": counters.get("requests.abandoned", 0),
+        "aborted_stages": aborted_stages,
+        "degraded_latency": (
+            summarize(degraded_latencies) if degraded_latencies else None
+        ),
+        "completed_latency": (
+            summarize(completed_latencies) if completed_latencies else None
+        ),
+    }
+
+
 def run_benchmark(
     config: BenchConfig = BenchConfig(),
     linker_config: TenetConfig = TenetConfig(),
@@ -363,6 +439,21 @@ def run_benchmark(
         config.service_workers,
     )
 
+    deadline = None
+    if config.deadline_seconds is not None:
+        say(
+            f"deadline mode at scale {largest:g} "
+            f"(deadline {config.deadline_seconds:g}s) ..."
+        )
+        deadline = _deadline_mode(
+            context,
+            linker_config,
+            largest,
+            corpus_by_scale[largest],
+            config.service_workers,
+            config.deadline_seconds,
+        )
+
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -375,6 +466,7 @@ def run_benchmark(
             "warmup": config.warmup,
             "seed": config.seed,
             "service_workers": config.service_workers,
+            "deadline_seconds": config.deadline_seconds,
         },
         "env": _env_fingerprint(),
         "context_build_seconds": context_build,
@@ -383,6 +475,7 @@ def run_benchmark(
         "scales": scales,
         "coherence_comparison": comparison,
         "service": service,
+        "deadline": deadline,
     }
     return report
 
@@ -428,5 +521,15 @@ def format_report_summary(report: Dict[str, object]) -> str:
         lines.append(
             f"service: {service['documents_per_second']:.1f} docs/s over "
             f"{service['workers']} workers"
+        )
+    deadline = report.get("deadline")
+    if deadline:
+        degraded = deadline.get("degraded_latency") or {}
+        mean = degraded.get("mean")
+        lines.append(
+            f"deadline {deadline['deadline_seconds']:g}s: "
+            f"{deadline['degraded']}/{deadline['documents']} degraded, "
+            f"{deadline['cancelled']} cancelled"
+            + (f", degraded-path mean {1000 * mean:.2f}ms" if mean else "")
         )
     return "\n".join(lines)

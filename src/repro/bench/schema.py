@@ -32,7 +32,14 @@ One benchmark run produces one JSON document::
                                "speedup": ..., "parity": true} | null,
       "service": {"scale": ..., "documents": N, "workers": N,
                   "wall_seconds": ..., "documents_per_second": ...,
-                  "latency": {...}, "caches": {...}} | null
+                  "latency": {...}, "caches": {...}} | null,
+      "deadline": {"scale": ..., "documents": N, "workers": N,
+                   "deadline_seconds": ..., "completed": N,
+                   "degraded": N, "errors": N, "cancelled": N,
+                   "timeouts": N, "abandoned": N,
+                   "aborted_stages": {"<stage>": N, ...},
+                   "degraded_latency": {<stats>} | null,
+                   "completed_latency": {<stats>} | null} | null
     }
 
 where ``<stats>`` is the :func:`summarize` block (count / total / mean /
@@ -183,5 +190,22 @@ def validate_report(payload: object) -> List[str]:
                 problems.append("service: missing documents_per_second")
             if not isinstance(service.get("caches"), dict):
                 problems.append("service: missing caches block")
+
+    deadline = payload.get("deadline")
+    if deadline is not None:
+        if not isinstance(deadline, dict):
+            problems.append("deadline must be an object or null")
+        else:
+            if not _is_number(deadline.get("deadline_seconds")):
+                problems.append("deadline: missing deadline_seconds")
+            for field in ("completed", "degraded", "cancelled"):
+                if not isinstance(deadline.get(field), int):
+                    problems.append(f"deadline: missing integer {field!r}")
+            if not isinstance(deadline.get("aborted_stages"), dict):
+                problems.append("deadline: missing aborted_stages block")
+            for field in ("degraded_latency", "completed_latency"):
+                block = deadline.get(field)
+                if block is not None:
+                    _check_stats(block, f"deadline.{field}", problems)
 
     return problems

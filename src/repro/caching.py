@@ -131,13 +131,19 @@ class LRUCache:
         return self._stats
 
     def snapshot(self) -> Dict[str, float]:
-        """JSON-compatible view: size, capacity, and counters."""
+        """JSON-compatible view: size, capacity, and counters.
+
+        The stats are read under the same lock that guards their
+        mutation, so the reported hit/miss/eviction triple (and the
+        hit rate derived from it) is always one consistent state, never
+        a torn read taken mid-update by a concurrent worker.
+        """
         with self._lock:
             payload: Dict[str, float] = {
                 "size": len(self._data),
                 "maxsize": self.maxsize,
             }
-        payload.update(self._stats.snapshot())
+            payload.update(self._stats.snapshot())
         return payload
 
 

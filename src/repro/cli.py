@@ -182,6 +182,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument(
         "--workers", type=int, default=None, help="service throughput workers"
     )
+    bench_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="also measure the degraded path: link the corpus through a "
+        "service whose per-request deadline is SECONDS and record the "
+        "cancellation counters and degraded-path latency",
+    )
     bench_parser.add_argument("--label", default="", help="freeform run label")
     bench_parser.add_argument(
         "--no-scalar-baseline",
@@ -380,6 +389,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["service_workers"] = args.workers
     if args.no_scalar_baseline:
         overrides["scalar_baseline"] = False
+    if args.deadline is not None:
+        overrides["deadline_seconds"] = args.deadline
     if args.label:
         overrides["label"] = args.label
     overrides["seed"] = args.seed

@@ -12,6 +12,7 @@
 """
 
 from repro.core.config import TenetConfig
+from repro.core.deadline import Deadline, DeadlineExceeded, PartialLinking
 from repro.core.result import Link, LinkingResult
 from repro.core.candidates import CandidateGenerator, MentionCandidates
 from repro.core.coherence import CandidateNode, CoherenceGraph, build_coherence_graph
@@ -28,6 +29,9 @@ from repro.core.linker import TenetLinker
 
 __all__ = [
     "TenetConfig",
+    "Deadline",
+    "DeadlineExceeded",
+    "PartialLinking",
     "Link",
     "LinkingResult",
     "CandidateGenerator",

@@ -1,0 +1,124 @@
+"""Deadline propagation and cooperative cancellation.
+
+A :class:`Deadline` couples a monotonic expiry with a thread-safe
+cancellation token.  The serving layer anchors one per request at
+submission and threads it through :meth:`TenetLinker.link`; each
+pipeline stage boundary (and the hot inner loops of the tree-cover
+solve and the greedy disambiguation) calls :meth:`Deadline.check`,
+which raises :class:`DeadlineExceeded` once the deadline has passed or
+the token was cancelled.
+
+The exception carries a :class:`PartialLinking` with whatever
+intermediate artefacts the pipeline had already produced — if candidate
+generation finished, the degraded prior-only answer can be built from
+those candidates without recomputing extraction.
+
+This module is a leaf: it must not import the pipeline stages (they all
+import it), so the partial artefacts are typed loosely.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+class DeadlineExceeded(RuntimeError):
+    """A pipeline run crossed its deadline (or was cancelled).
+
+    ``stage`` names the checkpoint that tripped; ``partial`` holds the
+    salvageable intermediate artefacts (``None`` when nothing useful was
+    produced before the abort).
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        deadline: Optional["Deadline"] = None,
+        partial: Optional["PartialLinking"] = None,
+    ) -> None:
+        super().__init__(f"deadline exceeded at stage {stage!r}")
+        self.stage = stage
+        self.deadline = deadline
+        self.partial = partial
+
+
+@dataclass
+class PartialLinking:
+    """What an aborted pipeline run managed to produce.
+
+    ``extraction`` / ``candidates`` are the linker's intermediate
+    artefacts (``DocumentExtraction`` / ``MentionCandidates``) when the
+    corresponding stage completed, else ``None``.  ``stage_seconds``
+    records the wall-clock of the stages that did run.
+    """
+
+    extraction: Optional[Any] = None
+    candidates: Optional[Any] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class Deadline:
+    """Monotonic expiry plus a cancellation token.
+
+    ``expires_at`` is a :func:`time.monotonic` instant (``None`` means
+    no wall-clock bound: only explicit :meth:`cancel` can trip it).
+    All methods are safe to call from any thread; the typical shape is
+    one waiter thread cancelling while a worker thread polls
+    :meth:`check` at its stage checkpoints.
+    """
+
+    __slots__ = ("started", "expires_at", "_cancelled")
+
+    def __init__(self, expires_at: Optional[float] = None) -> None:
+        self.started = time.monotonic()
+        self.expires_at = expires_at
+        self._cancelled = threading.Event()
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline *seconds* from now (``None`` = unbounded)."""
+        if seconds is None:
+            return cls(None)
+        if seconds < 0:
+            raise ValueError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(time.monotonic() + seconds)
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled.is_set()
+
+    def cancel(self) -> None:
+        """Trip the token: every subsequent :meth:`check` raises."""
+        self._cancelled.set()
+
+    @property
+    def expired(self) -> bool:
+        if self._cancelled.is_set():
+            return True
+        return self.expires_at is not None and time.monotonic() >= self.expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (``None`` = unbounded, ``0.0`` = already over)."""
+        if self._cancelled.is_set():
+            return 0.0
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def elapsed(self) -> float:
+        """Seconds since the deadline was anchored."""
+        return time.monotonic() - self.started
+
+    # ------------------------------------------------------------------
+    # the checkpoint
+    # ------------------------------------------------------------------
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` if expired or cancelled."""
+        if self.expired:
+            raise DeadlineExceeded(stage, deadline=self)

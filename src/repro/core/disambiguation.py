@@ -40,10 +40,15 @@ from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.canopies import MentionGroup
 from repro.core.coherence import CandidateNode
+from repro.core.deadline import Deadline
 from repro.core.tree_cover import TreeCoverResult
 from repro.nlp.spans import Span, spans_overlap
 
 _Node = Union[Span, CandidateNode]
+
+# Edges of the greedy scan processed between cooperative-cancellation
+# checks (same discipline as the Kruskal loop of the tree-cover solve).
+CHECK_EVERY = 64
 
 
 @dataclass(frozen=True)
@@ -106,6 +111,7 @@ def disambiguate(
     groups: List[MentionGroup],
     prior_link_threshold: float = 1.0,
     extra_edges: Optional[List[Tuple[_Node, _Node, float]]] = None,
+    deadline: Optional[Deadline] = None,
 ) -> DisambiguationResult:
     """Run Algorithm 5 over the tree cover and the mention groups.
 
@@ -117,6 +123,12 @@ def disambiguate(
     mention.  The caller supplies them here because
     :class:`~repro.core.tree_cover.TreeCoverResult` materialises one
     representative tree per component.
+
+    With a *deadline*, the greedy edge scan checks the token every
+    :data:`CHECK_EVERY` edges and raises
+    :class:`~repro.core.deadline.DeadlineExceeded` on expiry — the
+    anytime framing of Pair-Linking: cutting collective disambiguation
+    short at a budget still leaves the prior-only answer usable.
     """
     span_to_group: Dict[Span, MentionGroup] = {}
     for group in groups:
@@ -141,6 +153,8 @@ def disambiguate(
     processed = 0
 
     for u, v, weight in edges:
+        if deadline is not None and processed % CHECK_EVERY == 0:
+            deadline.check("disambiguation")
         processed += 1
         if _touches_dead_mention(u, v, dead_mentions):
             continue  # pruning strategy 3 extended to candidate nodes

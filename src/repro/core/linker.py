@@ -21,6 +21,7 @@ from repro.core.candidates import CandidateGenerator, MentionCandidates
 from repro.core.canopies import Canopy, MentionGroup, build_mention_groups
 from repro.core.coherence import CandidateNode, CoherenceGraph, build_coherence_graph
 from repro.core.config import TenetConfig
+from repro.core.deadline import Deadline, DeadlineExceeded, PartialLinking
 from repro.core.disambiguation import DisambiguationResult, disambiguate
 from repro.core.result import Link, LinkingResult
 from repro.core.tree_cover import TreeCoverResult, derive_tree_cover
@@ -145,11 +146,19 @@ class TenetLinker:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def link(self, text: str) -> LinkingResult:
-        """Link one document end to end."""
-        return self.link_detailed(text).result
+    def link(self, text: str, deadline: Optional[Deadline] = None) -> LinkingResult:
+        """Link one document end to end.
 
-    def link_detailed(self, text: str) -> LinkingDiagnostics:
+        With a *deadline*, each stage boundary (and the inner loops of
+        the tree-cover solve and the greedy disambiguation) checks the
+        token and raises :class:`~repro.core.deadline.DeadlineExceeded`
+        carrying the salvageable partial artefacts.
+        """
+        return self.link_detailed(text, deadline=deadline).result
+
+    def link_detailed(
+        self, text: str, deadline: Optional[Deadline] = None
+    ) -> LinkingDiagnostics:
         """Link one document, returning every intermediate artefact.
 
         Per-stage wall-clock timings are recorded once here (and in
@@ -159,14 +168,27 @@ class TenetLinker:
         """
         timings: Dict[str, float] = {}
         started = time.perf_counter()
-        extraction = self.pipeline.extract(text)
-        timings["extract"] = time.perf_counter() - started
-        stage = time.perf_counter()
-        candidates = self.generator.generate(extraction)
-        timings["candidates"] = time.perf_counter() - stage
-        diagnostics = self._link_candidates(
-            extraction, candidates, timings=timings
-        )
+        extraction: Optional[DocumentExtraction] = None
+        candidates: Optional[MentionCandidates] = None
+        try:
+            if deadline is not None:
+                deadline.check("extract")
+            extraction = self.pipeline.extract(text)
+            timings["extract"] = time.perf_counter() - started
+            if deadline is not None:
+                deadline.check("candidates")
+            stage = time.perf_counter()
+            candidates = self.generator.generate(extraction)
+            timings["candidates"] = time.perf_counter() - stage
+            diagnostics = self._link_candidates(
+                extraction, candidates, timings=timings, deadline=deadline
+            )
+        except DeadlineExceeded as exc:
+            # Attach whatever is salvageable so the caller can build a
+            # degraded answer without recomputing the finished stages.
+            if exc.partial is None:
+                exc.partial = PartialLinking(extraction, candidates, dict(timings))
+            raise
         diagnostics.elapsed_seconds = time.perf_counter() - started
         timings["total"] = diagnostics.elapsed_seconds
         diagnostics.stage_seconds = timings
@@ -189,6 +211,24 @@ class TenetLinker:
         stage = time.perf_counter()
         candidates = self.generator.generate(extraction)
         timings["candidates"] = time.perf_counter() - stage
+        result = self.prior_only_from_candidates(candidates, timings=timings)
+        result.stage_seconds["total"] = time.perf_counter() - started
+        return result
+
+    def prior_only_from_candidates(
+        self,
+        candidates: MentionCandidates,
+        timings: Optional[Dict[str, float]] = None,
+    ) -> LinkingResult:
+        """The prior-only answer for already-generated *candidates*.
+
+        This is the tail of :meth:`link_prior_only` split out so a
+        cancelled full run can be degraded from its partial state — the
+        extraction and candidate generation it already paid for are
+        reused instead of recomputed.  Given the same candidates, the
+        links are identical to :meth:`link_prior_only`'s.
+        """
+        timings = {} if timings is None else dict(timings)
         stage = time.perf_counter()
         result = LinkingResult()
         for mention, hits in candidates.by_mention.items():
@@ -207,7 +247,6 @@ class TenetLinker:
         result.relation_links.sort(key=lambda l: l.span.token_start)
         result.non_linkable.sort(key=lambda s: s.token_start)
         timings["prior_only"] = time.perf_counter() - stage
-        timings["total"] = time.perf_counter() - started
         result.stage_seconds = timings
         return result
 
@@ -306,9 +345,12 @@ class TenetLinker:
         extraction: DocumentExtraction,
         candidates: MentionCandidates,
         timings: Optional[Dict[str, float]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> LinkingDiagnostics:
         if timings is None:
             timings = {}
+        if deadline is not None:
+            deadline.check("coherence")
         stage = time.perf_counter()
         # No pair-cache precompute here: build_coherence_graph consumes
         # the batched similarity matrix directly, so filling the scalar
@@ -325,9 +367,15 @@ class TenetLinker:
             similarity_mode=self.config.coherence_similarity_mode,
         )
         timings["coherence"] = time.perf_counter() - stage
+        if deadline is not None:
+            deadline.check("tree_cover")
         stage = time.perf_counter()
-        cover = derive_tree_cover(coherence, self.config.tree_weight_bound)
+        cover = derive_tree_cover(
+            coherence, self.config.tree_weight_bound, deadline=deadline
+        )
         timings["tree_cover"] = time.perf_counter() - stage
+        if deadline is not None:
+            deadline.check("grouping")
         stage = time.perf_counter()
         if self.config.use_canopies:
             groups = build_mention_groups(
@@ -347,12 +395,15 @@ class TenetLinker:
                 )
             ]
         timings["grouping"] = time.perf_counter() - stage
+        if deadline is not None:
+            deadline.check("disambiguation")
         stage = time.perf_counter()
         disambiguation = disambiguate(
             cover,
             groups,
             self.config.prior_link_threshold,
             extra_edges=self._shared_edges(coherence, cover.bound),
+            deadline=deadline,
         )
         timings["disambiguation"] = time.perf_counter() - stage
         result = self._to_result(disambiguation, candidates)

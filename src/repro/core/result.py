@@ -42,6 +42,11 @@ class LinkingResult:
     # /metrics endpoint report from one source of truth.  Excluded from
     # equality: two runs of the same document are the same result.
     stage_seconds: Dict[str, float] = field(default_factory=dict, compare=False)
+    # For a degraded (prior-only) result built after a cooperative
+    # cancellation: the pipeline stage whose checkpoint tripped.  Like
+    # the timings it is run metadata, not part of the linking answer, so
+    # it is excluded from equality and from the deterministic payload.
+    aborted_stage: Optional[str] = field(default=None, compare=False)
 
     @property
     def links(self) -> List[Link]:
@@ -109,6 +114,8 @@ class LinkingResult:
         }
         if include_timings and self.stage_seconds:
             payload["timings"] = dict(self.stage_seconds)
+        if include_timings and self.aborted_stage is not None:
+            payload["aborted_stage"] = self.aborted_stage
         return payload
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

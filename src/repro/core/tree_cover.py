@@ -27,9 +27,10 @@ the binary search (:func:`minimal_feasible_bound`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.coherence import CandidateNode, CoherenceGraph
+from repro.core.deadline import Deadline
 from repro.core.splitting import split_tree
 from repro.graph.matching import hopcroft_karp
 from repro.graph.mst import minimum_spanning_forest
@@ -109,16 +110,23 @@ class CoverStatistics:
 
 
 def derive_tree_cover(
-    coherence: CoherenceGraph, bound: Optional[float] = None
+    coherence: CoherenceGraph,
+    bound: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
 ) -> TreeCoverResult:
     """Run Algorithm 1 on *coherence* with bound B.
 
-    ``bound=None`` applies the paper's default B = |M|.
+    ``bound=None`` applies the paper's default B = |M|.  With a
+    *deadline*, the Kruskal edge loop and the per-mention shortest-path
+    sweep of step (f) — the two loops that dominate the solve — check
+    the token cooperatively and raise
+    :class:`~repro.core.deadline.DeadlineExceeded` on expiry.
     """
     if bound is None:
         bound = float(max(len(coherence.mentions), 1))
     if bound <= 0:
         raise ValueError(f"bound must be positive, got {bound}")
+    check = None if deadline is None else (lambda: deadline.check("tree_cover"))
 
     # Step (a): edge pruning.
     pruned = coherence.graph.pruned(bound)
@@ -130,7 +138,7 @@ def derive_tree_cover(
     # candidate nodes whose every edge was pruned — that is a failure
     # (the node could never be covered within B), matching the paper's
     # "B is too small" warning for disconnected graphs.
-    mst = minimum_spanning_forest(contracted)
+    mst = minimum_spanning_forest(contracted, check=check)
     if contracted.node_count > 0 and mst.edge_count != contracted.node_count - 1:
         raise BoundTooSmallError(
             f"contracted coherence graph is disconnected at B={bound}"
@@ -151,7 +159,7 @@ def derive_tree_cover(
         return TreeCoverResult(trees, bound, 0)
 
     # Step (f): maximum matching of subtrees to mentions.
-    _attach_subtrees(coherence, pruned, trees, leftover_subtrees, bound)
+    _attach_subtrees(coherence, pruned, trees, leftover_subtrees, bound, check)
     return TreeCoverResult(trees, bound, len(leftover_subtrees))
 
 
@@ -237,12 +245,15 @@ def _attach_subtrees(
     trees: Dict[Span, RootedTree],
     subtrees: List[RootedTree],
     bound: float,
+    check: Optional[Callable[[], None]] = None,
 ) -> None:
     """Step (f): match subtrees to mentions and graft them via shortest paths."""
     eligibility: Dict[int, List[Span]] = {idx: [] for idx in range(len(subtrees))}
     paths: Dict[Tuple[int, Span], List] = {}
     subtree_node_sets = [subtree.node_set() for subtree in subtrees]
     for mention in coherence.mentions:
+        if check is not None:
+            check()
         if mention not in pruned:
             continue
         distances, predecessors = dijkstra(pruned, mention, max_distance=bound)

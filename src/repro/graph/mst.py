@@ -9,10 +9,16 @@ edge ordering drives the greedy disambiguation of Algorithm 5.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.graph.union_find import UnionFind
 from repro.graph.weighted_graph import Node, WeightedGraph
+
+# How many Kruskal edges are processed between cooperative-cancellation
+# checks.  Cheap enough to be invisible, frequent enough that a
+# cancelled request releases its worker within milliseconds even on
+# dense contracted graphs.
+CHECK_EVERY = 256
 
 
 def sorted_edges(graph: WeightedGraph) -> List[Tuple[Node, Node, float]]:
@@ -40,13 +46,23 @@ def kruskal_mst(graph: WeightedGraph) -> WeightedGraph:
     return forest
 
 
-def minimum_spanning_forest(graph: WeightedGraph) -> WeightedGraph:
-    """Minimum spanning forest (one tree per connected component)."""
+def minimum_spanning_forest(
+    graph: WeightedGraph, check: Optional[Callable[[], None]] = None
+) -> WeightedGraph:
+    """Minimum spanning forest (one tree per connected component).
+
+    *check*, when given, is invoked every :data:`CHECK_EVERY` edges of
+    the Kruskal loop; raising from it aborts the solve (the graph layer
+    stays agnostic of what a deadline is — callers pass e.g.
+    ``lambda: deadline.check("tree_cover")``).
+    """
     forest = WeightedGraph()
     for node in graph.nodes():
         forest.add_node(node)
     uf = UnionFind(graph.nodes())
-    for u, v, w in sorted_edges(graph):
+    for index, (u, v, w) in enumerate(sorted_edges(graph)):
+        if check is not None and index % CHECK_EVERY == 0:
+            check()
         if uf.union(u, v):
             forest.add_edge(u, v, w)
     return forest

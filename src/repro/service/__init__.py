@@ -8,8 +8,9 @@ graceful degradation, process metrics, and a stdlib-only JSON-over-HTTP
 server (``tenet-repro serve``).
 """
 
+from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
-from repro.service.engine import LinkingService, ServiceConfig
+from repro.service.engine import LinkingService, ServiceClosedError, ServiceConfig
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.schema import (
     BatchLinkRequest,
@@ -24,6 +25,8 @@ from repro.service.server import LinkingHTTPServer, create_server
 __all__ = [
     "BatchLinkRequest",
     "BatchLinkResponse",
+    "Deadline",
+    "DeadlineExceeded",
     "LatencyHistogram",
     "LinkerCacheConfig",
     "LinkerCaches",
@@ -33,6 +36,7 @@ __all__ = [
     "LinkResponse",
     "MetricsRegistry",
     "SchemaError",
+    "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
     "attach_caches",

@@ -7,16 +7,26 @@ the document (the caches are idempotent memos), so N threads produce
 results identical to sequential calls — the property the parity tests
 pin down.
 
+Deadlines are cooperative: every request gets one
+:class:`~repro.core.deadline.Deadline` anchored at submission, and the
+worker carries it through the pipeline, which checks the token at each
+stage boundary (plus the tree-cover and disambiguation inner loops).  A
+request that crosses its deadline therefore *releases its worker within
+one checkpoint interval* instead of grinding the full pipeline to
+completion with nobody waiting — the failure mode where a burst of slow
+documents silently eats the whole pool.  The degraded answer is built
+from whatever partial state the aborted run salvaged (candidates
+already generated are not recomputed) and is identical to
+``link_prior_only`` output for the same document.
+
 Request paths:
 
 * :meth:`link` — synchronous, enforces the per-request deadline and
-  degrades gracefully: on timeout the caller gets the fast prior-only
-  fallback (marked ``degraded``) instead of an error, while the worker
-  finishes in the background and warms the caches for the next hit.
-* :meth:`submit` — fire-and-collect future for callers managing their
-  own deadlines.
+  degrades gracefully instead of erroring.
+* :meth:`submit` — fire-and-collect future; the deadline still travels
+  with the worker (cooperative only — nobody force-collects).
 * :meth:`link_batch` — one micro-batch through the pool, responses in
-  request order.
+  request order, every deadline anchored at submission.
 * :meth:`enqueue` — hands the request to the :class:`MicroBatcher`,
   which coalesces queued singles into batches (size- or delay-bound)
   before dispatch; useful for high-QPS callers that want batching
@@ -28,12 +38,13 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.core.config import TenetConfig
+from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.core.linker import LinkingContext, TenetLinker
 from repro.core.result import LinkingResult
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
@@ -47,6 +58,10 @@ from repro.service.schema import (
 )
 
 
+class ServiceClosedError(RuntimeError):
+    """A request reached a component that has already been shut down."""
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Knobs of the serving engine."""
@@ -55,6 +70,11 @@ class ServiceConfig:
     default_timeout_seconds: Optional[float] = None
     batch_max_size: int = 16
     batch_max_delay_seconds: float = 0.005
+    # After a deadline expires, how long the waiting caller gives the
+    # cancelled worker to deliver its partial-based degraded response
+    # before degrading caller-side (covers workers parked between two
+    # checkpoints).  One stage-checkpoint interval is plenty.
+    cancel_grace_seconds: float = 0.1
     cache: LinkerCacheConfig = field(default_factory=LinkerCacheConfig)
 
     def __post_init__(self) -> None:
@@ -64,6 +84,8 @@ class ServiceConfig:
             raise ValueError(f"batch_max_size must be >= 1, got {self.batch_max_size}")
         if self.batch_max_delay_seconds < 0:
             raise ValueError("batch_max_delay_seconds must be >= 0")
+        if self.cancel_grace_seconds < 0:
+            raise ValueError("cancel_grace_seconds must be >= 0")
         if (
             self.default_timeout_seconds is not None
             and self.default_timeout_seconds < 0
@@ -84,6 +106,8 @@ class LinkingService:
         self.caches = LinkerCaches(config.cache)
         self.linker = attach_caches(TenetLinker(context, linker_config), self.caches)
         self.metrics = MetricsRegistry()
+        self.metrics.set_gauge("pool.worker_count", config.workers)
+        self.metrics.set_gauge("pool.active_workers", 0)
         self._pool = ThreadPoolExecutor(
             max_workers=config.workers, thread_name_prefix="tenet-link"
         )
@@ -97,66 +121,89 @@ class LinkingService:
     # ------------------------------------------------------------------
     # request paths
     # ------------------------------------------------------------------
-    def handle(self, request: LinkRequest) -> LinkResponse:
-        """Link one request in the calling thread (no deadline).
+    def handle(
+        self, request: LinkRequest, deadline: Optional[Deadline] = None
+    ) -> LinkResponse:
+        """Link one request in the calling thread.
 
         Never raises: failures come back as an ``error`` envelope so one
-        poisonous document cannot take down a worker or a batch.
+        poisonous document cannot take down a worker or a batch, and a
+        tripped *deadline* comes back as the degraded prior-only answer
+        built from the aborted run's partial state.
         """
         started = time.perf_counter()
         self.metrics.incr("requests.total")
+        active = self.metrics.add_gauge("pool.active_workers", 1)
+        self.metrics.set_gauge(
+            "pool.saturation", min(1.0, active / self.config.workers)
+        )
         try:
-            result = self.linker.link(request.text)
-        except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
-            self.metrics.incr("requests.errors")
-            return LinkResponse(
-                request_id=request.request_id,
-                elapsed_seconds=time.perf_counter() - started,
-                error=ServiceError("internal", f"{type(exc).__name__}: {exc}"),
+            try:
+                result = self.linker.link(request.text, deadline=deadline)
+            except DeadlineExceeded as exc:
+                return self._respond_cancelled(request, exc, started)
+            except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
+                self.metrics.incr("requests.errors")
+                return LinkResponse(
+                    request_id=request.request_id,
+                    elapsed_seconds=time.perf_counter() - started,
+                    error=ServiceError("internal", f"{type(exc).__name__}: {exc}"),
+                )
+            return self._respond(
+                request, result, time.perf_counter() - started, degraded=False
             )
-        return self._respond(request, result, started, degraded=False)
+        finally:
+            active = self.metrics.add_gauge("pool.active_workers", -1)
+            self.metrics.set_gauge(
+                "pool.saturation", min(1.0, max(0.0, active) / self.config.workers)
+            )
 
     def link(self, request: LinkRequest) -> LinkResponse:
         """Link with the per-request deadline and graceful degradation."""
-        started = time.perf_counter()
-        timeout = (
-            request.timeout_seconds
-            if request.timeout_seconds is not None
-            else self.config.default_timeout_seconds
-        )
-        future = self._pool.submit(self.handle, request)
-        try:
-            return future.result(timeout)
-        except FutureTimeoutError:
-            future.cancel()
-            return self._degrade(request, started)
+        deadline = Deadline.after(self._timeout_for(request))
+        future = self._pool.submit(self.handle, request, deadline)
+        return self._await(request, deadline, future)
 
-    def submit(self, request: LinkRequest) -> "Future[LinkResponse]":
-        """Asynchronous variant: a future of the (deadline-free) response."""
-        return self._pool.submit(self.handle, request)
+    def submit(
+        self, request: LinkRequest, deadline: Optional[Deadline] = None
+    ) -> "Future[LinkResponse]":
+        """Asynchronous variant: a future of the response.
+
+        The request's deadline (anchored here, at submission) rides
+        along and is enforced cooperatively by the worker itself — when
+        it trips, the future resolves with the degraded response.  No
+        caller-side wall-clock guard is applied; callers managing their
+        own deadlines can pass ``deadline`` explicitly or cancel it.
+        """
+        if deadline is None:
+            deadline = Deadline.after(self._timeout_for(request))
+        return self._pool.submit(self.handle, request, deadline)
 
     def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
         """Queue for micro-batched dispatch (see :class:`MicroBatcher`)."""
         return self._batcher.enqueue(request)
 
     def link_batch(self, batch: BatchLinkRequest) -> BatchLinkResponse:
-        """Link one explicit batch; responses keep the request order."""
+        """Link one explicit batch; responses keep the request order.
+
+        Every request's deadline is anchored *here*, when its work is
+        submitted to the pool — not when its turn comes in the collection
+        loop — so request *i* gets its own wall-clock window rather than
+        ``timeout + sum(earlier waits)``, and the ``elapsed_seconds`` of
+        a degraded response measures from submission.
+        """
         self.metrics.incr("requests.batches")
         self.metrics.incr("requests.batched_documents", len(batch.requests))
-        futures = [self._pool.submit(self.handle, r) for r in batch.requests]
-        responses: List[LinkResponse] = []
-        for request, future in zip(batch.requests, futures):
-            started = time.perf_counter()
-            timeout = (
-                request.timeout_seconds
-                if request.timeout_seconds is not None
-                else self.config.default_timeout_seconds
+        jobs = []
+        for request in batch.requests:
+            deadline = Deadline.after(self._timeout_for(request))
+            jobs.append(
+                (request, deadline, self._pool.submit(self.handle, request, deadline))
             )
-            try:
-                responses.append(future.result(timeout))
-            except FutureTimeoutError:
-                future.cancel()
-                responses.append(self._degrade(request, started))
+        responses = [
+            self._await(request, deadline, future)
+            for request, deadline, future in jobs
+        ]
         return BatchLinkResponse(tuple(responses))
 
     def link_text(self, text: str) -> LinkingResult:
@@ -175,6 +222,7 @@ class LinkingService:
             "default_timeout_seconds": self.config.default_timeout_seconds,
             "batch_max_size": self.config.batch_max_size,
             "batch_max_delay_seconds": self.config.batch_max_delay_seconds,
+            "cancel_grace_seconds": self.config.cancel_grace_seconds,
             "cache_enabled": self.caches.enabled,
         }
         return payload
@@ -195,16 +243,52 @@ class LinkingService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _timeout_for(self, request: LinkRequest) -> Optional[float]:
+        return (
+            request.timeout_seconds
+            if request.timeout_seconds is not None
+            else self.config.default_timeout_seconds
+        )
+
+    def _await(
+        self,
+        request: LinkRequest,
+        deadline: Deadline,
+        future: "Future[LinkResponse]",
+    ) -> LinkResponse:
+        """Collect one pooled response, enforcing *deadline* wall-clock.
+
+        The fast path is the worker's own cooperative abort: it notices
+        the expiry at a checkpoint and resolves the future with the
+        partial-based degraded response.  The caller only steps in when
+        the worker is parked between checkpoints (grace expired) or the
+        request never left the queue (future cancelled) — then the
+        degraded answer is computed caller-side.
+        """
+        try:
+            return future.result(deadline.remaining())
+        except FutureTimeoutError:
+            deadline.cancel()
+            if not future.cancel():
+                # The worker is running; give it one checkpoint interval
+                # to deliver the cheaper partial-based degraded response.
+                try:
+                    return future.result(self.config.cancel_grace_seconds)
+                except FutureTimeoutError:
+                    self.metrics.incr("requests.abandoned")
+        except CancelledError:
+            pass
+        return self._degrade(request, deadline)
+
     def _respond(
         self,
         request: LinkRequest,
         result: LinkingResult,
-        started: float,
+        elapsed: float,
         degraded: bool,
     ) -> LinkResponse:
         timings = dict(result.stage_seconds)
         self.metrics.observe_stages(timings)
-        elapsed = time.perf_counter() - started
         self.metrics.observe("latency.link", elapsed)
         if degraded:
             self.metrics.incr("requests.degraded")
@@ -216,10 +300,49 @@ class LinkingService:
             degraded=degraded,
             elapsed_seconds=elapsed,
             timings=timings,
+            aborted_stage=result.aborted_stage,
         )
 
-    def _degrade(self, request: LinkRequest, started: float) -> LinkResponse:
-        """Deadline exceeded: answer from the prior-only fast path."""
+    def _respond_cancelled(
+        self, request: LinkRequest, exc: DeadlineExceeded, started: float
+    ) -> LinkResponse:
+        """Worker-side abort: degrade from the run's salvaged partials."""
+        self.metrics.incr("requests.cancelled")
+        self.metrics.incr(f"stage.{exc.stage}.aborted")
+        partial = exc.partial
+        try:
+            if partial is not None and partial.candidates is not None:
+                # Candidates survived the abort: the prior-only answer
+                # needs no recomputation of extraction or generation.
+                result = self.linker.prior_only_from_candidates(
+                    partial.candidates, timings=partial.stage_seconds
+                )
+            else:
+                result = self.linker.link_prior_only(request.text)
+        except Exception as fallback_exc:  # noqa: BLE001 - last resort envelope
+            self.metrics.incr("requests.errors")
+            return LinkResponse(
+                request_id=request.request_id,
+                elapsed_seconds=time.perf_counter() - started,
+                degraded=True,
+                error=ServiceError(
+                    "timeout", f"{type(fallback_exc).__name__}: {fallback_exc}"
+                ),
+            )
+        result.aborted_stage = exc.stage
+        return self._respond(
+            request, result, time.perf_counter() - started, degraded=True
+        )
+
+    def _degrade(self, request: LinkRequest, deadline: Deadline) -> LinkResponse:
+        """Caller-side fallback: the worker never produced a response.
+
+        Either the request never left the queue (its future was
+        cancelled) or the worker blew through the cancellation grace;
+        answer from the prior-only fast path in the calling thread.
+        ``elapsed_seconds`` measures from the deadline's anchor — the
+        moment the request was submitted.
+        """
         self.metrics.incr("requests.timeouts")
         try:
             result = self.linker.link_prior_only(request.text)
@@ -227,11 +350,11 @@ class LinkingService:
             self.metrics.incr("requests.errors")
             return LinkResponse(
                 request_id=request.request_id,
-                elapsed_seconds=time.perf_counter() - started,
+                elapsed_seconds=deadline.elapsed(),
                 degraded=True,
                 error=ServiceError("timeout", f"{type(exc).__name__}: {exc}"),
             )
-        return self._respond(request, result, started, degraded=True)
+        return self._respond(request, result, deadline.elapsed(), degraded=True)
 
 
 class _QueuedRequest:
@@ -253,6 +376,13 @@ class MicroBatcher:
     latency/throughput trade of serving systems.  Each batch is then
     fanned out to the service's worker pool and every caller's future is
     resolved with its own response.
+
+    ``enqueue`` and ``close`` share one lock so the shutdown sentinel is
+    always the *last* item the dispatch loop sees: an enqueue that has
+    passed the closed check cannot slip its item in behind the sentinel
+    and leave the caller's future forever unresolved.  As a second line
+    of defence the loop drains stragglers after the sentinel anyway,
+    failing them with :class:`ServiceClosedError`.
     """
 
     def __init__(
@@ -265,6 +395,7 @@ class MicroBatcher:
         self.max_size = max_size
         self.max_delay_seconds = max_delay_seconds
         self._queue: "queue.Queue[Optional[_QueuedRequest]]" = queue.Queue()
+        self._lock = threading.Lock()
         self._closed = False
         self._thread = threading.Thread(
             target=self._dispatch_loop, name="tenet-batcher", daemon=True
@@ -272,17 +403,19 @@ class MicroBatcher:
         self._thread.start()
 
     def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
-        if self._closed:
-            raise RuntimeError("MicroBatcher is closed")
         item = _QueuedRequest(request)
-        self._queue.put(item)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("MicroBatcher is closed")
+            self._queue.put(item)
         return item.future
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        self._queue.put(None)
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queue.put(None)
         self._thread.join(timeout=5.0)
 
     # ------------------------------------------------------------------
@@ -290,6 +423,7 @@ class MicroBatcher:
         while True:
             item = self._queue.get()
             if item is None:
+                self._drain_after_close()
                 return
             batch = [item]
             deadline = time.monotonic() + self.max_delay_seconds
@@ -303,9 +437,27 @@ class MicroBatcher:
                     break
                 if extra is None:
                     self._dispatch(batch)
+                    self._drain_after_close()
                     return
                 batch.append(extra)
             self._dispatch(batch)
+
+    def _drain_after_close(self) -> None:
+        """Resolve anything found behind the shutdown sentinel.
+
+        With the shared enqueue/close lock this is unreachable in
+        practice, but a straggler must never be left with a pending
+        future — fail it with the typed shutdown error instead.
+        """
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is not None and item.future.set_running_or_notify_cancel():
+                item.future.set_exception(
+                    ServiceClosedError("MicroBatcher closed before dispatch")
+                )
 
     def _dispatch(self, batch: List[_QueuedRequest]) -> None:
         self._service.metrics.incr("batcher.batches")
@@ -318,6 +470,8 @@ class MicroBatcher:
 
 def _chain_future(target: "Future[LinkResponse]"):
     def _copy(source: "Future[LinkResponse]") -> None:
+        if not target.set_running_or_notify_cancel():
+            return
         exc = source.exception()
         if exc is not None:
             target.set_exception(exc)

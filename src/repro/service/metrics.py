@@ -74,11 +74,12 @@ class LatencyHistogram:
 
 
 class MetricsRegistry:
-    """Named counters + latency histograms behind one lock."""
+    """Named counters, gauges, + latency histograms behind one lock."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, LatencyHistogram] = {}
 
     def incr(self, name: str, value: int = 1) -> None:
@@ -88,6 +89,22 @@ class MetricsRegistry:
     def counter(self, name: str) -> int:
         with self._lock:
             return self._counters.get(name, 0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set an instantaneous value (e.g. active workers right now)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def add_gauge(self, name: str, delta: float) -> float:
+        """Adjust a gauge by *delta*, returning the new value."""
+        with self._lock:
+            value = self._gauges.get(name, 0) + delta
+            self._gauges[name] = value
+            return value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
 
     def observe(self, name: str, seconds: float) -> None:
         with self._lock:
@@ -105,6 +122,7 @@ class MetricsRegistry:
         with self._lock:
             return {
                 "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
                 "latencies": {
                     name: histogram.snapshot()
                     for name, histogram in sorted(self._histograms.items())

@@ -107,7 +107,10 @@ class LinkResponse:
 
     ``result`` is the deterministic ``LinkingResult.to_json`` payload
     (timings stripped); ``degraded`` marks a deadline-exceeded request
-    answered by the prior-only fallback; ``error`` is set (and
+    answered by the prior-only fallback; ``aborted_stage`` names the
+    pipeline checkpoint where a cooperative cancellation tripped (only
+    on worker-side aborts — ``None`` when the degraded answer was built
+    caller-side or the request completed); ``error`` is set (and
     ``result`` is None) only when linking failed outright.
     """
 
@@ -116,6 +119,7 @@ class LinkResponse:
     degraded: bool = False
     elapsed_seconds: float = 0.0
     timings: Dict[str, float] = field(default_factory=dict)
+    aborted_stage: Optional[str] = None
     error: Optional[ServiceError] = None
 
     @property
@@ -131,6 +135,8 @@ class LinkResponse:
         }
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.aborted_stage is not None:
+            payload["aborted_stage"] = self.aborted_stage
         if self.error is not None:
             payload["error"] = self.error.to_json()
         return payload
@@ -140,15 +146,27 @@ class LinkResponse:
         _require(
             payload,
             "LinkResponse",
-            ("result", "degraded", "elapsed_seconds", "timings", "request_id", "error"),
+            (
+                "result",
+                "degraded",
+                "elapsed_seconds",
+                "timings",
+                "request_id",
+                "aborted_stage",
+                "error",
+            ),
         )
         error = payload.get("error")
+        aborted_stage = payload.get("aborted_stage")
+        if aborted_stage is not None and not isinstance(aborted_stage, str):
+            raise SchemaError("LinkResponse.aborted_stage must be a string")
         return cls(
             result=payload.get("result"),
             request_id=payload.get("request_id"),
             degraded=bool(payload.get("degraded", False)),
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             timings=dict(payload.get("timings", {})),
+            aborted_stage=aborted_stage,
             error=ServiceError.from_json(error) if error is not None else None,
         )
 

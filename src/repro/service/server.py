@@ -99,29 +99,55 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _read_json(self) -> Optional[Dict[str, Any]]:
         length = int(self.headers.get("Content-Length", 0) or 0)
+        # The early 400s below answer *without* reading the declared
+        # body.  On an HTTP/1.1 keep-alive connection those unread bytes
+        # would be parsed as the next request line, poisoning every
+        # subsequent exchange — so these paths close the connection.
         if length <= 0:
-            self._send_error(400, "bad_request", "empty request body")
+            self._send_error(400, "bad_request", "empty request body", close=True)
             return None
         if length > MAX_BODY_BYTES:
-            self._send_error(400, "bad_request", "request body too large")
+            self._send_error(400, "bad_request", "request body too large", close=True)
             return None
         body = self.rfile.read(length)
         try:
-            return json.loads(body)
+            payload = json.loads(body)
         except json.JSONDecodeError as exc:
             self._send_error(400, "bad_request", f"invalid JSON: {exc}")
             return None
+        # Reject non-object top levels here with one uniform envelope,
+        # before the typed from_json parsers ever see the payload.
+        if not isinstance(payload, dict):
+            self._send_error(
+                400,
+                "bad_request",
+                "request body must be a JSON object, "
+                f"got {type(payload).__name__}",
+            )
+            return None
+        return payload
 
-    def _send(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send(
+        self, status: int, payload: Dict[str, Any], close: bool = False
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if close:
+            # send_header("Connection", "close") also flips
+            # self.close_connection, so the handler loop stops reusing
+            # this socket after the response is written.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, status: int, code: str, message: str) -> None:
-        self._send(status, {"error": ServiceError(code, message).to_json()})
+    def _send_error(
+        self, status: int, code: str, message: str, close: bool = False
+    ) -> None:
+        self._send(
+            status, {"error": ServiceError(code, message).to_json()}, close=close
+        )
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         # Request logging goes through the service metrics, not stderr;

@@ -25,6 +25,8 @@ def cli_report_path(tmp_path_factory):
             "0",
             "--workers",
             "2",
+            "--deadline",
+            "30",
             "--label",
             "cli-test",
             "--output",
@@ -44,6 +46,16 @@ class TestBenchRun:
     def test_scales_flag_respected(self, cli_report_path):
         payload = json.loads(cli_report_path.read_text())
         assert [entry["scale"] for entry in payload["scales"]] == [0.05]
+
+    def test_deadline_flag_records_block(self, cli_report_path):
+        payload = json.loads(cli_report_path.read_text())
+        block = payload["deadline"]
+        assert block is not None
+        assert block["deadline_seconds"] == 30.0
+        assert payload["config"]["deadline_seconds"] == 30.0
+        # A 30s budget on the micro corpus: nothing degrades.
+        assert block["completed"] == block["documents"]
+        assert block["degraded"] == 0 and block["cancelled"] == 0
 
     def test_bad_scales_flag_errors(self, tmp_path, capsys):
         rc = main(["bench", "--scales", "fast,slow"])

@@ -27,6 +27,10 @@ class TestBenchConfig:
         with pytest.raises(ValueError):
             BenchConfig(repeats=0)
 
+    def test_rejects_nonpositive_deadline(self):
+        with pytest.raises(ValueError):
+            BenchConfig(deadline_seconds=0.0)
+
 
 class TestReportShape:
     def test_json_serializable(self, micro_report):
@@ -80,6 +84,50 @@ class TestReportShape:
         assert "alias_fuzzy" in caches
         assert "similarity_batch" in caches
         assert caches["similarity_batch"]["batch_calls"] > 0
+
+
+class TestDeadlineMode:
+    def test_absent_without_flag(self, micro_report):
+        # The micro fixture runs without --deadline: the block is null
+        # and the config records the absence.
+        assert micro_report["deadline"] is None
+        assert micro_report["config"]["deadline_seconds"] is None
+
+    def test_generous_deadline_completes_everything(self, suite, suite_context):
+        from repro.bench.harness import _deadline_mode
+        from repro.core.config import TenetConfig
+
+        texts = [doc.text for doc in suite.kore50.documents[:3]]
+        block = _deadline_mode(
+            suite_context, TenetConfig(), 0.15, texts, 2, 30.0
+        )
+        assert block["completed"] == 3
+        assert block["degraded"] == 0
+        assert block["errors"] == 0
+        assert block["cancelled"] == 0
+        assert block["completed_latency"]["count"] == 3
+        assert block["degraded_latency"] is None
+
+    def test_tight_deadline_degrades_and_counts_aborts(
+        self, suite, suite_context
+    ):
+        from repro.bench.harness import _deadline_mode
+        from repro.core.config import TenetConfig
+
+        texts = [doc.text for doc in suite.kore50.documents[:3]]
+        # An already-expired budget: every request aborts cooperatively
+        # (usually at the first checkpoint) and degrades.
+        block = _deadline_mode(
+            suite_context, TenetConfig(), 0.15, texts, 2, 1e-4
+        )
+        assert block["completed"] == 0
+        assert block["degraded"] == 3
+        assert block["errors"] == 0
+        assert block["degraded_latency"]["count"] == 3
+        # Each degraded request was either answered by its cancelled
+        # worker or degraded caller-side after the grace.
+        assert block["cancelled"] + block["timeouts"] >= 3
+        assert sum(block["aborted_stages"].values()) == block["cancelled"]
 
 
 class TestNaming:

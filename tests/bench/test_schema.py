@@ -68,3 +68,30 @@ class TestValidateReport:
         tampered = dict(micro_report)
         del tampered["env"]
         assert any("env" in p for p in validate_report(tampered))
+
+    def test_valid_deadline_block_accepted(self, micro_report):
+        report = dict(micro_report)
+        report["deadline"] = {
+            "scale": 0.05,
+            "documents": 4,
+            "workers": 2,
+            "deadline_seconds": 0.05,
+            "wall_seconds": 0.4,
+            "completed": 1,
+            "degraded": 3,
+            "errors": 0,
+            "cancelled": 3,
+            "timeouts": 0,
+            "abandoned": 0,
+            "aborted_stages": {"coherence": 2, "disambiguation": 1},
+            "degraded_latency": summarize([0.06, 0.07, 0.08]),
+            "completed_latency": None,
+        }
+        assert validate_report(report) == []
+
+    def test_malformed_deadline_block_rejected(self, micro_report):
+        report = dict(micro_report)
+        report["deadline"] = {"documents": 4}
+        problems = validate_report(report)
+        assert any("deadline_seconds" in p for p in problems)
+        assert any("aborted_stages" in p for p in problems)

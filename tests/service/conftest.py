@@ -1,0 +1,16 @@
+"""Service-test fixtures.
+
+``TENET_TEST_WORKERS`` scales the worker pools used by the service
+tests so CI can re-run the suite under real contention (workers=8)
+without editing any test.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def service_workers() -> int:
+    """Worker-pool size for service tests (default 4)."""
+    return int(os.environ.get("TENET_TEST_WORKERS", "4"))

@@ -91,6 +91,53 @@ class TestLRUCache:
         assert not errors
         assert len(cache) <= 64
 
+    def test_concurrent_snapshot_is_never_torn(self):
+        # The snapshot must be one consistent state of the counters: its
+        # hit_rate always recomputes from its own hits/misses, even while
+        # workers are mutating the stats (the old implementation read the
+        # stats outside the lock and could report a torn triple).
+        cache = LRUCache(8)
+        cache.put("hot", 1)
+        stop = threading.Event()
+        errors = []
+        rounds = [0] * 4
+
+        def churn(base):
+            i = 0
+            while not stop.is_set():
+                cache.get("hot")
+                cache.get(("miss", base, i))
+                i += 1
+            rounds[base] = i
+
+        def observer():
+            try:
+                while not stop.is_set():
+                    snap = cache.snapshot()
+                    lookups = snap["hits"] + snap["misses"]
+                    expected = (
+                        round(snap["hits"] / lookups, 4) if lookups else 0.0
+                    )
+                    assert snap["hit_rate"] == expected
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn, args=(n,)) for n in range(4)]
+        threads += [threading.Thread(target=observer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        threading.Event().wait(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not errors
+        # After the churn quiesces the counters balance exactly: every
+        # round was one hit on "hot" plus one unique-key miss (plain
+        # ``get`` never inserts, so "hot" is never evicted).
+        final = cache.snapshot()
+        assert final["hits"] == sum(rounds)
+        assert final["misses"] == sum(rounds)
+
 
 class TestCandidateGeneratorCache:
     def test_cached_matches_uncached(self, context, tenet):

@@ -25,8 +25,10 @@ def sequential_payloads(suite_context, documents):
 
 
 @pytest.fixture()
-def service(suite_context):
-    with LinkingService(suite_context, ServiceConfig(workers=4)) as svc:
+def service(suite_context, service_workers):
+    with LinkingService(
+        suite_context, ServiceConfig(workers=service_workers)
+    ) as svc:
         yield svc
 
 
@@ -123,7 +125,7 @@ class TestDegradation:
 
     def test_handle_wraps_errors(self, suite_context, monkeypatch):
         with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
-            def boom(text):
+            def boom(text, deadline=None):
                 raise RuntimeError("kaput")
 
             monkeypatch.setattr(svc.linker, "link", boom)

@@ -12,8 +12,8 @@ from repro.service.server import create_server
 
 
 @pytest.fixture(scope="module")
-def served(suite_context):
-    service = LinkingService(suite_context, ServiceConfig(workers=4))
+def served(suite_context, service_workers):
+    service = LinkingService(suite_context, ServiceConfig(workers=service_workers))
     server = create_server(service, host="127.0.0.1", port=0)
     thread = threading.Thread(target=server.serve_forever, daemon=True)
     thread.start()
@@ -95,14 +95,17 @@ class TestEndpoints:
         assert len(payload["responses"]) == 3
         assert all(r["result"] is not None for r in payload["responses"])
 
-    def test_metrics_reports_counters_and_caches(self, served, suite):
+    def test_metrics_reports_counters_and_caches(
+        self, served, suite, service_workers
+    ):
         _request(served, "POST", "/link", {"text": suite.news.documents[0].text})
         status, payload = _request(served, "GET", "/metrics")
         assert status == 200
         assert payload["counters"]["requests.total"] >= 1
         assert "latency.link" in payload["latencies"]
         assert payload["caches"]["enabled"] is True
-        assert payload["config"]["workers"] == 4
+        assert payload["config"]["workers"] == service_workers
+        assert payload["gauges"]["pool.worker_count"] == service_workers
 
     def test_request_id_echo(self, served, suite):
         status, payload = _request(
@@ -148,3 +151,100 @@ class TestErrors:
         status, payload = _request(served, "POST", "/link", {"text": "  "})
         assert status == 400
         assert payload["error"]["code"] == "bad_request"
+
+    def test_non_object_body(self, served):
+        status, payload = _request(served, "POST", "/link", [1, 2])
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"
+        assert "JSON object" in payload["error"]["message"]
+
+
+class TestKeepAlive:
+    """One HTTP/1.1 connection must survive rejected requests.
+
+    Every 400 whose body *was* read keeps the connection reusable; the
+    early 400s that skip the body (empty / oversized declarations) must
+    close it so the unread bytes are never parsed as the next request.
+    """
+
+    def _open(self, served):
+        return http.client.HTTPConnection(
+            "127.0.0.1", served.server_address[1], timeout=30
+        )
+
+    def test_non_object_bodies_do_not_poison_the_connection(
+        self, served, suite
+    ):
+        connection = self._open(served)
+        try:
+            for bad in ([1, 2], "hi", 7, None, True):
+                connection.request("POST", "/link", body=json.dumps(bad))
+                response = connection.getresponse()
+                payload = json.loads(response.read())
+                assert response.status == 400
+                assert payload["error"]["code"] == "bad_request"
+                assert "JSON object" in payload["error"]["message"]
+            # The same connection still serves a valid request.
+            connection.request(
+                "POST",
+                "/link",
+                body=json.dumps({"text": suite.news.documents[0].text}),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["result"] is not None
+        finally:
+            connection.close()
+
+    def test_garbage_then_valid_on_one_connection(self, served, suite):
+        connection = self._open(served)
+        try:
+            connection.request("POST", "/link", body="{not json")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert json.loads(response.read())["error"]["code"] == "bad_request"
+            connection.request(
+                "POST",
+                "/link",
+                body=json.dumps({"text": suite.kore50.documents[0].text}),
+            )
+            response = connection.getresponse()
+            assert response.status == 200
+            assert json.loads(response.read())["result"] is not None
+        finally:
+            connection.close()
+
+    def test_oversized_body_declaration_closes_the_connection(self, served):
+        connection = self._open(served)
+        try:
+            # Declare a 9 MiB body but never send it: the server must
+            # refuse without reading and drop the connection, because the
+            # undelivered bytes would otherwise be parsed as the next
+            # request line.
+            connection.putrequest("POST", "/link")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", str(9 * 1024 * 1024))
+            connection.endheaders()
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["error"]["code"] == "bad_request"
+            assert response.getheader("Connection") == "close"
+            # http.client transparently reopens after the server-side
+            # close; the follow-up request must succeed.
+            connection.request("GET", "/healthz")
+            response = connection.getresponse()
+            assert response.status == 200
+        finally:
+            connection.close()
+
+    def test_empty_body_closes_the_connection(self, served):
+        connection = self._open(served)
+        try:
+            connection.request("POST", "/link")
+            response = connection.getresponse()
+            assert response.status == 400
+            assert response.getheader("Connection") == "close"
+            json.loads(response.read())
+        finally:
+            connection.close()
