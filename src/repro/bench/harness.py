@@ -58,6 +58,10 @@ class BenchConfig:
     # this per-request deadline through a warm service, measuring the
     # degraded-path latency and the cooperative-cancellation counters.
     deadline_seconds: Optional[float] = None
+    # When set, add a traced pass: every document is linked with a
+    # request-scoped trace attached and the per-stage span statistics
+    # (plus the span-vs-stage_seconds parity delta) land in the record.
+    trace: bool = False
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -379,6 +383,50 @@ def _deadline_mode(
     }
 
 
+def _trace_mode(
+    linker: TenetLinker,
+    scale: float,
+    texts: List[str],
+) -> Dict[str, object]:
+    """Per-stage span statistics from one traced pass over the corpus.
+
+    Every document is linked with a request-scoped trace attached; the
+    block aggregates the recorded span durations per stage and records
+    the largest absolute disagreement between any span and the matching
+    ``LinkingResult.stage_seconds`` entry.  Spans reuse the stage
+    stopwatch rather than re-timing, so that delta should be exactly
+    zero — the record keeps it as a falsifiable parity check.
+    """
+    from repro.obs import Tracer
+
+    tracer = Tracer(enabled=True, ring_size=max(len(texts), 1))
+    per_stage: Dict[str, List[float]] = {}
+    max_delta = 0.0
+    started = time.perf_counter()
+    for i, text in enumerate(texts):
+        trace = tracer.start(f"bench-trace-{i}")
+        result = linker.link(text, trace=trace)
+        tracer.finish(trace)
+        durations = trace.stage_durations()
+        for name, duration in durations.items():
+            per_stage.setdefault(name, []).append(duration)
+        for stage, seconds in result.stage_seconds.items():
+            if stage in durations:
+                max_delta = max(max_delta, abs(durations[stage] - seconds))
+    wall = time.perf_counter() - started
+    return {
+        "scale": scale,
+        "documents": len(texts),
+        "wall_seconds": wall,
+        "recorded": tracer.stats()["recorded_total"],
+        "span_stage_max_delta_seconds": max_delta,
+        "stages": {
+            name: summarize(values)
+            for name, values in sorted(per_stage.items())
+        },
+    }
+
+
 def run_benchmark(
     config: BenchConfig = BenchConfig(),
     linker_config: TenetConfig = TenetConfig(),
@@ -454,6 +502,11 @@ def run_benchmark(
             config.deadline_seconds,
         )
 
+    trace = None
+    if config.trace:
+        say(f"trace mode at scale {largest:g} ...")
+        trace = _trace_mode(linker, largest, corpus_by_scale[largest])
+
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -467,6 +520,7 @@ def run_benchmark(
             "seed": config.seed,
             "service_workers": config.service_workers,
             "deadline_seconds": config.deadline_seconds,
+            "trace": config.trace,
         },
         "env": _env_fingerprint(),
         "context_build_seconds": context_build,
@@ -476,6 +530,7 @@ def run_benchmark(
         "coherence_comparison": comparison,
         "service": service,
         "deadline": deadline,
+        "trace": trace,
     }
     return report
 
@@ -531,5 +586,12 @@ def format_report_summary(report: Dict[str, object]) -> str:
             f"{deadline['degraded']}/{deadline['documents']} degraded, "
             f"{deadline['cancelled']} cancelled"
             + (f", degraded-path mean {1000 * mean:.2f}ms" if mean else "")
+        )
+    trace = report.get("trace")
+    if trace:
+        lines.append(
+            f"trace: {trace['recorded']} traces over "
+            f"{trace['documents']} docs, span/stage max delta "
+            f"{trace['span_stage_max_delta_seconds']:.2e}s"
         )
     return "\n".join(lines)

@@ -39,7 +39,10 @@ One benchmark run produces one JSON document::
                    "timeouts": N, "abandoned": N,
                    "aborted_stages": {"<stage>": N, ...},
                    "degraded_latency": {<stats>} | null,
-                   "completed_latency": {<stats>} | null} | null
+                   "completed_latency": {<stats>} | null} | null,
+      "trace": {"scale": ..., "documents": N, "wall_seconds": ...,
+                "recorded": N, "span_stage_max_delta_seconds": ...,
+                "stages": {"<stage>": {<stats>}, ...}} | null
     }
 
 where ``<stats>`` is the :func:`summarize` block (count / total / mean /
@@ -207,5 +210,25 @@ def validate_report(payload: object) -> List[str]:
                 block = deadline.get(field)
                 if block is not None:
                     _check_stats(block, f"deadline.{field}", problems)
+
+    trace = payload.get("trace")
+    if trace is not None:
+        if not isinstance(trace, dict):
+            problems.append("trace must be an object or null")
+        else:
+            if not isinstance(trace.get("documents"), int):
+                problems.append("trace: missing integer 'documents'")
+            if not isinstance(trace.get("recorded"), int):
+                problems.append("trace: missing integer 'recorded'")
+            if not _is_number(trace.get("span_stage_max_delta_seconds")):
+                problems.append(
+                    "trace: missing numeric 'span_stage_max_delta_seconds'"
+                )
+            stages = trace.get("stages")
+            if not isinstance(stages, dict) or not stages:
+                problems.append("trace: stages must be a non-empty object")
+            else:
+                for stage, block in stages.items():
+                    _check_stats(block, f"trace.stages[{stage!r}]", problems)
 
     return problems

@@ -148,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the cross-request candidate/similarity caches",
     )
     serve_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable request-scoped tracing (X-Trace-Id header and "
+        "GET /debug/traces) regardless of TENET_TRACE",
+    )
+    serve_parser.add_argument(
         "--max-candidates", type=int, default=4, metavar="K"
     )
 
@@ -190,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="also measure the degraded path: link the corpus through a "
         "service whose per-request deadline is SECONDS and record the "
         "cancellation counters and degraded-path latency",
+    )
+    bench_parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="also run a traced pass: per-stage span statistics and the "
+        "span-vs-stage_seconds parity delta land in the record",
     )
     bench_parser.add_argument("--label", default="", help="freeform run label")
     bench_parser.add_argument(
@@ -322,13 +334,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             workers=args.workers,
             default_timeout_seconds=args.timeout,
             cache=LinkerCacheConfig(enabled=not args.no_cache),
+            # --trace forces tracing on; otherwise defer to TENET_TRACE.
+            trace_enabled=True if args.trace else None,
         ),
         TenetConfig(max_candidates=args.max_candidates),
     )
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"tenet-repro serving on http://{host}:{port}  "
-          f"(endpoints: /link /batch /metrics /healthz; Ctrl-C to stop)")
+          f"(endpoints: /link /batch /metrics /debug/traces /healthz; "
+          f"Ctrl-C to stop)")
+    service.logger.info(
+        "service.started",
+        host=host,
+        port=port,
+        workers=args.workers,
+        tracing=service.tracer.enabled,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -391,6 +413,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["scalar_baseline"] = False
     if args.deadline is not None:
         overrides["deadline_seconds"] = args.deadline
+    if args.trace:
+        overrides["trace"] = True
     if args.label:
         overrides["label"] = args.label
     overrides["seed"] = args.seed

@@ -33,6 +33,7 @@ from repro.kb.store import KnowledgeBase
 from repro.kb.types import DEFAULT_TAXONOMY, TypeTaxonomy
 from repro.nlp.pipeline import DocumentExtraction, ExtractionPipeline
 from repro.nlp.spans import Span, SpanKind
+from repro.obs.trace import Trace
 
 
 @dataclass
@@ -146,25 +147,38 @@ class TenetLinker:
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
-    def link(self, text: str, deadline: Optional[Deadline] = None) -> LinkingResult:
+    def link(
+        self,
+        text: str,
+        deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
+    ) -> LinkingResult:
         """Link one document end to end.
 
         With a *deadline*, each stage boundary (and the inner loops of
         the tree-cover solve and the greedy disambiguation) checks the
         token and raises :class:`~repro.core.deadline.DeadlineExceeded`
-        carrying the salvageable partial artefacts.
+        carrying the salvageable partial artefacts.  With a *trace*,
+        each stage records a span carrying the stage's wall clock (the
+        same measurement stored in ``result.stage_seconds``) and its
+        size attributes (mention/candidate counts, graph sizes).
         """
-        return self.link_detailed(text, deadline=deadline).result
+        return self.link_detailed(text, deadline=deadline, trace=trace).result
 
     def link_detailed(
-        self, text: str, deadline: Optional[Deadline] = None
+        self,
+        text: str,
+        deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
     ) -> LinkingDiagnostics:
         """Link one document, returning every intermediate artefact.
 
         Per-stage wall-clock timings are recorded once here (and in
         :meth:`_link_candidates`) and attached to both the diagnostics
         and ``result.stage_seconds`` — the single source of truth that
-        ``eval/timing.py`` and the serving layer's metrics read.
+        ``eval/timing.py``, the serving layer's metrics, and the trace
+        spans read; a span's duration IS the stage timing, so the two
+        can never drift apart.
         """
         timings: Dict[str, float] = {}
         started = time.perf_counter()
@@ -175,27 +189,52 @@ class TenetLinker:
                 deadline.check("extract")
             extraction = self.pipeline.extract(text)
             timings["extract"] = time.perf_counter() - started
+            if trace is not None:
+                trace.record(
+                    "extract",
+                    timings["extract"],
+                    words=extraction.word_count,
+                    noun_spans=len(extraction.noun_spans),
+                    relation_spans=len(extraction.relation_spans),
+                )
             if deadline is not None:
                 deadline.check("candidates")
             stage = time.perf_counter()
             candidates = self.generator.generate(extraction)
             timings["candidates"] = time.perf_counter() - stage
+            if trace is not None:
+                trace.record(
+                    "candidates",
+                    timings["candidates"],
+                    mentions=len(candidates.by_mention),
+                    total_candidates=candidates.total_candidates,
+                )
             diagnostics = self._link_candidates(
-                extraction, candidates, timings=timings, deadline=deadline
+                extraction,
+                candidates,
+                timings=timings,
+                deadline=deadline,
+                trace=trace,
             )
         except DeadlineExceeded as exc:
             # Attach whatever is salvageable so the caller can build a
             # degraded answer without recomputing the finished stages.
             if exc.partial is None:
                 exc.partial = PartialLinking(extraction, candidates, dict(timings))
+            if trace is not None:
+                trace.mark_aborted(exc.stage)
             raise
         diagnostics.elapsed_seconds = time.perf_counter() - started
         timings["total"] = diagnostics.elapsed_seconds
         diagnostics.stage_seconds = timings
         diagnostics.result.stage_seconds = dict(timings)
+        if trace is not None:
+            trace.record("total", timings["total"])
         return diagnostics
 
-    def link_prior_only(self, text: str) -> LinkingResult:
+    def link_prior_only(
+        self, text: str, trace: Optional[Trace] = None
+    ) -> LinkingResult:
         """Fast degraded linking: extraction + top-prior candidate only.
 
         Skips the coherence graph, tree cover, and greedy disambiguation
@@ -208,10 +247,18 @@ class TenetLinker:
         started = time.perf_counter()
         extraction = self.pipeline.extract(text)
         timings["extract"] = time.perf_counter() - started
+        if trace is not None:
+            trace.record("extract", timings["extract"],
+                         words=extraction.word_count)
         stage = time.perf_counter()
         candidates = self.generator.generate(extraction)
         timings["candidates"] = time.perf_counter() - stage
-        result = self.prior_only_from_candidates(candidates, timings=timings)
+        if trace is not None:
+            trace.record("candidates", timings["candidates"],
+                         mentions=len(candidates.by_mention))
+        result = self.prior_only_from_candidates(
+            candidates, timings=timings, trace=trace
+        )
         result.stage_seconds["total"] = time.perf_counter() - started
         return result
 
@@ -219,6 +266,7 @@ class TenetLinker:
         self,
         candidates: MentionCandidates,
         timings: Optional[Dict[str, float]] = None,
+        trace: Optional[Trace] = None,
     ) -> LinkingResult:
         """The prior-only answer for already-generated *candidates*.
 
@@ -247,6 +295,14 @@ class TenetLinker:
         result.relation_links.sort(key=lambda l: l.span.token_start)
         result.non_linkable.sort(key=lambda s: s.token_start)
         timings["prior_only"] = time.perf_counter() - stage
+        if trace is not None:
+            trace.record(
+                "prior_only",
+                timings["prior_only"],
+                entity_links=len(result.entity_links),
+                relation_links=len(result.relation_links),
+                non_linkable=len(result.non_linkable),
+            )
         result.stage_seconds = timings
         return result
 
@@ -346,6 +402,7 @@ class TenetLinker:
         candidates: MentionCandidates,
         timings: Optional[Dict[str, float]] = None,
         deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
     ) -> LinkingDiagnostics:
         if timings is None:
             timings = {}
@@ -367,6 +424,14 @@ class TenetLinker:
             similarity_mode=self.config.coherence_similarity_mode,
         )
         timings["coherence"] = time.perf_counter() - stage
+        if trace is not None:
+            trace.record(
+                "coherence",
+                timings["coherence"],
+                nodes=coherence.graph.node_count,
+                edges=coherence.graph.edge_count,
+                mentions=coherence.mention_count,
+            )
         if deadline is not None:
             deadline.check("tree_cover")
         stage = time.perf_counter()
@@ -374,6 +439,11 @@ class TenetLinker:
             coherence, self.config.tree_weight_bound, deadline=deadline
         )
         timings["tree_cover"] = time.perf_counter() - stage
+        if trace is not None:
+            trace.record(
+                "tree_cover", timings["tree_cover"],
+                cover_edges=cover.total_edges,
+            )
         if deadline is not None:
             deadline.check("grouping")
         stage = time.perf_counter()
@@ -395,6 +465,8 @@ class TenetLinker:
                 )
             ]
         timings["grouping"] = time.perf_counter() - stage
+        if trace is not None:
+            trace.record("grouping", timings["grouping"], groups=len(groups))
         if deadline is not None:
             deadline.check("disambiguation")
         stage = time.perf_counter()
@@ -407,6 +479,14 @@ class TenetLinker:
         )
         timings["disambiguation"] = time.perf_counter() - stage
         result = self._to_result(disambiguation, candidates)
+        if trace is not None:
+            trace.record(
+                "disambiguation",
+                timings["disambiguation"],
+                entity_links=len(result.entity_links),
+                relation_links=len(result.relation_links),
+                non_linkable=len(result.non_linkable),
+            )
         return LinkingDiagnostics(
             extraction=extraction,
             candidates=candidates,

@@ -159,14 +159,20 @@ class AliasIndex:
 
         Results are memoised per normalised phrase (the lookup's only
         real input) in a bounded LRU, so the token-index scan runs once
-        per distinct surface form instead of once per mention.
+        per distinct surface form instead of once per mention.  The memo
+        stores the *unsliced* hit tuple and ``limit`` is applied on the
+        way out, so the same surface form looked up with different
+        limits shares one entry instead of fragmenting the LRU and
+        re-running the token-index scan per distinct limit.
         """
         if self._fuzzy_cache is None:
             return self._fuzzy_lookup_uncached(phrase, limit)
-        key = (normalize_phrase(phrase), limit)
+        key = normalize_phrase(phrase)
         hits = self._fuzzy_cache.get_or_compute(
-            key, lambda: tuple(self._fuzzy_lookup_uncached(phrase, limit))
+            key, lambda: tuple(self._fuzzy_lookup_uncached(phrase, None))
         )
+        if limit is not None:
+            hits = hits[:limit]
         return list(hits)
 
     def _fuzzy_lookup_uncached(
@@ -182,10 +188,14 @@ class AliasIndex:
             if not candidate_keys:
                 return []
         assert candidate_keys is not None
+        # Overlap is computed on token *sets*: phrases with repeated
+        # content tokens must not score above 1.0, or the 0.5 scaling
+        # below would let a fuzzy hit outrank an exact one.
+        query_tokens = set(tokens)
         scored: Dict[str, float] = {}
         for key in candidate_keys:
-            key_tokens = key.split(" ")
-            overlap = len(tokens) / max(len(key_tokens), 1)
+            key_tokens = set(key.split(" "))
+            overlap = min(1.0, len(query_tokens) / max(len(key_tokens), 1))
             for entity_id in self._entity_postings.get(key, ()):
                 scored[entity_id] = max(scored.get(entity_id, 0.0), overlap)
         hits = self._rank(list(scored), self._entity_popularity, "entity")

@@ -1,0 +1,40 @@
+"""Observability: request-scoped tracing and structured logging.
+
+A zero-dependency (stdlib-only) layer the core pipeline and the serving
+engine record into:
+
+* :class:`Tracer` / :class:`Trace` / :class:`Span` — per-request span
+  records at the pipeline's stage boundaries, kept in a bounded ring
+  buffer and served at ``GET /debug/traces``;
+* :class:`StructuredLogger` — JSON-lines request logging.
+
+See ``docs/observability.md`` for the trace lifecycle and log schema.
+"""
+
+from repro.obs.logging import (
+    LOG_ENV_VAR,
+    StructuredLogger,
+    logging_enabled_by_env,
+)
+from repro.obs.trace import (
+    DEFAULT_RING_SIZE,
+    TRACE_ENV_VAR,
+    Span,
+    Trace,
+    Tracer,
+    new_trace_id,
+    tracing_enabled_by_env,
+)
+
+__all__ = [
+    "DEFAULT_RING_SIZE",
+    "LOG_ENV_VAR",
+    "Span",
+    "StructuredLogger",
+    "TRACE_ENV_VAR",
+    "Trace",
+    "Tracer",
+    "logging_enabled_by_env",
+    "new_trace_id",
+    "tracing_enabled_by_env",
+]

@@ -1,0 +1,102 @@
+"""JSON-lines structured logging for the serving layer.
+
+One :class:`StructuredLogger` writes one JSON object per line to a
+stream (stderr by default), so request logs are machine-parseable —
+``jq``-able — instead of ad-hoc prints.  Each record carries a unix
+timestamp, a level, an event name, any fields bound on the logger
+(e.g. the serving host/port) and the per-call fields (trace id, stage
+durations, cache-hit deltas, aborted stage).
+
+A logger with no stream is disabled: every :meth:`log` call returns
+immediately, so instrumented code never needs its own guard.  The
+``TENET_LOG`` environment variable turns the default engine logger on
+(``TENET_LOG=1`` → JSON lines on stderr).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, IO, Optional
+
+LOG_ENV_VAR = "TENET_LOG"
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def logging_enabled_by_env() -> bool:
+    """``True`` when the ``TENET_LOG`` environment variable is truthy."""
+    return os.environ.get(LOG_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines logger with bindable context fields."""
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        bound: Optional[Dict[str, Any]] = None,
+        _lock: Optional[threading.Lock] = None,
+    ) -> None:
+        self._stream = stream
+        self._bound = dict(bound or {})
+        # Children share the parent's lock so interleaved writers on one
+        # stream still emit whole lines.
+        self._lock = _lock or threading.Lock()
+
+    @classmethod
+    def from_env(cls) -> "StructuredLogger":
+        """Enabled on stderr when ``TENET_LOG`` is set, else disabled."""
+        return cls(stream=sys.stderr if logging_enabled_by_env() else None)
+
+    @classmethod
+    def disabled(cls) -> "StructuredLogger":
+        return cls(stream=None)
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """A child logger whose records always carry *fields*."""
+        merged = dict(self._bound)
+        merged.update(fields)
+        return StructuredLogger(self._stream, merged, _lock=self._lock)
+
+    def log(self, event: str, level: str = "info", **fields: Any) -> None:
+        """Emit one JSON line (no-op when disabled).
+
+        ``None``-valued fields are dropped so records stay compact; any
+        non-serialisable value falls back to ``str``.
+        """
+        if self._stream is None:
+            return
+        record: Dict[str, Any] = {
+            "ts": time.time(),
+            "level": level,
+            "event": event,
+        }
+        record.update(self._bound)
+        record.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        line = json.dumps(record, default=str, separators=(",", ":"))
+        with self._lock:
+            self._stream.write(line + "\n")
+            try:
+                self._stream.flush()
+            except (OSError, ValueError):  # pragma: no cover - closed stream
+                pass
+
+    # Convenience levels --------------------------------------------------
+    def info(self, event: str, **fields: Any) -> None:
+        self.log(event, level="info", **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log(event, level="warning", **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log(event, level="error", **fields)

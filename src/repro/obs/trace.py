@@ -1,0 +1,289 @@
+"""Request-scoped tracing: spans, traces, and a bounded ring buffer.
+
+A :class:`Tracer` issues one :class:`Trace` per request; the pipeline
+and the serving engine record :class:`Span`\\ s on it at the same stage
+boundaries the deadline checkpoints instrumented (extraction, candidate
+generation, coherence graph, tree cover, grouping, disambiguation) plus
+the engine's queue-wait and cache-lookup bookkeeping.  Finished traces
+land in a bounded ring buffer that ``GET /debug/traces`` reads.
+
+Like :mod:`repro.core.deadline`, this module is a **leaf**: it imports
+nothing from the pipeline or the service, so the core linker can record
+spans without depending on the serving layer.  Everything is stdlib —
+no third-party tracing SDK.
+
+The overhead contract: with tracing disabled (``Tracer.start`` returns
+``None``) the instrumented code paths reduce to one ``is not None``
+check per stage, so the bench trajectory is unaffected; with tracing
+enabled, recording a span is one dataclass append — no locks on the hot
+path (a ``Trace`` is owned by the single worker that runs the request;
+only the ring buffer behind :meth:`Tracer.finish` is shared).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+TRACE_ENV_VAR = "TENET_TRACE"
+DEFAULT_RING_SIZE = 256
+
+_FALSY = {"", "0", "false", "no", "off"}
+
+
+def tracing_enabled_by_env() -> bool:
+    """``True`` when the ``TENET_TRACE`` environment variable is truthy."""
+    return os.environ.get(TRACE_ENV_VAR, "").strip().lower() not in _FALSY
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request-scoped trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class Span:
+    """One named, timed unit of work inside a trace.
+
+    ``start_offset`` is seconds since the trace was started (monotonic),
+    ``duration`` is wall-clock seconds, ``status`` is ``"ok"`` or
+    ``"aborted"``.  Attributes carry small scalars (graph sizes,
+    candidate counts, cache-hit deltas) — never large payloads.
+    """
+
+    name: str
+    start_offset: float
+    duration: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    status: str = "ok"
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "start_offset_seconds": self.start_offset,
+            "duration_seconds": self.duration,
+            "status": self.status,
+        }
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+
+class Trace:
+    """The per-request span record.
+
+    A trace is owned by the one worker thread running its request, so
+    span recording is lock-free; hand the finished trace back to the
+    :class:`Tracer` (whose ring buffer *is* synchronised) via
+    :meth:`Tracer.finish`.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "request_id",
+        "started_unix",
+        "spans",
+        "attributes",
+        "status",
+        "aborted_stage",
+        "duration",
+        "_started",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        request_id: Optional[str] = None,
+    ) -> None:
+        self.trace_id = trace_id or new_trace_id()
+        self.request_id = request_id
+        self.started_unix = time.time()
+        self.spans: List[Span] = []
+        self.attributes: Dict[str, Any] = {}
+        self.status = "ok"
+        self.aborted_stage: Optional[str] = None
+        self.duration: Optional[float] = None
+        self._started = time.perf_counter()
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def elapsed(self) -> float:
+        """Seconds since the trace was started."""
+        return time.perf_counter() - self._started
+
+    def record(
+        self,
+        name: str,
+        duration: float,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> Span:
+        """Record a span whose duration was measured by the caller.
+
+        This is what the pipeline uses: each stage is timed once (the
+        same ``perf_counter`` pair that feeds
+        ``LinkingResult.stage_seconds``) and the identical number is
+        recorded here, so span durations and ``stage_timings`` agree
+        exactly, not merely within noise.
+        """
+        span = Span(
+            name=name,
+            start_offset=max(0.0, self.elapsed() - duration),
+            duration=duration,
+            attributes=attributes,
+            status=status,
+        )
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Context manager measuring a span's wall clock itself."""
+        started = self.elapsed()
+        span = Span(name=name, start_offset=started, duration=0.0,
+                    attributes=attributes)
+        try:
+            yield span
+        except BaseException:
+            span.status = "aborted"
+            raise
+        finally:
+            span.duration = self.elapsed() - started
+            self.spans.append(span)
+
+    def mark_aborted(self, stage: str) -> None:
+        """Record that a cooperative cancellation tripped at *stage*."""
+        self.status = "aborted"
+        self.aborted_stage = stage
+
+    def annotate(self, **attributes: Any) -> None:
+        """Attach trace-level attributes (request id, outcome, sizes)."""
+        self.attributes.update(attributes)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def stage_durations(self) -> Dict[str, float]:
+        """``{span name: duration}`` for quick parity checks and logs."""
+        return {span.name: span.duration for span in self.spans}
+
+    def to_json(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "started_unix": self.started_unix,
+            "duration_seconds": (
+                self.duration if self.duration is not None else self.elapsed()
+            ),
+            "status": self.status,
+            "spans": [span.to_json() for span in self.spans],
+        }
+        if self.aborted_stage is not None:
+            payload["aborted_stage"] = self.aborted_stage
+        if self.attributes:
+            payload["attributes"] = dict(self.attributes)
+        return payload
+
+
+class Tracer:
+    """Issues traces and keeps the last *ring_size* finished ones.
+
+    ``enabled=False`` makes :meth:`start` return ``None``, which every
+    instrumented call site treats as "don't record" — the disabled
+    tracer therefore costs one branch per stage and nothing else.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = True,
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        if ring_size < 1:
+            raise ValueError(f"ring_size must be >= 1, got {ring_size}")
+        self.enabled = enabled
+        self.ring_size = ring_size
+        self._ring: Deque[Trace] = deque(maxlen=ring_size)
+        self._lock = threading.Lock()
+        self._recorded = 0
+
+    @classmethod
+    def from_env(cls, ring_size: int = DEFAULT_RING_SIZE) -> "Tracer":
+        """A tracer whose enablement follows ``TENET_TRACE``."""
+        return cls(enabled=tracing_enabled_by_env(), ring_size=ring_size)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, request_id: Optional[str] = None) -> Optional[Trace]:
+        """A new trace, or ``None`` when tracing is disabled."""
+        if not self.enabled:
+            return None
+        return Trace(request_id=request_id)
+
+    def finish(self, trace: Optional[Trace]) -> None:
+        """Seal *trace* and push it onto the ring (idempotent)."""
+        if trace is None:
+            return
+        with self._lock:
+            if trace._finished:
+                return
+            trace._finished = True
+            trace.duration = trace.elapsed()
+            self._ring.append(trace)
+            self._recorded += 1
+
+    # ------------------------------------------------------------------
+    # introspection (the /debug/traces payloads)
+    # ------------------------------------------------------------------
+    def recent(
+        self,
+        limit: int = 50,
+        slow_seconds: Optional[float] = None,
+        trace_id: Optional[str] = None,
+    ) -> List[Dict[str, Any]]:
+        """Newest-first finished traces, optionally filtered.
+
+        ``slow_seconds`` keeps only traces at least that slow (the
+        slow-threshold knob of ``GET /debug/traces?slow_seconds=...``);
+        ``trace_id`` resolves one specific trace.
+        """
+        with self._lock:
+            traces = list(self._ring)
+        traces.reverse()
+        selected: List[Dict[str, Any]] = []
+        for trace in traces:
+            if trace_id is not None and trace.trace_id != trace_id:
+                continue
+            if (
+                slow_seconds is not None
+                and (trace.duration or 0.0) < slow_seconds
+            ):
+                continue
+            selected.append(trace.to_json())
+            if len(selected) >= limit:
+                break
+        return selected
+
+    def get(self, trace_id: str) -> Optional[Dict[str, Any]]:
+        """The finished trace with *trace_id*, or ``None``."""
+        matches = self.recent(limit=1, trace_id=trace_id)
+        return matches[0] if matches else None
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-compatible tracer state for ``/metrics``."""
+        with self._lock:
+            return {
+                "enabled": self.enabled,
+                "ring_size": self.ring_size,
+                "buffered": len(self._ring),
+                "recorded_total": self._recorded,
+            }

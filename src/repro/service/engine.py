@@ -40,13 +40,20 @@ import threading
 import time
 from concurrent.futures import CancelledError, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.config import TenetConfig
 from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.core.linker import LinkingContext, TenetLinker
 from repro.core.result import LinkingResult
+from repro.obs import (
+    DEFAULT_RING_SIZE,
+    StructuredLogger,
+    Trace,
+    Tracer,
+    tracing_enabled_by_env,
+)
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
 from repro.service.metrics import MetricsRegistry
 from repro.service.schema import (
@@ -75,6 +82,11 @@ class ServiceConfig:
     # before degrading caller-side (covers workers parked between two
     # checkpoints).  One stage-checkpoint interval is plenty.
     cancel_grace_seconds: float = 0.1
+    # Request-scoped tracing: None follows the TENET_TRACE environment
+    # variable; True/False force it.  Finished traces are kept in a ring
+    # of trace_ring_size and served at GET /debug/traces.
+    trace_enabled: Optional[bool] = None
+    trace_ring_size: int = DEFAULT_RING_SIZE
     cache: LinkerCacheConfig = field(default_factory=LinkerCacheConfig)
 
     def __post_init__(self) -> None:
@@ -86,6 +98,10 @@ class ServiceConfig:
             raise ValueError("batch_max_delay_seconds must be >= 0")
         if self.cancel_grace_seconds < 0:
             raise ValueError("cancel_grace_seconds must be >= 0")
+        if self.trace_ring_size < 1:
+            raise ValueError(
+                f"trace_ring_size must be >= 1, got {self.trace_ring_size}"
+            )
         if (
             self.default_timeout_seconds is not None
             and self.default_timeout_seconds < 0
@@ -101,11 +117,21 @@ class LinkingService:
         context: LinkingContext,
         config: ServiceConfig = ServiceConfig(),
         linker_config: TenetConfig = TenetConfig(),
+        logger: Optional[StructuredLogger] = None,
     ) -> None:
         self.config = config
         self.caches = LinkerCaches(config.cache)
         self.linker = attach_caches(TenetLinker(context, linker_config), self.caches)
         self.metrics = MetricsRegistry()
+        trace_enabled = (
+            config.trace_enabled
+            if config.trace_enabled is not None
+            else tracing_enabled_by_env()
+        )
+        self.tracer = Tracer(enabled=trace_enabled, ring_size=config.trace_ring_size)
+        # JSON-lines request logging; the default follows TENET_LOG so
+        # the engine never prints unless asked to.
+        self.logger = logger if logger is not None else StructuredLogger.from_env()
         self.metrics.set_gauge("pool.worker_count", config.workers)
         self.metrics.set_gauge("pool.active_workers", 0)
         self._pool = ThreadPoolExecutor(
@@ -122,7 +148,10 @@ class LinkingService:
     # request paths
     # ------------------------------------------------------------------
     def handle(
-        self, request: LinkRequest, deadline: Optional[Deadline] = None
+        self,
+        request: LinkRequest,
+        deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
     ) -> LinkResponse:
         """Link one request in the calling thread.
 
@@ -130,8 +159,20 @@ class LinkingService:
         poisonous document cannot take down a worker or a batch, and a
         tripped *deadline* comes back as the degraded prior-only answer
         built from the aborted run's partial state.
+
+        A *trace* started at submission (by :meth:`link` / :meth:`submit`
+        / :meth:`link_batch`) arrives here so the queue-wait — the gap
+        between submission and a worker picking the request up — is its
+        first span; when called directly, a fresh trace is started.
         """
         started = time.perf_counter()
+        if trace is None:
+            trace = self.tracer.start(request.request_id)
+        if trace is not None:
+            queue_wait = max(0.0, trace.elapsed())
+            trace.record("queue_wait", queue_wait)
+            self.metrics.observe("latency.queue_wait", queue_wait)
+        cache_before = self._cache_counters() if trace is not None else None
         self.metrics.incr("requests.total")
         active = self.metrics.add_gauge("pool.active_workers", 1)
         self.metrics.set_gauge(
@@ -139,18 +180,34 @@ class LinkingService:
         )
         try:
             try:
-                result = self.linker.link(request.text, deadline=deadline)
+                result = self.linker.link(
+                    request.text, deadline=deadline, trace=trace
+                )
             except DeadlineExceeded as exc:
-                return self._respond_cancelled(request, exc, started)
+                return self._finalize(
+                    self._respond_cancelled(request, exc, started, trace),
+                    trace,
+                    cache_before,
+                )
             except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
                 self.metrics.incr("requests.errors")
-                return LinkResponse(
-                    request_id=request.request_id,
-                    elapsed_seconds=time.perf_counter() - started,
-                    error=ServiceError("internal", f"{type(exc).__name__}: {exc}"),
+                return self._finalize(
+                    LinkResponse(
+                        request_id=request.request_id,
+                        elapsed_seconds=time.perf_counter() - started,
+                        error=ServiceError(
+                            "internal", f"{type(exc).__name__}: {exc}"
+                        ),
+                    ),
+                    trace,
+                    cache_before,
                 )
-            return self._respond(
-                request, result, time.perf_counter() - started, degraded=False
+            return self._finalize(
+                self._respond(
+                    request, result, time.perf_counter() - started, degraded=False
+                ),
+                trace,
+                cache_before,
             )
         finally:
             active = self.metrics.add_gauge("pool.active_workers", -1)
@@ -161,8 +218,9 @@ class LinkingService:
     def link(self, request: LinkRequest) -> LinkResponse:
         """Link with the per-request deadline and graceful degradation."""
         deadline = Deadline.after(self._timeout_for(request))
-        future = self._pool.submit(self.handle, request, deadline)
-        return self._await(request, deadline, future)
+        trace = self.tracer.start(request.request_id)
+        future = self._pool.submit(self.handle, request, deadline, trace)
+        return self._await(request, deadline, future, trace)
 
     def submit(
         self, request: LinkRequest, deadline: Optional[Deadline] = None
@@ -177,7 +235,8 @@ class LinkingService:
         """
         if deadline is None:
             deadline = Deadline.after(self._timeout_for(request))
-        return self._pool.submit(self.handle, request, deadline)
+        trace = self.tracer.start(request.request_id)
+        return self._pool.submit(self.handle, request, deadline, trace)
 
     def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
         """Queue for micro-batched dispatch (see :class:`MicroBatcher`)."""
@@ -197,12 +256,18 @@ class LinkingService:
         jobs = []
         for request in batch.requests:
             deadline = Deadline.after(self._timeout_for(request))
+            trace = self.tracer.start(request.request_id)
             jobs.append(
-                (request, deadline, self._pool.submit(self.handle, request, deadline))
+                (
+                    request,
+                    deadline,
+                    self._pool.submit(self.handle, request, deadline, trace),
+                    trace,
+                )
             )
         responses = [
-            self._await(request, deadline, future)
-            for request, deadline, future in jobs
+            self._await(request, deadline, future, trace)
+            for request, deadline, future, trace in jobs
         ]
         return BatchLinkResponse(tuple(responses))
 
@@ -217,6 +282,7 @@ class LinkingService:
         """The ``/metrics`` payload: counters, latencies, cache stats."""
         payload = self.metrics.snapshot()
         payload["caches"] = self.caches.snapshot(self.linker)
+        payload["tracing"] = self.tracer.stats()
         payload["config"] = {
             "workers": self.config.workers,
             "default_timeout_seconds": self.config.default_timeout_seconds,
@@ -224,6 +290,8 @@ class LinkingService:
             "batch_max_delay_seconds": self.config.batch_max_delay_seconds,
             "cancel_grace_seconds": self.config.cancel_grace_seconds,
             "cache_enabled": self.caches.enabled,
+            "trace_enabled": self.tracer.enabled,
+            "trace_ring_size": self.config.trace_ring_size,
         }
         return payload
 
@@ -255,6 +323,7 @@ class LinkingService:
         request: LinkRequest,
         deadline: Deadline,
         future: "Future[LinkResponse]",
+        trace: Optional[Trace] = None,
     ) -> LinkResponse:
         """Collect one pooled response, enforcing *deadline* wall-clock.
 
@@ -276,9 +345,14 @@ class LinkingService:
                     return future.result(self.config.cancel_grace_seconds)
                 except FutureTimeoutError:
                     self.metrics.incr("requests.abandoned")
+            elif trace is not None:
+                # The request never left the queue, so no worker will
+                # ever touch this trace: seal it here with the outcome.
+                trace.mark_aborted("queue")
+                self.tracer.finish(trace)
         except CancelledError:
             pass
-        return self._degrade(request, deadline)
+        return self._degrade(request, deadline, trace)
 
     def _respond(
         self,
@@ -304,7 +378,11 @@ class LinkingService:
         )
 
     def _respond_cancelled(
-        self, request: LinkRequest, exc: DeadlineExceeded, started: float
+        self,
+        request: LinkRequest,
+        exc: DeadlineExceeded,
+        started: float,
+        trace: Optional[Trace] = None,
     ) -> LinkResponse:
         """Worker-side abort: degrade from the run's salvaged partials."""
         self.metrics.incr("requests.cancelled")
@@ -315,10 +393,10 @@ class LinkingService:
                 # Candidates survived the abort: the prior-only answer
                 # needs no recomputation of extraction or generation.
                 result = self.linker.prior_only_from_candidates(
-                    partial.candidates, timings=partial.stage_seconds
+                    partial.candidates, timings=partial.stage_seconds, trace=trace
                 )
             else:
-                result = self.linker.link_prior_only(request.text)
+                result = self.linker.link_prior_only(request.text, trace=trace)
         except Exception as fallback_exc:  # noqa: BLE001 - last resort envelope
             self.metrics.incr("requests.errors")
             return LinkResponse(
@@ -334,7 +412,12 @@ class LinkingService:
             request, result, time.perf_counter() - started, degraded=True
         )
 
-    def _degrade(self, request: LinkRequest, deadline: Deadline) -> LinkResponse:
+    def _degrade(
+        self,
+        request: LinkRequest,
+        deadline: Deadline,
+        trace: Optional[Trace] = None,
+    ) -> LinkResponse:
         """Caller-side fallback: the worker never produced a response.
 
         Either the request never left the queue (its future was
@@ -342,19 +425,118 @@ class LinkingService:
         answer from the prior-only fast path in the calling thread.
         ``elapsed_seconds`` measures from the deadline's anchor — the
         moment the request was submitted.
+
+        The trace (if any) may still be owned by a running worker, so
+        only its immutable ``trace_id`` is attached here — the worker
+        seals the span record whenever it finally aborts.
         """
         self.metrics.incr("requests.timeouts")
         try:
             result = self.linker.link_prior_only(request.text)
         except Exception as exc:  # noqa: BLE001 - last resort envelope
             self.metrics.incr("requests.errors")
-            return LinkResponse(
+            response = LinkResponse(
                 request_id=request.request_id,
                 elapsed_seconds=deadline.elapsed(),
                 degraded=True,
                 error=ServiceError("timeout", f"{type(exc).__name__}: {exc}"),
             )
-        return self._respond(request, result, deadline.elapsed(), degraded=True)
+        else:
+            response = self._respond(
+                request, result, deadline.elapsed(), degraded=True
+            )
+        if trace is not None:
+            response = replace(response, trace_id=trace.trace_id)
+        self._log_request(response, event="request.caller_degraded")
+        return response
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+    def _cache_counters(self) -> Dict[str, Tuple[int, int]]:
+        """Current (hits, misses) of every cross-request cache."""
+        counters: Dict[str, Tuple[int, int]] = {}
+        for name, cache in (
+            ("candidates", self.caches.candidates),
+            ("similarity", self.caches.similarity),
+        ):
+            if cache is not None:
+                stats = cache.stats
+                counters[name] = (stats.hits, stats.misses)
+        fuzzy = self.linker.context.alias_index.fuzzy_cache_stats()
+        counters["alias_fuzzy"] = (int(fuzzy["hits"]), int(fuzzy["misses"]))
+        return counters
+
+    def _cache_delta(
+        self, before: Dict[str, Tuple[int, int]]
+    ) -> Dict[str, int]:
+        """Hit/miss deltas since *before*.
+
+        The caches are shared across workers, so under concurrency a
+        delta can include a neighbour request's lookups — the numbers
+        are attribution hints, not exact per-request accounting.
+        """
+        delta: Dict[str, int] = {}
+        for name, (hits_now, misses_now) in self._cache_counters().items():
+            hits_then, misses_then = before.get(name, (hits_now, misses_now))
+            delta[f"{name}_hits"] = max(0, hits_now - hits_then)
+            delta[f"{name}_misses"] = max(0, misses_now - misses_then)
+        return delta
+
+    def _finalize(
+        self,
+        response: LinkResponse,
+        trace: Optional[Trace],
+        cache_before: Optional[Dict[str, Tuple[int, int]]],
+    ) -> LinkResponse:
+        """Seal the trace, stamp its id on the response, emit the log."""
+        cache_delta: Optional[Dict[str, int]] = None
+        if trace is not None:
+            if cache_before is not None:
+                cache_delta = self._cache_delta(cache_before)
+                trace.record("cache_lookups", 0.0, **cache_delta)
+            trace.annotate(
+                degraded=response.degraded,
+                error_code=response.error.code if response.error else None,
+            )
+            self.tracer.finish(trace)
+            response = replace(response, trace_id=trace.trace_id)
+        self._log_request(response, cache_delta=cache_delta)
+        return response
+
+    def _log_request(
+        self,
+        response: LinkResponse,
+        event: Optional[str] = None,
+        cache_delta: Optional[Dict[str, int]] = None,
+    ) -> None:
+        """One structured request log line (no-op when logging is off)."""
+        if not self.logger.enabled:
+            return
+        if event is None:
+            if response.error is not None:
+                event = "request.error"
+            elif response.degraded:
+                event = "request.degraded"
+            else:
+                event = "request.completed"
+        level = "info"
+        if response.error is not None:
+            level = "error"
+        elif response.degraded:
+            level = "warning"
+        self.logger.log(
+            event,
+            level=level,
+            trace_id=response.trace_id,
+            request_id=response.request_id,
+            elapsed_seconds=response.elapsed_seconds,
+            degraded=response.degraded,
+            aborted_stage=response.aborted_stage,
+            stages={k: round(v, 6) for k, v in response.timings.items()},
+            cache=cache_delta,
+            error_code=response.error.code if response.error else None,
+        )
 
 
 class _QueuedRequest:

@@ -110,8 +110,11 @@ class LinkResponse:
     answered by the prior-only fallback; ``aborted_stage`` names the
     pipeline checkpoint where a cooperative cancellation tripped (only
     on worker-side aborts — ``None`` when the degraded answer was built
-    caller-side or the request completed); ``error`` is set (and
-    ``result`` is None) only when linking failed outright.
+    caller-side or the request completed); ``trace_id`` is the
+    request-scoped trace identifier (also echoed by the HTTP server as
+    the ``X-Trace-Id`` header) that resolves at ``GET /debug/traces``
+    when tracing is enabled; ``error`` is set (and ``result`` is None)
+    only when linking failed outright.
     """
 
     result: Optional[Dict[str, Any]] = None
@@ -120,6 +123,7 @@ class LinkResponse:
     elapsed_seconds: float = 0.0
     timings: Dict[str, float] = field(default_factory=dict)
     aborted_stage: Optional[str] = None
+    trace_id: Optional[str] = None
     error: Optional[ServiceError] = None
 
     @property
@@ -137,6 +141,8 @@ class LinkResponse:
             payload["request_id"] = self.request_id
         if self.aborted_stage is not None:
             payload["aborted_stage"] = self.aborted_stage
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         if self.error is not None:
             payload["error"] = self.error.to_json()
         return payload
@@ -153,6 +159,7 @@ class LinkResponse:
                 "timings",
                 "request_id",
                 "aborted_stage",
+                "trace_id",
                 "error",
             ),
         )
@@ -160,6 +167,9 @@ class LinkResponse:
         aborted_stage = payload.get("aborted_stage")
         if aborted_stage is not None and not isinstance(aborted_stage, str):
             raise SchemaError("LinkResponse.aborted_stage must be a string")
+        trace_id = payload.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise SchemaError("LinkResponse.trace_id must be a string")
         return cls(
             result=payload.get("result"),
             request_id=payload.get("request_id"),
@@ -167,6 +177,7 @@ class LinkResponse:
             elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
             timings=dict(payload.get("timings", {})),
             aborted_stage=aborted_stage,
+            trace_id=trace_id,
             error=ServiceError.from_json(error) if error is not None else None,
         )
 

@@ -6,9 +6,13 @@ shared service (which does its own pooling, deadlines, and metrics).
 
 Endpoints:
 
-* ``POST /link``   — body :class:`LinkRequest`, returns :class:`LinkResponse`;
+* ``POST /link``   — body :class:`LinkRequest`, returns :class:`LinkResponse`
+  (plus an ``X-Trace-Id`` response header when tracing is enabled);
 * ``POST /batch``  — body :class:`BatchLinkRequest`, returns :class:`BatchLinkResponse`;
-* ``GET /metrics`` — counters, latency histograms, cache stats;
+* ``GET /metrics`` — counters, latency histograms, cache + tracer stats;
+* ``GET /debug/traces`` — recent request traces from the tracer's ring
+  buffer; query params ``limit`` (int), ``slow_seconds`` (float,
+  keep only traces at least that slow) and ``trace_id`` (resolve one);
 * ``GET /healthz`` — liveness probe.
 
 Errors are JSON envelopes: 400 for malformed bodies (``bad_request``),
@@ -21,6 +25,7 @@ from __future__ import annotations
 import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
 
 from repro.service.engine import LinkingService
 from repro.service.schema import (
@@ -52,10 +57,13 @@ class _Handler(BaseHTTPRequestHandler):
     # routing
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/healthz":
+        path = urlsplit(self.path).path
+        if path == "/healthz":
             self._send(200, {"status": "ok"})
-        elif self.path == "/metrics":
+        elif path == "/metrics":
             self._send(200, self.server.service.snapshot())
+        elif path == "/debug/traces":
+            self._handle_traces()
         else:
             self._send_error(404, "not_found", f"unknown path {self.path}")
 
@@ -80,7 +88,11 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_error(400, "bad_request", str(exc))
             return
         response = self.server.service.link(request)
-        self._send(200 if response.ok else 500, response.to_json())
+        self._send(
+            200 if response.ok else 500,
+            response.to_json(),
+            trace_id=response.trace_id,
+        )
 
     def _handle_batch(self) -> None:
         payload = self._read_json()
@@ -94,16 +106,73 @@ class _Handler(BaseHTTPRequestHandler):
         response = self.server.service.link_batch(batch)
         self._send(200 if response.ok else 500, response.to_json())
 
+    def _handle_traces(self) -> None:
+        """``GET /debug/traces`` — recent traces, filterable."""
+        query = parse_qs(urlsplit(self.path).query)
+        try:
+            limit = int(query.get("limit", ["50"])[0])
+            slow_raw = query.get("slow_seconds", [None])[0]
+            slow_seconds = float(slow_raw) if slow_raw is not None else None
+        except ValueError:
+            self._send_error(
+                400, "bad_request",
+                "limit must be an integer and slow_seconds a number",
+            )
+            return
+        if limit < 1 or (slow_seconds is not None and slow_seconds < 0):
+            self._send_error(
+                400, "bad_request",
+                "limit must be >= 1 and slow_seconds >= 0",
+            )
+            return
+        trace_id = query.get("trace_id", [None])[0]
+        tracer = self.server.service.tracer
+        traces = tracer.recent(
+            limit=limit, slow_seconds=slow_seconds, trace_id=trace_id
+        )
+        self._send(
+            200,
+            {
+                "enabled": tracer.enabled,
+                "count": len(traces),
+                "tracer": tracer.stats(),
+                "traces": traces,
+            },
+        )
+
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def _read_json(self) -> Optional[Dict[str, Any]]:
-        length = int(self.headers.get("Content-Length", 0) or 0)
         # The early 400s below answer *without* reading the declared
         # body.  On an HTTP/1.1 keep-alive connection those unread bytes
         # would be parsed as the next request line, poisoning every
         # subsequent exchange — so these paths close the connection.
-        if length <= 0:
+        raw_length = self.headers.get("Content-Length")
+        try:
+            length = int(raw_length) if raw_length is not None else 0
+        except ValueError:
+            # A non-numeric declaration must not become an unhandled
+            # ValueError (500 + traceback); and since we cannot know how
+            # many body bytes the client will send, drop the connection.
+            self._send_error(
+                400,
+                "bad_request",
+                f"invalid Content-Length header {raw_length!r}",
+                close=True,
+            )
+            return None
+        if length < 0:
+            # A negative length would turn into rfile.read(-1): block
+            # until the client closes its end of a keep-alive socket.
+            self._send_error(
+                400,
+                "bad_request",
+                f"invalid Content-Length header {raw_length!r}",
+                close=True,
+            )
+            return None
+        if length == 0:
             self._send_error(400, "bad_request", "empty request body", close=True)
             return None
         if length > MAX_BODY_BYTES:
@@ -128,12 +197,18 @@ class _Handler(BaseHTTPRequestHandler):
         return payload
 
     def _send(
-        self, status: int, payload: Dict[str, Any], close: bool = False
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        close: bool = False,
+        trace_id: Optional[str] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Trace-Id", trace_id)
         if close:
             # send_header("Connection", "close") also flips
             # self.close_connection, so the handler loop stops reusing

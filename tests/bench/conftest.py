@@ -13,6 +13,7 @@ def micro_report():
         repeats=1,
         warmup=0,
         service_workers=2,
+        trace=True,
         label="micro",
     )
     return run_benchmark(config)

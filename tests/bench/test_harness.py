@@ -130,6 +130,39 @@ class TestDeadlineMode:
         assert sum(block["aborted_stages"].values()) == block["cancelled"]
 
 
+class TestTraceMode:
+    def test_block_present_and_valid(self, micro_report):
+        from repro.bench.schema import validate_report
+
+        trace = micro_report["trace"]
+        assert trace is not None
+        assert micro_report["config"]["trace"] is True
+        assert validate_report(micro_report) == []
+
+    def test_every_document_traced(self, micro_report):
+        trace = micro_report["trace"]
+        assert trace["recorded"] == trace["documents"] > 0
+        assert trace["stages"]["total"]["count"] == trace["documents"]
+
+    def test_spans_agree_with_stage_timings(self, micro_report):
+        # Spans reuse the stage stopwatch, so the parity delta is zero.
+        assert micro_report["trace"]["span_stage_max_delta_seconds"] == 0.0
+
+    def test_absent_without_flag(self, suite, suite_context):
+        from repro.bench.harness import _trace_mode
+        from repro.core.linker import TenetLinker
+
+        # The harness emits null without --trace; the helper itself is
+        # exercised directly on a tiny corpus here.
+        linker = TenetLinker(suite_context)
+        texts = [doc.text for doc in suite.kore50.documents[:2]]
+        block = _trace_mode(linker, 0.15, texts)
+        assert block["documents"] == 2
+        assert block["span_stage_max_delta_seconds"] == 0.0
+        for stage in ("extract", "candidates", "coherence", "total"):
+            assert block["stages"][stage]["count"] == 2
+
+
 class TestNaming:
     def test_default_report_name_embeds_rev(self):
         assert default_report_name("abc123") == "BENCH_abc123.json"

@@ -1,6 +1,7 @@
 """Alias index tests."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.kb.alias_index import AliasIndex
 from repro.kb.records import EntityRecord, PredicateRecord
@@ -165,3 +166,69 @@ class TestFuzzyCache:
         index.fuzzy_lookup_entities("Michael")
         index.fuzzy_lookup_entities("Michael")
         assert index.fuzzy_cache_stats()["hits"] == 0
+
+    def test_different_limits_share_one_memo_entry(self, index):
+        # The memo stores the unsliced tuple per normalised phrase and
+        # slices per call: three lookups, one miss, two hits, one entry.
+        unlimited = index.fuzzy_lookup_entities("Jordan")
+        top_one = index.fuzzy_lookup_entities("Jordan", limit=1)
+        top_two = index.fuzzy_lookup_entities("Jordan", limit=2)
+        stats = index.fuzzy_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert stats["size"] == 1
+        assert top_one == unlimited[:1]
+        assert top_two == unlimited[:2]
+
+    def test_limit_slicing_matches_uncached_path(self, index):
+        for limit in (None, 1, 2, 10):
+            cached = index.fuzzy_lookup_entities("Michael", limit=limit)
+            assert cached == index._fuzzy_lookup_uncached("Michael", limit)
+
+
+class TestFuzzyOverlapClamp:
+    @pytest.fixture
+    def single_token_index(self):
+        index = AliasIndex()
+        index.add_entity(
+            EntityRecord("Q1", "Tesla", types=("organization",), popularity=10)
+        )
+        return index
+
+    def test_repeated_query_tokens_do_not_inflate_overlap(
+        self, single_token_index
+    ):
+        # "tesla tesla tesla" has three content tokens but one distinct
+        # token; against the one-token alias the raw ratio would be 3.0.
+        exact = single_token_index.lookup_entities("Tesla")[0].prior
+        fuzzy = single_token_index.fuzzy_lookup_entities("Tesla Tesla Tesla")
+        assert fuzzy
+        assert fuzzy[0].prior <= 0.5 * exact
+
+    def test_fuzzy_never_outranks_exact(self, index):
+        exact = index.lookup_entities("Jordan")[0].prior
+        for phrase in ("Jordan Jordan", "Jordan Jordan Jordan Michael"):
+            for hit in index.fuzzy_lookup_entities(phrase):
+                assert hit.prior < exact
+
+    @given(
+        st.lists(
+            st.sampled_from(["michael", "jordan", "tesla", "maxwell"]),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fuzzy_prior_bounded_by_half(self, tokens):
+        # Priors are scaled by overlap * 0.5 and overlap is clamped to
+        # 1.0, so no fuzzy hit can ever exceed 0.5 — with or without
+        # repeated content tokens in the query.
+        index = AliasIndex()
+        index.add_entity(
+            EntityRecord("Q1", "Michael Jordan", types=("person",), popularity=5)
+        )
+        index.add_entity(
+            EntityRecord("Q2", "Tesla", types=("organization",), popularity=5)
+        )
+        for hit in index.fuzzy_lookup_entities(" ".join(tokens)):
+            assert 0.0 < hit.prior <= 0.5

@@ -1,0 +1,78 @@
+"""StructuredLogger unit tests."""
+
+import io
+import json
+
+from repro.obs import LOG_ENV_VAR, StructuredLogger, logging_enabled_by_env
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestEnvGate:
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(LOG_ENV_VAR, raising=False)
+        assert not logging_enabled_by_env()
+        assert not StructuredLogger.from_env().enabled
+
+    def test_truthy_enables_stderr_logger(self, monkeypatch):
+        monkeypatch.setenv(LOG_ENV_VAR, "1")
+        assert StructuredLogger.from_env().enabled
+
+    def test_falsy_values(self, monkeypatch):
+        for value in ("0", "false", "no", "off", ""):
+            monkeypatch.setenv(LOG_ENV_VAR, value)
+            assert not logging_enabled_by_env()
+
+
+class TestEmission:
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        logger = StructuredLogger(stream)
+        logger.info("request.completed", request_id="r1")
+        logger.warning("request.degraded", request_id="r2")
+        first, second = _lines(stream)
+        assert first["event"] == "request.completed"
+        assert first["level"] == "info"
+        assert first["request_id"] == "r1"
+        assert "ts" in first
+        assert second["level"] == "warning"
+
+    def test_none_fields_dropped(self):
+        stream = io.StringIO()
+        StructuredLogger(stream).info("e", kept=0, dropped=None)
+        (record,) = _lines(stream)
+        assert record["kept"] == 0
+        assert "dropped" not in record
+
+    def test_non_serialisable_falls_back_to_str(self):
+        stream = io.StringIO()
+        StructuredLogger(stream).info("e", path=object())
+        (record,) = _lines(stream)
+        assert isinstance(record["path"], str)
+
+    def test_bind_carries_context(self):
+        stream = io.StringIO()
+        child = StructuredLogger(stream).bind(host="127.0.0.1", port=80)
+        child.error("service.failed", reason="x")
+        (record,) = _lines(stream)
+        assert record["host"] == "127.0.0.1"
+        assert record["port"] == 80
+        assert record["level"] == "error"
+
+    def test_call_fields_override_bound(self):
+        stream = io.StringIO()
+        StructuredLogger(stream).bind(worker=1).info("e", worker=2)
+        (record,) = _lines(stream)
+        assert record["worker"] == 2
+
+
+class TestDisabled:
+    def test_disabled_is_a_noop(self):
+        logger = StructuredLogger.disabled()
+        assert not logger.enabled
+        logger.info("never")  # must not raise
+
+    def test_bind_of_disabled_stays_disabled(self):
+        assert not StructuredLogger.disabled().bind(a=1).enabled

@@ -1,0 +1,153 @@
+"""Tracer/Trace/Span unit tests."""
+
+import time
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_RING_SIZE,
+    TRACE_ENV_VAR,
+    Trace,
+    Tracer,
+    new_trace_id,
+    tracing_enabled_by_env,
+)
+
+
+class TestTraceIds:
+    def test_shape(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 16
+        int(trace_id, 16)  # hex
+
+    def test_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestEnvGate:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on", "anything"])
+    def test_truthy(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV_VAR, value)
+        assert tracing_enabled_by_env()
+        assert Tracer.from_env().enabled
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "off", " OFF "])
+    def test_falsy(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_ENV_VAR, value)
+        assert not tracing_enabled_by_env()
+        assert not Tracer.from_env().enabled
+
+    def test_unset_is_disabled(self, monkeypatch):
+        monkeypatch.delenv(TRACE_ENV_VAR, raising=False)
+        assert not tracing_enabled_by_env()
+
+    def test_disabled_tracer_issues_no_traces(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.start("r1") is None
+        tracer.finish(None)  # tolerated no-op
+        assert tracer.stats()["recorded_total"] == 0
+
+
+class TestRecording:
+    def test_record_keeps_caller_measurement(self):
+        trace = Trace(request_id="r1")
+        span = trace.record("extract", 0.125, words=9)
+        assert span.duration == 0.125
+        assert span.attributes == {"words": 9}
+        assert trace.stage_durations() == {"extract": 0.125}
+
+    def test_span_context_manager_times_itself(self):
+        trace = Trace()
+        with trace.span("work", size=3):
+            time.sleep(0.01)
+        (span,) = trace.spans
+        assert span.name == "work"
+        assert span.duration >= 0.01
+        assert span.status == "ok"
+
+    def test_span_context_manager_marks_abort_on_exception(self):
+        trace = Trace()
+        with pytest.raises(RuntimeError):
+            with trace.span("work"):
+                raise RuntimeError("boom")
+        assert trace.spans[0].status == "aborted"
+
+    def test_mark_aborted(self):
+        trace = Trace()
+        trace.mark_aborted("coherence")
+        assert trace.status == "aborted"
+        assert trace.to_json()["aborted_stage"] == "coherence"
+
+    def test_to_json_shape(self):
+        trace = Trace(request_id="r1")
+        trace.record("extract", 0.01)
+        trace.annotate(degraded=False)
+        payload = trace.to_json()
+        assert payload["request_id"] == "r1"
+        assert payload["status"] == "ok"
+        assert payload["attributes"] == {"degraded": False}
+        (span,) = payload["spans"]
+        assert span == {
+            "name": "extract",
+            "start_offset_seconds": span["start_offset_seconds"],
+            "duration_seconds": 0.01,
+            "status": "ok",
+        }
+
+
+class TestRingBuffer:
+    def _finished(self, tracer, request_id):
+        trace = tracer.start(request_id)
+        trace.record("total", 0.001)
+        tracer.finish(trace)
+        return trace
+
+    def test_default_ring_size(self):
+        assert Tracer().ring_size == DEFAULT_RING_SIZE
+
+    def test_rejects_empty_ring(self):
+        with pytest.raises(ValueError):
+            Tracer(ring_size=0)
+
+    def test_ring_is_bounded_newest_first(self):
+        tracer = Tracer(ring_size=3)
+        for i in range(5):
+            self._finished(tracer, f"r{i}")
+        recent = tracer.recent()
+        assert [t["request_id"] for t in recent] == ["r4", "r3", "r2"]
+        stats = tracer.stats()
+        assert stats["buffered"] == 3
+        assert stats["recorded_total"] == 5
+
+    def test_limit(self):
+        tracer = Tracer()
+        for i in range(4):
+            self._finished(tracer, f"r{i}")
+        assert len(tracer.recent(limit=2)) == 2
+
+    def test_slow_filter(self):
+        tracer = Tracer()
+        fast = tracer.start("fast")
+        tracer.finish(fast)
+        slow = tracer.start("slow")
+        slow.duration = None
+        time.sleep(0.02)
+        tracer.finish(slow)
+        kept = tracer.recent(slow_seconds=0.02)
+        assert [t["request_id"] for t in kept] == ["slow"]
+
+    def test_get_by_id(self):
+        tracer = Tracer()
+        trace = self._finished(tracer, "r1")
+        found = tracer.get(trace.trace_id)
+        assert found is not None and found["request_id"] == "r1"
+        assert tracer.get("feedfacefeedface") is None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer(ring_size=4)
+        trace = tracer.start("r1")
+        tracer.finish(trace)
+        first_duration = trace.duration
+        tracer.finish(trace)
+        assert tracer.stats()["recorded_total"] == 1
+        assert trace.duration == first_duration

@@ -125,7 +125,7 @@ class TestDegradation:
 
     def test_handle_wraps_errors(self, suite_context, monkeypatch):
         with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
-            def boom(text, deadline=None):
+            def boom(text, deadline=None, trace=None):
                 raise RuntimeError("kaput")
 
             monkeypatch.setattr(svc.linker, "link", boom)

@@ -248,3 +248,162 @@ class TestKeepAlive:
             json.loads(response.read())
         finally:
             connection.close()
+
+    def _declare_length(self, connection, value):
+        connection.putrequest("POST", "/link", skip_host=False)
+        connection.putheader("Content-Type", "application/json")
+        connection.putheader("Content-Length", value)
+        connection.endheaders()
+
+    @pytest.mark.parametrize("declared", ["abc", "12abc", "1e3", " "])
+    def test_malformed_content_length_is_a_400_not_a_500(
+        self, served, declared
+    ):
+        # A non-numeric declaration used to blow up in bare int() — an
+        # unhandled ValueError and a 500 with a traceback body.
+        connection = self._open(served)
+        try:
+            self._declare_length(connection, declared)
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["error"]["code"] == "bad_request"
+            assert "Content-Length" in payload["error"]["message"]
+            assert response.getheader("Connection") == "close"
+            # The server must still answer a follow-up request.
+            connection.request("GET", "/healthz")
+            assert connection.getresponse().status == 200
+        finally:
+            connection.close()
+
+    def test_negative_content_length_is_a_400_not_a_hang(self, served):
+        # A negative length used to become rfile.read(-1): the handler
+        # blocked until the client gave up on the keep-alive socket.
+        connection = self._open(served)
+        try:
+            self._declare_length(connection, "-5")
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 400
+            assert payload["error"]["code"] == "bad_request"
+            assert "Content-Length" in payload["error"]["message"]
+            assert response.getheader("Connection") == "close"
+            connection.request("GET", "/healthz")
+            assert connection.getresponse().status == 200
+        finally:
+            connection.close()
+
+
+@pytest.fixture(scope="module")
+def served_traced(suite_context, service_workers):
+    """A served stack with tracing forced on (independent of TENET_TRACE)."""
+    service = LinkingService(
+        suite_context,
+        ServiceConfig(workers=service_workers, trace_enabled=True),
+    )
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield server
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+class TestTracing:
+    def _link(self, served_traced, text, request_id=None):
+        connection = http.client.HTTPConnection(
+            "127.0.0.1", served_traced.server_address[1], timeout=60
+        )
+        try:
+            body = {"text": text}
+            if request_id is not None:
+                body["request_id"] = request_id
+            connection.request("POST", "/link", body=json.dumps(body))
+            response = connection.getresponse()
+            return (
+                response.status,
+                response.getheader("X-Trace-Id"),
+                json.loads(response.read()),
+            )
+        finally:
+            connection.close()
+
+    def test_trace_id_header_resolves_at_debug_traces(
+        self, served_traced, suite
+    ):
+        status, header, payload = self._link(
+            served_traced, suite.kore50.documents[0].text, request_id="t-1"
+        )
+        assert status == 200
+        assert header is not None
+        assert payload["trace_id"] == header
+        status, traces = _request(
+            served_traced, "GET", f"/debug/traces?trace_id={header}"
+        )
+        assert status == 200
+        assert traces["enabled"] is True
+        assert traces["count"] == 1
+        (trace,) = traces["traces"]
+        assert trace["trace_id"] == header
+        assert trace["request_id"] == "t-1"
+
+    def test_span_durations_agree_with_stage_timings(
+        self, served_traced, suite
+    ):
+        _, header, payload = self._link(
+            served_traced, suite.news.documents[0].text
+        )
+        _, traces = _request(
+            served_traced, "GET", f"/debug/traces?trace_id={header}"
+        )
+        (trace,) = traces["traces"]
+        spans = {
+            span["name"]: span["duration_seconds"] for span in trace["spans"]
+        }
+        # Spans reuse the stage stopwatch, so the recorded durations are
+        # the same floats the response's timings carry — not merely close.
+        for stage, seconds in payload["timings"].items():
+            assert spans[stage] == seconds
+        # Engine-only spans ride along.
+        assert "queue_wait" in spans
+        assert "cache_lookups" in spans
+
+    def test_default_stack_follows_env(self, served):
+        # The module `served` fixture leaves trace_enabled=None, so it
+        # follows TENET_TRACE: disabled in the plain CI run, enabled in
+        # the contention job.  Either way the endpoint and the response
+        # envelope must agree with the tracer's state.
+        enabled = served.service.tracer.enabled
+        _, payload = _request(
+            served, "POST", "/link", {"text": "Tesla founded a company."}
+        )
+        assert ("trace_id" in payload) == enabled
+        status, traces = _request(served, "GET", "/debug/traces")
+        assert status == 200
+        assert traces["enabled"] == enabled
+        if not enabled:
+            assert traces["traces"] == []
+
+    def test_slow_threshold_filter(self, served_traced, suite):
+        self._link(served_traced, suite.news.documents[1].text)
+        _, kept = _request(
+            served_traced, "GET", "/debug/traces?slow_seconds=0"
+        )
+        assert kept["count"] >= 1
+        _, none_kept = _request(
+            served_traced, "GET", "/debug/traces?slow_seconds=3600"
+        )
+        assert none_kept["count"] == 0
+
+    @pytest.mark.parametrize(
+        "query",
+        ["limit=abc", "limit=0", "slow_seconds=x", "slow_seconds=-1"],
+    )
+    def test_bad_query_params_are_400(self, served_traced, query):
+        status, payload = _request(
+            served_traced, "GET", f"/debug/traces?{query}"
+        )
+        assert status == 400
+        assert payload["error"]["code"] == "bad_request"

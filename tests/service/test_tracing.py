@@ -1,0 +1,189 @@
+"""Request-scoped tracing through the pipeline and the serving engine."""
+
+import io
+import json
+import time
+
+from repro.core.linker import TenetLinker
+from repro.obs import StructuredLogger, Trace
+from repro.service.engine import LinkingService, ServiceConfig
+from repro.service.schema import BatchLinkRequest, LinkRequest
+
+
+def _traced_service(suite_context, **overrides):
+    overrides.setdefault("workers", 2)
+    overrides.setdefault("trace_enabled", True)
+    return LinkingService(suite_context, ServiceConfig(**overrides))
+
+
+class TestPipelineSpans:
+    def test_spans_reuse_the_stage_stopwatch(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        trace = Trace(request_id="direct")
+        result = linker.link(suite.kore50.documents[0].text, trace=trace)
+        durations = trace.stage_durations()
+        # Identical floats: the span records the same perf_counter
+        # measurement that feeds LinkingResult.stage_seconds.
+        for stage, seconds in result.stage_seconds.items():
+            assert durations[stage] == seconds
+
+    def test_stage_attributes_carry_sizes(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        trace = Trace()
+        linker.link(suite.news.documents[0].text, trace=trace)
+        by_name = {span.name: span for span in trace.spans}
+        assert by_name["extract"].attributes["words"] > 0
+        assert by_name["candidates"].attributes["mentions"] > 0
+        assert by_name["coherence"].attributes["nodes"] > 0
+        assert "entity_links" in by_name["disambiguation"].attributes
+
+    def test_untraced_link_is_unchanged(self, suite_context, suite):
+        linker = TenetLinker(suite_context)
+        text = suite.kore50.documents[0].text
+        traced = linker.link(text, trace=Trace())
+        plain = linker.link(text)
+        assert plain.to_json(include_timings=False) == traced.to_json(
+            include_timings=False
+        )
+
+
+class TestEngineTracing:
+    def test_response_trace_resolves_with_engine_spans(
+        self, suite_context, suite
+    ):
+        with _traced_service(suite_context) as svc:
+            response = svc.link(
+                LinkRequest(text=suite.news.documents[0].text, request_id="r1")
+            )
+            assert response.trace_id is not None
+            trace = svc.tracer.get(response.trace_id)
+        assert trace is not None
+        assert trace["request_id"] == "r1"
+        spans = {s["name"]: s["duration_seconds"] for s in trace["spans"]}
+        for stage, seconds in response.timings.items():
+            assert spans[stage] == seconds
+        assert "queue_wait" in spans
+        assert "cache_lookups" in spans
+
+    def test_queue_wait_is_measured_and_observed(self, suite_context, suite):
+        with _traced_service(suite_context) as svc:
+            svc.link(LinkRequest(text=suite.kore50.documents[0].text))
+            snapshot = svc.snapshot()
+        assert snapshot["latencies"]["latency.queue_wait"]["count"] >= 1
+        assert snapshot["tracing"]["recorded_total"] >= 1
+        assert snapshot["config"]["trace_enabled"] is True
+
+    def test_batch_requests_get_distinct_traces(self, suite_context, suite):
+        texts = [doc.text for doc in suite.kore50.documents[:3]]
+        with _traced_service(suite_context) as svc:
+            responses = svc.link_batch(BatchLinkRequest.of_texts(*texts))
+            ids = [r.trace_id for r in responses.responses]
+            assert all(ids)
+            assert len(set(ids)) == 3
+            assert svc.tracer.stats()["recorded_total"] >= 3
+
+    def test_tracing_disabled_by_default(
+        self, suite_context, suite, monkeypatch
+    ):
+        monkeypatch.delenv("TENET_TRACE", raising=False)
+        with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
+            assert not svc.tracer.enabled
+            response = svc.link(
+                LinkRequest(text=suite.kore50.documents[0].text)
+            )
+            assert response.trace_id is None
+            assert svc.tracer.stats()["recorded_total"] == 0
+
+    def test_degraded_request_trace_marks_abort(self, suite_context, suite):
+        with _traced_service(
+            suite_context, workers=1, default_timeout_seconds=1e-4
+        ) as svc:
+            response = svc.link(
+                LinkRequest(text=suite.news.documents[0].text)
+            )
+            assert response.degraded
+            assert response.trace_id is not None
+            # The worker owns the trace and seals it when it aborts;
+            # after a caller-side degrade that can lag the response.
+            trace = None
+            for _ in range(100):
+                trace = svc.tracer.get(response.trace_id)
+                if trace is not None:
+                    break
+                time.sleep(0.01)
+        assert trace is not None
+        assert trace["status"] == "aborted"
+        assert trace["aborted_stage"]
+
+    def test_error_requests_are_traced(self, suite_context, monkeypatch):
+        with _traced_service(suite_context, workers=1) as svc:
+            def boom(text, deadline=None, trace=None):
+                raise RuntimeError("kaput")
+
+            monkeypatch.setattr(svc.linker, "link", boom)
+            response = svc.handle(LinkRequest(text="whatever text"))
+            assert not response.ok
+            assert response.trace_id is not None
+            trace = svc.tracer.get(response.trace_id)
+        assert trace["attributes"]["error_code"] == "internal"
+
+
+class TestStructuredRequestLogs:
+    def test_completed_request_emits_one_json_line(
+        self, suite_context, suite
+    ):
+        stream = io.StringIO()
+        service = LinkingService(
+            suite_context,
+            ServiceConfig(workers=1, trace_enabled=True),
+            logger=StructuredLogger(stream),
+        )
+        with service as svc:
+            response = svc.link(
+                LinkRequest(text=suite.kore50.documents[0].text, request_id="r1")
+            )
+        (record,) = [
+            json.loads(line) for line in stream.getvalue().splitlines()
+        ]
+        assert record["event"] == "request.completed"
+        assert record["level"] == "info"
+        assert record["request_id"] == "r1"
+        assert record["trace_id"] == response.trace_id
+        assert record["stages"]
+        assert "cache" in record
+
+    def test_logging_disabled_by_default(self, suite_context, monkeypatch):
+        monkeypatch.delenv("TENET_LOG", raising=False)
+        with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
+            assert not svc.logger.enabled
+
+
+class TestTracerConfig:
+    def test_ring_size_flows_from_config(self, suite_context):
+        with LinkingService(
+            suite_context,
+            ServiceConfig(workers=1, trace_enabled=True, trace_ring_size=7),
+        ) as svc:
+            assert svc.tracer.ring_size == 7
+            assert svc.snapshot()["config"]["trace_ring_size"] == 7
+
+    def test_rejects_empty_ring(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ServiceConfig(trace_ring_size=0)
+
+    def test_env_var_enables_tracing(self, suite_context, monkeypatch):
+        monkeypatch.setenv("TENET_TRACE", "1")
+        with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
+            assert svc.tracer.enabled
+        monkeypatch.setenv("TENET_TRACE", "0")
+        with LinkingService(suite_context, ServiceConfig(workers=1)) as svc:
+            assert not svc.tracer.enabled
+
+    def test_config_override_beats_env(self, suite_context, monkeypatch):
+        monkeypatch.setenv("TENET_TRACE", "1")
+        with LinkingService(
+            suite_context, ServiceConfig(workers=1, trace_enabled=False)
+        ) as svc:
+            assert not svc.tracer.enabled
