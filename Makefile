@@ -1,6 +1,7 @@
 # Convenience targets for the TENET reproduction.
 
-.PHONY: install test bench bench-compare examples report serve clean
+.PHONY: install test bench bench-compare examples report serve \
+    snapshot serve-warm clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,6 +29,19 @@ report:
 # world (endpoints: /link /batch /metrics /healthz).
 serve:
 	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080
+
+# Build (and verify) the default full-scale snapshot into ./snapshots —
+# the one-time cold build that `serve-warm` and `bench --snapshot`
+# reuse.  See docs/snapshots.md.
+snapshot:
+	PYTHONPATH=src python -m repro.cli snapshot build snapshots
+	PYTHONPATH=src python -m repro.cli snapshot verify snapshots
+
+# Same service, warm-started from the ./snapshots store (built on first
+# use if absent); the snapshot identity is surfaced on /metrics.
+serve-warm:
+	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080 \
+	    --snapshot snapshots
 
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \

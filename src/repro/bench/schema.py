@@ -13,6 +13,10 @@ One benchmark run produces one JSON document::
       "env": {"python": ..., "implementation": ..., "platform": ...,
               "machine": ..., "cpu_count": ..., "numpy": ...},
       "context_build_seconds": ...,
+      "context_source": "cold" | "snapshot",        # optional (older records)
+      "snapshot": {"id": ..., "path": ..., "schema_version": N,
+                   "content_digest": ..., "source": "warm" | "built",
+                   "load_seconds": ..., "artifacts": {...}} | null,
       "peak_rss_kb": ...,
       "total_seconds": ...,
       "scales": [
@@ -170,6 +174,26 @@ def validate_report(payload: object) -> List[str]:
                 problems.append(f"{where}: missing stage {stage!r}")
         for stage, block in stages.items():
             _check_stats(block, f"{where}.stages[{stage!r}]", problems)
+
+    # Optional warm-start provenance (absent in pre-snapshot records —
+    # additions stay backward compatible within schema_version 1).
+    source = payload.get("context_source")
+    if source is not None and source not in ("cold", "snapshot"):
+        problems.append(
+            f"context_source must be 'cold' or 'snapshot', got {source!r}"
+        )
+    snapshot = payload.get("snapshot")
+    if snapshot is not None:
+        if not isinstance(snapshot, dict):
+            problems.append("snapshot must be an object or null")
+        else:
+            for field in ("id", "content_digest"):
+                if not isinstance(snapshot.get(field), str):
+                    problems.append(f"snapshot: missing string {field!r}")
+            if not _is_number(snapshot.get("load_seconds")):
+                problems.append("snapshot: missing numeric 'load_seconds'")
+    if source == "snapshot" and snapshot is None:
+        problems.append("context_source is 'snapshot' but snapshot block is null")
 
     comparison = payload.get("coherence_comparison")
     if comparison is not None:

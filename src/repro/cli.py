@@ -17,7 +17,14 @@ Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
 * ``bench``     — run the benchmark harness and write a schema-versioned
   ``BENCH_<rev>.json``; ``bench compare A.json B.json`` diffs two such
   records and exits non-zero past the regression threshold (see
-  ``docs/benchmarking.md``).
+  ``docs/benchmarking.md``);
+* ``snapshot``  — manage the versioned artifact store
+  (``build``/``verify``/``list``/``gc``, see ``docs/snapshots.md``).
+
+``link``, ``serve``, and ``bench`` accept ``--snapshot DIR`` to
+warm-start the linking context from the store instead of rebuilding the
+world, alias index, and embeddings (load-or-build: the first run against
+an empty store pays the cold build once and persists it).
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import json
 import sys
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.baselines import (
     EarlLinker,
@@ -97,6 +104,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="batch mode: one document per input line, one result JSON "
         "per output line, all linked over a single warm context",
     )
+    link_parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="warm-start the context from this snapshot store (or a "
+        "specific snapshot directory) instead of rebuilding",
+    )
 
     eval_parser = subparsers.add_parser(
         "evaluate", help="run the Tables 3-4 evaluation"
@@ -156,6 +171,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--max-candidates", type=int, default=4, metavar="K"
     )
+    serve_parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="warm-start the context from this snapshot store (or a "
+        "specific snapshot directory); the snapshot identity is "
+        "surfaced on /metrics",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -205,6 +229,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument("--label", default="", help="freeform run label")
     bench_parser.add_argument(
+        "--snapshot",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="warm-start the context and gold sets from this snapshot "
+        "store; context_build_seconds then measures the snapshot load",
+    )
+    bench_parser.add_argument(
         "--no-scalar-baseline",
         action="store_true",
         help="skip the batch-vs-scalar coherence comparison",
@@ -232,6 +264,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0 (PR mode)",
+    )
+
+    snapshot_parser = subparsers.add_parser(
+        "snapshot",
+        help="manage the versioned artifact store (build/verify/list/gc)",
+    )
+    snapshot_sub = snapshot_parser.add_subparsers(
+        dest="snapshot_command", required=True
+    )
+    snap_build = snapshot_sub.add_parser(
+        "build", help="build all artifacts and publish one snapshot"
+    )
+    snap_build.add_argument("store", type=Path, help="snapshot store root")
+    snap_build.add_argument(
+        "--scales",
+        default="1.0",
+        metavar="S1,S2,...",
+        help="dataset scales to persist (default: 1.0)",
+    )
+    snap_build.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even if the spec's snapshot already exists",
+    )
+    snap_verify = snapshot_sub.add_parser(
+        "verify", help="re-hash artifacts against the manifest; exit 1 on mismatch"
+    )
+    snap_verify.add_argument(
+        "path", type=Path, help="snapshot directory, or a store root to verify all"
+    )
+    snap_list = snapshot_sub.add_parser(
+        "list", help="list snapshots in a store, newest first"
+    )
+    snap_list.add_argument("store", type=Path)
+    snap_list.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    snap_gc = snapshot_sub.add_parser(
+        "gc", help="remove temp leftovers, broken snapshots, and old snapshots"
+    )
+    snap_gc.add_argument("store", type=Path)
+    snap_gc.add_argument(
+        "--keep", type=int, default=2, help="newest snapshots to keep (default 2)"
+    )
+    snap_gc.add_argument(
+        "--dry-run", action="store_true", help="print removals without deleting"
     )
 
     report_parser = subparsers.add_parser(
@@ -294,13 +372,42 @@ def _link_payload(linker, kb, text: str) -> Dict:
     return payload
 
 
+def _parse_scales(raw: str) -> Tuple[float, ...]:
+    """Parse a ``--scales`` comma list; raises ValueError on bad input."""
+    scales = tuple(float(s) for s in raw.split(",") if s.strip())
+    if not scales:
+        raise ValueError(f"no scales in {raw!r}")
+    return scales
+
+
+def _resolve_context(args: argparse.Namespace):
+    """``(context, snapshot_info)`` honouring an optional ``--snapshot``.
+
+    With ``--snapshot`` the context is warm-started from the store
+    (load-or-build; progress goes to stderr so JSON output stays clean)
+    and the snapshot's identity block is returned for surfacing; without
+    it the world is built cold and the info is ``None``.
+    """
+    if getattr(args, "snapshot", None) is not None:
+        from repro.snapshot import SnapshotSpec, load_or_build
+
+        warm = load_or_build(
+            args.snapshot,
+            SnapshotSpec(seed=args.seed),
+            echo=lambda message: print(f"# {message}", file=sys.stderr),
+        )
+        warm.seed_fuzzy_cache()
+        return warm.context, warm.info()
+    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
+    return LinkingContext.build(world.kb, world.taxonomy), None
+
+
 def _cmd_link(args: argparse.Namespace) -> int:
     text = _read_text(args)
     if not text.strip():
         print("error: empty document", file=sys.stderr)
         return 2
-    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
-    context = LinkingContext.build(world.kb, world.taxonomy)
+    context, _snapshot_info = _resolve_context(args)
     if args.system == "tenet":
         linker = TenetLinker(
             context, TenetConfig(max_candidates=args.max_candidates)
@@ -316,9 +423,9 @@ def _cmd_link(args: argparse.Namespace) -> int:
             document = line.strip()
             if not document:
                 continue
-            print(json.dumps(_link_payload(linker, world.kb, document)))
+            print(json.dumps(_link_payload(linker, context.kb, document)))
         return 0
-    print(json.dumps(_link_payload(linker, world.kb, text.strip()), indent=1))
+    print(json.dumps(_link_payload(linker, context.kb, text.strip()), indent=1))
     return 0
 
 
@@ -326,8 +433,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import LinkerCacheConfig, LinkingService, ServiceConfig
     from repro.service.server import create_server
 
-    world = build_synthetic_world(SyntheticKBConfig(seed=args.seed))
-    context = LinkingContext.build(world.kb, world.taxonomy)
+    context, snapshot_info = _resolve_context(args)
     service = LinkingService(
         context,
         ServiceConfig(
@@ -338,18 +444,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             trace_enabled=True if args.trace else None,
         ),
         TenetConfig(max_candidates=args.max_candidates),
+        snapshot_info=snapshot_info,
     )
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     print(f"tenet-repro serving on http://{host}:{port}  "
           f"(endpoints: /link /batch /metrics /debug/traces /healthz; "
           f"Ctrl-C to stop)")
+    if snapshot_info is not None:
+        print(
+            f"context warm-started from snapshot {snapshot_info['id']} "
+            f"({snapshot_info['source']}, "
+            f"loaded in {snapshot_info['load_seconds']:.3f}s)"
+        )
     service.logger.info(
         "service.started",
         host=host,
         port=port,
         workers=args.workers,
         tracing=service.tracer.enabled,
+        snapshot=snapshot_info["id"] if snapshot_info else None,
     )
     try:
         server.serve_forever()
@@ -396,9 +510,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overrides = {}
     if args.scales is not None:
         try:
-            scales = tuple(
-                float(s) for s in args.scales.split(",") if s.strip()
-            )
+            scales = _parse_scales(args.scales)
         except ValueError:
             print(f"error: bad --scales {args.scales!r}", file=sys.stderr)
             return 2
@@ -420,7 +532,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     overrides["seed"] = args.seed
     config = replace(config, **overrides)
 
-    report = run_benchmark(config, echo=lambda line: print(f"# {line}"))
+    report = run_benchmark(
+        config,
+        echo=lambda line: print(f"# {line}"),
+        snapshot_path=args.snapshot,
+    )
     problems = validate_report(report)
     if problems:  # pragma: no cover - harness/schema drift guard
         print(f"error: generated record is invalid: {problems}", file=sys.stderr)
@@ -529,6 +645,85 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_snapshot(args: argparse.Namespace) -> int:
+    from repro.snapshot import (
+        MANIFEST_NAME,
+        SnapshotSpec,
+        build_snapshot,
+        gc_snapshots,
+        list_snapshots,
+        verify_snapshot,
+    )
+
+    if args.snapshot_command == "build":
+        try:
+            scales = _parse_scales(args.scales)
+        except ValueError:
+            print(f"error: bad --scales {args.scales!r}", file=sys.stderr)
+            return 2
+        spec = SnapshotSpec(seed=args.seed, scales=scales)
+        path = build_snapshot(
+            spec,
+            args.store,
+            echo=lambda message: print(f"# {message}"),
+            force=args.force,
+        )
+        print(path)
+        return 0
+
+    if args.snapshot_command == "verify":
+        # A specific snapshot directory, or a store root (verify all).
+        if (args.path / MANIFEST_NAME).is_file():
+            targets = [args.path]
+        else:
+            targets = [
+                Path(entry["path"]) for entry in list_snapshots(args.path)
+            ]
+            if not targets:
+                print(f"error: no snapshots under {args.path}", file=sys.stderr)
+                return 2
+        failed = 0
+        for target in targets:
+            problems = verify_snapshot(target)
+            if problems:
+                failed += 1
+                print(f"FAIL {target}")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                print(f"ok   {target}")
+        return 1 if failed else 0
+
+    if args.snapshot_command == "list":
+        entries = list_snapshots(args.store)
+        if args.json:
+            print(json.dumps(entries, indent=1))
+            return 0
+        if not entries:
+            print(f"no snapshots under {args.store}")
+            return 0
+        for entry in entries:
+            if "error" in entry:
+                print(f"{entry['id']}  BROKEN: {entry['error']}")
+                continue
+            megabytes = entry["bytes"] / 1e6
+            print(
+                f"{entry['id']}  seed={entry['seed']} "
+                f"scales={','.join(f'{s:g}' for s in entry['scales'])} "
+                f"artifacts={entry['artifacts']} size={megabytes:.1f}MB "
+                f"digest={entry['content_digest'][:12]}"
+            )
+        return 0
+
+    # gc
+    removed = gc_snapshots(args.store, keep=args.keep, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    for path in removed:
+        print(f"{verb} {path}")
+    print(f"{verb} {len(removed)} entries (keep={args.keep})")
+    return 0
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from repro.datasets.loaders import load_dataset
     from repro.datasets.validation import validate_dataset
@@ -556,6 +751,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "snapshot": _cmd_snapshot,
 }
 
 

@@ -9,6 +9,9 @@ so cosine similarity is a plain dot product.
 from __future__ import annotations
 
 import json
+import os
+import shutil
+import uuid
 from pathlib import Path
 from typing import Dict, List, Sequence, Tuple, Union
 
@@ -133,11 +136,32 @@ class EmbeddingStore:
     # persistence (memory-mapped load path)
     # ------------------------------------------------------------------
     def save(self, directory: Union[str, Path]) -> None:
-        """Persist to ``embeddings.npy`` + ``ids.json`` under *directory*."""
+        """Persist to ``embeddings.npy`` + ``ids.json`` under *directory*.
+
+        Writes are atomic: both files land in a temp directory first and
+        are published by rename, so a crash mid-save can never leave a
+        half-written directory that :meth:`load` would silently accept.
+        When *directory* does not exist yet the whole temp directory is
+        renamed into place in one step; when it does, each file is
+        atomically replaced (``ids.json`` last, so a torn state shows up
+        as the id-count/row-count mismatch :meth:`load` rejects).
+        """
         directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        np.save(directory / "embeddings.npy", self._matrix)
-        (directory / "ids.json").write_text(json.dumps(self._ids))
+        directory.parent.mkdir(parents=True, exist_ok=True)
+        tmp = directory.parent / f".{directory.name}.tmp-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir()
+        try:
+            np.save(tmp / "embeddings.npy", np.asarray(self._matrix))
+            (tmp / "ids.json").write_text(json.dumps(self._ids))
+            if directory.exists():
+                os.replace(tmp / "embeddings.npy", directory / "embeddings.npy")
+                os.replace(tmp / "ids.json", directory / "ids.json")
+                tmp.rmdir()
+            else:
+                os.replace(tmp, directory)
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
 
     @classmethod
     def load(cls, directory: Union[str, Path], mmap: bool = True) -> "EmbeddingStore":
@@ -146,15 +170,35 @@ class EmbeddingStore:
         With ``mmap=True`` the matrix is memory-mapped rather than read
         into RAM — the access pattern the paper describes for serving
         embeddings during linking.
+
+        Raises ``ValueError`` when the directory is internally
+        inconsistent (id count != matrix rows, or a malformed matrix) —
+        the signature of a torn write by a pre-atomic saver.
         """
         directory = Path(directory)
         matrix = np.load(
             directory / "embeddings.npy", mmap_mode="r" if mmap else None
         )
         ids = json.loads((directory / "ids.json").read_text())
+        if not isinstance(ids, list) or not all(isinstance(i, str) for i in ids):
+            raise ValueError(f"corrupt embedding store at {directory}: bad ids.json")
+        if matrix.ndim != 2:
+            raise ValueError(
+                f"corrupt embedding store at {directory}: matrix has "
+                f"{matrix.ndim} dimensions, expected 2"
+            )
+        if matrix.shape[0] != len(ids):
+            raise ValueError(
+                f"corrupt embedding store at {directory}: {len(ids)} ids "
+                f"vs {matrix.shape[0]} matrix rows"
+            )
         store = cls(matrix.shape[1])
         store._ids = list(ids)
         store._index = {cid: i for i, cid in enumerate(store._ids)}
+        if len(store._index) != len(store._ids):
+            raise ValueError(
+                f"corrupt embedding store at {directory}: duplicate concept ids"
+            )
         store._matrix = matrix
         return store
 

@@ -104,6 +104,75 @@ class AliasIndex:
                 postings.append(predicate.predicate_id)
 
     # ------------------------------------------------------------------
+    # serialisation
+    # ------------------------------------------------------------------
+    #: Bumped whenever the serialised layout changes meaning; readers
+    #: refuse newer versions instead of misinterpreting them.
+    SERIAL_FORMAT_VERSION = 1
+
+    def to_json(self) -> Dict[str, object]:
+        """Serialise the index to a JSON-compatible dictionary.
+
+        Posting-list and token-index order is preserved exactly, so a
+        deserialised index is *structurally identical* to the original
+        (not merely equivalent after re-ranking) — the property the
+        snapshot store's warm-start parity guarantee rests on.  The
+        fuzzy memo is transient state and is not serialised.
+        """
+        return {
+            "format_version": self.SERIAL_FORMAT_VERSION,
+            "entity_postings": {
+                key: list(ids) for key, ids in self._entity_postings.items()
+            },
+            "predicate_postings": {
+                key: list(ids) for key, ids in self._predicate_postings.items()
+            },
+            "entity_popularity": dict(self._entity_popularity),
+            "predicate_popularity": dict(self._predicate_popularity),
+            "entity_types": {
+                cid: list(types) for cid, types in self._entity_types.items()
+            },
+            "token_index": {
+                token: list(keys) for token, keys in self._token_index.items()
+            },
+        }
+
+    @classmethod
+    def from_json(
+        cls,
+        payload: Dict[str, object],
+        taxonomy: Optional[TypeTaxonomy] = None,
+        fuzzy_cache_size: Optional[int] = 2048,
+    ) -> "AliasIndex":
+        """Rebuild an index from :meth:`to_json` output."""
+        version = payload.get("format_version")
+        if version != cls.SERIAL_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported alias index format version {version!r}"
+            )
+        index = cls(taxonomy, fuzzy_cache_size=fuzzy_cache_size)
+        index._entity_postings = {
+            key: list(ids) for key, ids in payload["entity_postings"].items()
+        }
+        index._predicate_postings = {
+            key: list(ids) for key, ids in payload["predicate_postings"].items()
+        }
+        index._entity_popularity = {
+            cid: int(pop) for cid, pop in payload["entity_popularity"].items()
+        }
+        index._predicate_popularity = {
+            cid: int(pop)
+            for cid, pop in payload["predicate_popularity"].items()
+        }
+        index._entity_types = {
+            cid: tuple(types) for cid, types in payload["entity_types"].items()
+        }
+        index._token_index = {
+            token: list(keys) for token, keys in payload["token_index"].items()
+        }
+        return index
+
+    # ------------------------------------------------------------------
     # lookups
     # ------------------------------------------------------------------
     def lookup_entities(

@@ -5,13 +5,22 @@ equivalent round-trip for our KB so datasets and worlds can be persisted
 and reloaded (and so tests can assert the dump format is lossless).  The
 layout loosely mirrors the Wikidata dump: one record per concept with
 labels/aliases/claims.
+
+The dump is **canonical**: entity and predicate records are emitted in
+natural id order ("Q2" before "Q10") and claims in insertion order,
+which for the seeded synthetic world is itself deterministic.  Two
+identical KBs therefore serialise to byte-identical dumps, and
+``kb_to_json_dump(kb_from_json_dump(d)) == d`` — the fixed-point
+property the snapshot store's content hashes rely on.  Reloading also
+preserves iteration order, so seeded consumers (the dataset generator)
+behave identically on a built and a reloaded world.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Tuple, Union
 
 from repro.kb.records import EntityRecord, PredicateRecord, Triple
 from repro.kb.store import KnowledgeBase
@@ -19,8 +28,19 @@ from repro.kb.store import KnowledgeBase
 DUMP_FORMAT_VERSION = 1
 
 
+def _natural_id_key(concept_id: str) -> Tuple[str, int, str]:
+    """Sort key putting "Q2" before "Q10" (prefix, numeric tail, raw).
+
+    Ids that do not follow the ``<letters><digits>`` shape fall back to
+    plain lexicographic order within their prefix group.
+    """
+    head = concept_id.rstrip("0123456789")
+    tail = concept_id[len(head):]
+    return (head, int(tail) if tail else -1, concept_id)
+
+
 def kb_to_json_dump(kb: KnowledgeBase) -> Dict[str, Any]:
-    """Serialise *kb* to a JSON-compatible dictionary."""
+    """Serialise *kb* to a JSON-compatible dictionary (canonical order)."""
     return {
         "format_version": DUMP_FORMAT_VERSION,
         "entities": [
@@ -33,7 +53,7 @@ def kb_to_json_dump(kb: KnowledgeBase) -> Dict[str, Any]:
                 "description": e.description,
                 "domain": e.domain,
             }
-            for e in kb.entities()
+            for e in sorted(kb.entities(), key=lambda e: _natural_id_key(e.entity_id))
         ],
         "predicates": [
             {
@@ -44,7 +64,9 @@ def kb_to_json_dump(kb: KnowledgeBase) -> Dict[str, Any]:
                 "description": p.description,
                 "domain": p.domain,
             }
-            for p in kb.predicates()
+            for p in sorted(
+                kb.predicates(), key=lambda p: _natural_id_key(p.predicate_id)
+            )
         ],
         "claims": [
             {

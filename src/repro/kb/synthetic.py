@@ -523,3 +523,88 @@ def build_synthetic_world(
 ) -> SyntheticWorld:
     """Build the full synthetic world; deterministic in ``config.seed``."""
     return _WorldBuilder(config or SyntheticKBConfig()).build()
+
+
+# --------------------------------------------------------------------------
+# serialisation
+#
+# The KB itself round-trips through repro.kb.dump; what would otherwise be
+# rebuild-only is the *bookkeeping* the dataset generator needs
+# (domain membership, predicate spec keys, city/country pools) plus the
+# config that produced the world.  Serialising it lets a snapshot
+# reconstruct a full SyntheticWorld around a reloaded KB without
+# re-running the seeded builder.
+# --------------------------------------------------------------------------
+
+WORLD_FORMAT_VERSION = 1
+
+
+def world_to_json(world: SyntheticWorld) -> Dict[str, object]:
+    """Serialise the world's bookkeeping (KB excluded — see module note).
+
+    ``domain_entities`` and ``predicate_ids`` are emitted as ordered
+    ``[key, value]`` pair lists, not JSON objects: the dataset generator
+    iterates these dicts, so their *insertion order* is part of the
+    world's identity and must survive serialisers that sort object keys
+    (which the snapshot store uses for canonical bytes).
+    """
+    config = world.config
+    return {
+        "format_version": WORLD_FORMAT_VERSION,
+        "config": {
+            "domains": list(config.domains),
+            "people_per_domain": config.people_per_domain,
+            "organizations_per_domain": config.organizations_per_domain,
+            "works_per_domain": config.works_per_domain,
+            "awards_per_domain": config.awards_per_domain,
+            "ambiguous_person_pairs": config.ambiguous_person_pairs,
+            "extra_facts_per_domain": config.extra_facts_per_domain,
+            "seed": config.seed,
+        },
+        "domain_entities": [
+            [domain, list(ids)] for domain, ids in world.domain_entities.items()
+        ],
+        "predicate_ids": [
+            [key, pid] for key, pid in world.predicate_ids.items()
+        ],
+        "cities": list(world.cities),
+        "countries": list(world.countries),
+    }
+
+
+def world_from_json(
+    payload: Dict[str, object], kb: KnowledgeBase
+) -> SyntheticWorld:
+    """Rebuild a :class:`SyntheticWorld` from :func:`world_to_json` output.
+
+    *kb* is the separately-persisted knowledge base the bookkeeping
+    refers to (see :mod:`repro.kb.dump`); ids mentioned in the payload
+    must exist in it.
+    """
+    version = payload.get("format_version")
+    if version != WORLD_FORMAT_VERSION:
+        raise ValueError(f"unsupported world format version {version!r}")
+    raw_config = dict(payload["config"])
+    raw_config["domains"] = tuple(raw_config["domains"])
+    config = SyntheticKBConfig(**raw_config)
+    world = SyntheticWorld(kb, build_default_taxonomy(), config)
+    world.domain_entities = {
+        domain: list(ids) for domain, ids in payload["domain_entities"]
+    }
+    world.predicate_ids = {key: pid for key, pid in payload["predicate_ids"]}
+    world.cities = list(payload["cities"])
+    world.countries = list(payload["countries"])
+    for domain, ids in world.domain_entities.items():
+        for eid in ids:
+            if not kb.has_entity(eid):
+                raise ValueError(
+                    f"world bookkeeping references unknown entity {eid!r} "
+                    f"in domain {domain!r}"
+                )
+    for key, pid in world.predicate_ids.items():
+        if not kb.has_predicate(pid):
+            raise ValueError(
+                f"world bookkeeping references unknown predicate {pid!r} "
+                f"for key {key!r}"
+            )
+    return world

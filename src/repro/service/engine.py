@@ -118,8 +118,14 @@ class LinkingService:
         config: ServiceConfig = ServiceConfig(),
         linker_config: TenetConfig = TenetConfig(),
         logger: Optional[StructuredLogger] = None,
+        snapshot_info: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.config = config
+        # Identity of the snapshot the context was warm-started from
+        # (None for a cold build); surfaced verbatim on /metrics so a
+        # rolling restart can assert every replica serves the same
+        # artifact bytes (compare the content_digest).
+        self.snapshot_info = snapshot_info
         self.caches = LinkerCaches(config.cache)
         self.linker = attach_caches(TenetLinker(context, linker_config), self.caches)
         self.metrics = MetricsRegistry()
@@ -283,6 +289,7 @@ class LinkingService:
         payload = self.metrics.snapshot()
         payload["caches"] = self.caches.snapshot(self.linker)
         payload["tracing"] = self.tracer.stats()
+        payload["snapshot"] = self.snapshot_info
         payload["config"] = {
             "workers": self.config.workers,
             "default_timeout_seconds": self.config.default_timeout_seconds,

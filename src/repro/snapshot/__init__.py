@@ -1,0 +1,51 @@
+"""Versioned artifact store + warm-start tier for linking contexts.
+
+Public surface of the ``repro.snapshot`` subsystem:
+
+* :class:`SnapshotSpec` — what to build (content-addressed identity);
+* :func:`build_snapshot` / :func:`verify_snapshot` /
+  :func:`load_snapshot` / :func:`load_or_build` — the store verbs;
+* :func:`list_snapshots` / :func:`gc_snapshots` — store maintenance;
+* :class:`WarmStart` — a loaded context plus datasets and cache seed;
+* :class:`SnapshotManifest` — the on-disk metadata record.
+"""
+
+from repro.snapshot.manifest import (
+    MANIFEST_NAME,
+    SNAPSHOT_SCHEMA_VERSION,
+    ArtifactEntry,
+    SnapshotManifest,
+    SnapshotSchemaError,
+)
+from repro.snapshot.store import (
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotNotFoundError,
+    SnapshotSpec,
+    WarmStart,
+    build_snapshot,
+    gc_snapshots,
+    list_snapshots,
+    load_or_build,
+    load_snapshot,
+    verify_snapshot,
+)
+
+__all__ = [
+    "MANIFEST_NAME",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "ArtifactEntry",
+    "SnapshotManifest",
+    "SnapshotSchemaError",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotNotFoundError",
+    "SnapshotSpec",
+    "WarmStart",
+    "build_snapshot",
+    "gc_snapshots",
+    "list_snapshots",
+    "load_or_build",
+    "load_snapshot",
+    "verify_snapshot",
+]

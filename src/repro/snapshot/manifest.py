@@ -1,0 +1,201 @@
+"""The snapshot manifest: schema, hashing, and (de)serialisation.
+
+One snapshot directory holds the complete linking context as on-disk
+artifacts plus one ``MANIFEST.json`` describing them.  The manifest
+carries:
+
+* ``schema_version`` — bumped whenever any artifact layout or manifest
+  field changes meaning; readers refuse newer versions instead of
+  misinterpreting them;
+* ``snapshot_id`` — the content-addressed identity derived from the
+  build *spec* (seed, scales, configs, format versions), so the same
+  inputs always resolve to the same directory name;
+* ``spec`` — the full :class:`~repro.snapshot.store.SnapshotSpec` that
+  produced the snapshot, including the ``SyntheticKBConfig``;
+* ``artifacts`` — per-artifact relative path, byte size, and SHA-256,
+  the integrity record ``snapshot verify`` and every warm-start load
+  check before anything is served;
+* build metadata — wall-clock build time, creation timestamp, and an
+  environment fingerprint.
+
+The manifest is written *last* during a build and the whole directory is
+published by a single atomic rename, so a directory containing a
+readable manifest is by construction a completely-written snapshot (and
+any later corruption is caught by the hashes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+MANIFEST_NAME = "MANIFEST.json"
+SNAPSHOT_SCHEMA_VERSION = 1
+SNAPSHOT_KIND = "tenet-snapshot"
+
+_HASH_CHUNK = 1 << 20
+
+
+class SnapshotSchemaError(ValueError):
+    """A manifest does not conform to the supported schema."""
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON used for hashing: sorted keys, no whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def sha256_file(path: Union[str, Path]) -> str:
+    """Streaming SHA-256 of one file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def sha256_text(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class ArtifactEntry:
+    """One artifact's integrity record."""
+
+    name: str
+    path: str  # POSIX-style, relative to the snapshot directory
+    sha256: str
+    bytes: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "path": self.path,
+            "sha256": self.sha256,
+            "bytes": self.bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "ArtifactEntry":
+        return cls(
+            name=str(payload["name"]),
+            path=str(payload["path"]),
+            sha256=str(payload["sha256"]),
+            bytes=int(payload["bytes"]),
+        )
+
+
+@dataclass
+class SnapshotManifest:
+    """The parsed ``MANIFEST.json`` of one snapshot."""
+
+    snapshot_id: str
+    spec: Dict[str, object]
+    artifacts: List[ArtifactEntry] = field(default_factory=list)
+    schema_version: int = SNAPSHOT_SCHEMA_VERSION
+    kind: str = SNAPSHOT_KIND
+    created_unix: float = field(default_factory=time.time)
+    build_seconds: float = 0.0
+    env: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def artifact(self, name: str) -> ArtifactEntry:
+        for entry in self.artifacts:
+            if entry.name == name:
+                return entry
+        raise KeyError(f"snapshot has no artifact {name!r}")
+
+    def artifact_names(self) -> List[str]:
+        return [entry.name for entry in self.artifacts]
+
+    @property
+    def content_digest(self) -> str:
+        """One hash over all artifact hashes (rolling-restart fingerprint).
+
+        Two snapshot directories with the same digest hold byte-identical
+        artifacts; ``/metrics`` surfaces it so a rolling restart can
+        assert every replica serves the same context.
+        """
+        combined = canonical_json(
+            sorted((entry.path, entry.sha256) for entry in self.artifacts)
+        )
+        return sha256_text(combined)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "snapshot_id": self.snapshot_id,
+            "created_unix": self.created_unix,
+            "build_seconds": self.build_seconds,
+            "spec": self.spec,
+            "env": self.env,
+            "artifacts": [entry.to_json() for entry in self.artifacts],
+            "content_digest": self.content_digest,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "SnapshotManifest":
+        if not isinstance(payload, dict):
+            raise SnapshotSchemaError("manifest must be a JSON object")
+        version = payload.get("schema_version")
+        if not isinstance(version, int):
+            raise SnapshotSchemaError("manifest missing integer schema_version")
+        if version > SNAPSHOT_SCHEMA_VERSION:
+            raise SnapshotSchemaError(
+                f"snapshot schema_version {version} is newer than "
+                f"supported {SNAPSHOT_SCHEMA_VERSION}; rebuild the snapshot "
+                f"with this code or upgrade"
+            )
+        if payload.get("kind") != SNAPSHOT_KIND:
+            raise SnapshotSchemaError(
+                f"manifest kind must be {SNAPSHOT_KIND!r}, "
+                f"got {payload.get('kind')!r}"
+            )
+        for required in ("snapshot_id", "spec", "artifacts"):
+            if required not in payload:
+                raise SnapshotSchemaError(f"manifest missing field {required!r}")
+        artifacts = payload["artifacts"]
+        if not isinstance(artifacts, list) or not artifacts:
+            raise SnapshotSchemaError("manifest artifacts must be a non-empty list")
+        manifest = cls(
+            snapshot_id=str(payload["snapshot_id"]),
+            spec=dict(payload["spec"]),
+            artifacts=[ArtifactEntry.from_json(a) for a in artifacts],
+            schema_version=version,
+            created_unix=float(payload.get("created_unix", 0.0)),
+            build_seconds=float(payload.get("build_seconds", 0.0)),
+            env=dict(payload.get("env", {})),
+        )
+        recorded = payload.get("content_digest")
+        if recorded is not None and recorded != manifest.content_digest:
+            raise SnapshotSchemaError(
+                "manifest content_digest does not match its artifact list "
+                "(manifest edited after writing?)"
+            )
+        return manifest
+
+    # ------------------------------------------------------------------
+    def save(self, directory: Union[str, Path]) -> Path:
+        path = Path(directory) / MANIFEST_NAME
+        path.write_text(json.dumps(self.to_json(), indent=1, sort_keys=True))
+        return path
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "SnapshotManifest":
+        path = Path(directory) / MANIFEST_NAME
+        if not path.is_file():
+            raise SnapshotSchemaError(f"no {MANIFEST_NAME} in {directory}")
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise SnapshotSchemaError(f"unparseable manifest {path}: {exc}") from exc
+        return cls.from_json(payload)

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.bench import BenchConfig, default_report_name, git_rev
+from repro.bench import BenchConfig, default_report_name, git_rev, run_benchmark
 from repro.bench.schema import CORE_STAGES
 
 
@@ -171,3 +171,49 @@ class TestNaming:
         monkeypatch.setenv("BENCH_REV", "pinned")
         assert git_rev() == "pinned"
         assert default_report_name() == "BENCH_pinned.json"
+
+
+class TestWarmStart:
+    def test_cold_run_is_labelled_cold(self, micro_report):
+        assert micro_report["context_source"] == "cold"
+        assert micro_report["snapshot"] is None
+        assert micro_report["context_build_seconds"] > 0.0
+
+    def test_snapshot_run_records_identity(self, tmp_path):
+        from repro.bench import validate_report
+
+        config = BenchConfig(
+            scales=(0.05,),
+            repeats=1,
+            warmup=0,
+            service_workers=2,
+            scalar_baseline=False,
+            label="micro-warm",
+        )
+        report = run_benchmark(config, snapshot_path=tmp_path / "store")
+        assert validate_report(report) == []
+        assert report["context_source"] == "snapshot"
+        snapshot = report["snapshot"]
+        assert snapshot["id"].startswith("snap-")
+        # First run pays the build (load-or-build), and says so.
+        assert snapshot["source"] == "built"
+        assert snapshot["load_seconds"] > 0.0
+        # Second run warm-starts from the persisted snapshot.
+        rerun = run_benchmark(config, snapshot_path=tmp_path / "store")
+        assert rerun["snapshot"]["source"] == "warm"
+        assert rerun["snapshot"]["content_digest"] == snapshot["content_digest"]
+
+    def test_warm_and_cold_stage_structure_agree(self, micro_report, tmp_path):
+        config = BenchConfig(
+            scales=(0.05,),
+            repeats=1,
+            warmup=0,
+            service_workers=2,
+            scalar_baseline=False,
+        )
+        warm = run_benchmark(config, snapshot_path=tmp_path / "store")
+        cold_entry = micro_report["scales"][0]
+        warm_entry = warm["scales"][0]
+        # Same corpus, same graph: the warm context links identically.
+        assert warm_entry["documents"] == cold_entry["documents"]
+        assert warm_entry["graph"] == cold_entry["graph"]

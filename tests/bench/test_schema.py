@@ -95,3 +95,28 @@ class TestValidateReport:
         problems = validate_report(report)
         assert any("deadline_seconds" in p for p in problems)
         assert any("aborted_stages" in p for p in problems)
+
+
+class TestSnapshotFields:
+    def test_bad_context_source_rejected(self, micro_report):
+        import copy
+
+        bad = copy.deepcopy(micro_report)
+        bad["context_source"] = "lukewarm"
+        assert any("context_source" in p for p in validate_report(bad))
+
+    def test_snapshot_source_requires_block(self, micro_report):
+        import copy
+
+        bad = copy.deepcopy(micro_report)
+        bad["context_source"] = "snapshot"
+        bad["snapshot"] = None
+        assert any("snapshot block" in p for p in validate_report(bad))
+
+    def test_older_record_without_fields_still_valid(self, micro_report):
+        import copy
+
+        old = copy.deepcopy(micro_report)
+        old.pop("context_source", None)
+        old.pop("snapshot", None)
+        assert validate_report(old) == []

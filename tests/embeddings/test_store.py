@@ -82,3 +82,60 @@ class TestPersistence:
         loaded = EmbeddingStore.load(tmp_path, mmap=True)
         # memory-mapped matrix still serves queries
         assert loaded.distance("Q1", "Q2") == pytest.approx(1.0)
+
+    def test_save_into_missing_directory(self, store, tmp_path):
+        target = tmp_path / "nested" / "embeddings"
+        store.save(target)
+        assert EmbeddingStore.load(target).ids() == store.ids()
+
+    def test_save_leaves_no_temp_litter(self, store, tmp_path):
+        target = tmp_path / "embeddings"
+        store.save(target)
+        store.save(target)  # overwrite path: per-file replace
+        assert {p.name for p in tmp_path.iterdir()} == {"embeddings"}
+        assert sorted(p.name for p in target.iterdir()) == [
+            "embeddings.npy",
+            "ids.json",
+        ]
+
+    def test_overwrite_existing_store(self, store, tmp_path):
+        store.save(tmp_path)
+        bigger = EmbeddingStore(4)
+        for i in range(4):
+            bigger.add(f"R{i}", np.eye(4)[i % 4])
+        bigger.save(tmp_path)
+        assert EmbeddingStore.load(tmp_path).ids() == bigger.ids()
+
+
+class TestLoadValidation:
+    """Torn or corrupted on-disk state must be rejected, never served."""
+
+    def test_ids_not_a_list(self, store, tmp_path):
+        store.save(tmp_path)
+        (tmp_path / "ids.json").write_text('"nope"')
+        with pytest.raises(ValueError, match="bad ids.json"):
+            EmbeddingStore.load(tmp_path)
+
+    def test_non_string_ids(self, store, tmp_path):
+        store.save(tmp_path)
+        (tmp_path / "ids.json").write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="bad ids.json"):
+            EmbeddingStore.load(tmp_path)
+
+    def test_row_count_mismatch(self, store, tmp_path):
+        store.save(tmp_path)
+        (tmp_path / "ids.json").write_text('["Q1", "Q2"]')
+        with pytest.raises(ValueError, match="ids"):
+            EmbeddingStore.load(tmp_path)
+
+    def test_duplicate_ids(self, store, tmp_path):
+        store.save(tmp_path)
+        (tmp_path / "ids.json").write_text('["Q1", "Q1", "Q1"]')
+        with pytest.raises(ValueError, match="duplicate"):
+            EmbeddingStore.load(tmp_path)
+
+    def test_wrong_matrix_rank(self, store, tmp_path):
+        store.save(tmp_path)
+        np.save(tmp_path / "embeddings.npy", np.zeros(12, dtype=np.float32))
+        with pytest.raises(ValueError, match="dimensions"):
+            EmbeddingStore.load(tmp_path)

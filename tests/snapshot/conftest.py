@@ -1,0 +1,45 @@
+"""Shared snapshot fixtures: one built store per test session.
+
+The spec matches the session ``world``/``context`` fixtures (seed 7,
+default trainer) so parity tests can compare warm against the exact
+cold build every other test uses; scale 0.15 matches the ``suite``
+fixture.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.snapshot import SnapshotSpec, build_snapshot, load_snapshot
+
+
+@pytest.fixture(scope="session")
+def snap_spec() -> SnapshotSpec:
+    return SnapshotSpec(seed=7, scales=(0.15,))
+
+
+@pytest.fixture(scope="session")
+def snap_root(tmp_path_factory, snap_spec):
+    root = tmp_path_factory.mktemp("snapstore")
+    build_snapshot(snap_spec, root)
+    return root
+
+
+@pytest.fixture(scope="session")
+def snap_path(snap_root, snap_spec):
+    return snap_root / snap_spec.snapshot_id
+
+
+@pytest.fixture(scope="session")
+def warm(snap_path):
+    return load_snapshot(snap_path)
+
+
+@pytest.fixture
+def snap_copy(snap_path, tmp_path):
+    """A throwaway copy of the session snapshot, safe to corrupt."""
+    copy = tmp_path / snap_path.name
+    shutil.copytree(snap_path, copy)
+    return copy

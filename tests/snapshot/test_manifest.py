@@ -1,0 +1,159 @@
+"""Manifest schema, hashing, and (de)serialisation tests."""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.snapshot.manifest import (
+    MANIFEST_NAME,
+    SNAPSHOT_SCHEMA_VERSION,
+    ArtifactEntry,
+    SnapshotManifest,
+    SnapshotSchemaError,
+    canonical_json,
+    sha256_file,
+    sha256_text,
+)
+
+
+@pytest.fixture
+def manifest():
+    return SnapshotManifest(
+        snapshot_id="snap-abc123",
+        spec={"seed": 7, "scales": [0.15]},
+        artifacts=[
+            ArtifactEntry("kb", "kb.json", "a" * 64, 10),
+            ArtifactEntry("world", "world.json", "b" * 64, 20),
+        ],
+        created_unix=1700000000.0,
+        build_seconds=1.5,
+        env={"python": "3.12"},
+    )
+
+
+class TestHashing:
+    def test_canonical_json_key_order_independent(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json(
+            {"a": [2, 3], "b": 1}
+        )
+
+    def test_canonical_json_no_whitespace(self):
+        assert " " not in canonical_json({"a": 1, "b": [1, 2]})
+
+    def test_sha256_file_matches_hashlib(self, tmp_path):
+        path = tmp_path / "blob.bin"
+        path.write_bytes(b"snapshot bytes" * 1000)
+        assert sha256_file(path) == hashlib.sha256(path.read_bytes()).hexdigest()
+
+    def test_sha256_text(self):
+        assert sha256_text("x") == hashlib.sha256(b"x").hexdigest()
+
+
+class TestContentDigest:
+    def test_order_independent(self, manifest):
+        reversed_artifacts = SnapshotManifest(
+            snapshot_id=manifest.snapshot_id,
+            spec=manifest.spec,
+            artifacts=list(reversed(manifest.artifacts)),
+        )
+        assert reversed_artifacts.content_digest == manifest.content_digest
+
+    def test_changes_with_any_artifact_hash(self, manifest):
+        tampered = SnapshotManifest(
+            snapshot_id=manifest.snapshot_id,
+            spec=manifest.spec,
+            artifacts=[
+                manifest.artifacts[0],
+                ArtifactEntry("world", "world.json", "c" * 64, 20),
+            ],
+        )
+        assert tampered.content_digest != manifest.content_digest
+
+
+class TestRoundTrip:
+    def test_json_round_trip(self, manifest):
+        clone = SnapshotManifest.from_json(manifest.to_json())
+        assert clone.snapshot_id == manifest.snapshot_id
+        assert clone.spec == manifest.spec
+        assert clone.artifacts == manifest.artifacts
+        assert clone.created_unix == manifest.created_unix
+        assert clone.build_seconds == manifest.build_seconds
+        assert clone.env == manifest.env
+        assert clone.content_digest == manifest.content_digest
+
+    def test_file_round_trip(self, manifest, tmp_path):
+        manifest.save(tmp_path)
+        assert (tmp_path / MANIFEST_NAME).is_file()
+        clone = SnapshotManifest.load(tmp_path)
+        assert clone.artifacts == manifest.artifacts
+
+    def test_artifact_entry_round_trip(self):
+        entry = ArtifactEntry("kb", "kb.json", "a" * 64, 42)
+        assert ArtifactEntry.from_json(entry.to_json()) == entry
+
+    def test_artifact_lookup(self, manifest):
+        assert manifest.artifact("kb").path == "kb.json"
+        assert manifest.artifact_names() == ["kb", "world"]
+        with pytest.raises(KeyError):
+            manifest.artifact("nope")
+
+
+class TestSchemaRejection:
+    def test_newer_schema_version_rejected(self, manifest):
+        payload = manifest.to_json()
+        payload["schema_version"] = SNAPSHOT_SCHEMA_VERSION + 1
+        with pytest.raises(SnapshotSchemaError, match="newer"):
+            SnapshotManifest.from_json(payload)
+
+    def test_wrong_kind_rejected(self, manifest):
+        payload = manifest.to_json()
+        payload["kind"] = "tenet-bench"
+        with pytest.raises(SnapshotSchemaError, match="kind"):
+            SnapshotManifest.from_json(payload)
+
+    @pytest.mark.parametrize("field", ["snapshot_id", "spec", "artifacts"])
+    def test_missing_field_rejected(self, manifest, field):
+        payload = manifest.to_json()
+        del payload[field]
+        with pytest.raises(SnapshotSchemaError):
+            SnapshotManifest.from_json(payload)
+
+    def test_empty_artifacts_rejected(self, manifest):
+        payload = manifest.to_json()
+        payload["artifacts"] = []
+        with pytest.raises(SnapshotSchemaError, match="non-empty"):
+            SnapshotManifest.from_json(payload)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(SnapshotSchemaError):
+            SnapshotManifest.from_json(["not", "a", "manifest"])
+
+    def test_edited_artifact_hash_breaks_content_digest(self, manifest):
+        payload = manifest.to_json()
+        payload["artifacts"][0]["sha256"] = "f" * 64
+        with pytest.raises(SnapshotSchemaError, match="content_digest"):
+            SnapshotManifest.from_json(payload)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(SnapshotSchemaError, match=MANIFEST_NAME):
+            SnapshotManifest.load(tmp_path)
+
+    def test_load_unparseable_file(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(SnapshotSchemaError, match="unparseable"):
+            SnapshotManifest.load(tmp_path)
+
+    def test_version_checked_before_other_fields(self, tmp_path):
+        # A future manifest with unknown layout must fail on the version,
+        # not on whatever field happens to be missing.
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps(
+                {
+                    "schema_version": SNAPSHOT_SCHEMA_VERSION + 5,
+                    "kind": "something-new",
+                }
+            )
+        )
+        with pytest.raises(SnapshotSchemaError, match="newer"):
+            SnapshotManifest.load(tmp_path)

@@ -1,0 +1,121 @@
+"""Cold-vs-warm parity: a warm-started context is byte-identical in use.
+
+The session ``world``/``context`` fixtures are the cold build for the
+exact spec the session snapshot was created from (seed 7, default
+trainer), so every comparison here is cold-build vs. snapshot-load of
+the same inputs.
+"""
+
+import json
+
+import numpy as np
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.datasets.benchmarks import (
+    build_kore50,
+    build_msnbc19,
+    build_news,
+    build_trex42,
+)
+from repro.datasets.loaders import dataset_to_json
+
+_BUILDERS = (
+    (build_news, 1),
+    (build_trex42, 2),
+    (build_kore50, 3),
+    (build_msnbc19, 4),
+)
+
+
+def _result_json(linker, text):
+    return linker.link(text).to_json(include_timings=False)
+
+
+class TestContextParity:
+    def test_kb_identical(self, warm, world):
+        cold = world.kb
+        assert warm.context.kb.entity_count == cold.entity_count
+        assert [e.entity_id for e in warm.context.kb.entities()] == [
+            e.entity_id for e in cold.entities()
+        ]
+        assert [p.predicate_id for p in warm.context.kb.predicates()] == [
+            p.predicate_id for p in cold.predicates()
+        ]
+        assert [t.as_tuple() for t in warm.context.kb.triples()] == [
+            t.as_tuple() for t in cold.triples()
+        ]
+
+    def test_embeddings_identical(self, warm, context):
+        ids = context.embeddings.ids()
+        assert warm.context.embeddings.ids() == ids
+        cold_rows, cold_known = context.embeddings.rows(ids)
+        warm_rows, warm_known = warm.context.embeddings.rows(ids)
+        assert np.array_equal(cold_known, warm_known)
+        assert np.array_equal(cold_rows, warm_rows)
+
+    def test_alias_lookups_identical(self, warm, context, world):
+        # Postings must come back in the same order, not merely as the
+        # same set: downstream candidate ranking is order-sensitive.
+        surfaces = [
+            world.kb.get_entity(eid).label
+            for eid in list(world.kb.entity_ids())[:50]
+        ]
+        for surface in surfaces:
+            cold = [
+                (h.concept_id, h.prior)
+                for h in context.alias_index.lookup_entities(surface)
+            ]
+            hot = [
+                (h.concept_id, h.prior)
+                for h in warm.context.alias_index.lookup_entities(surface)
+            ]
+            assert hot == cold
+
+
+class TestLinkingParity:
+    def test_pinned_documents_byte_identical(self, warm, tenet):
+        warm_linker = TenetLinker(warm.context, TenetConfig())
+        documents = [
+            document
+            for dataset in warm.datasets[0.15]
+            for document in dataset.documents[:3]
+        ]
+        assert documents
+        for document in documents:
+            cold = _result_json(tenet, document.text)
+            hot = _result_json(warm_linker, document.text)
+            assert json.dumps(hot, sort_keys=True) == json.dumps(
+                cold, sort_keys=True
+            )
+
+    def test_cache_seeding_never_changes_results(self, snap_path, tenet):
+        from repro.snapshot import load_snapshot
+
+        fresh = load_snapshot(snap_path)
+        linker = TenetLinker(fresh.context, TenetConfig())
+        text = fresh.datasets[0.15][0].documents[0].text
+        before = _result_json(linker, text)
+        assert fresh.seed_fuzzy_cache() > 0
+        after = _result_json(linker, text)
+        assert after == before == _result_json(tenet, text)
+
+
+class TestDatasetParity:
+    def test_stored_datasets_match_cold_generation(self, warm, world):
+        # The gold sets inside the snapshot are exactly what a cold
+        # process generates from a freshly-built world.
+        seed = warm.manifest.spec["seed"]
+        for (builder, offset), stored in zip(_BUILDERS, warm.datasets[0.15]):
+            cold = builder(world, seed=seed * 100 + offset, scale=0.15)
+            assert dataset_to_json(cold) == dataset_to_json(stored)
+
+    def test_unstored_scale_regenerates_byte_identical(self, warm, world):
+        # Scales not persisted in the snapshot regenerate from the
+        # *reloaded* world — byte-identical to the cold build because
+        # the KB dump preserves iteration order.
+        seed = warm.manifest.spec["seed"]
+        regenerated = warm.datasets_for_scale(0.05)
+        for (builder, offset), hot in zip(_BUILDERS, regenerated):
+            cold = builder(world, seed=seed * 100 + offset, scale=0.05)
+            assert dataset_to_json(cold) == dataset_to_json(hot)

@@ -1,0 +1,310 @@
+"""Snapshot store tests: identity, build, verify, load, list, gc."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.embeddings.trainer import TrainerConfig
+from repro.snapshot import (
+    MANIFEST_NAME,
+    SnapshotError,
+    SnapshotIntegrityError,
+    SnapshotManifest,
+    SnapshotNotFoundError,
+    SnapshotSpec,
+    build_snapshot,
+    gc_snapshots,
+    list_snapshots,
+    load_or_build,
+    load_snapshot,
+    verify_snapshot,
+)
+from repro.snapshot.manifest import ArtifactEntry, sha256_file
+
+
+def _flip_one_byte(path):
+    data = bytearray(path.read_bytes())
+    data[len(data) // 2] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+def _fake_snapshot(root, snap_id, created):
+    """A minimal but schema-valid snapshot directory (for list/gc tests)."""
+    directory = root / snap_id
+    directory.mkdir(parents=True)
+    blob = directory / "blob.bin"
+    blob.write_bytes(b"x")
+    SnapshotManifest(
+        snapshot_id=snap_id,
+        spec={"seed": 1, "scales": [1.0]},
+        artifacts=[ArtifactEntry("blob", "blob.bin", sha256_file(blob), 1)],
+        created_unix=created,
+    ).save(directory)
+    return directory
+
+
+class TestSpecIdentity:
+    def test_same_spec_same_id(self):
+        a = SnapshotSpec(seed=7, scales=(0.15,))
+        b = SnapshotSpec(seed=7, scales=(0.15,))
+        assert a.snapshot_id == b.snapshot_id
+
+    def test_scale_order_and_duplicates_normalised(self):
+        a = SnapshotSpec(seed=7, scales=(0.3, 0.1))
+        b = SnapshotSpec(seed=7, scales=(0.1, 0.3, 0.1))
+        assert a.snapshot_id == b.snapshot_id
+
+    def test_seed_changes_id(self):
+        assert (
+            SnapshotSpec(seed=7).snapshot_id != SnapshotSpec(seed=8).snapshot_id
+        )
+
+    def test_scales_change_id(self):
+        assert (
+            SnapshotSpec(scales=(0.15,)).snapshot_id
+            != SnapshotSpec(scales=(0.3,)).snapshot_id
+        )
+
+    def test_trainer_config_changes_id(self):
+        assert (
+            SnapshotSpec(trainer_config=TrainerConfig(dimension=64)).snapshot_id
+            != SnapshotSpec().snapshot_id
+        )
+
+    def test_cache_seed_settings_change_id(self):
+        assert (
+            SnapshotSpec(include_cache_seed=False).snapshot_id
+            != SnapshotSpec().snapshot_id
+        )
+
+    def test_id_shape(self):
+        snapshot_id = SnapshotSpec().snapshot_id
+        assert snapshot_id.startswith("snap-")
+        assert len(snapshot_id) == len("snap-") + 12
+
+    def test_non_positive_scale_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SnapshotSpec(scales=(0.15, 0.0))
+
+    def test_negative_cache_seed_limit_rejected(self):
+        with pytest.raises(ValueError, match="cache_seed_limit"):
+            SnapshotSpec(cache_seed_limit=-1)
+
+
+class TestBuild:
+    def test_verify_clean(self, snap_path):
+        assert verify_snapshot(snap_path) == []
+
+    def test_expected_artifacts(self, snap_path):
+        manifest = SnapshotManifest.load(snap_path)
+        names = set(manifest.artifact_names())
+        assert {
+            "kb",
+            "world",
+            "alias_index",
+            "embeddings_matrix",
+            "embeddings_ids",
+            "cache_seed",
+        } <= names
+        for dataset in ("news", "t-rex42", "kore50", "msnbc19"):
+            assert f"dataset:s0.15:{dataset}" in names
+        for entry in manifest.artifacts:
+            assert (snap_path / entry.path).stat().st_size == entry.bytes
+
+    def test_no_temp_litter_after_build(self, snap_root):
+        assert not list(snap_root.glob(".tmp-*"))
+
+    def test_skip_existing_without_force(self, snap_root, snap_spec, snap_path):
+        created = SnapshotManifest.load(snap_path).created_unix
+        messages = []
+        assert build_snapshot(snap_spec, snap_root, echo=messages.append) == snap_path
+        assert SnapshotManifest.load(snap_path).created_unix == created
+        assert any("skipping" in m for m in messages)
+
+    def test_force_rebuilds(self, snap_spec, tmp_path):
+        first = build_snapshot(snap_spec, tmp_path)
+        created = SnapshotManifest.load(first).created_unix
+        second = build_snapshot(snap_spec, tmp_path, force=True)
+        assert second == first
+        assert SnapshotManifest.load(second).created_unix > created
+        assert verify_snapshot(second) == []
+
+    def test_failed_build_publishes_nothing(self, snap_spec, tmp_path, monkeypatch):
+        import repro.snapshot.store as store_module
+
+        def explode(*_args, **_kwargs):
+            raise RuntimeError("disk on fire")
+
+        monkeypatch.setattr(store_module, "save_dump", explode)
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            build_snapshot(snap_spec, tmp_path)
+        assert not (tmp_path / snap_spec.snapshot_id).exists()
+        assert not list(tmp_path.glob(".tmp-*"))
+
+    def test_cache_seed_phrases_sorted_and_capped(self, warm, snap_spec):
+        phrases = warm.cache_seed_phrases
+        assert phrases
+        assert phrases == sorted(phrases)
+        assert len(phrases) == len(set(phrases))
+        assert len(phrases) <= snap_spec.cache_seed_limit
+
+
+class TestVerifyAndCorruption:
+    def test_every_artifact_corruption_detected(self, snap_path, tmp_path):
+        manifest = SnapshotManifest.load(snap_path)
+        for index, entry in enumerate(manifest.artifacts):
+            copy = tmp_path / f"corrupt-{index}"
+            shutil.copytree(snap_path, copy)
+            _flip_one_byte(copy / entry.path)
+            problems = verify_snapshot(copy)
+            assert problems, f"corrupting {entry.path} went undetected"
+            assert any(entry.path in problem for problem in problems)
+            with pytest.raises(SnapshotIntegrityError):
+                load_snapshot(copy)
+
+    def test_missing_artifact_detected(self, snap_copy):
+        (snap_copy / "kb.json").unlink()
+        problems = verify_snapshot(snap_copy)
+        assert any("missing artifact kb.json" in p for p in problems)
+
+    def test_truncation_reports_size_drift(self, snap_copy):
+        target = snap_copy / "kb.json"
+        target.write_bytes(target.read_bytes()[:-100])
+        problems = verify_snapshot(snap_copy)
+        assert any("size" in p for p in problems)
+
+    def test_tampered_manifest_detected(self, snap_copy):
+        manifest_path = snap_copy / MANIFEST_NAME
+        payload = json.loads(manifest_path.read_text())
+        payload["artifacts"][0]["sha256"] = "f" * 64
+        manifest_path.write_text(json.dumps(payload))
+        problems = verify_snapshot(snap_copy)
+        assert problems and "content_digest" in problems[0]
+
+    def test_integrity_error_carries_problems(self, snap_copy):
+        _flip_one_byte(snap_copy / "kb.json")
+        with pytest.raises(SnapshotIntegrityError) as excinfo:
+            load_snapshot(snap_copy)
+        assert excinfo.value.path == snap_copy
+        assert excinfo.value.problems
+        assert "kb.json" in str(excinfo.value)
+
+    def test_load_missing_snapshot(self, tmp_path):
+        with pytest.raises(SnapshotNotFoundError):
+            load_snapshot(tmp_path / "nope")
+
+
+class TestLoad:
+    def test_context_is_usable(self, warm):
+        assert warm.context.kb.entity_count > 0
+        assert len(warm.context.embeddings) > 0
+        hits = warm.context.alias_index.lookup_entities("Brooklyn")
+        assert hits
+
+    def test_datasets_loaded_for_stored_scale(self, warm):
+        assert set(warm.datasets) == {0.15}
+        datasets = warm.datasets[0.15]
+        assert [d.name for d in datasets] == [
+            "News",
+            "T-REx42",
+            "KORE50",
+            "MSNBC19",
+        ]
+
+    def test_seed_fuzzy_cache_counts_phrases(self, snap_path):
+        fresh = load_snapshot(snap_path)
+        assert fresh.seed_fuzzy_cache() == len(fresh.cache_seed_phrases) > 0
+
+    def test_load_records_identity(self, warm, snap_path):
+        info = warm.info()
+        manifest = SnapshotManifest.load(snap_path)
+        assert info["id"] == manifest.snapshot_id
+        assert info["content_digest"] == manifest.content_digest
+        assert info["source"] == "warm"
+        assert info["load_seconds"] > 0.0
+        assert set(info["artifacts"]) == set(manifest.artifact_names())
+
+
+class TestLoadOrBuild:
+    def test_builds_then_warm_starts(self, tmp_path):
+        spec = SnapshotSpec(seed=7, scales=(0.15,))
+        store = tmp_path / "store"
+        first = load_or_build(store, spec)
+        assert first.source == "built"
+        second = load_or_build(store, spec)
+        assert second.source == "warm"
+        assert second.manifest.content_digest == first.manifest.content_digest
+        assert len(list_snapshots(store)) == 1
+
+    def test_direct_path_loads_exact_snapshot(self, snap_path, snap_spec):
+        assert load_or_build(snap_path, snap_spec).source == "warm"
+
+    def test_direct_path_seed_mismatch_rejected(self, snap_path):
+        with pytest.raises(SnapshotError, match="seed"):
+            load_or_build(snap_path, SnapshotSpec(seed=8, scales=(0.15,)))
+
+    def test_scales_compatible_snapshot_reused(self, snap_root, snap_path):
+        # Different requested scales, same everything else: the stored
+        # snapshot is reused (datasets regenerate deterministically)
+        # instead of paying a duplicate build.
+        warm = load_or_build(snap_root, SnapshotSpec(seed=7, scales=(0.3,)))
+        assert warm.path == snap_path
+        assert warm.source == "warm"
+        assert len(list_snapshots(snap_root)) == 1
+
+    def test_corrupt_store_raises_instead_of_rebuilding(self, snap_copy, tmp_path):
+        store = tmp_path / "store"
+        store.mkdir()
+        snap_copy.rename(store / snap_copy.name)
+        _flip_one_byte(store / snap_copy.name / "kb.json")
+        with pytest.raises(SnapshotIntegrityError):
+            load_or_build(store, SnapshotSpec(seed=7, scales=(0.15,)))
+
+
+class TestListAndGc:
+    def test_list_newest_first(self, tmp_path):
+        _fake_snapshot(tmp_path, "snap-old", 100.0)
+        _fake_snapshot(tmp_path, "snap-new", 200.0)
+        entries = list_snapshots(tmp_path)
+        assert [e["id"] for e in entries] == ["snap-new", "snap-old"]
+        assert entries[0]["bytes"] == 1
+        assert entries[0]["artifacts"] == 1
+
+    def test_list_reports_broken_snapshots(self, tmp_path):
+        _fake_snapshot(tmp_path, "snap-good", 100.0)
+        broken = tmp_path / "snap-broken"
+        broken.mkdir()
+        (broken / MANIFEST_NAME).write_text("{not json")
+        entries = list_snapshots(tmp_path)
+        assert len(entries) == 2
+        by_id = {e["id"]: e for e in entries}
+        assert "error" in by_id["snap-broken"]
+        assert "error" not in by_id["snap-good"]
+
+    def test_list_missing_root(self, tmp_path):
+        assert list_snapshots(tmp_path / "nothing") == []
+
+    def test_gc_sweeps_litter_and_old_snapshots(self, tmp_path):
+        kept_new = _fake_snapshot(tmp_path, "snap-c", 300.0)
+        kept_mid = _fake_snapshot(tmp_path, "snap-b", 200.0)
+        dropped = _fake_snapshot(tmp_path, "snap-a", 100.0)
+        litter = tmp_path / ".tmp-snap-x-deadbeef"
+        litter.mkdir()
+        headless = tmp_path / "snap-headless"
+        headless.mkdir()
+        unrelated = tmp_path / "not-a-snapshot"
+        unrelated.mkdir()
+        removed = set(gc_snapshots(tmp_path, keep=2))
+        assert removed == {dropped, litter, headless}
+        assert kept_new.is_dir() and kept_mid.is_dir() and unrelated.is_dir()
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        stale = _fake_snapshot(tmp_path, "snap-a", 100.0)
+        removed = gc_snapshots(tmp_path, keep=0, dry_run=True)
+        assert removed == [stale]
+        assert stale.is_dir()
+
+    def test_gc_negative_keep_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="keep"):
+            gc_snapshots(tmp_path, keep=-1)

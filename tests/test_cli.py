@@ -182,3 +182,81 @@ class TestValidate:
         code = main(["validate", str(out / "broken.json")])
         assert code == 1
         assert "error" in capsys.readouterr().out
+
+
+class TestSnapshotCli:
+    @pytest.fixture
+    def store(self, tmp_path, capsys):
+        """A store with one small snapshot built through the CLI."""
+        root = tmp_path / "snapshots"
+        assert main(
+            ["snapshot", "build", str(root), "--scales", "0.05"]
+        ) == 0
+        capsys.readouterr()
+        return root
+
+    def test_build_prints_snapshot_path(self, tmp_path, capsys):
+        root = tmp_path / "snapshots"
+        assert main(["snapshot", "build", str(root), "--scales", "0.05"]) == 0
+        out = capsys.readouterr().out
+        path = out.strip().splitlines()[-1]
+        assert path.startswith(str(root))
+        assert "snap-" in path
+
+    def test_build_bad_scales(self, tmp_path):
+        assert main(["snapshot", "build", str(tmp_path), "--scales", "x"]) == 2
+
+    def test_verify_store_ok(self, store, capsys):
+        assert main(["snapshot", "verify", str(store)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_single_snapshot_directory(self, store, capsys):
+        snapshot = next(store.glob("snap-*"))
+        assert main(["snapshot", "verify", str(snapshot)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_store_fails(self, store, capsys):
+        target = next(store.glob("snap-*/kb.json"))
+        data = bytearray(target.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        target.write_bytes(bytes(data))
+        assert main(["snapshot", "verify", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "kb.json" in out
+
+    def test_verify_empty_store_errors(self, tmp_path, capsys):
+        assert main(["snapshot", "verify", str(tmp_path)]) == 2
+
+    def test_list_json(self, store, capsys):
+        assert main(["snapshot", "list", str(store), "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)
+        assert len(entries) == 1
+        assert entries[0]["seed"] == 7
+        assert entries[0]["scales"] == [0.05]
+
+    def test_list_human(self, store, capsys):
+        assert main(["snapshot", "list", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "snap-" in out and "seed=7" in out
+
+    def test_gc_dry_run(self, store, capsys):
+        litter = store / ".tmp-snap-x-deadbeef"
+        litter.mkdir()
+        assert main(["snapshot", "gc", str(store), "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert litter.is_dir()
+        assert main(["snapshot", "gc", str(store)]) == 0
+        assert not litter.exists()
+
+    def test_link_warm_matches_cold(self, store, capsys):
+        text = "Brooklyn is twinned with Brooklyn."
+        assert main(["link", text]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        # Default link spec differs from the store only in scales, so
+        # the stored snapshot is reused rather than rebuilt.
+        assert main(["link", text, "--snapshot", str(store)]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert len(list(store.glob("snap-*"))) == 1
+        cold.pop("timings", None)
+        warm.pop("timings", None)
+        assert warm == cold

@@ -148,6 +148,29 @@ class TestDumpProperties:
         for predicate in kb.predicates():
             assert rebuilt.get_predicate(predicate.predicate_id) == predicate
 
+    @settings(max_examples=40, deadline=None)
+    @given(small_kbs())
+    def test_dump_is_fixed_point(self, kb):
+        """dump(load(dump(kb))) == dump(kb) — the canonical-bytes
+        property the snapshot store's content hashes rely on."""
+        dump = kb_to_json_dump(kb)
+        assert kb_to_json_dump(kb_from_json_dump(dump)) == dump
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_kbs())
+    def test_record_insertion_order_is_canonicalised(self, kb):
+        """Two KBs holding the same records produce identical dumps even
+        when entities/predicates were registered in different orders
+        (claims keep insertion order — it is part of KB identity)."""
+        shuffled = KnowledgeBase()
+        for entity in reversed(list(kb.entities())):
+            shuffled.add_entity(entity)
+        for predicate in reversed(list(kb.predicates())):
+            shuffled.add_predicate(predicate)
+        for triple in kb.triples():
+            shuffled.add_fact(triple)
+        assert kb_to_json_dump(shuffled) == kb_to_json_dump(kb)
+
 
 # ---------------------------------------------------------------------------
 # canopies
