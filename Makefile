@@ -1,7 +1,7 @@
 # Convenience targets for the TENET reproduction.
 
 .PHONY: install test bench bench-compare examples report serve \
-    snapshot serve-warm clean
+    snapshot serve-warm load-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -43,7 +43,25 @@ serve-warm:
 	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080 \
 	    --snapshot snapshots
 
+# Local mirror of the CI load-smoke job: boot the server with overload
+# guards on, drive the open-loop load generator past worker capacity,
+# and assert the overload SLOs (only 200/429, Retry-After on every 429,
+# bounded p99).  See docs/benchmarking.md.
+load-smoke:
+	@PYTHONPATH=src sh -ec ' \
+	python -m repro.cli serve --port 8765 --workers 2 \
+	    --max-queue 16 --batch-max-queue 64 --degrade-queue 8 \
+	    --rate-limit 200 --rate-limit-burst 50 >/dev/null 2>&1 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 60); do \
+	    python -c "import urllib.request as u; u.urlopen(\"http://127.0.0.1:8765/healthz\", timeout=1)" \
+	        2>/dev/null && break; sleep 1; \
+	done; \
+	python -m repro.cli bench load --url http://127.0.0.1:8765 \
+	    --mode open --qps 40 --duration 5 --concurrency 8 --clients 4 \
+	    --max-p99 10 --output load-local.json'
+
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \
 	    src/repro.egg-info test_output.txt bench_output.txt \
-	    BENCH_local.json
+	    BENCH_local.json load-local.json

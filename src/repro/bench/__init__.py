@@ -28,6 +28,12 @@ from repro.bench.harness import (
     git_rev,
     run_benchmark,
 )
+from repro.bench.load import (
+    LoadConfig,
+    format_load_summary,
+    percentile,
+    run_load,
+)
 from repro.bench.schema import (
     SCHEMA_VERSION,
     BenchSchemaError,
@@ -39,14 +45,18 @@ __all__ = [
     "BenchConfig",
     "BenchSchemaError",
     "ComparisonResult",
+    "LoadConfig",
     "SCHEMA_VERSION",
     "StageDelta",
     "compare_reports",
     "default_report_name",
     "format_comparison",
+    "format_load_summary",
     "git_rev",
     "load_report",
+    "percentile",
     "run_benchmark",
+    "run_load",
     "summarize",
     "validate_report",
 ]

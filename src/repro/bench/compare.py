@@ -103,6 +103,38 @@ def _service_seconds_per_doc(report: Dict[str, object]) -> Optional[float]:
     return 1.0 / float(dps)
 
 
+def _load_metrics(report: Dict[str, object]) -> Dict[str, float]:
+    """Comparable numbers from the optional ``load`` block.
+
+    Seconds-per-goodput-request and the completed-request p95 join the
+    same more-is-worse frame as the stage means, so the one threshold
+    also gates serving capacity and tail latency under load.  Records
+    are only comparable when both ran the same loop mode — the caller
+    checks that.
+    """
+    load = report.get("load")
+    if not isinstance(load, dict):
+        return {}
+    metrics: Dict[str, float] = {}
+    goodput = load.get("goodput_rps")
+    if isinstance(goodput, (int, float)) and goodput > 0:
+        metrics["load.seconds_per_goodput_request"] = 1.0 / float(goodput)
+    latency = load.get("latency")
+    if isinstance(latency, dict):
+        p95 = latency.get("p95_seconds")
+        if isinstance(p95, (int, float)) and p95 > 0:
+            metrics["load.p95_seconds"] = float(p95)
+    return metrics
+
+
+def _load_mode_of(report: Dict[str, object]) -> Optional[str]:
+    load = report.get("load")
+    if not isinstance(load, dict):
+        return None
+    config = load.get("config")
+    return config.get("mode") if isinstance(config, dict) else None
+
+
 def compare_reports(
     baseline: Dict[str, object],
     current: Dict[str, object],
@@ -146,6 +178,21 @@ def compare_reports(
         result.deltas.append(
             StageDelta("service.seconds_per_document", None, base_spd, curr_spd)
         )
+
+    base_mode, curr_mode = _load_mode_of(baseline), _load_mode_of(current)
+    if base_mode is not None and curr_mode is not None:
+        if base_mode != curr_mode:
+            result.skipped.append(
+                f"load blocks ran different loop modes "
+                f"({base_mode} vs {curr_mode})"
+            )
+        else:
+            base_load = _load_metrics(baseline)
+            curr_load = _load_metrics(current)
+            for name in sorted(set(base_load) & set(curr_load)):
+                result.deltas.append(
+                    StageDelta(name, None, base_load[name], curr_load[name])
+                )
     return result
 
 

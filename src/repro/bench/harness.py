@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.bench.load import LoadConfig
 from repro.bench.schema import REPORT_KIND, SCHEMA_VERSION, summarize
 from repro.core.coherence import build_coherence_graph
 from repro.core.config import TenetConfig
@@ -62,6 +63,11 @@ class BenchConfig:
     # request-scoped trace attached and the per-stage span statistics
     # (plus the span-vs-stage_seconds parity delta) land in the record.
     trace: bool = False
+    # When set, add a load pass: boot the HTTP server in-process on a
+    # free port and drive the closed- or open-loop generator against it,
+    # recording goodput vs. shed rate and the latency percentiles (the
+    # `load` block; see repro.bench.load).
+    load: Optional["LoadConfig"] = None
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -383,6 +389,56 @@ def _deadline_mode(
     }
 
 
+def _load_mode(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    texts: List[str],
+    workers: int,
+    load_config: LoadConfig,
+) -> Dict[str, object]:
+    """Load-generator pass against an in-process HTTP server.
+
+    Boots the real serving stack — admission queue, rate limiter,
+    degraded-mode switch, ThreadingHTTPServer — on a free local port,
+    drives it with :func:`repro.bench.load.run_load`, and folds the
+    server's own overload counters into the block so client-observed
+    shedding can be reconciled against what the engine reports.
+    """
+    import threading
+
+    from repro.bench.load import run_load
+    from repro.service import LinkingService, ServiceConfig
+    from repro.service.server import create_server
+
+    service = LinkingService(context, ServiceConfig(workers=workers), linker_config)
+    server = create_server(service, "127.0.0.1", 0)
+    host, port = server.server_address[:2]
+    server_thread = threading.Thread(target=server.serve_forever, daemon=True)
+    server_thread.start()
+    try:
+        block = run_load(f"http://{host}:{port}", texts, load_config)
+    finally:
+        server.shutdown()
+        server_thread.join(timeout=10)
+        server.server_close()
+        snapshot = service.snapshot()
+        service.close()
+    counters = snapshot.get("counters", {})
+    block["scale"] = scale
+    block["workers"] = workers
+    block["server"] = {
+        "rejected": counters.get("requests.rejected", 0),
+        "rejected_rate_limited": counters.get(
+            "requests.rejected.rate_limited", 0
+        ),
+        "rejected_queue_full": counters.get("requests.rejected.queue_full", 0),
+        "degraded_mode_requests": counters.get("degraded_mode.requests", 0),
+        "overload": snapshot.get("overload", {}),
+    }
+    return block
+
+
 def _trace_mode(
     linker: TenetLinker,
     scale: float,
@@ -533,6 +589,21 @@ def run_benchmark(
         say(f"trace mode at scale {largest:g} ...")
         trace = _trace_mode(linker, largest, corpus_by_scale[largest])
 
+    load = None
+    if config.load is not None:
+        say(
+            f"load mode at scale {largest:g} "
+            f"({config.load.mode} loop, {config.load.duration_seconds:g}s) ..."
+        )
+        load = _load_mode(
+            context,
+            linker_config,
+            largest,
+            corpus_by_scale[largest],
+            config.service_workers,
+            config.load,
+        )
+
     report: Dict[str, object] = {
         "schema_version": SCHEMA_VERSION,
         "kind": REPORT_KIND,
@@ -547,6 +618,7 @@ def run_benchmark(
             "service_workers": config.service_workers,
             "deadline_seconds": config.deadline_seconds,
             "trace": config.trace,
+            "load": config.load.to_json() if config.load is not None else None,
         },
         "env": _env_fingerprint(),
         "context_build_seconds": context_build,
@@ -559,6 +631,7 @@ def run_benchmark(
         "service": service,
         "deadline": deadline,
         "trace": trace,
+        "load": load,
     }
     return report
 
@@ -631,4 +704,9 @@ def format_report_summary(report: Dict[str, object]) -> str:
             f"{trace['documents']} docs, span/stage max delta "
             f"{trace['span_stage_max_delta_seconds']:.2e}s"
         )
+    load = report.get("load")
+    if load:
+        from repro.bench.load import format_load_summary
+
+        lines.append(format_load_summary(load))
     return "\n".join(lines)

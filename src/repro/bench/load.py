@@ -1,0 +1,262 @@
+"""Closed- and open-loop load generation against a live linking server.
+
+``tenet-repro bench --load`` (in-process server) and ``tenet-repro
+bench load --url`` (any live server) drive sustained traffic at the
+JSON-over-HTTP front end and measure what the overload machinery
+actually does under pressure:
+
+* **closed loop** — a fixed number of concurrent clients, each issuing
+  its next request the moment the previous one answers.  Offered load
+  self-limits to the server's capacity; this is the classic
+  "N users hammering" model and measures saturated throughput.
+* **open loop** — requests depart on a fixed-QPS schedule regardless of
+  how the server is doing (arrivals don't wait for completions), which
+  is how real traffic behaves and the only mode that can actually
+  overload the server.  Latency percentiles then include client-side
+  queueing, exactly as a caller would experience them.
+
+Every sample records the HTTP status, wall latency, whether a 429
+carried its mandatory ``Retry-After`` header, and whether the answer
+was served degraded (prior-only fast path).  The result is the
+``load`` block of the bench record — goodput vs. shed rate, p50/p95/p99,
+status histogram — which :func:`repro.bench.schema.validate_report`
+checks and ``bench compare`` diffs across revisions.
+
+Stdlib-only (urllib + threads), like the server it measures.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import math
+import threading
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+LOAD_MODES = ("closed", "open")
+
+
+@dataclass(frozen=True)
+class LoadConfig:
+    """Knobs of one load-generation run."""
+
+    mode: str = "closed"
+    duration_seconds: float = 5.0
+    concurrency: int = 4
+    qps: float = 20.0  # open loop only: fixed arrival rate
+    clients: int = 4  # distinct X-Client-Id values to rotate through
+    timeout_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in LOAD_MODES:
+            raise ValueError(
+                f"mode must be one of {list(LOAD_MODES)}, got {self.mode!r}"
+            )
+        if self.duration_seconds <= 0:
+            raise ValueError("duration_seconds must be > 0")
+        if self.concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if self.qps <= 0:
+            raise ValueError("qps must be > 0")
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1")
+        if self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be > 0")
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "duration_seconds": self.duration_seconds,
+            "concurrency": self.concurrency,
+            "qps": self.qps if self.mode == "open" else None,
+            "clients": self.clients,
+            "timeout_seconds": self.timeout_seconds,
+        }
+
+
+@dataclass(frozen=True)
+class _Sample:
+    """One request's outcome as the client saw it."""
+
+    status: int  # 0 = transport error (refused / timeout / reset)
+    seconds: float
+    retry_after: Optional[bool] = None  # 429 only: header present?
+    degraded: bool = False
+
+
+def percentile(values: Sequence[float], q: float) -> Optional[float]:
+    """Nearest-rank percentile (``q`` in [0, 1]); None on empty input."""
+    if not values:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _issue(url: str, text: str, client_id: str, timeout: float) -> _Sample:
+    """POST one /link request and classify the outcome."""
+    body = json.dumps({"text": text}).encode("utf-8")
+    request = urllib.request.Request(
+        f"{url.rstrip('/')}/link",
+        data=body,
+        headers={
+            "Content-Type": "application/json",
+            "X-Client-Id": client_id,
+        },
+        method="POST",
+    )
+    started = time.perf_counter()
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            payload = json.loads(response.read())
+            elapsed = time.perf_counter() - started
+            return _Sample(
+                status=response.status,
+                seconds=elapsed,
+                degraded=bool(payload.get("degraded", False)),
+            )
+    except urllib.error.HTTPError as exc:
+        elapsed = time.perf_counter() - started
+        exc.read()  # drain so the keep-alive connection stays usable
+        retry_after = None
+        if exc.code == 429:
+            retry_after = exc.headers.get("Retry-After") is not None
+        return _Sample(status=exc.code, seconds=elapsed, retry_after=retry_after)
+    except (urllib.error.URLError, OSError, ValueError):
+        # Connection refused, reset, socket timeout, or a torn response
+        # body: a transport-level failure, not an HTTP status.
+        return _Sample(status=0, seconds=time.perf_counter() - started)
+
+
+def run_load(
+    url: str, texts: Sequence[str], config: LoadConfig = LoadConfig()
+) -> Dict[str, object]:
+    """Drive *texts* (cycled) at *url* and return the ``load`` block."""
+    if not texts:
+        raise ValueError("texts must be non-empty")
+    samples: List[_Sample] = []
+    samples_lock = threading.Lock()
+    ticket = itertools.count()
+    ticket_lock = threading.Lock()
+
+    def next_ticket() -> int:
+        with ticket_lock:
+            return next(ticket)
+
+    def fire() -> None:
+        i = next_ticket()
+        sample = _issue(
+            url,
+            texts[i % len(texts)],
+            f"load-client-{i % config.clients}",
+            config.timeout_seconds,
+        )
+        with samples_lock:
+            samples.append(sample)
+
+    started = time.perf_counter()
+    deadline = started + config.duration_seconds
+    if config.mode == "closed":
+        # Each worker keeps exactly one request in flight until time is
+        # up: offered load adapts to the server's speed.
+        def worker() -> None:
+            while time.perf_counter() < deadline:
+                fire()
+
+        threads = [
+            threading.Thread(target=worker, daemon=True)
+            for _ in range(config.concurrency)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    else:
+        # Open loop: departures follow the fixed 1/qps schedule whether
+        # or not earlier requests have answered.  The pool is sized well
+        # past `concurrency` so slow responses pile up in flight (the
+        # point of the model) instead of silently throttling arrivals.
+        interval = 1.0 / config.qps
+        planned = max(1, int(config.duration_seconds * config.qps))
+        pool_size = max(config.concurrency, min(64, planned))
+        with ThreadPoolExecutor(max_workers=pool_size) as pool:
+            futures = []
+            for k in range(planned):
+                now = time.perf_counter()
+                target = started + k * interval
+                if target > now:
+                    time.sleep(target - now)
+                futures.append(pool.submit(fire))
+            for future in futures:
+                future.result()
+    wall = time.perf_counter() - started
+
+    status_counts: Dict[str, int] = {}
+    for sample in samples:
+        key = str(sample.status) if sample.status else "transport_error"
+        status_counts[key] = status_counts.get(key, 0) + 1
+    completed = [s for s in samples if s.status == 200]
+    rejected = [s for s in samples if s.status == 429]
+    errors_5xx = sum(1 for s in samples if 500 <= s.status <= 599)
+    errors_other = sum(
+        1
+        for s in samples
+        if s.status != 200 and s.status != 429 and not 500 <= s.status <= 599
+    )
+    latencies = [s.seconds for s in completed]
+    offered = len(samples)
+    return {
+        "config": config.to_json(),
+        "url": url,
+        "wall_seconds": wall,
+        "offered": offered,
+        "offered_rps": offered / wall if wall else None,
+        "completed": len(completed),
+        "rejected": len(rejected),
+        "errors_5xx": errors_5xx,
+        "errors_other": errors_other,
+        "degraded": sum(1 for s in completed if s.degraded),
+        "goodput_rps": len(completed) / wall if wall else None,
+        "shed_rate": len(rejected) / offered if offered else 0.0,
+        "retry_after_missing": sum(
+            1 for s in rejected if s.retry_after is False
+        ),
+        "status_counts": dict(sorted(status_counts.items())),
+        "latency": (
+            {
+                "count": len(latencies),
+                "mean_seconds": sum(latencies) / len(latencies),
+                "p50_seconds": percentile(latencies, 0.50),
+                "p95_seconds": percentile(latencies, 0.95),
+                "p99_seconds": percentile(latencies, 0.99),
+                "max_seconds": max(latencies),
+            }
+            if latencies
+            else None
+        ),
+    }
+
+
+def format_load_summary(block: Dict[str, object]) -> str:
+    """One-line human digest (also used for the CI job summary)."""
+    latency = block.get("latency") or {}
+    p99 = latency.get("p99_seconds")
+    goodput = block.get("goodput_rps")
+    config = block.get("config", {})
+    return (
+        f"load ({config.get('mode')}): "
+        f"{block.get('offered')} offered @ "
+        f"{(block.get('offered_rps') or 0.0):.1f} rps | "
+        f"goodput {(goodput or 0.0):.1f} rps | "
+        f"shed {100 * float(block.get('shed_rate') or 0.0):.1f}% | "
+        f"5xx {block.get('errors_5xx')} | "
+        f"degraded {block.get('degraded')} | "
+        + (f"p99 {1000 * p99:.1f}ms" if p99 is not None else "p99 n/a")
+    )

@@ -46,7 +46,18 @@ One benchmark run produces one JSON document::
                    "completed_latency": {<stats>} | null} | null,
       "trace": {"scale": ..., "documents": N, "wall_seconds": ...,
                 "recorded": N, "span_stage_max_delta_seconds": ...,
-                "stages": {"<stage>": {<stats>}, ...}} | null
+                "stages": {"<stage>": {<stats>}, ...}} | null,
+      "load": {"config": {"mode": "closed" | "open", ...},
+               "url": ..., "wall_seconds": ...,
+               "offered": N, "offered_rps": ..., "completed": N,
+               "rejected": N, "errors_5xx": N, "errors_other": N,
+               "degraded": N, "goodput_rps": ..., "shed_rate": ...,
+               "retry_after_missing": N,
+               "status_counts": {"200": N, "429": N, ...},
+               "latency": {"count": N, "mean_seconds": ...,
+                           "p50_seconds": ..., "p95_seconds": ...,
+                           "p99_seconds": ..., "max_seconds": ...} | null
+              } | null
     }
 
 where ``<stats>`` is the :func:`summarize` block (count / total / mean /
@@ -255,4 +266,62 @@ def validate_report(payload: object) -> List[str]:
                 for stage, block in stages.items():
                     _check_stats(block, f"trace.stages[{stage!r}]", problems)
 
+    load = payload.get("load")
+    if load is not None:
+        _check_load_block(load, problems)
+
     return problems
+
+
+def _check_load_block(load: object, problems: List[str]) -> None:
+    """Schema of the load-generator block (``bench --load``)."""
+    if not isinstance(load, dict):
+        problems.append("load must be an object or null")
+        return
+    config = load.get("config")
+    if not isinstance(config, dict):
+        problems.append("load: missing config block")
+    elif config.get("mode") not in ("closed", "open"):
+        problems.append(
+            f"load: config.mode must be 'closed' or 'open', "
+            f"got {config.get('mode')!r}"
+        )
+    for field in (
+        "offered",
+        "completed",
+        "rejected",
+        "errors_5xx",
+        "errors_other",
+        "degraded",
+        "retry_after_missing",
+    ):
+        if not isinstance(load.get(field), int):
+            problems.append(f"load: missing integer {field!r}")
+    for field in ("wall_seconds", "goodput_rps", "shed_rate"):
+        if not _is_number(load.get(field)):
+            problems.append(f"load: missing numeric {field!r}")
+    shed = load.get("shed_rate")
+    if _is_number(shed) and not 0.0 <= shed <= 1.0:
+        problems.append(f"load: shed_rate {shed} outside [0, 1]")
+    if not isinstance(load.get("status_counts"), dict):
+        problems.append("load: missing status_counts block")
+    latency = load.get("latency")
+    if latency is not None:
+        if not isinstance(latency, dict):
+            problems.append("load: latency must be an object or null")
+        else:
+            for field in (
+                "count",
+                "mean_seconds",
+                "p50_seconds",
+                "p95_seconds",
+                "p99_seconds",
+                "max_seconds",
+            ):
+                if not _is_number(latency.get(field)):
+                    problems.append(f"load.latency: missing numeric {field!r}")
+    if isinstance(load.get("completed"), int) and latency is None:
+        if load["completed"] > 0:
+            problems.append(
+                "load: completed > 0 but latency block is null"
+            )

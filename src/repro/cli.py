@@ -12,11 +12,15 @@ Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
 * ``evaluate``  — run the end-to-end evaluation (Tables 3-4) for a
   chosen set of systems and print P/R/F rows;
 * ``stats``     — print the Table 2 dataset statistics;
-* ``serve``     — run the JSON-over-HTTP linking service (see
-  ``docs/serving.md``);
+* ``serve``     — run the JSON-over-HTTP linking service, with
+  admission-control flags (``--max-queue``, ``--rate-limit``,
+  ``--degrade-queue``/``--degrade-p95``; see ``docs/serving.md``);
 * ``bench``     — run the benchmark harness and write a schema-versioned
-  ``BENCH_<rev>.json``; ``bench compare A.json B.json`` diffs two such
-  records and exits non-zero past the regression threshold (see
+  ``BENCH_<rev>.json`` (``--load`` adds a load-generator pass against an
+  in-process server); ``bench compare A.json B.json`` diffs two such
+  records and exits non-zero past the regression threshold;
+  ``bench load --url`` drives a live server and asserts the overload
+  SLOs (no 5xx, Retry-After on every 429, bounded p99; see
   ``docs/benchmarking.md``);
 * ``snapshot``  — manage the versioned artifact store
   (``build``/``verify``/``list``/``gc``, see ``docs/snapshots.md``).
@@ -180,6 +184,51 @@ def build_parser() -> argparse.ArgumentParser:
         "specific snapshot directory); the snapshot identity is "
         "surfaced on /metrics",
     )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="interactive admission queue bound (beyond it: 429 queue_full)",
+    )
+    serve_parser.add_argument(
+        "--batch-max-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="batch-lane admission queue bound",
+    )
+    serve_parser.add_argument(
+        "--rate-limit",
+        type=float,
+        default=None,
+        metavar="RPS",
+        help="per-client token-bucket refill rate (keyed on X-Client-Id; "
+        "off by default)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit-burst",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-client token-bucket capacity (default 8)",
+    )
+    serve_parser.add_argument(
+        "--degrade-queue",
+        type=int,
+        default=None,
+        metavar="N",
+        help="queue depth at which the service enters degraded mode "
+        "(prior-only answers; exits at a quarter of this depth)",
+    )
+    serve_parser.add_argument(
+        "--degrade-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="observed p95 latency that triggers degraded mode "
+        "(exits at half this value)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -227,6 +276,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run a traced pass: per-stage span statistics and the "
         "span-vs-stage_seconds parity delta land in the record",
     )
+    bench_parser.add_argument(
+        "--load",
+        action="store_true",
+        help="also run the load generator against an in-process HTTP "
+        "server; goodput/shed/latency land in the record's `load` block",
+    )
+    bench_parser.add_argument(
+        "--load-mode",
+        choices=("closed", "open"),
+        default="closed",
+        help="closed = fixed concurrency, open = fixed-QPS arrivals "
+        "(default: closed)",
+    )
+    bench_parser.add_argument(
+        "--load-duration",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="load-generation window (default 5s)",
+    )
+    bench_parser.add_argument(
+        "--load-concurrency",
+        type=int,
+        default=4,
+        metavar="N",
+        help="closed-loop clients / open-loop in-flight floor (default 4)",
+    )
+    bench_parser.add_argument(
+        "--load-qps",
+        type=float,
+        default=20.0,
+        metavar="RPS",
+        help="open-loop arrival rate (default 20)",
+    )
     bench_parser.add_argument("--label", default="", help="freeform run label")
     bench_parser.add_argument(
         "--snapshot",
@@ -264,6 +347,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0 (PR mode)",
+    )
+    bench_load = bench_sub.add_parser(
+        "load",
+        help="drive the load generator against a live server and assert "
+        "overload SLOs (exit 1 on any 5xx, a 429 without Retry-After, "
+        "or a blown --max-p99)",
+    )
+    bench_load.add_argument(
+        "--url",
+        required=True,
+        metavar="URL",
+        help="base URL of a running tenet-repro server",
+    )
+    bench_load.add_argument(
+        "--mode", choices=("closed", "open"), default="closed"
+    )
+    bench_load.add_argument(
+        "--duration", type=float, default=5.0, metavar="SECONDS"
+    )
+    bench_load.add_argument("--concurrency", type=int, default=4, metavar="N")
+    bench_load.add_argument("--qps", type=float, default=20.0, metavar="RPS")
+    bench_load.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        metavar="N",
+        help="distinct X-Client-Id values to rotate through",
+    )
+    bench_load.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS"
+    )
+    bench_load.add_argument(
+        "--corpus-scale",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="dataset scale of the generated request corpus (default 0.1)",
+    )
+    bench_load.add_argument(
+        "--max-p99",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail when the completed-request p99 exceeds this",
+    )
+    bench_load.add_argument(
+        "--allow-5xx",
+        action="store_true",
+        help="do not fail on 5xx responses (default: any 5xx fails)",
+    )
+    bench_load.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="write the load block as JSON",
     )
 
     snapshot_parser = subparsers.add_parser(
@@ -429,6 +568,28 @@ def _cmd_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _overload_config(args: argparse.Namespace):
+    """Map the ``serve`` overload flags onto an :class:`OverloadConfig`."""
+    from repro.service import OverloadConfig
+
+    overrides = {}
+    if args.max_queue is not None:
+        overrides["max_queue_interactive"] = args.max_queue
+    if args.batch_max_queue is not None:
+        overrides["max_queue_batch"] = args.batch_max_queue
+    if args.rate_limit is not None:
+        overrides["rate_limit_per_second"] = args.rate_limit
+    if args.rate_limit_burst is not None:
+        overrides["rate_limit_burst"] = args.rate_limit_burst
+    if args.degrade_queue is not None:
+        overrides["degraded_enter_queue_depth"] = args.degrade_queue
+        overrides["degraded_exit_queue_depth"] = max(0, args.degrade_queue // 4)
+    if args.degrade_p95 is not None:
+        overrides["degraded_enter_p95_seconds"] = args.degrade_p95
+        overrides["degraded_exit_p95_seconds"] = args.degrade_p95 / 2.0
+    return replace(OverloadConfig(), **overrides) if overrides else OverloadConfig()
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import LinkerCacheConfig, LinkingService, ServiceConfig
     from repro.service.server import create_server
@@ -442,6 +603,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             cache=LinkerCacheConfig(enabled=not args.no_cache),
             # --trace forces tracing on; otherwise defer to TENET_TRACE.
             trace_enabled=True if args.trace else None,
+            overload=_overload_config(args),
         ),
         TenetConfig(max_candidates=args.max_candidates),
         snapshot_info=snapshot_info,
@@ -488,6 +650,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
     from repro.bench.harness import format_report_summary, write_report
 
+    if args.bench_command == "load":
+        return _cmd_bench_load(args)
+
     if args.bench_command == "compare":
         try:
             baseline = load_report(args.baseline)
@@ -527,6 +692,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["deadline_seconds"] = args.deadline
     if args.trace:
         overrides["trace"] = True
+    if args.load:
+        from repro.bench import LoadConfig
+
+        overrides["load"] = LoadConfig(
+            mode=args.load_mode,
+            duration_seconds=args.load_duration,
+            concurrency=args.load_concurrency,
+            qps=args.load_qps,
+        )
     if args.label:
         overrides["label"] = args.label
     overrides["seed"] = args.seed
@@ -553,6 +727,65 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    """``bench load --url``: drive a live server, assert overload SLOs."""
+    from repro.bench import LoadConfig, format_load_summary, run_load
+
+    try:
+        load_config = LoadConfig(
+            mode=args.mode,
+            duration_seconds=args.duration,
+            concurrency=args.concurrency,
+            qps=args.qps,
+            clients=args.clients,
+            timeout_seconds=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    suite = build_benchmark_suite(seed=args.seed, scale=args.corpus_scale)
+    texts = [
+        document.text
+        for dataset in suite.datasets()
+        for document in dataset.documents
+    ]
+    print(
+        f"# driving {args.url} ({args.mode} loop, {args.duration:g}s, "
+        f"{len(texts)} distinct documents) ..."
+    )
+    block = run_load(args.url, texts, load_config)
+    if args.output is not None:
+        args.output.write_text(json.dumps(block, indent=1) + "\n")
+        print(f"# wrote {args.output}")
+    print(format_load_summary(block))
+
+    failures = []
+    if block["offered"] == 0 or block["status_counts"].get(
+        "transport_error", 0
+    ) == block["offered"]:
+        failures.append("no request ever reached the server")
+    if block["errors_5xx"] and not args.allow_5xx:
+        failures.append(f"{block['errors_5xx']} responses were 5xx")
+    if block["retry_after_missing"]:
+        failures.append(
+            f"{block['retry_after_missing']} 429 responses lacked Retry-After"
+        )
+    latency = block.get("latency") or {}
+    p99 = latency.get("p99_seconds")
+    if args.max_p99 is not None:
+        if p99 is None:
+            failures.append("no completed requests, cannot check --max-p99")
+        elif p99 > args.max_p99:
+            failures.append(
+                f"p99 {p99:.3f}s exceeds --max-p99 {args.max_p99:g}s"
+            )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("OK: load SLOs held")
+    return 1 if failures else 0
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:

@@ -12,6 +12,17 @@ from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
 from repro.service.engine import LinkingService, ServiceClosedError, ServiceConfig
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
+from repro.service.overload import (
+    AdmissionController,
+    AdmissionError,
+    ClientRateLimiter,
+    DegradedModeController,
+    LatencyWindow,
+    OverloadConfig,
+    QueueFullError,
+    RateLimitedError,
+    TokenBucket,
+)
 from repro.service.schema import (
     BatchLinkRequest,
     BatchLinkResponse,
@@ -23,11 +34,16 @@ from repro.service.schema import (
 from repro.service.server import LinkingHTTPServer, create_server
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionError",
     "BatchLinkRequest",
     "BatchLinkResponse",
+    "ClientRateLimiter",
     "Deadline",
     "DeadlineExceeded",
+    "DegradedModeController",
     "LatencyHistogram",
+    "LatencyWindow",
     "LinkerCacheConfig",
     "LinkerCaches",
     "LinkingHTTPServer",
@@ -35,10 +51,14 @@ __all__ = [
     "LinkRequest",
     "LinkResponse",
     "MetricsRegistry",
+    "OverloadConfig",
+    "QueueFullError",
+    "RateLimitedError",
     "SchemaError",
     "ServiceClosedError",
     "ServiceConfig",
     "ServiceError",
+    "TokenBucket",
     "attach_caches",
     "create_server",
 ]

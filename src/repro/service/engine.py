@@ -31,6 +31,12 @@ Request paths:
   which coalesces queued singles into batches (size- or delay-bound)
   before dispatch; useful for high-QPS callers that want batching
   without assembling batches themselves.
+* :meth:`link_admitted` / :meth:`link_batch_admitted` / :meth:`admit` —
+  the HTTP front end's paths: the same semantics, but behind the
+  bounded two-lane admission queue, per-client token buckets, and
+  degraded-mode switching of :mod:`repro.service.overload`.  Shed
+  requests raise a typed :class:`AdmissionError` (HTTP 429 +
+  ``Retry-After``) *before* any linking work happens.
 """
 
 from __future__ import annotations
@@ -56,6 +62,17 @@ from repro.obs import (
 )
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
 from repro.service.metrics import MetricsRegistry
+from repro.service.overload import (
+    BATCH_LANE,
+    INTERACTIVE_LANE,
+    AdmissionController,
+    AdmissionError,
+    ClientRateLimiter,
+    DegradedModeController,
+    LatencyWindow,
+    OverloadConfig,
+    RateLimitedError,
+)
 from repro.service.schema import (
     BatchLinkRequest,
     BatchLinkResponse,
@@ -88,6 +105,12 @@ class ServiceConfig:
     trace_enabled: Optional[bool] = None
     trace_ring_size: int = DEFAULT_RING_SIZE
     cache: LinkerCacheConfig = field(default_factory=LinkerCacheConfig)
+    # Admission control / load shedding / degraded-mode watermarks (see
+    # repro.service.overload).  Only the admitted request paths
+    # (link_admitted / link_batch_admitted, i.e. the HTTP front end) go
+    # through the bounded queue; the in-process link/submit/link_batch
+    # APIs stay direct for trusted callers like the bench harness.
+    overload: OverloadConfig = field(default_factory=OverloadConfig)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -148,6 +171,26 @@ class LinkingService:
             max_size=config.batch_max_size,
             max_delay_seconds=config.batch_max_delay_seconds,
         )
+        # Overload layer: bounded two-lane admission queue in front of
+        # the pool, per-client token buckets, and the degraded-mode
+        # hysteresis switch fed by queue depth + rolling p95.
+        self._latency_window = LatencyWindow(config.overload.latency_window)
+        self._degraded_mode = DegradedModeController(config.overload)
+        self._limiter: Optional[ClientRateLimiter] = None
+        if config.overload.rate_limit_per_second is not None:
+            self._limiter = ClientRateLimiter(
+                config.overload.rate_limit_per_second,
+                config.overload.rate_limit_burst,
+                max_clients=config.overload.max_tracked_clients,
+            )
+        self._admission = AdmissionController(
+            config.overload,
+            config.workers,
+            self._dispatch_admitted,
+            close_error=lambda: ServiceClosedError("LinkingService is closed"),
+        )
+        self.metrics.set_gauge("admission.queue_depth", 0)
+        self.metrics.set_gauge("degraded_mode.active", 0)
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -186,6 +229,17 @@ class LinkingService:
         )
         try:
             try:
+                if self._degraded_mode.active:
+                    # Overload valve: under pressure (queue depth or p95
+                    # past the enter watermarks) requests are answered
+                    # from the prior-only fast path until the hysteresis
+                    # controller sees the signals back under the exit
+                    # watermarks.
+                    return self._finalize(
+                        self._respond_degraded_mode(request, started, trace),
+                        trace,
+                        cache_before,
+                    )
                 result = self.linker.link(
                     request.text, deadline=deadline, trace=trace
                 )
@@ -248,6 +302,74 @@ class LinkingService:
         """Queue for micro-batched dispatch (see :class:`MicroBatcher`)."""
         return self._batcher.enqueue(request)
 
+    # ------------------------------------------------------------------
+    # admitted request paths (what the HTTP front end calls)
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        request: LinkRequest,
+        lane: str = INTERACTIVE_LANE,
+        client_id: Optional[str] = None,
+    ) -> "Future[LinkResponse]":
+        """Queue *request* through the bounded admission layer.
+
+        Raises :class:`~repro.service.overload.AdmissionError` when the
+        request is shed — the client is over its token bucket
+        (``rate_limited``) or the lane is at capacity (``queue_full``) —
+        carrying the ``Retry-After`` hint.  Raises
+        :class:`ServiceClosedError` after shutdown.
+        """
+        future, _deadline, _trace = self._admit(request, lane, client_id)
+        return future
+
+    def link_admitted(
+        self,
+        request: LinkRequest,
+        lane: str = INTERACTIVE_LANE,
+        client_id: Optional[str] = None,
+    ) -> LinkResponse:
+        """Synchronous admitted path with the same deadline semantics
+        as :meth:`link`.  Admission rejections propagate as
+        :class:`AdmissionError` (the HTTP layer's 429); a shutdown while
+        the request waits in the queue comes back as a clean
+        ``unavailable`` error envelope, never a hang."""
+        future, deadline, trace = self._admit(request, lane, client_id)
+        try:
+            return self._await(request, deadline, future, trace)
+        except ServiceClosedError:
+            return self._closed_envelope(request, deadline)
+
+    def link_batch_admitted(
+        self, batch: BatchLinkRequest, client_id: Optional[str] = None
+    ) -> BatchLinkResponse:
+        """Admitted batch path: every document takes the batch lane.
+
+        Batch work is strictly lower priority than interactive traffic:
+        a queued batch document never dispatches while an interactive
+        request waits.  Per-document admission failures become error
+        envelopes (``rate_limited`` / ``queue_full``) so one shed
+        document does not void the rest of the batch.
+        """
+        self.metrics.incr("requests.batches")
+        self.metrics.incr("requests.batched_documents", len(batch.requests))
+        jobs = []
+        for request in batch.requests:
+            try:
+                jobs.append((request, self._admit(request, BATCH_LANE, client_id)))
+            except AdmissionError as exc:
+                jobs.append((request, exc))
+        responses = []
+        for request, job in jobs:
+            if isinstance(job, AdmissionError):
+                responses.append(self._rejected_envelope(request, job))
+                continue
+            future, deadline, trace = job
+            try:
+                responses.append(self._await(request, deadline, future, trace))
+            except ServiceClosedError:
+                responses.append(self._closed_envelope(request, deadline))
+        return BatchLinkResponse(tuple(responses))
+
     def link_batch(self, batch: BatchLinkRequest) -> BatchLinkResponse:
         """Link one explicit batch; responses keep the request order.
 
@@ -290,6 +412,27 @@ class LinkingService:
         payload["caches"] = self.caches.snapshot(self.linker)
         payload["tracing"] = self.tracer.stats()
         payload["snapshot"] = self.snapshot_info
+        enters, exits = self._degraded_mode.transitions
+        payload["overload"] = {
+            "config": self.config.overload.to_json(),
+            "queue_depth": {
+                "interactive": self._admission.depth(INTERACTIVE_LANE),
+                "batch": self._admission.depth(BATCH_LANE),
+                "total": self._admission.depth(),
+            },
+            "inflight": self._admission.inflight(),
+            "window_p95_seconds": self._latency_window.percentile(0.95),
+            "degraded_mode": {
+                "active": self._degraded_mode.active,
+                "enters": enters,
+                "exits": exits,
+            },
+            "rate_limiter": (
+                {"tracked_clients": self._limiter.tracked_clients}
+                if self._limiter is not None
+                else None
+            ),
+        }
         payload["config"] = {
             "workers": self.config.workers,
             "default_timeout_seconds": self.config.default_timeout_seconds,
@@ -306,6 +449,14 @@ class LinkingService:
         if self._closed:
             return
         self._closed = True
+        # Order matters: stop admitting first, so everything still
+        # queued is rejected with the typed ServiceClosedError (which
+        # waiting callers surface as a clean `unavailable` envelope —
+        # never a hang, never a silent drop); then the batcher, then
+        # the pool (draining the in-flight work).
+        rejected = self._admission.close()
+        if rejected:
+            self.metrics.incr("requests.rejected_on_close", rejected)
         self._batcher.close()
         self._pool.shutdown(wait=True)
 
@@ -323,6 +474,150 @@ class LinkingService:
             request.timeout_seconds
             if request.timeout_seconds is not None
             else self.config.default_timeout_seconds
+        )
+
+    def _admit(
+        self,
+        request: LinkRequest,
+        lane: str,
+        client_id: Optional[str],
+    ) -> Tuple["Future[LinkResponse]", Deadline, Optional[Trace]]:
+        """Rate-limit then enqueue; the deadline anchors here, at admission."""
+        if self._closed:
+            raise ServiceClosedError("LinkingService is closed")
+        if self._limiter is not None:
+            client = client_id or "anonymous"
+            retry_after = self._limiter.try_acquire(client)
+            if retry_after is not None:
+                self.metrics.incr("requests.rejected")
+                self.metrics.incr("requests.rejected.rate_limited")
+                raise RateLimitedError(
+                    f"client {client!r} is over its rate limit",
+                    retry_after_seconds=retry_after,
+                )
+        deadline = Deadline.after(self._timeout_for(request))
+        trace = self.tracer.start(request.request_id)
+        if trace is not None:
+            trace.annotate(lane=lane)
+        future: "Future[LinkResponse]" = Future()
+
+        def work() -> LinkResponse:
+            return self.handle(request, deadline, trace)
+
+        try:
+            self._admission.admit(
+                work, future, lane, retry_after_hint=self._retry_after_hint()
+            )
+        except AdmissionError:
+            self.metrics.incr("requests.rejected")
+            self.metrics.incr("requests.rejected.queue_full")
+            if trace is not None:
+                trace.mark_aborted("admission")
+                self.tracer.finish(trace)
+            raise
+        self.metrics.incr(f"admission.admitted.{lane}")
+        self._update_overload_state()
+        return future, deadline, trace
+
+    def _retry_after_hint(self) -> Optional[float]:
+        """Seconds a shed client should back off: backlog x mean latency."""
+        mean = self._latency_window.mean()
+        if mean is None:
+            return None
+        backlog = self._admission.depth() + self._admission.inflight()
+        return mean * max(1.0, backlog / self.config.workers)
+
+    def _dispatch_admitted(self, item) -> None:
+        """Feed one admitted item to the pool (admission dispatcher hook)."""
+        pooled = self._pool.submit(item.work)
+
+        def _done(source: "Future[LinkResponse]") -> None:
+            self._admission.release()
+            self._update_overload_state()
+            if item.future.done():
+                return
+            exc = source.exception()
+            if exc is not None:
+                item.future.set_exception(exc)
+            else:
+                item.future.set_result(source.result())
+
+        pooled.add_done_callback(_done)
+
+    def _update_overload_state(self) -> None:
+        """Re-evaluate the degraded-mode switch and the queue gauges."""
+        depth = self._admission.depth()
+        p95 = self._latency_window.percentile(0.95)
+        was = self._degraded_mode.active
+        now = self._degraded_mode.update(depth, p95)
+        self.metrics.set_gauge("admission.queue_depth", depth)
+        self.metrics.set_gauge(
+            "admission.queue_depth.interactive",
+            self._admission.depth(INTERACTIVE_LANE),
+        )
+        self.metrics.set_gauge(
+            "admission.queue_depth.batch", self._admission.depth(BATCH_LANE)
+        )
+        self.metrics.set_gauge("degraded_mode.active", 1 if now else 0)
+        if now != was and self.logger.enabled:
+            self.logger.log(
+                "overload.degraded_mode",
+                level="warning",
+                active=now,
+                queue_depth=depth,
+                p95_seconds=p95,
+            )
+
+    def _respond_degraded_mode(
+        self,
+        request: LinkRequest,
+        started: float,
+        trace: Optional[Trace] = None,
+    ) -> LinkResponse:
+        """Overload routing: answer from the prior-only fast path."""
+        self.metrics.incr("degraded_mode.requests")
+        if trace is not None:
+            trace.annotate(degraded_mode=True)
+            trace.record(
+                "degraded_route",
+                0.0,
+                queue_depth=self._admission.depth(),
+                p95_seconds=self._latency_window.percentile(0.95),
+            )
+        try:
+            result = self.linker.link_prior_only(request.text, trace=trace)
+        except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
+            self.metrics.incr("requests.errors")
+            return LinkResponse(
+                request_id=request.request_id,
+                elapsed_seconds=time.perf_counter() - started,
+                degraded=True,
+                error=ServiceError("internal", f"{type(exc).__name__}: {exc}"),
+            )
+        return self._respond(
+            request, result, time.perf_counter() - started, degraded=True
+        )
+
+    def _rejected_envelope(
+        self, request: LinkRequest, exc: AdmissionError
+    ) -> LinkResponse:
+        return LinkResponse(
+            request_id=request.request_id,
+            error=ServiceError(
+                exc.code,
+                f"{exc} (retry after {exc.retry_after_seconds:.2f}s)",
+            ),
+        )
+
+    def _closed_envelope(
+        self, request: LinkRequest, deadline: Deadline
+    ) -> LinkResponse:
+        """A queued request rejected by shutdown: clean typed envelope."""
+        self.metrics.incr("requests.rejected_on_close")
+        return LinkResponse(
+            request_id=request.request_id,
+            elapsed_seconds=deadline.elapsed(),
+            error=ServiceError("unavailable", "service is shutting down"),
         )
 
     def _await(
@@ -371,6 +666,11 @@ class LinkingService:
         timings = dict(result.stage_seconds)
         self.metrics.observe_stages(timings)
         self.metrics.observe("latency.link", elapsed)
+        # Feed the overload layer: the rolling window drives the p95
+        # watermark, and every completion re-evaluates the hysteresis
+        # switch (so degraded mode can disengage once pressure drops).
+        self._latency_window.observe(elapsed)
+        self._update_overload_state()
         if degraded:
             self.metrics.incr("requests.degraded")
         else:

@@ -64,6 +64,7 @@ class LatencyHistogram:
             "max_seconds": self.max,
             "p50_seconds": self.quantile(0.50),
             "p90_seconds": self.quantile(0.90),
+            "p95_seconds": self.quantile(0.95),
             "p99_seconds": self.quantile(0.99),
             "buckets": {
                 f"le_{bound:g}": count

@@ -1,0 +1,503 @@
+"""Admission control, load shedding, and degraded-mode switching.
+
+The engine's worker pool is a fixed resource; this module decides what
+is allowed to reach it.  Four cooperating pieces:
+
+* :class:`TokenBucket` / :class:`ClientRateLimiter` — per-client
+  token-bucket rate limiting keyed on the ``X-Client-Id`` header (or
+  the peer address), so one hot client cannot crowd out the rest.
+* :class:`AdmissionController` — a bounded two-lane queue (interactive
+  vs. batch) in front of the worker pool.  Dispatch is strict-priority:
+  a queued batch item never runs while an interactive item waits, so
+  batch floods cannot starve interactive traffic.  A full lane rejects
+  *early* — before any linking work — with a typed error the HTTP layer
+  maps to ``429`` + ``Retry-After``.
+* :class:`LatencyWindow` — a rolling window of recent request
+  latencies, giving the observed p95 that drives degraded mode.
+* :class:`DegradedModeController` — hysteresis switch: when queue
+  depth or observed p95 crosses the *enter* watermarks, new requests
+  are routed to the prior-only fast path (PR 1's degradation fallback)
+  until both signals fall back under the *exit* watermarks.  Distinct
+  enter/exit thresholds prevent flapping across the boundary.
+
+Everything takes an injectable monotonic ``clock`` so the concurrency
+tests are deterministic.  Like the rest of the service layer this is a
+leaf over the stdlib: no third-party dependency, no imports from the
+engine (the engine imports *this*).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+INTERACTIVE_LANE = "interactive"
+BATCH_LANE = "batch"
+LANES = (INTERACTIVE_LANE, BATCH_LANE)
+
+Clock = Callable[[], float]
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Knobs of the admission / shedding / degraded-mode layer.
+
+    ``max_queue_interactive`` / ``max_queue_batch`` bound the admission
+    lanes (requests beyond the bound are rejected with ``queue_full``).
+    ``rate_limit_per_second`` enables per-client token buckets when set
+    (``None`` disables rate limiting); ``rate_limit_burst`` is each
+    bucket's capacity.  Degraded mode engages when queue depth reaches
+    ``degraded_enter_queue_depth`` or the rolling p95 reaches
+    ``degraded_enter_p95_seconds``, and disengages only when depth is
+    at or below ``degraded_exit_queue_depth`` *and* p95 at or below
+    ``degraded_exit_p95_seconds`` — the hysteresis band.
+    """
+
+    max_queue_interactive: int = 64
+    max_queue_batch: int = 256
+    rate_limit_per_second: Optional[float] = None
+    rate_limit_burst: int = 8
+    max_tracked_clients: int = 1024
+    degraded_enter_queue_depth: int = 32
+    degraded_exit_queue_depth: int = 8
+    degraded_enter_p95_seconds: Optional[float] = None
+    degraded_exit_p95_seconds: Optional[float] = None
+    latency_window: int = 256
+    # Fallback Retry-After hint when the queue is full and there is no
+    # latency sample yet to derive a better one from.
+    retry_after_floor_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_queue_interactive < 1:
+            raise ValueError("max_queue_interactive must be >= 1")
+        if self.max_queue_batch < 1:
+            raise ValueError("max_queue_batch must be >= 1")
+        if self.rate_limit_per_second is not None and self.rate_limit_per_second <= 0:
+            raise ValueError("rate_limit_per_second must be > 0 when set")
+        if self.rate_limit_burst < 1:
+            raise ValueError("rate_limit_burst must be >= 1")
+        if self.max_tracked_clients < 1:
+            raise ValueError("max_tracked_clients must be >= 1")
+        if self.degraded_enter_queue_depth < 1:
+            raise ValueError("degraded_enter_queue_depth must be >= 1")
+        if not 0 <= self.degraded_exit_queue_depth < self.degraded_enter_queue_depth:
+            raise ValueError(
+                "degraded_exit_queue_depth must satisfy "
+                "0 <= exit < enter (the hysteresis band)"
+            )
+        enter_p95, exit_p95 = (
+            self.degraded_enter_p95_seconds,
+            self.degraded_exit_p95_seconds,
+        )
+        if (enter_p95 is None) != (exit_p95 is None):
+            raise ValueError(
+                "degraded p95 watermarks must be set together (enter and exit)"
+            )
+        if enter_p95 is not None:
+            if enter_p95 <= 0:
+                raise ValueError("degraded_enter_p95_seconds must be > 0")
+            if not 0 < exit_p95 < enter_p95:
+                raise ValueError(
+                    "degraded_exit_p95_seconds must satisfy 0 < exit < enter"
+                )
+        if self.latency_window < 1:
+            raise ValueError("latency_window must be >= 1")
+        if self.retry_after_floor_seconds <= 0:
+            raise ValueError("retry_after_floor_seconds must be > 0")
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "max_queue_interactive": self.max_queue_interactive,
+            "max_queue_batch": self.max_queue_batch,
+            "rate_limit_per_second": self.rate_limit_per_second,
+            "rate_limit_burst": self.rate_limit_burst,
+            "degraded_enter_queue_depth": self.degraded_enter_queue_depth,
+            "degraded_exit_queue_depth": self.degraded_exit_queue_depth,
+            "degraded_enter_p95_seconds": self.degraded_enter_p95_seconds,
+            "degraded_exit_p95_seconds": self.degraded_exit_p95_seconds,
+            "latency_window": self.latency_window,
+        }
+
+
+class AdmissionError(RuntimeError):
+    """A request was shed before reaching the worker pool.
+
+    ``code`` is the stable envelope slug; ``retry_after_seconds`` is the
+    client hint the HTTP layer emits as the ``Retry-After`` header.
+    """
+
+    code = "overloaded"
+
+    def __init__(self, message: str, retry_after_seconds: float) -> None:
+        super().__init__(message)
+        self.retry_after_seconds = max(0.0, retry_after_seconds)
+
+
+class QueueFullError(AdmissionError):
+    """The request's admission lane is at capacity."""
+
+    code = "queue_full"
+
+
+class RateLimitedError(AdmissionError):
+    """The client's token bucket is empty."""
+
+    code = "rate_limited"
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, steady refill.
+
+    ``try_acquire`` returns ``None`` when a token was taken, else the
+    seconds until one will be available (the Retry-After hint).  The
+    bucket refills continuously at ``refill_per_second`` up to
+    ``capacity``; all methods are thread-safe.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        refill_per_second: float,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if refill_per_second <= 0:
+            raise ValueError(
+                f"refill_per_second must be > 0, got {refill_per_second}"
+            )
+        self.capacity = capacity
+        self.refill_per_second = refill_per_second
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._updated = clock()
+        self._lock = threading.Lock()
+
+    def _refill_locked(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(
+            float(self.capacity), self._tokens + elapsed * self.refill_per_second
+        )
+
+    def try_acquire(self) -> Optional[float]:
+        """Take one token; ``None`` on success, retry-after seconds else."""
+        with self._lock:
+            self._refill_locked()
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.refill_per_second
+
+    @property
+    def tokens(self) -> float:
+        with self._lock:
+            self._refill_locked()
+            return self._tokens
+
+
+class ClientRateLimiter:
+    """One :class:`TokenBucket` per client id, LRU-bounded.
+
+    The bucket map is capped at ``max_clients``: the least-recently-seen
+    client's bucket is dropped when a new client would exceed the cap.
+    Dropping a bucket effectively refills it, which errs on the side of
+    admitting — acceptable, since the admission queue still bounds total
+    work.
+    """
+
+    def __init__(
+        self,
+        rate_per_second: float,
+        burst: int,
+        max_clients: int = 1024,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self.rate_per_second = rate_per_second
+        self.burst = burst
+        self.max_clients = max_clients
+        self._clock = clock
+        self._buckets: "OrderedDict[str, TokenBucket]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, client_id: str) -> Optional[float]:
+        """Take a token for *client_id*; ``None`` or retry-after seconds."""
+        with self._lock:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = TokenBucket(
+                    self.burst, self.rate_per_second, clock=self._clock
+                )
+                self._buckets[client_id] = bucket
+                while len(self._buckets) > self.max_clients:
+                    self._buckets.popitem(last=False)
+            else:
+                self._buckets.move_to_end(client_id)
+        return bucket.try_acquire()
+
+    @property
+    def tracked_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)
+
+
+class LatencyWindow:
+    """Rolling window of the last *size* request latencies."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self._values: Deque[float] = deque(maxlen=size)
+        self._lock = threading.Lock()
+
+    def observe(self, seconds: float) -> None:
+        with self._lock:
+            self._values.append(seconds)
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Nearest-rank percentile over the window (``None`` if empty)."""
+        with self._lock:
+            values = sorted(self._values)
+        if not values:
+            return None
+        rank = max(1, math.ceil(q * len(values)))
+        return values[min(rank, len(values)) - 1]
+
+    def mean(self) -> Optional[float]:
+        with self._lock:
+            if not self._values:
+                return None
+            return sum(self._values) / len(self._values)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._values)
+
+
+class DegradedModeController:
+    """Hysteresis switch between the full and prior-only pipelines.
+
+    ``update(queue_depth, p95)`` re-evaluates the state: degraded mode
+    *enters* when either signal reaches its enter watermark and *exits*
+    only when every configured signal is back at or under its exit
+    watermark.  Because the exit watermarks sit strictly below the
+    enter watermarks, a signal oscillating inside the band cannot flap
+    the switch — the property the hysteresis tests pin down.
+    """
+
+    def __init__(self, config: OverloadConfig) -> None:
+        self.config = config
+        self._lock = threading.Lock()
+        self._active = False
+        self._enters = 0
+        self._exits = 0
+
+    @property
+    def active(self) -> bool:
+        with self._lock:
+            return self._active
+
+    @property
+    def transitions(self) -> Tuple[int, int]:
+        """``(enters, exits)`` since construction."""
+        with self._lock:
+            return self._enters, self._exits
+
+    def update(self, queue_depth: int, p95_seconds: Optional[float]) -> bool:
+        """Re-evaluate against the watermarks; returns the new state."""
+        config = self.config
+        depth_high = queue_depth >= config.degraded_enter_queue_depth
+        depth_low = queue_depth <= config.degraded_exit_queue_depth
+        if config.degraded_enter_p95_seconds is not None and p95_seconds is not None:
+            p95_high = p95_seconds >= config.degraded_enter_p95_seconds
+            p95_low = p95_seconds <= config.degraded_exit_p95_seconds
+        else:
+            p95_high, p95_low = False, True
+        with self._lock:
+            if not self._active and (depth_high or p95_high):
+                self._active = True
+                self._enters += 1
+            elif self._active and depth_low and p95_low:
+                self._active = False
+                self._exits += 1
+            return self._active
+
+
+class _AdmittedItem:
+    """One queued unit of work awaiting dispatch to the pool."""
+
+    __slots__ = ("work", "future", "lane", "enqueued_at")
+
+    def __init__(self, work: Callable[[], Any], future: Any, lane: str,
+                 enqueued_at: float) -> None:
+        self.work = work
+        self.future = future
+        self.lane = lane
+        self.enqueued_at = enqueued_at
+
+
+class AdmissionController:
+    """Bounded two-lane admission queue with strict-priority dispatch.
+
+    ``admit(work, future, lane)`` either enqueues the item or raises a
+    typed :class:`AdmissionError`; a dispatcher thread feeds at most
+    ``workers`` items concurrently to ``dispatch`` (interactive lane
+    always first).  ``dispatch(item)`` must arrange for
+    :meth:`release` to be called exactly once when the item's work
+    finishes — the engine does this from the pooled future's done
+    callback; tests drive it by hand.
+
+    On :meth:`close` every still-queued item's future is failed with
+    the exception built by ``close_error`` — queued work is *rejected
+    with a clean envelope*, never dropped silently and never left to
+    hang a waiting caller.
+    """
+
+    def __init__(
+        self,
+        config: OverloadConfig,
+        workers: int,
+        dispatch: Callable[[_AdmittedItem], None],
+        close_error: Callable[[], Exception],
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.config = config
+        self.workers = workers
+        self._dispatch = dispatch
+        self._close_error = close_error
+        self._clock = clock
+        self._queues: Dict[str, Deque[_AdmittedItem]] = {
+            lane: deque() for lane in LANES
+        }
+        self._limits = {
+            INTERACTIVE_LANE: config.max_queue_interactive,
+            BATCH_LANE: config.max_queue_batch,
+        }
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._loop, name="tenet-admission", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # producer side
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        work: Callable[[], Any],
+        future: Any,
+        lane: str = INTERACTIVE_LANE,
+        retry_after_hint: Optional[float] = None,
+    ) -> None:
+        """Enqueue one item or raise a typed admission error.
+
+        *retry_after_hint* (e.g. queue depth x mean latency, computed by
+        the caller) overrides the config floor on a full-queue
+        rejection.
+        """
+        if lane not in self._queues:
+            raise ValueError(f"unknown admission lane {lane!r}")
+        with self._cond:
+            if self._closed:
+                raise self._close_error()
+            queue = self._queues[lane]
+            if len(queue) >= self._limits[lane]:
+                retry_after = retry_after_hint
+                if retry_after is None or retry_after <= 0:
+                    retry_after = self.config.retry_after_floor_seconds
+                raise QueueFullError(
+                    f"{lane} admission queue is full "
+                    f"({len(queue)}/{self._limits[lane]})",
+                    retry_after_seconds=retry_after,
+                )
+            queue.append(_AdmittedItem(work, future, lane, self._clock()))
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # dispatcher side
+    # ------------------------------------------------------------------
+    def _next_item_locked(self) -> Optional[_AdmittedItem]:
+        for lane in LANES:  # interactive strictly before batch
+            queue = self._queues[lane]
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _loop(self) -> None:
+        while True:
+            with self._cond:
+                while not self._closed and (
+                    self._inflight >= self.workers
+                    or not any(self._queues[lane] for lane in LANES)
+                ):
+                    self._cond.wait()
+                if self._closed:
+                    return
+                item = self._next_item_locked()
+                if item is None:  # pragma: no cover - guarded by the wait
+                    continue
+                self._inflight += 1
+            # A future cancelled while queued (deadline expired before
+            # dispatch) must not reach the pool; its canceller already
+            # answered the request.
+            if not item.future.set_running_or_notify_cancel():
+                self.release()
+                continue
+            try:
+                self._dispatch(item)
+            except Exception as exc:  # noqa: BLE001 - dispatch must not kill the loop
+                self.release()
+                if not item.future.done():
+                    item.future.set_exception(exc)
+
+    def release(self) -> None:
+        """Signal that one dispatched item finished (frees a slot)."""
+        with self._cond:
+            self._inflight = max(0, self._inflight - 1)
+            self._cond.notify()
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def depth(self, lane: Optional[str] = None) -> int:
+        with self._cond:
+            if lane is not None:
+                return len(self._queues[lane])
+            return sum(len(q) for q in self._queues.values())
+
+    def inflight(self) -> int:
+        with self._cond:
+            return self._inflight
+
+    def close(self) -> int:
+        """Stop dispatching and reject everything still queued.
+
+        Returns the number of rejected items; each of their futures is
+        failed with the typed close error so callers unblock with a
+        clean envelope instead of hanging on a dropped request.
+        """
+        with self._cond:
+            if self._closed:
+                return 0
+            self._closed = True
+            stranded: List[_AdmittedItem] = []
+            for lane in LANES:
+                stranded.extend(self._queues[lane])
+                self._queues[lane].clear()
+            self._cond.notify_all()
+        rejected = 0
+        for item in stranded:
+            if item.future.set_running_or_notify_cancel():
+                item.future.set_exception(self._close_error())
+                rejected += 1
+        self._thread.join(timeout=5.0)
+        return rejected

@@ -35,7 +35,8 @@ class ServiceError:
     """Error envelope carried in responses and HTTP error bodies.
 
     ``code`` is a stable machine-readable slug (``bad_request``,
-    ``timeout``, ``internal``, ``not_found``); ``message`` is for humans.
+    ``timeout``, ``internal``, ``not_found``, ``rate_limited``,
+    ``queue_full``, ``unavailable``); ``message`` is for humans.
     """
 
     code: str
@@ -53,17 +54,24 @@ class ServiceError:
             raise SchemaError(f"ServiceError: missing field {exc}") from exc
 
 
+LANES = ("interactive", "batch")
+
+
 @dataclass(frozen=True)
 class LinkRequest:
     """One document to link.
 
     ``timeout_seconds`` overrides the service's default per-request
-    deadline (``None`` keeps the service default).
+    deadline (``None`` keeps the service default).  ``lane`` picks the
+    admission lane (``"interactive"`` — the default — or ``"batch"``;
+    batch work is strictly lower priority and can never starve
+    interactive traffic).
     """
 
     text: str
     request_id: Optional[str] = None
     timeout_seconds: Optional[float] = None
+    lane: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.text, str):
@@ -74,6 +82,10 @@ class LinkRequest:
             raise SchemaError("LinkRequest.text must be non-empty")
         if self.timeout_seconds is not None and self.timeout_seconds < 0:
             raise SchemaError("LinkRequest.timeout_seconds must be >= 0")
+        if self.lane is not None and self.lane not in LANES:
+            raise SchemaError(
+                f"LinkRequest.lane must be one of {list(LANES)}, got {self.lane!r}"
+            )
 
     def to_json(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {"text": self.text}
@@ -81,11 +93,17 @@ class LinkRequest:
             payload["request_id"] = self.request_id
         if self.timeout_seconds is not None:
             payload["timeout_seconds"] = self.timeout_seconds
+        if self.lane is not None:
+            payload["lane"] = self.lane
         return payload
 
     @classmethod
     def from_json(cls, payload: Mapping[str, Any]) -> "LinkRequest":
-        _require(payload, "LinkRequest", ("text", "request_id", "timeout_seconds"))
+        _require(
+            payload,
+            "LinkRequest",
+            ("text", "request_id", "timeout_seconds", "lane"),
+        )
         if "text" not in payload:
             raise SchemaError("LinkRequest: missing field 'text'")
         request_id = payload.get("request_id")
@@ -94,10 +112,14 @@ class LinkRequest:
         timeout = payload.get("timeout_seconds")
         if timeout is not None and not isinstance(timeout, (int, float)):
             raise SchemaError("LinkRequest.timeout_seconds must be a number")
+        lane = payload.get("lane")
+        if lane is not None and not isinstance(lane, str):
+            raise SchemaError("LinkRequest.lane must be a string")
         return cls(
             text=payload["text"],
             request_id=request_id,
             timeout_seconds=float(timeout) if timeout is not None else None,
+            lane=lane,
         )
 
 

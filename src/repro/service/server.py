@@ -9,25 +9,36 @@ Endpoints:
 * ``POST /link``   — body :class:`LinkRequest`, returns :class:`LinkResponse`
   (plus an ``X-Trace-Id`` response header when tracing is enabled);
 * ``POST /batch``  — body :class:`BatchLinkRequest`, returns :class:`BatchLinkResponse`;
-* ``GET /metrics`` — counters, latency histograms, cache + tracer stats;
+* ``GET /metrics`` — counters, latency histograms, cache/tracer stats,
+  and the overload block (queue depths, degraded-mode state);
 * ``GET /debug/traces`` — recent request traces from the tracer's ring
   buffer; query params ``limit`` (int), ``slow_seconds`` (float,
   keep only traces at least that slow) and ``trace_id`` (resolve one);
 * ``GET /healthz`` — liveness probe.
 
+Both POST endpoints go through the engine's admission layer:
+``/link`` takes the interactive lane (or the request's ``lane`` field),
+``/batch`` the strictly-lower-priority batch lane, and the per-client
+token bucket is keyed on the ``X-Client-Id`` header (peer address when
+absent).  A shed request gets **429** with a ``Retry-After`` header and
+a ``rate_limited`` / ``queue_full`` envelope — early rejection, before
+any linking work.
+
 Errors are JSON envelopes: 400 for malformed bodies (``bad_request``),
-404 for unknown paths (``not_found``), 500 for engine failures
-(``internal``).
+404 for unknown paths (``not_found``), 429 for shed load, 500 for
+engine failures (``internal``), 503 (``unavailable``) during shutdown.
 """
 
 from __future__ import annotations
 
 import json
+import math
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from repro.service.engine import LinkingService
+from repro.service.engine import LinkingService, ServiceClosedError
+from repro.service.overload import INTERACTIVE_LANE, AdmissionError
 from repro.service.schema import (
     BatchLinkRequest,
     LinkRequest,
@@ -78,6 +89,13 @@ class _Handler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     # endpoint bodies
     # ------------------------------------------------------------------
+    def _client_id(self) -> str:
+        """Rate-limit key: ``X-Client-Id`` header, else the peer address."""
+        header = self.headers.get("X-Client-Id")
+        if header:
+            return header.strip()
+        return self.client_address[0]
+
     def _handle_link(self) -> None:
         payload = self._read_json()
         if payload is None:
@@ -87,12 +105,22 @@ class _Handler(BaseHTTPRequestHandler):
         except SchemaError as exc:
             self._send_error(400, "bad_request", str(exc))
             return
-        response = self.server.service.link(request)
-        self._send(
-            200 if response.ok else 500,
-            response.to_json(),
-            trace_id=response.trace_id,
-        )
+        try:
+            response = self.server.service.link_admitted(
+                request,
+                lane=request.lane or INTERACTIVE_LANE,
+                client_id=self._client_id(),
+            )
+        except AdmissionError as exc:
+            self._send_rejected(exc)
+            return
+        except ServiceClosedError:
+            self._send_error(503, "unavailable", "service is shutting down")
+            return
+        status = 200
+        if response.error is not None:
+            status = 503 if response.error.code == "unavailable" else 500
+        self._send(status, response.to_json(), trace_id=response.trace_id)
 
     def _handle_batch(self) -> None:
         payload = self._read_json()
@@ -103,8 +131,36 @@ class _Handler(BaseHTTPRequestHandler):
         except SchemaError as exc:
             self._send_error(400, "bad_request", str(exc))
             return
-        response = self.server.service.link_batch(batch)
-        self._send(200 if response.ok else 500, response.to_json())
+        try:
+            response = self.server.service.link_batch_admitted(
+                batch, client_id=self._client_id()
+            )
+        except ServiceClosedError:
+            self._send_error(503, "unavailable", "service is shutting down")
+            return
+        # Per-document shedding (rate_limited / queue_full / timeout /
+        # unavailable envelopes inside the batch) is an expected outcome
+        # of admission control, not a server failure: the batch itself
+        # still returns 200.  Only an `internal` failure is a 500.
+        codes = {
+            r.error.code for r in response.responses if r.error is not None
+        }
+        status = 500 if "internal" in codes else 200
+        self._send(status, response.to_json())
+
+    def _send_rejected(self, exc: AdmissionError) -> None:
+        """One shed request: 429 + Retry-After + typed envelope."""
+        body = json.dumps(
+            {"error": ServiceError(exc.code, str(exc)).to_json()}
+        ).encode("utf-8")
+        self.send_response(429)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header(
+            "Retry-After", str(max(1, math.ceil(exc.retry_after_seconds)))
+        )
+        self.end_headers()
+        self.wfile.write(body)
 
     def _handle_traces(self) -> None:
         """``GET /debug/traces`` — recent traces, filterable."""

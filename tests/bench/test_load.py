@@ -1,0 +1,212 @@
+"""The load generator: accounting invariants over a real server.
+
+The live tests boot the actual serving stack on an ephemeral port and
+run very short load windows; they assert *invariants* (every offered
+request is accounted for exactly once, shed requests carry their hint,
+the block passes schema validation) rather than wall-clock numbers.
+"""
+
+import threading
+
+import pytest
+
+from repro.bench.load import (
+    LoadConfig,
+    format_load_summary,
+    percentile,
+    run_load,
+)
+from repro.bench.schema import validate_report
+from repro.service.engine import LinkingService, ServiceConfig
+from repro.service.overload import OverloadConfig
+from repro.service.server import create_server
+
+TEXTS = (
+    "Alerio Vantra presented the quarterly results in Sentara City.",
+    "The Sentara Council elected a new chair after the harbour vote.",
+)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [0.1, 0.2, 0.3, 0.4, 1.0]
+        assert percentile(values, 0.5) == pytest.approx(0.3)
+        assert percentile(values, 0.99) == pytest.approx(1.0)
+        assert percentile(values, 0.0) == pytest.approx(0.1)
+
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestLoadConfig:
+    def test_defaults_valid(self):
+        config = LoadConfig()
+        assert config.mode == "closed"
+        assert config.to_json()["qps"] is None  # closed loop has no rate
+
+    def test_open_loop_reports_qps(self):
+        assert LoadConfig(mode="open", qps=5.0).to_json()["qps"] == 5.0
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"mode": "sawtooth"},
+            {"duration_seconds": 0},
+            {"concurrency": 0},
+            {"qps": 0},
+            {"clients": 0},
+            {"timeout_seconds": 0},
+        ],
+    )
+    def test_bad_values_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            LoadConfig(**overrides)
+
+
+def _stub_report(load_block):
+    """Minimal valid record embedding *load_block* for schema checks."""
+    stats = {
+        "count": 1, "total": 0.1, "mean": 0.1, "min": 0.1,
+        "max": 0.1, "p50": 0.1, "stdev": 0.0,
+    }
+    stages = {
+        stage: dict(stats)
+        for stage in (
+            "extract", "candidates", "coherence", "tree_cover",
+            "grouping", "disambiguation", "total",
+        )
+    }
+    return {
+        "schema_version": 1,
+        "kind": "tenet-bench",
+        "rev": "test",
+        "env": {"python": "3", "platform": "test", "numpy": "0"},
+        "scales": [{"scale": 1.0, "documents": 1, "stages": stages}],
+        "load": load_block,
+    }
+
+
+@pytest.fixture(scope="module")
+def plain_server(suite_context):
+    service = LinkingService(suite_context, ServiceConfig(workers=2))
+    server = create_server(service, host="127.0.0.1", port=0)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}", service
+    server.shutdown()
+    server.server_close()
+    service.close()
+    thread.join(timeout=5)
+
+
+def _assert_accounting(block):
+    """Every offered request lands in exactly one outcome bucket."""
+    assert block["offered"] > 0
+    assert (
+        block["completed"]
+        + block["rejected"]
+        + block["errors_5xx"]
+        + block["errors_other"]
+        == block["offered"]
+    )
+    assert sum(block["status_counts"].values()) == block["offered"]
+    assert 0.0 <= block["shed_rate"] <= 1.0
+
+
+class TestClosedLoop:
+    def test_accounting_and_schema(self, plain_server):
+        url, _service = plain_server
+        block = run_load(
+            url,
+            TEXTS,
+            LoadConfig(mode="closed", duration_seconds=0.5, concurrency=2),
+        )
+        _assert_accounting(block)
+        assert block["completed"] > 0
+        assert block["errors_5xx"] == 0
+        latency = block["latency"]
+        assert latency is not None
+        assert latency["p50_seconds"] <= latency["p99_seconds"]
+        assert validate_report(_stub_report(block)) == []
+
+    def test_summary_line(self, plain_server):
+        url, _service = plain_server
+        block = run_load(
+            url,
+            TEXTS,
+            LoadConfig(mode="closed", duration_seconds=0.25, concurrency=1),
+        )
+        line = format_load_summary(block)
+        assert "goodput" in line and "p99" in line and "closed" in line
+
+    def test_empty_corpus_rejected(self, plain_server):
+        url, _service = plain_server
+        with pytest.raises(ValueError):
+            run_load(url, [], LoadConfig())
+
+
+class TestOpenLoop:
+    def test_offered_follows_schedule_not_capacity(self, plain_server):
+        url, _service = plain_server
+        block = run_load(
+            url,
+            TEXTS,
+            LoadConfig(
+                mode="open", duration_seconds=0.5, qps=20.0, concurrency=4
+            ),
+        )
+        # The open loop *always* offers the planned arrivals, no matter
+        # how the server is keeping up — that is the point of the mode.
+        assert block["offered"] == 10
+        _assert_accounting(block)
+        assert validate_report(_stub_report(block)) == []
+
+
+class TestSheddingVisibleToClients:
+    def test_rate_limited_server_sheds_with_retry_after(self, suite_context):
+        service = LinkingService(
+            suite_context,
+            ServiceConfig(
+                workers=2,
+                overload=OverloadConfig(
+                    rate_limit_per_second=0.001, rate_limit_burst=1
+                ),
+            ),
+        )
+        server = create_server(service, host="127.0.0.1", port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            block = run_load(
+                f"http://{host}:{port}",
+                TEXTS,
+                LoadConfig(
+                    mode="closed",
+                    duration_seconds=0.75,
+                    concurrency=2,
+                    clients=3,
+                ),
+            )
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.close()
+            thread.join(timeout=5)
+        _assert_accounting(block)
+        # burst=1 per client, three client ids: exactly three requests
+        # are admitted, everything else is shed as 429.
+        assert block["completed"] == 3
+        assert block["rejected"] == block["offered"] - 3
+        assert block["shed_rate"] > 0
+        assert block["errors_5xx"] == 0
+        # Every 429 carried its Retry-After header.
+        assert block["retry_after_missing"] == 0
+        # Client-observed shedding reconciles with the engine counters.
+        counters = service.snapshot()["counters"]
+        assert counters["requests.rejected"] == block["rejected"]

@@ -1,0 +1,186 @@
+"""The CI regression gate against the committed baseline.
+
+Two halves: (1) explicit per-stage mean-seconds ceilings over
+``benchmarks/results/BENCH_baseline.json`` — the committed numbers must
+live inside their budget with a tolerance band, so a regressed baseline
+cannot be silently re-committed; (2) the ``bench compare`` gate itself,
+proven by injecting a synthetic regression and watching the comparison
+(and the CLI exit code) fail.
+"""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import compare_reports, load_report
+from repro.cli import main
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "results"
+    / "BENCH_baseline.json"
+)
+
+# Budget for every per-stage mean in the committed baseline, in seconds.
+# Roughly 3x the recorded means at the time the gate was introduced —
+# wide enough for recording-machine variance, tight enough that a real
+# algorithmic regression (2x on the solver, say) cannot land silently.
+STAGE_CEILINGS_SECONDS = {
+    "extract": 0.006,
+    "candidates": 0.002,
+    "coherence": 0.013,
+    "tree_cover": 0.042,
+    "grouping": 0.005,
+    "disambiguation": 0.016,
+    "total": 0.080,
+}
+
+# Serving throughput floor: the baseline's service pass must sustain at
+# least this many documents/second (recorded: ~35 docs/s over 2 workers).
+SERVICE_MIN_DOCS_PER_SECOND = 10.0
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return load_report(BASELINE_PATH)
+
+
+class TestBaselineCeilings:
+    def test_baseline_exists_and_validates(self, baseline):
+        assert baseline["kind"] == "tenet-bench"
+        assert baseline["scales"], "baseline records no scales"
+
+    def test_every_stage_mean_under_its_ceiling(self, baseline):
+        over_budget = []
+        for entry in baseline["scales"]:
+            for stage, ceiling in STAGE_CEILINGS_SECONDS.items():
+                mean = entry["stages"][stage]["mean"]
+                if mean > ceiling:
+                    over_budget.append(
+                        f"{stage}@{entry['scale']:g}: "
+                        f"mean {1000 * mean:.2f}ms > "
+                        f"ceiling {1000 * ceiling:.2f}ms"
+                    )
+        assert not over_budget, (
+            "committed baseline exceeds its stage budget (either revert "
+            "the regression or consciously raise the ceiling): "
+            + "; ".join(over_budget)
+        )
+
+    def test_ceilings_cover_every_core_stage(self, baseline):
+        for entry in baseline["scales"]:
+            missing = set(STAGE_CEILINGS_SECONDS) - set(entry["stages"])
+            assert not missing, f"baseline lost stages {missing}"
+
+    def test_service_throughput_floor(self, baseline):
+        dps = baseline["service"]["documents_per_second"]
+        assert dps >= SERVICE_MIN_DOCS_PER_SECOND, (
+            f"baseline service throughput {dps:.1f} docs/s below the "
+            f"{SERVICE_MIN_DOCS_PER_SECOND:g} docs/s floor"
+        )
+
+
+def _inject_regression(report, stage="tree_cover", factor=2.0):
+    """A deep-copied record with one stage slowed at every scale."""
+    degraded = copy.deepcopy(report)
+    for entry in degraded["scales"]:
+        entry["stages"][stage]["mean"] *= factor
+    return degraded
+
+
+class TestSyntheticRegressionFailsTheGate:
+    def test_compare_reports_flags_it(self, baseline):
+        degraded = _inject_regression(baseline, factor=2.0)
+        result = compare_reports(baseline, degraded, threshold=0.5)
+        assert not result.ok
+        assert any(
+            delta.name == "tree_cover" for delta in result.regressions
+        )
+        # The same wobble inside the band passes.
+        mild = _inject_regression(baseline, factor=1.3)
+        assert compare_reports(baseline, mild, threshold=0.5).ok
+
+    def test_cli_exits_nonzero(self, baseline, tmp_path):
+        current = tmp_path / "BENCH_current.json"
+        current.write_text(
+            json.dumps(_inject_regression(baseline, factor=2.0))
+        )
+        rc = main(
+            [
+                "bench",
+                "compare",
+                str(BASELINE_PATH),
+                str(current),
+                "--threshold",
+                "0.5",
+            ]
+        )
+        assert rc == 1
+        # --warn-only (explicitly requested) still reports but passes.
+        rc = main(
+            [
+                "bench",
+                "compare",
+                str(BASELINE_PATH),
+                str(current),
+                "--threshold",
+                "0.5",
+                "--warn-only",
+            ]
+        )
+        assert rc == 0
+
+    def test_unregressed_copy_passes_cli(self, baseline, tmp_path):
+        current = tmp_path / "BENCH_same.json"
+        current.write_text(json.dumps(baseline))
+        rc = main(
+            ["bench", "compare", str(BASELINE_PATH), str(current)]
+        )
+        assert rc == 0
+
+
+def _with_load_block(report, p95, goodput, mode="open"):
+    augmented = copy.deepcopy(report)
+    augmented["load"] = {
+        "config": {"mode": mode},
+        "goodput_rps": goodput,
+        "latency": {"p95_seconds": p95},
+    }
+    return augmented
+
+
+class TestLoadBlockJoinsTheGate:
+    def test_load_p95_regression_fails(self, baseline):
+        before = _with_load_block(baseline, p95=0.1, goodput=50.0)
+        after = _with_load_block(baseline, p95=0.3, goodput=50.0)
+        result = compare_reports(before, after, threshold=0.5)
+        assert not result.ok
+        assert any(
+            delta.name == "load.p95_seconds" for delta in result.regressions
+        )
+
+    def test_goodput_drop_fails(self, baseline):
+        before = _with_load_block(baseline, p95=0.1, goodput=60.0)
+        after = _with_load_block(baseline, p95=0.1, goodput=20.0)
+        result = compare_reports(before, after, threshold=0.5)
+        assert not result.ok
+        assert any(
+            delta.name == "load.seconds_per_goodput_request"
+            for delta in result.regressions
+        )
+
+    def test_mixed_modes_are_skipped_not_compared(self, baseline):
+        before = _with_load_block(baseline, p95=0.1, goodput=60.0, mode="open")
+        after = _with_load_block(
+            baseline, p95=9.9, goodput=1.0, mode="closed"
+        )
+        result = compare_reports(before, after, threshold=0.5)
+        assert result.ok
+        assert any("loop modes" in reason for reason in result.skipped)
+
+    def test_absent_load_block_compares_nothing(self, baseline):
+        result = compare_reports(baseline, baseline, threshold=0.5)
+        assert not any(d.name.startswith("load.") for d in result.deltas)
