@@ -68,6 +68,15 @@ class BenchConfig:
     # recording goodput vs. shed rate and the latency percentiles (the
     # `load` block; see repro.bench.load).
     load: Optional["LoadConfig"] = None
+    # Routing pass: link the largest-scale corpus once through the exact
+    # pipeline and once through the cover-mode router, recording how many
+    # documents took the fast path, the hot-stage (tree_cover +
+    # disambiguation) seconds of each, and the full-vs-routed F1 parity.
+    # ``routing_tolerance`` is the quality gate: the pass reports
+    # ``parity.ok = false`` (and ``bench compare`` fails) when any F1
+    # drifts further than this.
+    routing: bool = True
+    routing_tolerance: float = 0.005
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -83,6 +92,10 @@ class BenchConfig:
             raise ValueError("service_workers must be >= 1")
         if self.deadline_seconds is not None and self.deadline_seconds <= 0:
             raise ValueError("deadline_seconds must be > 0")
+        if self.routing_tolerance < 0:
+            raise ValueError(
+                f"routing_tolerance must be >= 0, got {self.routing_tolerance}"
+            )
 
     @classmethod
     def quick(cls) -> "BenchConfig":
@@ -199,7 +212,7 @@ def _measure_scale(
                 graph["max_degree"] = max(
                     graph["max_degree"], coherence.graph.max_degree()
                 )
-                graph["cover_edges"] += diagnostics.cover.total_edges
+                graph["cover_edges"] += diagnostics.cover_edge_count
                 words += diagnostics.extraction.word_count
     wall = time.perf_counter() - started
     graph["total_weight"] = round(graph["total_weight"], 6)
@@ -439,6 +452,96 @@ def _load_mode(
     return block
 
 
+def _routing_mode(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    documents,
+    tolerance: float,
+) -> Dict[str, object]:
+    """Cover-mode router outcome plus the full-vs-routed parity gate.
+
+    Links the gold corpus once through the exact (tree-cover) pipeline
+    and once through the router, recording how many documents took the
+    pairwise fast path, the hot-stage (tree_cover + disambiguation)
+    seconds of each pass, and the entity/relation F1 of both against the
+    gold annotations.  ``parity.ok`` is false when any routed F1 drifts
+    further than *tolerance* from the full pipeline's — the quality gate
+    ``bench compare`` enforces.
+    """
+    from dataclasses import replace
+
+    from repro.eval.metrics import (
+        aggregate,
+        score_entity_linking,
+        score_relation_linking,
+    )
+
+    # Benchmark the router even when the configured mode is "exact":
+    # that mode's routing block would be trivially empty, and the gate
+    # exists to watch the fast path's quality.
+    routed_mode = (
+        linker_config.cover_mode if linker_config.cover_mode != "exact" else "auto"
+    )
+    full_linker = TenetLinker(context, replace(linker_config, cover_mode="exact"))
+    routed_linker = TenetLinker(
+        context, replace(linker_config, cover_mode=routed_mode)
+    )
+
+    def hot_seconds(result) -> float:
+        stage_seconds = result.stage_seconds
+        return stage_seconds.get("tree_cover", 0.0) + stage_seconds.get(
+            "disambiguation", 0.0
+        )
+
+    full_hot = routed_hot = 0.0
+    routed_fast = routed_exact = 0
+    full_entity, full_relation = [], []
+    routed_entity, routed_relation = [], []
+    for document in documents:
+        full = full_linker.link(document.text)
+        full_hot += hot_seconds(full)
+        full_entity.append(score_entity_linking(full, document))
+        full_relation.append(score_relation_linking(full, document))
+        routed = routed_linker.link(document.text)
+        routed_hot += hot_seconds(routed)
+        if routed.cover_mode == "fast":
+            routed_fast += 1
+        else:
+            routed_exact += 1
+        routed_entity.append(score_entity_linking(routed, document))
+        routed_relation.append(score_relation_linking(routed, document))
+
+    entity_full = aggregate(full_entity).f1
+    entity_routed = aggregate(routed_entity).f1
+    relation_full = aggregate(full_relation).f1
+    relation_routed = aggregate(routed_relation).f1
+    max_abs_delta = max(
+        abs(entity_full - entity_routed), abs(relation_full - relation_routed)
+    )
+    return {
+        "scale": scale,
+        "documents": len(documents),
+        "config": {
+            "cover_mode": routed_mode,
+            "fast_max_canopies": linker_config.fast_max_canopies,
+            "fast_max_mean_candidates": linker_config.fast_max_mean_candidates,
+        },
+        "routed_fast": routed_fast,
+        "routed_exact": routed_exact,
+        "hot_stage_seconds": {"full": full_hot, "routed": routed_hot},
+        "parity": {
+            "entity_f1_full": entity_full,
+            "entity_f1_routed": entity_routed,
+            "relation_f1_full": relation_full,
+            "relation_f1_routed": relation_routed,
+            "max_abs_delta": max_abs_delta,
+            "tolerance": tolerance,
+            "ok": max_abs_delta <= tolerance,
+        },
+    }
+
+
 def _trace_mode(
     linker: TenetLinker,
     scale: float,
@@ -526,6 +629,7 @@ def run_benchmark(
 
     scales: List[Dict[str, object]] = []
     corpus_by_scale: Dict[float, List[str]] = {}
+    documents_by_scale: Dict[float, List[object]] = {}
     for scale in sorted(set(config.scales)):
         if warm is not None:
             datasets = warm.datasets_for_scale(scale)
@@ -535,12 +639,12 @@ def run_benchmark(
             datasets = build_benchmark_suite(
                 seed=config.seed, scale=scale
             ).datasets()
-        texts = [
-            document.text
-            for dataset in datasets
-            for document in dataset.documents
+        documents = [
+            document for dataset in datasets for document in dataset.documents
         ]
+        texts = [document.text for document in documents]
         corpus_by_scale[scale] = texts
+        documents_by_scale[scale] = documents
         say(
             f"scale {scale:g}: {len(texts)} documents x "
             f"{config.repeats} repeats (+{config.warmup} warmup) ..."
@@ -589,6 +693,17 @@ def run_benchmark(
         say(f"trace mode at scale {largest:g} ...")
         trace = _trace_mode(linker, largest, corpus_by_scale[largest])
 
+    routing = None
+    if config.routing:
+        say(f"routing pass at scale {largest:g} ...")
+        routing = _routing_mode(
+            context,
+            linker_config,
+            largest,
+            documents_by_scale[largest],
+            config.routing_tolerance,
+        )
+
     load = None
     if config.load is not None:
         say(
@@ -619,6 +734,9 @@ def run_benchmark(
             "deadline_seconds": config.deadline_seconds,
             "trace": config.trace,
             "load": config.load.to_json() if config.load is not None else None,
+            "routing": config.routing,
+            "routing_tolerance": config.routing_tolerance,
+            "cover_mode": linker_config.cover_mode,
         },
         "env": _env_fingerprint(),
         "context_build_seconds": context_build,
@@ -628,6 +746,7 @@ def run_benchmark(
         "total_seconds": time.perf_counter() - overall,
         "scales": scales,
         "coherence_comparison": comparison,
+        "routing": routing,
         "service": service,
         "deadline": deadline,
         "trace": trace,
@@ -680,6 +799,22 @@ def format_report_summary(report: Dict[str, object]) -> str:
         lines.append(
             f"coherence batch vs scalar: {comparison['speedup']:.2f}x speedup "
             f"(parity={'ok' if comparison['parity'] else 'MISMATCH'})"
+        )
+    routing = report.get("routing")
+    if routing:
+        parity = routing.get("parity", {})
+        hot = routing.get("hot_stage_seconds", {})
+        full_hot, routed_hot = hot.get("full"), hot.get("routed")
+        speedup = (
+            f", hot-stage {full_hot / routed_hot:.2f}x"
+            if full_hot and routed_hot
+            else ""
+        )
+        lines.append(
+            f"routing ({routing.get('config', {}).get('cover_mode')}): "
+            f"{routing.get('routed_fast')}/{routing.get('documents')} fast"
+            f"{speedup} | F1 delta {parity.get('max_abs_delta', 0.0):.4f} "
+            f"(parity={'ok' if parity.get('ok') else 'FAIL'})"
         )
     service = report.get("service")
     if service:

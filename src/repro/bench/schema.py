@@ -3,7 +3,7 @@
 One benchmark run produces one JSON document::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "kind": "tenet-bench",
       "rev": "<git short rev or label>",
       "label": "<freeform run label>",
@@ -34,6 +34,17 @@ One benchmark run produces one JSON document::
       "coherence_comparison": {"scale": ..., "documents": N,
                                "batch_seconds": ..., "scalar_seconds": ...,
                                "speedup": ..., "parity": true} | null,
+      "routing": {"scale": ..., "documents": N,
+                  "config": {"cover_mode": "auto",
+                             "fast_max_canopies": N,
+                             "fast_max_mean_candidates": ...},
+                  "routed_fast": N, "routed_exact": N,
+                  "hot_stage_seconds": {"full": ..., "routed": ...},
+                  "parity": {"entity_f1_full": ..., "entity_f1_routed": ...,
+                             "relation_f1_full": ...,
+                             "relation_f1_routed": ...,
+                             "max_abs_delta": ..., "tolerance": ...,
+                             "ok": true}} | null,
       "service": {"scale": ..., "documents": N, "workers": N,
                   "wall_seconds": ..., "documents_per_second": ...,
                   "latency": {...}, "caches": {...}} | null,
@@ -68,7 +79,10 @@ of the recorded trajectory.
 
 ``schema_version`` is bumped whenever a field changes meaning; readers
 (:func:`repro.bench.compare.load_report`) refuse records from a newer
-schema instead of misinterpreting them.
+schema instead of misinterpreting them.  Version 2 added the ``routing``
+block (cover-mode router outcome plus the full-vs-routed quality-parity
+gate); version-1 records remain readable — every added block is
+optional.
 """
 
 from __future__ import annotations
@@ -76,7 +90,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 REPORT_KIND = "tenet-bench"
 
 # Stage names the harness always times (via LinkingResult.stage_seconds,
@@ -219,6 +233,10 @@ def validate_report(payload: object) -> List[str]:
             if not isinstance(comparison.get("parity"), bool):
                 problems.append("coherence_comparison: missing parity flag")
 
+    routing = payload.get("routing")
+    if routing is not None:
+        _check_routing_block(routing, problems)
+
     service = payload.get("service")
     if service is not None:
         if not isinstance(service, dict):
@@ -271,6 +289,51 @@ def validate_report(payload: object) -> List[str]:
         _check_load_block(load, problems)
 
     return problems
+
+
+def _check_routing_block(routing: object, problems: List[str]) -> None:
+    """Schema of the cover-mode routing block (schema_version >= 2)."""
+    if not isinstance(routing, dict):
+        problems.append("routing must be an object or null")
+        return
+    if not isinstance(routing.get("documents"), int):
+        problems.append("routing: missing integer 'documents'")
+    for field in ("routed_fast", "routed_exact"):
+        if not isinstance(routing.get(field), int):
+            problems.append(f"routing: missing integer {field!r}")
+    config = routing.get("config")
+    if not isinstance(config, dict):
+        problems.append("routing: missing config block")
+    elif config.get("cover_mode") not in ("exact", "fast", "auto"):
+        problems.append(
+            "routing: config.cover_mode must be 'exact', 'fast', or "
+            f"'auto', got {config.get('cover_mode')!r}"
+        )
+    hot = routing.get("hot_stage_seconds")
+    if not isinstance(hot, dict):
+        problems.append("routing: missing hot_stage_seconds block")
+    else:
+        for field in ("full", "routed"):
+            if not _is_number(hot.get(field)):
+                problems.append(
+                    f"routing: hot_stage_seconds missing numeric {field!r}"
+                )
+    parity = routing.get("parity")
+    if not isinstance(parity, dict):
+        problems.append("routing: missing parity block")
+    else:
+        for field in (
+            "entity_f1_full",
+            "entity_f1_routed",
+            "relation_f1_full",
+            "relation_f1_routed",
+            "max_abs_delta",
+            "tolerance",
+        ):
+            if not _is_number(parity.get(field)):
+                problems.append(f"routing.parity: missing numeric {field!r}")
+        if not isinstance(parity.get("ok"), bool):
+            problems.append("routing.parity: missing ok flag")
 
 
 def _check_load_block(load: object, problems: List[str]) -> None:

@@ -103,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-candidates", type=int, default=4, metavar="K"
     )
     link_parser.add_argument(
+        "--cover-mode",
+        choices=("exact", "fast", "auto"),
+        default="exact",
+        help="disambiguation path: exact = the paper's tree-cover "
+        "pipeline, fast = pairwise greedy (skips the cover), auto = "
+        "route low-ambiguity documents fast (tenet only)",
+    )
+    link_parser.add_argument(
         "--jsonl",
         action="store_true",
         help="batch mode: one document per input line, one result JSON "
@@ -324,6 +332,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the batch-vs-scalar coherence comparison",
     )
+    bench_parser.add_argument(
+        "--no-routing",
+        action="store_true",
+        help="skip the cover-mode routing pass (router counts + "
+        "full-vs-routed F1 parity gate)",
+    )
+    bench_parser.add_argument(
+        "--routing-tolerance",
+        type=float,
+        default=None,
+        metavar="F1",
+        help="max absolute F1 drift the routed pass may show against "
+        "the full pipeline (default 0.005)",
+    )
+    bench_parser.add_argument(
+        "--cover-mode",
+        choices=("exact", "fast", "auto"),
+        default="exact",
+        help="cover mode the timed passes run with (the routing pass "
+        "always benchmarks the router; default exact)",
+    )
     bench_sub = bench_parser.add_subparsers(dest="bench_command")
     bench_compare = bench_sub.add_parser(
         "compare", help="diff two bench JSON files; exit 1 on regression"
@@ -347,6 +376,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--warn-only",
         action="store_true",
         help="report regressions but always exit 0 (PR mode)",
+    )
+    bench_compare.add_argument(
+        "--routing-tolerance",
+        type=float,
+        default=None,
+        metavar="F1",
+        help="re-judge the current record's routing parity against this "
+        "F1 tolerance instead of the recorded one",
     )
     bench_load = bench_sub.add_parser(
         "load",
@@ -549,7 +586,11 @@ def _cmd_link(args: argparse.Namespace) -> int:
     context, _snapshot_info = _resolve_context(args)
     if args.system == "tenet":
         linker = TenetLinker(
-            context, TenetConfig(max_candidates=args.max_candidates)
+            context,
+            TenetConfig(
+                max_candidates=args.max_candidates,
+                cover_mode=args.cover_mode,
+            ),
         )
     else:
         linker = SYSTEM_FACTORIES[args.system](
@@ -665,6 +706,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             current,
             threshold=args.threshold,
             min_seconds=args.min_seconds,
+            routing_tolerance=args.routing_tolerance,
         )
         print(format_comparison(result, str(args.baseline), str(args.current)))
         if result.ok or args.warn_only:
@@ -701,6 +743,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             concurrency=args.load_concurrency,
             qps=args.load_qps,
         )
+    if args.no_routing:
+        overrides["routing"] = False
+    if args.routing_tolerance is not None:
+        overrides["routing_tolerance"] = args.routing_tolerance
     if args.label:
         overrides["label"] = args.label
     overrides["seed"] = args.seed
@@ -708,6 +754,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     report = run_benchmark(
         config,
+        TenetConfig(cover_mode=args.cover_mode),
         echo=lambda line: print(f"# {line}"),
         snapshot_path=args.snapshot,
     )
@@ -723,6 +770,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if comparison is not None and not comparison.get("parity", True):
         print(
             "error: batched and scalar coherence graphs diverged",
+            file=sys.stderr,
+        )
+        return 1
+    routing = report.get("routing")
+    if routing is not None and not routing.get("parity", {}).get("ok", True):
+        print(
+            "error: routed cover mode drifted past the F1 parity tolerance",
             file=sys.stderr,
         )
         return 1

@@ -288,13 +288,29 @@ def _add_concept_edges(
         order = np.argsort(weights, axis=1)
         neighbour_sets = [order[i, :max_neighbours] for i in range(n)]
 
-    for i in range(n):
-        row = weights[i]
-        for j in neighbour_sets[i]:
-            j = int(j)
-            if j == i or not np.isfinite(row[j]):
-                continue
-            a, b = all_nodes[i], all_nodes[j]
-            existing = graph.get_weight(a, b)
-            if existing is None or row[j] < existing:
-                graph.add_edge(a, b, float(row[j]))
+    # Materialise the edges without the per-cell Python loop the kNN
+    # selection used to run (get_weight/add_edge per visited cell).  The
+    # visited cells in row-major order are the original scan sequence;
+    # each unordered pair keeps its *first* visit (which fixes the edge's
+    # insertion position and orientation in the graph — downstream
+    # tie-breaking depends on both) and the minimum weight over however
+    # many directions visited it (which is the value the scan's
+    # "overwrite if smaller" update converged to).
+    rows = np.repeat(np.arange(n), [len(s) for s in neighbour_sets])
+    cols = np.concatenate(neighbour_sets)
+    valid = (rows != cols) & np.isfinite(weights[rows, cols])
+    rows, cols = rows[valid], cols[valid]
+    pair_keys = np.minimum(rows, cols) * n + np.maximum(rows, cols)
+    _, first_visit = np.unique(pair_keys, return_index=True)
+    first_visit.sort()
+    visited = np.zeros((n, n), dtype=bool)
+    visited[rows, cols] = True
+    final = np.where(
+        visited & visited.T, np.minimum(weights, weights.T), weights
+    )
+    sources, targets = rows[first_visit], cols[first_visit]
+    edge_weights = final[sources, targets]
+    for i, j, w in zip(
+        sources.tolist(), targets.tolist(), edge_weights.tolist()
+    ):
+        graph.add_edge(all_nodes[i], all_nodes[j], w)

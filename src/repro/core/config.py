@@ -54,6 +54,22 @@ class TenetConfig:
     use_type_filter:
         Enables KB-driven mention typing (Sec. 3 Step 1's type filter)
         via :class:`repro.nlp.ner.MentionTyper`.
+    cover_mode:
+        Which disambiguation path the linker runs.  ``"exact"`` is the
+        paper's full pipeline (prune -> contract -> Kruskal -> decompose
+        -> split -> subtree matching, then the greedy scan over the
+        cover).  ``"fast"`` skips the tree cover entirely and runs the
+        same greedy scan pairwise over the whole coherence graph — the
+        Pair-Linking strategy the paper benchmarks against, much cheaper
+        but without the cover's coherence-relaxation guarantees.
+        ``"auto"`` routes per document: low-ambiguity documents (few
+        canopies, few candidates per mention — where the cover rarely
+        changes the answer) take the fast path, the rest the exact one.
+    fast_max_canopies / fast_max_mean_candidates:
+        The ``"auto"`` router's thresholds: a document is routed fast
+        only when its canopy count is at most ``fast_max_canopies`` AND
+        its mean candidate count per mention is at most
+        ``fast_max_mean_candidates``.
     """
 
     max_candidates: int = 4
@@ -70,10 +86,27 @@ class TenetConfig:
     coherence_similarity_mode: str = "batch"
     use_canopies: bool = True
     use_type_filter: bool = False
+    cover_mode: str = "exact"
+    fast_max_canopies: int = 6
+    fast_max_mean_candidates: float = 2.5
 
     def __post_init__(self) -> None:
         if self.max_candidates < 1:
             raise ValueError(f"max_candidates must be >= 1, got {self.max_candidates}")
+        if self.cover_mode not in ("exact", "fast", "auto"):
+            raise ValueError(
+                "cover_mode must be 'exact', 'fast', or 'auto', "
+                f"got {self.cover_mode!r}"
+            )
+        if self.fast_max_canopies < 0:
+            raise ValueError(
+                f"fast_max_canopies must be >= 0, got {self.fast_max_canopies}"
+            )
+        if self.fast_max_mean_candidates < 0:
+            raise ValueError(
+                "fast_max_mean_candidates must be >= 0, "
+                f"got {self.fast_max_mean_candidates}"
+            )
         if self.coherence_similarity_mode not in ("batch", "scalar"):
             raise ValueError(
                 "coherence_similarity_mode must be 'batch' or 'scalar', "

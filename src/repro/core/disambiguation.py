@@ -31,6 +31,13 @@ One addition beyond the paper's pseudo-code: a proposal is rejected when
 its mention overlaps an already-committed mention of a different group —
 this resolves noun/relation span conflicts (e.g. "sister city" inside
 "is the sister city of") in the same greedy spirit.
+
+Two entry points share the scan.  :func:`disambiguate` runs it over the
+tree-cover edges (the paper's exact mode); :func:`disambiguate_pairwise`
+runs the *same* scan directly over every coherence-graph edge — the
+pairwise greedy collective disambiguation of Pair-Linking, used by the
+linker's fast mode on low-ambiguity documents where deriving a cover
+first would not change the confident early decisions anyway.
 """
 
 from __future__ import annotations
@@ -39,10 +46,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.core.canopies import MentionGroup
-from repro.core.coherence import CandidateNode
+from repro.core.coherence import CandidateNode, CoherenceGraph
 from repro.core.deadline import Deadline
 from repro.core.tree_cover import TreeCoverResult
-from repro.nlp.spans import Span, spans_overlap
+from repro.graph.weighted_graph import WeightedGraph
+from repro.nlp.spans import Span
 
 _Node = Union[Span, CandidateNode]
 
@@ -130,122 +138,282 @@ def disambiguate(
     anytime framing of Pair-Linking: cutting collective disambiguation
     short at a budget still leaves the prior-only answer usable.
     """
-    span_to_group: Dict[Span, MentionGroup] = {}
-    for group in groups:
-        for span in group.spans():
-            span_to_group.setdefault(span, group)
-
     edges = _sorted_cover_edges(cover, extra_edges or [])
+    return _greedy_scan(
+        edges, cover.trees, groups, prior_link_threshold, deadline
+    )
 
-    gamma: Dict[Span, _Proposal] = {}
-    selected_concepts: Set[str] = set()
-    committed_spans: Dict[Span, int] = {}  # span -> group_id
-    # Mentions outside every group are redundant alternative readings
-    # (e.g. "Wilson" inside "Nina Wilson"); they are dead on arrival so
-    # their candidates cannot vote through coherence edges.
-    dead_mentions: Set[Span] = {
-        mention for mention in cover.trees if mention not in span_to_group
-    }
-    pending: Dict[Tuple[int, int], Dict[Span, _Proposal]] = {}
-    active: Set[int] = {g.group_id for g in groups}
-    committed_canopies: Dict[int, int] = {}
-    deferred: Dict[int, Tuple[int, Dict[Span, _Proposal]]] = {}
+
+def disambiguate_pairwise(
+    coherence: CoherenceGraph,
+    groups: List[MentionGroup],
+    prior_link_threshold: float = 1.0,
+    deadline: Optional[Deadline] = None,
+) -> DisambiguationResult:
+    """Pair-Linking fast path: the greedy scan over the raw coherence graph.
+
+    Skips tree-cover derivation entirely: every coherence-graph edge —
+    local prior edges and concept-concept edges alike — feeds the scan
+    in the same non-decreasing-weight order the cover path uses.  This
+    is pairwise greedy collective disambiguation as in Pair-Linking
+    (Phan et al., PAPERS.md): the confident early decisions are made
+    from the lightest pairwise evidence directly, without paying for
+    prune/contract/Kruskal/decompose/split/matching first.  On
+    low-ambiguity documents those early edges are exactly the ones the
+    cover would have kept, so the answers coincide; the ambiguity
+    router in the linker decides when that bet is safe.
+    """
+    edges = _sorted_graph_edges(coherence.graph)
+    return _greedy_scan(
+        edges, coherence.mentions, groups, prior_link_threshold, deadline
+    )
+
+
+def _greedy_scan(
+    edges: List[Tuple[_Node, _Node, float]],
+    mentions,
+    groups: List[MentionGroup],
+    prior_link_threshold: float,
+    deadline: Optional[Deadline],
+) -> DisambiguationResult:
+    """The shared Algorithm 5 edge scan over a prepared edge list."""
+    state = _ScanState(mentions, groups)
     processed = 0
 
     for u, v, weight in edges:
         if deadline is not None and processed % CHECK_EVERY == 0:
             deadline.check("disambiguation")
         processed += 1
-        if _touches_dead_mention(u, v, dead_mentions):
+        if _touches_dead_mention(u, v, state.dead_mentions):
             continue  # pruning strategy 3 extended to candidate nodes
-        proposals = _proposals_for_edge(u, v, weight, gamma, selected_concepts)
+        proposals = _proposals_for_edge(
+            u, v, weight, state.gamma, state.selected_concepts
+        )
         for proposal in proposals:
-            _apply_proposal(
-                proposal,
-                span_to_group,
-                pending,
-                active,
-                gamma,
-                selected_concepts,
-                committed_spans,
-                committed_canopies,
-                dead_mentions,
-                deferred,
-            )
-        if not active:
+            state.apply(proposal)
+        if not state.active:
             break  # pruning strategy 4: early stop
 
     # Deferred split readings: commit them now for groups whose fuller
     # merged reading never completed.
-    group_by_id = {g.group_id: g for g in groups}
-    for group_id, (canopy_index, slot) in deferred.items():
-        if group_id not in active:
-            continue
-        safe_slot = {
-            mention: proposal
-            for mention, proposal in slot.items()
-            if not any(
-                owner != group_id and spans_overlap(mention, committed)
-                for committed, owner in committed_spans.items()
-            )
-        }
-        if not safe_slot:
-            continue
-        _commit_canopy(
-            group_by_id[group_id],
-            canopy_index,
-            safe_slot,
-            active,
-            gamma,
-            selected_concepts,
-            committed_spans,
-            committed_canopies,
-            dead_mentions,
-            span_to_group,
-        )
+    state.commit_deferred()
 
-    non_linkable = _collect_non_linkable(
-        cover, groups, active, gamma, committed_spans
+    non_linkable = _collect_non_linkable(groups, state)
+    final_gamma, demoted = _apply_prior_threshold(
+        state.gamma, prior_link_threshold
     )
-    final_gamma, demoted = _apply_prior_threshold(gamma, prior_link_threshold)
     provenance = {
         mention: LinkExplanation(
             edge_weight=proposal.weight,
             from_coherence=proposal.from_coherence,
             partner_concept=proposal.partner_concept,
         )
-        for mention, proposal in gamma.items()
+        for mention, proposal in state.gamma.items()
         if mention in final_gamma
     }
     return DisambiguationResult(
         final_gamma,
         non_linkable,
-        committed_canopies,
+        state.committed_canopies,
         processed,
         demoted,
         provenance,
     )
 
 
+class _ScanState:
+    """Mutable state of one greedy scan, shared by both entry points.
+
+    Committed spans are indexed by token position (``claimed_tokens``)
+    and all candidate spans by the tokens they cover
+    (``spans_by_token``), so the two overlap sweeps of the scan — the
+    per-proposal cross-group check and the post-commit kill of
+    contradicting readings — cost O(span length) instead of a linear
+    scan over every committed/candidate span per edge.
+    """
+
+    def __init__(self, mentions, groups: List[MentionGroup]) -> None:
+        self.span_to_group: Dict[Span, MentionGroup] = {}
+        for group in groups:
+            for span in group.spans():
+                self.span_to_group.setdefault(span, group)
+        self.group_by_id = {g.group_id: g for g in groups}
+        self.spans_by_token: Dict[int, List[Span]] = {}
+        for span in self.span_to_group:
+            for token in range(span.token_start, span.token_end):
+                self.spans_by_token.setdefault(token, []).append(span)
+        # token -> group ids whose committed mentions cover it
+        self.claimed_tokens: Dict[int, Set[int]] = {}
+        self.gamma: Dict[Span, _Proposal] = {}
+        self.selected_concepts: Set[str] = set()
+        self.committed_spans: Dict[Span, int] = {}  # span -> group_id
+        # Mentions outside every group are redundant alternative readings
+        # (e.g. "Wilson" inside "Nina Wilson"); they are dead on arrival
+        # so their candidates cannot vote through coherence edges.
+        self.dead_mentions: Set[Span] = {
+            mention for mention in mentions if mention not in self.span_to_group
+        }
+        self.pending: Dict[Tuple[int, int], Dict[Span, _Proposal]] = {}
+        self.active: Set[int] = {g.group_id for g in groups}
+        self.committed_canopies: Dict[int, int] = {}
+        self.deferred: Dict[int, Tuple[int, Dict[Span, _Proposal]]] = {}
+
+    # ------------------------------------------------------------------
+    # overlap queries (token-interval indexed)
+    # ------------------------------------------------------------------
+    def claimed_by_other(self, mention: Span, group_id: int) -> bool:
+        """Whether a committed mention of *another* group overlaps."""
+        claimed = self.claimed_tokens
+        for token in range(mention.token_start, mention.token_end):
+            owners = claimed.get(token)
+            if owners and (len(owners) > 1 or group_id not in owners):
+                return True
+        return False
+
+    def claimed_at_all(self, span: Span) -> bool:
+        """Whether any committed mention overlaps *span*."""
+        claimed = self.claimed_tokens
+        return any(
+            token in claimed
+            for token in range(span.token_start, span.token_end)
+        )
+
+    # ------------------------------------------------------------------
+    # proposal application
+    # ------------------------------------------------------------------
+    def apply(self, proposal: _Proposal) -> None:
+        mention = proposal.mention
+        if mention in self.dead_mentions:
+            return
+        group = self.span_to_group.get(mention)
+        if group is None or group.group_id not in self.active:
+            return
+        # Cross-group overlap pruning: a committed mention of another
+        # group claims its tokens.
+        if self.claimed_by_other(mention, group.group_id):
+            self.dead_mentions.add(mention)
+            return
+        for canopy_index, canopy in enumerate(group.canopies):
+            if mention not in canopy:
+                continue
+            slot = self.pending.setdefault((group.group_id, canopy_index), {})
+            if mention not in slot:
+                slot[mention] = proposal
+            if len(slot) == len(canopy):
+                if _should_defer(group, canopy_index):
+                    # A fuller (more merged) linkable reading is still in
+                    # play: remember this completion but let the merged
+                    # canopy race on (it wins immediately if it
+                    # completes).  Among several deferrable completions,
+                    # keep the most merged (fewest members) — that is the
+                    # reading _should_defer was holding out for, and the
+                    # first completion to arrive is not necessarily it.
+                    current = self.deferred.get(group.group_id)
+                    if current is None or len(slot) < len(current[1]):
+                        self.deferred[group.group_id] = (
+                            canopy_index,
+                            dict(slot),
+                        )
+                    continue
+                self.commit(group, canopy_index, slot)
+                return
+
+    def commit(
+        self,
+        group: MentionGroup,
+        canopy_index: int,
+        slot: Dict[Span, _Proposal],
+    ) -> None:
+        newly_committed: List[Span] = []
+        for mention, proposal in slot.items():
+            if mention not in self.gamma:
+                self.gamma[mention] = proposal
+                self.selected_concepts.add(proposal.candidate.concept_id)
+                self.committed_spans[mention] = group.group_id
+                for token in range(mention.token_start, mention.token_end):
+                    self.claimed_tokens.setdefault(token, set()).add(
+                        group.group_id
+                    )
+                newly_committed.append(mention)
+        self.active.discard(group.group_id)
+        self.committed_canopies[group.group_id] = canopy_index
+        # The group's unselected mentions die (strategy 3), and so does
+        # every span of any other group that overlaps a just-committed
+        # mention — it can never be selected without contradicting the
+        # committed reading.  The token index finds the overlapping spans
+        # directly instead of scanning every candidate span.
+        for span in group.spans():
+            if span not in self.gamma:
+                self.dead_mentions.add(span)
+        for committed in newly_committed:
+            for token in range(committed.token_start, committed.token_end):
+                for span in self.spans_by_token.get(token, ()):
+                    if span in self.gamma or span in self.dead_mentions:
+                        continue
+                    self.dead_mentions.add(span)
+
+    def commit_deferred(self) -> None:
+        for group_id, (canopy_index, slot) in self.deferred.items():
+            if group_id not in self.active:
+                continue
+            safe_slot = {
+                mention: proposal
+                for mention, proposal in slot.items()
+                if not self.claimed_by_other(mention, group_id)
+            }
+            if not safe_slot:
+                continue
+            self.commit(self.group_by_id[group_id], canopy_index, safe_slot)
+
+
 # ---------------------------------------------------------------------------
 # edge handling
 # ---------------------------------------------------------------------------
+
+def _mention_length(edge: Tuple[_Node, _Node, float]) -> int:
+    # Tie-break equal-weight edges toward longer (more informative)
+    # mentions, per the paper's preference for merged long-text
+    # readings over their fragments.
+    u, v, _ = edge
+    if isinstance(u, Span) and isinstance(v, CandidateNode):
+        return -u.length
+    if isinstance(v, Span) and isinstance(u, CandidateNode):
+        return -v.length
+    return 0
+
 
 def _sorted_cover_edges(
     cover: TreeCoverResult,
     extra_edges: List[Tuple[_Node, _Node, float]],
 ) -> List[Tuple[_Node, _Node, float]]:
-    """Deduplicated edges of all trees (+ extras), non-decreasing weight."""
-    seen: Set[Tuple[str, str]] = set()
+    """Deduplicated edges of all trees (+ extras), non-decreasing weight.
+
+    Same-endpoint duplicates keep the *minimum* weight: a tree edge and
+    a shared-pool extra edge can legitimately carry different weights
+    for the same pair (the shared pool re-derives per-mention nearest
+    edges), and the scan must see the most confident version — not
+    whichever happened to be pushed first.
+    """
+    reprs: Dict[_Node, str] = {}
+
+    def repr_of(node: _Node) -> str:
+        cached = reprs.get(node)
+        if cached is None:
+            cached = reprs[node] = repr(node)
+        return cached
+
+    index: Dict[Tuple[str, str], int] = {}
     edges: List[Tuple[_Node, _Node, float]] = []
 
     def push(u: _Node, v: _Node, weight: float) -> None:
-        key_pair = (repr(u), repr(v))
-        key = key_pair if key_pair[0] <= key_pair[1] else key_pair[::-1]
-        if key in seen:
-            return
-        seen.add(key)
-        edges.append((u, v, weight))
+        ru, rv = repr_of(u), repr_of(v)
+        key = (ru, rv) if ru <= rv else (rv, ru)
+        at = index.get(key)
+        if at is None:
+            index[key] = len(edges)
+            edges.append((u, v, weight))
+        elif weight < edges[at][2]:
+            edges[at] = (u, v, weight)
 
     for tree in cover.trees.values():
         for edge in tree.edges():
@@ -253,18 +421,33 @@ def _sorted_cover_edges(
     for u, v, weight in extra_edges:
         push(u, v, weight)
 
-    def mention_length(edge):
-        # Tie-break equal-weight edges toward longer (more informative)
-        # mentions, per the paper's preference for merged long-text
-        # readings over their fragments.
-        u, v, _ = edge
-        if isinstance(u, Span) and isinstance(v, CandidateNode):
-            return -u.length
-        if isinstance(v, Span) and isinstance(u, CandidateNode):
-            return -v.length
-        return 0
+    edges.sort(
+        key=lambda e: (e[2], _mention_length(e), repr_of(e[0]), repr_of(e[1]))
+    )
+    return edges
 
-    edges.sort(key=lambda e: (e[2], mention_length(e), repr(e[0]), repr(e[1])))
+
+def _sorted_graph_edges(
+    graph: WeightedGraph,
+) -> List[Tuple[_Node, _Node, float]]:
+    """Every graph edge in the scan order of the cover path.
+
+    The coherence graph stores each unordered pair once, so no
+    deduplication is needed — only the shared non-decreasing-weight
+    ordering with the long-mention tie-break.
+    """
+    reprs: Dict[_Node, str] = {}
+
+    def repr_of(node: _Node) -> str:
+        cached = reprs.get(node)
+        if cached is None:
+            cached = reprs[node] = repr(node)
+        return cached
+
+    edges = graph.edges()
+    edges.sort(
+        key=lambda e: (e[2], _mention_length(e), repr_of(e[0]), repr_of(e[1]))
+    )
     return edges
 
 
@@ -337,60 +520,6 @@ def _proposals_for_edge(
     return []
 
 
-def _apply_proposal(
-    proposal: _Proposal,
-    span_to_group: Dict[Span, MentionGroup],
-    pending: Dict[Tuple[int, int], Dict[Span, _Proposal]],
-    active: Set[int],
-    gamma: Dict[Span, _Proposal],
-    selected_concepts: Set[str],
-    committed_spans: Dict[Span, int],
-    committed_canopies: Dict[int, int],
-    dead_mentions: Set[Span],
-    deferred: Dict[int, Tuple[int, Dict[Span, _Proposal]]],
-) -> None:
-    mention = proposal.mention
-    if mention in dead_mentions:
-        return
-    group = span_to_group.get(mention)
-    if group is None or group.group_id not in active:
-        return
-    # Cross-group overlap pruning: a committed mention of another group
-    # claims its tokens.
-    for committed, owner in committed_spans.items():
-        if owner != group.group_id and spans_overlap(committed, mention):
-            dead_mentions.add(mention)
-            return
-    for canopy_index, canopy in enumerate(group.canopies):
-        if mention not in canopy:
-            continue
-        slot = pending.setdefault((group.group_id, canopy_index), {})
-        if mention not in slot:
-            slot[mention] = proposal
-        if len(slot) == len(canopy):
-            if _should_defer(group, canopy_index):
-                # A fuller (more merged) linkable reading is still in
-                # play: remember this completion but let the merged
-                # canopy race on (it wins immediately if it completes).
-                deferred.setdefault(
-                    group.group_id, (canopy_index, dict(slot))
-                )
-                continue
-            _commit_canopy(
-                group,
-                canopy_index,
-                slot,
-                active,
-                gamma,
-                selected_concepts,
-                committed_spans,
-                committed_canopies,
-                dead_mentions,
-                span_to_group,
-            )
-            return
-
-
 def _should_defer(group: MentionGroup, canopy_index: int) -> bool:
     """Whether a completed canopy should wait for a more merged sibling."""
     size = len(group.canopies[canopy_index])
@@ -402,50 +531,13 @@ def _should_defer(group: MentionGroup, canopy_index: int) -> bool:
     )
 
 
-def _commit_canopy(
-    group: MentionGroup,
-    canopy_index: int,
-    slot: Dict[Span, _Proposal],
-    active: Set[int],
-    gamma: Dict[Span, _Proposal],
-    selected_concepts: Set[str],
-    committed_spans: Dict[Span, int],
-    committed_canopies: Dict[int, int],
-    dead_mentions: Set[Span],
-    span_to_group: Dict[Span, MentionGroup],
-) -> None:
-    newly_committed: List[Span] = []
-    for mention, proposal in slot.items():
-        if mention not in gamma:
-            gamma[mention] = proposal
-            selected_concepts.add(proposal.candidate.concept_id)
-            committed_spans[mention] = group.group_id
-            newly_committed.append(mention)
-    active.discard(group.group_id)
-    committed_canopies[group.group_id] = canopy_index
-    # The group's unselected mentions die (strategy 3), and so does every
-    # span of any other group that overlaps a just-committed mention — it
-    # can never be selected without contradicting the committed reading.
-    for span in group.spans():
-        if span not in gamma:
-            dead_mentions.add(span)
-    for span in span_to_group:
-        if span in gamma or span in dead_mentions:
-            continue
-        if any(spans_overlap(span, committed) for committed in newly_committed):
-            dead_mentions.add(span)
-
-
 # ---------------------------------------------------------------------------
 # output assembly
 # ---------------------------------------------------------------------------
 
 def _collect_non_linkable(
-    cover: TreeCoverResult,
     groups: List[MentionGroup],
-    active: Set[int],
-    gamma: Dict[Span, _Proposal],
-    committed_spans: Dict[Span, int],
+    state: _ScanState,
 ) -> List[Span]:
     """Uncommitted groups become non-linkable (new concept) reports.
 
@@ -456,15 +548,12 @@ def _collect_non_linkable(
     """
     non_linkable: List[Span] = []
     for group in groups:
-        if group.group_id not in active:
+        if group.group_id not in state.active:
             continue
         representative = _representative_span(group)
         if representative is None:
             continue
-        if any(
-            spans_overlap(representative, committed)
-            for committed in committed_spans
-        ):
+        if state.claimed_at_all(representative):
             continue
         non_linkable.append(representative)
     return non_linkable

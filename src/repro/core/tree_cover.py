@@ -22,6 +22,18 @@ coherence tree cover of cost at most 4B, or fail with
 The paper sets B = |M| for linking (Sec. 6.1) — with distances bounded by
 1 this never fails; small explicit bounds exercise the failure path and
 the binary search (:func:`minimal_feasible_bound`).
+
+Steps (a)-(d) run over :class:`_CoverScaffold`, a flat integer-id edge
+array built once per coherence graph: pruning is a numpy mask, the
+contraction is implicit in how the arrays are laid out, and Kruskal runs
+over a precomputed deterministic edge order with an integer union-find.
+The object-graph reference implementation of steps (b) and (d)
+(:func:`_contract` / :func:`_decompose`) is retained — the scaffold
+reproduces its exact edge sequences (stream order, orientation and
+repr tie-breaking included), so the derived cover is byte-identical;
+the internals test suite pins the two against each other.  Step (f)
+still builds the real pruned graph, but only lazily, in the rare case a
+split actually produced leftover subtrees.
 """
 
 from __future__ import annotations
@@ -29,10 +41,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.coherence import CandidateNode, CoherenceGraph
 from repro.core.deadline import Deadline
 from repro.core.splitting import split_tree
 from repro.graph.matching import hopcroft_karp
+from repro.graph.mst import CHECK_EVERY as MST_CHECK_EVERY
 from repro.graph.mst import minimum_spanning_forest
 from repro.graph.paths import dijkstra
 from repro.graph.tree import RootedTree
@@ -126,45 +141,215 @@ def derive_tree_cover(
         bound = float(max(len(coherence.mentions), 1))
     if bound <= 0:
         raise ValueError(f"bound must be positive, got {bound}")
+    scaffold = _CoverScaffold(coherence)
+    return _derive_with_scaffold(coherence, scaffold, bound, deadline)
+
+
+# ---------------------------------------------------------------------------
+# the integer-id scaffold
+# ---------------------------------------------------------------------------
+
+class _CoverScaffold:
+    """Flat edge arrays for steps (a)-(d), built once per coherence graph.
+
+    Node ids: 0 is :data:`MAJOR_ROOT`, 1..n the candidate nodes in
+    ``candidates_by_mention`` iteration order.  The edge arrays hold the
+    contracted graph of Step (b) in the exact sequence and orientation
+    its :class:`~repro.graph.weighted_graph.WeightedGraph` form would
+    emit from ``edges()`` (root edges in candidate-id order, then
+    candidate-candidate edges grouped by lower-id endpoint in
+    edge-stream order), and ``sorted_order`` is the Kruskal ordering —
+    non-decreasing weight, endpoint reprs breaking ties, stable over
+    that emission sequence.  Everything here is bound-independent:
+    Step (a) is a weight mask, so one scaffold serves every probe of
+    the minimal-bound binary search.
+    """
+
+    def __init__(self, coherence: CoherenceGraph) -> None:
+        cand_ids: Dict[CandidateNode, int] = {}
+        cands: List[CandidateNode] = []
+        owners: List[Span] = []
+        for mention, nodes in coherence.candidates_by_mention.items():
+            for node in nodes:
+                cand_ids[node] = len(cands) + 1
+                cands.append(node)
+                owners.append(mention)
+        self.cands = cands
+        self.owners = owners
+        reprs = [repr(MAJOR_ROOT)]
+        reprs.extend(repr(node) for node in cands)
+        self.reprs = reprs
+
+        graph = coherence.graph
+        edge_u: List[int] = []
+        edge_v: List[int] = []
+        edge_w: List[float] = []
+        # Root edges of the contraction: candidate <-> major root with
+        # the weight of the candidate's own mention edge, in id order.
+        for node, mention in zip(cands, owners):
+            weight = graph.get_weight(mention, node)
+            if weight is not None:
+                edge_u.append(0)
+                edge_v.append(cand_ids[node])
+                edge_w.append(weight)
+        # Candidate-candidate edges.  The filtered edge stream of the
+        # coherence graph is exactly what the pruned copy would emit;
+        # the contracted graph re-emits it grouped by the lower-id
+        # endpoint with stream order within each group, which a stable
+        # sort on the lower id reproduces.
+        stream: List[Tuple[int, int, float]] = []
+        for u, v, w in graph.edges():
+            iu = cand_ids.get(u)
+            if iu is None:
+                continue
+            iv = cand_ids.get(v)
+            if iv is None:
+                continue
+            stream.append((iu, iv, w) if iu < iv else (iv, iu, w))
+        stream.sort(key=lambda e: e[0])
+        for lo, hi, w in stream:
+            edge_u.append(lo)
+            edge_v.append(hi)
+            edge_w.append(w)
+        self.edge_u = edge_u
+        self.edge_v = edge_v
+        self.weights = np.asarray(edge_w, dtype=np.float64)
+        # The deterministic Kruskal order, computed once.  Filtering a
+        # stably sorted sequence equals sorting the filtered sequence,
+        # so a bound never needs a re-sort — only the mask.
+        self.sorted_order = sorted(
+            range(len(edge_w)),
+            key=lambda k: (edge_w[k], reprs[edge_u[k]], reprs[edge_v[k]]),
+        )
+
+    @property
+    def node_count(self) -> int:
+        """Contracted node count: the major root plus every candidate."""
+        return len(self.cands) + 1
+
+    def connected_within(self, bound: float) -> bool:
+        """Whether the contracted graph spans under ``weight <= bound``.
+
+        The cheap feasibility precheck of the binary search: identical
+        to the Kruskal disconnection verdict, without deriving trees.
+        """
+        n = self.node_count
+        if n == 1:
+            return True
+        parent = list(range(n))
+        components = n
+        in_bound = self.weights <= bound
+        for k in np.nonzero(in_bound)[0]:
+            ru = _find(parent, self.edge_u[k])
+            rv = _find(parent, self.edge_v[k])
+            if ru != rv:
+                parent[ru] = rv
+                components -= 1
+                if components == 1:
+                    return True
+        return components == 1
+
+
+def _find(parent: List[int], x: int) -> int:
+    """Union-find root with path halving."""
+    while parent[x] != x:
+        parent[x] = parent[parent[x]]
+        x = parent[x]
+    return x
+
+
+def _derive_with_scaffold(
+    coherence: CoherenceGraph,
+    scaffold: _CoverScaffold,
+    bound: float,
+    deadline: Optional[Deadline],
+) -> TreeCoverResult:
     check = None if deadline is None else (lambda: deadline.check("tree_cover"))
 
-    # Step (a): edge pruning.
-    pruned = coherence.graph.pruned(bound)
+    # Step (a): edge pruning, as a mask over the scaffold's weights.
+    in_bound = scaffold.weights <= bound
 
-    # Step (b): contract mentions into the major root.
-    contracted, owner = _contract(coherence, pruned, bound)
-
-    # Step (c): MST.  The contracted graph may legitimately be missing
-    # candidate nodes whose every edge was pruned — that is a failure
-    # (the node could never be covered within B), matching the paper's
-    # "B is too small" warning for disconnected graphs.
-    mst = minimum_spanning_forest(contracted, check=check)
-    if contracted.node_count > 0 and mst.edge_count != contracted.node_count - 1:
+    # Steps (b)+(c): Kruskal over the (implicitly) contracted graph.
+    # The contracted graph may legitimately be missing candidate nodes
+    # whose every edge was pruned — that is a failure (the node could
+    # never be covered within B), matching the paper's "B is too small"
+    # warning for disconnected graphs.
+    edge_u, edge_v, weights = scaffold.edge_u, scaffold.edge_v, scaffold.weights
+    parent = list(range(scaffold.node_count))
+    accepted: List[int] = []
+    processed = 0
+    for k in scaffold.sorted_order:
+        if not in_bound[k]:
+            continue
+        if check is not None and processed % MST_CHECK_EVERY == 0:
+            check()
+        processed += 1
+        ru = _find(parent, edge_u[k])
+        rv = _find(parent, edge_v[k])
+        if ru != rv:
+            parent[ru] = rv
+            accepted.append(k)
+    if len(accepted) != scaffold.node_count - 1:
         raise BoundTooSmallError(
             f"contracted coherence graph is disconnected at B={bound}"
         )
 
-    # Step (d): decompose the major root back into mentions.
-    raw_trees = _decompose(coherence, mst, owner)
+    # Step (d): decompose the major root back into mentions.  Root edges
+    # graft in Kruskal acceptance order; the forest adjacency replays
+    # the edge emission of the MST copy so the repr-sorted DFS of the
+    # reference implementation is reproduced tie-for-tie.
+    trees: Dict[Span, RootedTree] = {
+        mention: RootedTree(mention) for mention in coherence.mentions
+    }
+    root_accepted = [k for k in accepted if edge_u[k] == 0]
+    cc_accepted = [k for k in accepted if edge_u[k] != 0]
+    cc_accepted.sort(key=lambda k: edge_u[k])
+    adjacency: Dict[int, List[Tuple[int, float]]] = {}
+    for k in cc_accepted:
+        u, v, w = edge_u[k], edge_v[k], float(weights[k])
+        adjacency.setdefault(u, []).append((v, w))
+        adjacency.setdefault(v, []).append((u, w))
+    cands, reprs = scaffold.cands, scaffold.reprs
+    for k in root_accepted:
+        anchor_id = edge_v[k]
+        mention = scaffold.owners[anchor_id - 1]
+        tree = trees[mention]
+        tree.add_edge(mention, cands[anchor_id - 1], float(weights[k]))
+        stack = [anchor_id]
+        visited = {anchor_id}
+        while stack:
+            node_id = stack.pop()
+            node = cands[node_id - 1]
+            for nbr_id, w in sorted(
+                adjacency.get(node_id, ()), key=lambda p: reprs[p[0]]
+            ):
+                if nbr_id in visited or cands[nbr_id - 1] in tree:
+                    continue
+                visited.add(nbr_id)
+                tree.add_edge(node, cands[nbr_id - 1], w)
+                stack.append(nbr_id)
 
     # Step (e): tree splitting.
-    trees: Dict[Span, RootedTree] = {}
+    split: Dict[Span, RootedTree] = {}
     leftover_subtrees: List[RootedTree] = []
-    for mention, tree in raw_trees.items():
+    for mention, tree in trees.items():
         leftover, subtrees = split_tree(tree, bound)
-        trees[mention] = leftover
+        split[mention] = leftover
         leftover_subtrees.extend(subtrees)
 
     if not leftover_subtrees:
-        return TreeCoverResult(trees, bound, 0)
+        return TreeCoverResult(split, bound, 0)
 
-    # Step (f): maximum matching of subtrees to mentions.
-    _attach_subtrees(coherence, pruned, trees, leftover_subtrees, bound, check)
-    return TreeCoverResult(trees, bound, len(leftover_subtrees))
+    # Step (f): maximum matching of subtrees to mentions.  Only now is
+    # the real pruned graph needed (for shortest paths), so it is built
+    # lazily here instead of eagerly for every derivation.
+    pruned = coherence.graph.pruned(bound)
+    _attach_subtrees(coherence, pruned, split, leftover_subtrees, bound, check)
+    return TreeCoverResult(split, bound, len(leftover_subtrees))
 
 
 # ---------------------------------------------------------------------------
-# steps
+# object-graph reference steps (pinned against the scaffold by tests)
 # ---------------------------------------------------------------------------
 
 def _contract(
@@ -237,6 +422,45 @@ def _graft_component(
             visited.add(neighbour)
             tree.add_edge(node, neighbour, weight)
             stack.append(neighbour)
+
+
+def derive_tree_cover_reference(
+    coherence: CoherenceGraph,
+    bound: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+) -> TreeCoverResult:
+    """Algorithm 1 over the object-graph reference steps.
+
+    The pre-scaffold implementation, kept for the parity tests that pin
+    the scaffold's byte-identity: eager pruned copy, explicit contracted
+    :class:`WeightedGraph`, object-keyed Kruskal.
+    """
+    if bound is None:
+        bound = float(max(len(coherence.mentions), 1))
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    check = None if deadline is None else (lambda: deadline.check("tree_cover"))
+
+    pruned = coherence.graph.pruned(bound)
+    contracted, owner = _contract(coherence, pruned, bound)
+    mst = minimum_spanning_forest(contracted, check=check)
+    if contracted.node_count > 0 and mst.edge_count != contracted.node_count - 1:
+        raise BoundTooSmallError(
+            f"contracted coherence graph is disconnected at B={bound}"
+        )
+    raw_trees = _decompose(coherence, mst, owner)
+
+    trees: Dict[Span, RootedTree] = {}
+    leftover_subtrees: List[RootedTree] = []
+    for mention, tree in raw_trees.items():
+        leftover, subtrees = split_tree(tree, bound)
+        trees[mention] = leftover
+        leftover_subtrees.extend(subtrees)
+
+    if not leftover_subtrees:
+        return TreeCoverResult(trees, bound, 0)
+    _attach_subtrees(coherence, pruned, trees, leftover_subtrees, bound, check)
+    return TreeCoverResult(trees, bound, len(leftover_subtrees))
 
 
 def _attach_subtrees(
@@ -329,11 +553,18 @@ def minimal_feasible_bound(
     The approximation guarantee then gives a cover of cost at most 4B*
     with B* <= the optimum cover cost.  Used by the ablation benchmarks;
     the production linker keeps the paper's B = |M|.
+
+    One :class:`_CoverScaffold` — the sorted edge array, cached reprs
+    and union-find id space — is shared by every probe: each probe
+    first runs a connectivity check over the masked edges (the common
+    infeasibility), and only a probe that passes it derives the full
+    cover (which can still fail in subtree matching).
     """
     if max_bound is None:
         max_bound = max(float(len(coherence.mentions)), 1.0)
+    scaffold = _CoverScaffold(coherence)
     lo, hi = 0.0, max_bound
-    if not _feasible(coherence, hi):
+    if not _feasible(coherence, scaffold, hi):
         raise BoundTooSmallError(
             f"no feasible bound up to max_bound={max_bound}"
         )
@@ -341,16 +572,20 @@ def minimal_feasible_bound(
         mid = (lo + hi) / 2.0
         if mid <= 0.0:
             break
-        if _feasible(coherence, mid):
+        if _feasible(coherence, scaffold, mid):
             hi = mid
         else:
             lo = mid
     return hi
 
 
-def _feasible(coherence: CoherenceGraph, bound: float) -> bool:
+def _feasible(
+    coherence: CoherenceGraph, scaffold: _CoverScaffold, bound: float
+) -> bool:
+    if not scaffold.connected_within(bound):
+        return False
     try:
-        derive_tree_cover(coherence, bound)
+        _derive_with_scaffold(coherence, scaffold, bound, None)
         return True
     except BoundTooSmallError:
         return False

@@ -15,11 +15,6 @@ Node = Hashable
 Edge = Tuple[Node, Node, float]
 
 
-def edge_key(u: Node, v: Node) -> Tuple[Node, Node]:
-    """Canonical unordered key for the pair (u, v)."""
-    return (u, v) if repr(u) <= repr(v) else (v, u)
-
-
 class WeightedGraph:
     """Undirected graph with float edge weights and O(1) edge lookup."""
 
@@ -100,16 +95,20 @@ class WeightedGraph:
         return default
 
     def edges(self) -> List[Edge]:
-        """All edges once each as (u, v, weight) triples."""
-        seen = set()
+        """All edges once each as (u, v, weight) triples.
+
+        Each edge is emitted at its first-reached endpoint (adjacency
+        is symmetric, so skipping neighbours whose own row was already
+        walked deduplicates without building per-edge canonical keys).
+        """
+        done: set = set()
         result: List[Edge] = []
         for u, nbrs in self._adj.items():
             for v, w in nbrs.items():
-                key = edge_key(u, v)
-                if key in seen:
+                if v in done:
                     continue
-                seen.add(key)
                 result.append((u, v, w))
+            done.add(u)
         return result
 
     def total_weight(self) -> float:

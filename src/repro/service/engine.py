@@ -675,6 +675,10 @@ class LinkingService:
             self.metrics.incr("requests.degraded")
         else:
             self.metrics.incr("requests.completed")
+        if result.cover_mode is not None:
+            # Router observability: how many answers came from the exact
+            # tree-cover path vs. the pairwise fast path (/metrics).
+            self.metrics.incr(f"cover_mode.{result.cover_mode}")
         return LinkResponse(
             result=result.to_json(include_timings=False),
             request_id=request.request_id,

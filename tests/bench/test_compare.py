@@ -75,6 +75,56 @@ class TestCompare:
             compare_reports(micro_report, micro_report, threshold=0.0)
 
 
+class TestRoutingParity:
+    def _with_parity(self, report, ok, max_abs_delta, tolerance=0.005):
+        tweaked = copy.deepcopy(report)
+        parity = tweaked["routing"]["parity"]
+        parity["ok"] = ok
+        parity["max_abs_delta"] = max_abs_delta
+        parity["tolerance"] = tolerance
+        return tweaked
+
+    def test_recorded_parity_failure_fails_compare(self, micro_report):
+        drifted = self._with_parity(micro_report, ok=False, max_abs_delta=0.02)
+        result = compare_reports(micro_report, drifted)
+        assert not result.ok
+        assert result.parity_failures
+        assert result.regressions == []  # timing is clean; quality is not
+
+    def test_baseline_parity_never_checked(self, micro_report):
+        # The gate judges the CURRENT record only — an old baseline that
+        # failed parity must not poison comparisons against a clean run.
+        drifted = self._with_parity(micro_report, ok=False, max_abs_delta=0.02)
+        assert compare_reports(drifted, micro_report).ok
+
+    def test_tolerance_override_relaxes(self, micro_report):
+        drifted = self._with_parity(micro_report, ok=False, max_abs_delta=0.02)
+        relaxed = compare_reports(
+            micro_report, drifted, routing_tolerance=0.05
+        )
+        assert relaxed.ok
+
+    def test_tolerance_override_tightens(self, micro_report):
+        # Recorded as passing, but re-judged against a stricter bar.
+        passing = self._with_parity(micro_report, ok=True, max_abs_delta=0.004)
+        strict = compare_reports(
+            micro_report, passing, routing_tolerance=0.001
+        )
+        assert not strict.ok
+        assert strict.parity_failures
+
+    def test_record_without_routing_block_is_fine(self, micro_report):
+        old = copy.deepcopy(micro_report)
+        old.pop("routing", None)
+        assert compare_reports(micro_report, old, routing_tolerance=0.0).ok
+
+    def test_parity_failure_formats_as_fail(self, micro_report):
+        drifted = self._with_parity(micro_report, ok=False, max_abs_delta=0.02)
+        text = format_comparison(compare_reports(micro_report, drifted))
+        assert "FAIL" in text
+        assert "routing parity" in text
+
+
 class TestFormatting:
     def test_ok_verdict(self, micro_report):
         text = format_comparison(compare_reports(micro_report, micro_report))

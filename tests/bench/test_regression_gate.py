@@ -29,18 +29,18 @@ BASELINE_PATH = (
 # wide enough for recording-machine variance, tight enough that a real
 # algorithmic regression (2x on the solver, say) cannot land silently.
 STAGE_CEILINGS_SECONDS = {
-    "extract": 0.006,
+    "extract": 0.005,
     "candidates": 0.002,
-    "coherence": 0.013,
-    "tree_cover": 0.042,
+    "coherence": 0.008,
+    "tree_cover": 0.008,
     "grouping": 0.005,
-    "disambiguation": 0.016,
-    "total": 0.080,
+    "disambiguation": 0.011,
+    "total": 0.035,
 }
 
 # Serving throughput floor: the baseline's service pass must sustain at
-# least this many documents/second (recorded: ~35 docs/s over 2 workers).
-SERVICE_MIN_DOCS_PER_SECOND = 10.0
+# least this many documents/second (recorded: ~79 docs/s over 2 workers).
+SERVICE_MIN_DOCS_PER_SECOND = 25.0
 
 
 @pytest.fixture(scope="module")

@@ -120,3 +120,43 @@ class TestSnapshotFields:
         old.pop("context_source", None)
         old.pop("snapshot", None)
         assert validate_report(old) == []
+
+
+class TestRoutingBlock:
+    def test_real_run_carries_valid_routing_block(self, micro_report):
+        routing = micro_report["routing"]
+        assert routing["routed_fast"] + routing["routed_exact"] == (
+            routing["documents"]
+        )
+        assert routing["config"]["cover_mode"] in ("fast", "auto")
+        assert validate_report(micro_report) == []
+
+    def test_bad_cover_mode_rejected(self, micro_report):
+        import copy
+
+        bad = copy.deepcopy(micro_report)
+        bad["routing"]["config"]["cover_mode"] = "warp"
+        assert any("cover_mode" in p for p in validate_report(bad))
+
+    def test_missing_parity_numbers_rejected(self, micro_report):
+        import copy
+
+        bad = copy.deepcopy(micro_report)
+        del bad["routing"]["parity"]["max_abs_delta"]
+        assert any("max_abs_delta" in p for p in validate_report(bad))
+
+    def test_non_numeric_hot_stage_rejected(self, micro_report):
+        import copy
+
+        bad = copy.deepcopy(micro_report)
+        bad["routing"]["hot_stage_seconds"]["routed"] = "quick"
+        assert any("hot_stage" in p for p in validate_report(bad))
+
+    def test_version_1_record_without_routing_still_valid(
+        self, micro_report
+    ):
+        import copy
+
+        old = copy.deepcopy(micro_report)
+        old.pop("routing", None)
+        assert validate_report(old) == []

@@ -1,0 +1,108 @@
+"""The cover-mode router: exact / fast / auto semantics."""
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+
+
+@pytest.fixture(scope="module")
+def document(suite):
+    return suite.kore50.documents[0].text
+
+
+class TestConfigValidation:
+    def test_bad_cover_mode_rejected(self):
+        with pytest.raises(ValueError, match="cover_mode"):
+            TenetConfig(cover_mode="banana")
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ValueError, match="fast_max_canopies"):
+            TenetConfig(fast_max_canopies=-1)
+        with pytest.raises(ValueError, match="fast_max_mean_candidates"):
+            TenetConfig(fast_max_mean_candidates=-0.5)
+
+    def test_default_is_exact(self):
+        assert TenetConfig().cover_mode == "exact"
+
+
+class TestRouting:
+    def test_exact_never_routes_fast(self, suite_context, document):
+        linker = TenetLinker(suite_context, TenetConfig(cover_mode="exact"))
+        diag = linker.link_detailed(document)
+        assert diag.result.cover_mode == "exact"
+        assert diag.cover is not None
+
+    def test_fast_always_routes_fast(self, suite_context, document):
+        linker = TenetLinker(suite_context, TenetConfig(cover_mode="fast"))
+        diag = linker.link_detailed(document)
+        assert diag.result.cover_mode == "fast"
+        assert diag.cover is None
+
+    def test_auto_with_zero_thresholds_stays_exact(
+        self, suite_context, document
+    ):
+        linker = TenetLinker(
+            suite_context,
+            TenetConfig(
+                cover_mode="auto",
+                fast_max_canopies=0,
+                fast_max_mean_candidates=0.0,
+            ),
+        )
+        assert linker.link(document).cover_mode == "exact"
+
+    def test_auto_with_huge_thresholds_goes_fast(
+        self, suite_context, document
+    ):
+        linker = TenetLinker(
+            suite_context,
+            TenetConfig(
+                cover_mode="auto",
+                fast_max_canopies=10_000,
+                fast_max_mean_candidates=1e9,
+            ),
+        )
+        assert linker.link(document).cover_mode == "fast"
+
+    def test_exact_mode_output_unchanged_by_router_wiring(
+        self, suite, suite_context
+    ):
+        # The default (exact) configuration must produce the same answer
+        # whether or not the router machinery exists: mode is metadata,
+        # not part of the linking answer.
+        default = TenetLinker(suite_context, TenetConfig())
+        explicit = TenetLinker(suite_context, TenetConfig(cover_mode="exact"))
+        for doc in suite.news.documents[:3]:
+            left = default.link(doc.text)
+            right = explicit.link(doc.text)
+            assert left.to_json(include_timings=False) == right.to_json(
+                include_timings=False
+            )
+
+    def test_cover_mode_in_timed_payload_only(self, suite_context, document):
+        linker = TenetLinker(suite_context, TenetConfig(cover_mode="fast"))
+        result = linker.link(document)
+        assert result.to_json(include_timings=True)["cover_mode"] == "fast"
+        assert "cover_mode" not in result.to_json(include_timings=False)
+
+    def test_auto_quality_matches_exact_on_routed_documents(
+        self, suite, suite_context
+    ):
+        # The router's bet, checked end to end: documents that auto
+        # routes fast link identically to the exact pipeline on this
+        # corpus (the bench parity gate enforces the F1 form of this).
+        exact = TenetLinker(suite_context, TenetConfig(cover_mode="exact"))
+        auto = TenetLinker(suite_context, TenetConfig(cover_mode="auto"))
+        routed_fast = 0
+        for dataset in suite.datasets():
+            for doc in dataset.documents:
+                routed = auto.link(doc.text)
+                if routed.cover_mode != "fast":
+                    continue
+                routed_fast += 1
+                full = exact.link(doc.text)
+                assert routed.to_json(include_timings=False) == full.to_json(
+                    include_timings=False
+                ), doc.doc_id
+        assert routed_fast > 0  # the router must actually fire at this scale

@@ -129,3 +129,22 @@ class TestProperties:
         leftover, subtrees = split_tree(tree, 1.0)
         total = leftover.weight() + sum(s.weight() for s in subtrees)
         assert total == pytest.approx(tree.weight())
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 25), st.floats(0.2, 2.0), st.integers(0, 10_000))
+    def test_edge_multiset_preserved(self, n_nodes, bound, seed):
+        """Splitting moves edges between pieces but never invents, drops,
+        or reweights one: the (parent, child, weight) multiset of all
+        pieces equals the input tree's exactly."""
+        rng = random.Random(seed)
+        tree = _random_tree(rng, n_nodes, bound)
+        leftover, subtrees = split_tree(tree, bound)
+        original = sorted(
+            (e.parent, e.child, e.weight) for e in tree.edges()
+        )
+        pieces = sorted(
+            (e.parent, e.child, e.weight)
+            for piece in [leftover] + subtrees
+            for e in piece.edges()
+        )
+        assert pieces == original

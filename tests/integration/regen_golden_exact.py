@@ -1,0 +1,25 @@
+"""Regenerate the pinned exact-mode golden fixture.
+
+Run only when an exact-pipeline output change is intended; the diff of
+``golden/exact_linking_scale010.json`` then documents exactly what moved.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+
+def main() -> None:
+    sys.path.insert(0, str(Path(__file__).parent))
+    from test_golden_exact import GOLDEN_PATH, current_payload
+
+    payload = current_payload()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with GOLDEN_PATH.open("w") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"{len(payload)} documents -> {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()
