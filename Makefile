@@ -1,7 +1,7 @@
 # Convenience targets for the TENET reproduction.
 
 .PHONY: install test bench bench-compare examples report serve \
-    snapshot serve-warm load-smoke clean
+    snapshot serve-warm serve-cluster load-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -42,6 +42,13 @@ snapshot:
 serve-warm:
 	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080 \
 	    --snapshot snapshots
+
+# Multi-process sharded serving: 2 linker worker processes behind the
+# front end, all warm-started from one shared ./snapshots artifact
+# (mmap-shared embeddings).  See docs/serving.md, "Cluster mode".
+serve-cluster:
+	PYTHONPATH=src python -m repro.cli serve --host 127.0.0.1 --port 8080 \
+	    --cluster --workers 2 --snapshot snapshots
 
 # Local mirror of the CI load-smoke job: boot the server with overload
 # guards on, drive the open-loop load generator past worker capacity,

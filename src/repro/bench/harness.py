@@ -68,6 +68,11 @@ class BenchConfig:
     # recording goodput vs. shed rate and the latency percentiles (the
     # `load` block; see repro.bench.load).
     load: Optional["LoadConfig"] = None
+    # Cluster pass: shard linking across worker *processes* sharing one
+    # snapshot artifact, measuring docs/s at 1 worker and at
+    # ``service_workers`` workers plus byte-parity of every result
+    # payload against the single-process engine (the `cluster` block).
+    cluster: bool = False
     # Routing pass: link the largest-scale corpus once through the exact
     # pipeline and once through the cover-mode router, recording how many
     # documents took the fast path, the hot-stage (tree_cover +
@@ -329,6 +334,123 @@ def _service_throughput(
             )
         },
         "caches": snapshot.get("caches", {}),
+    }
+
+
+def _cluster_mode(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    texts: List[str],
+    processes: int,
+    seed: int,
+    snapshot_path: Optional[Union[str, Path]],
+    say: Callable[[str], None],
+) -> Dict[str, object]:
+    """The ``cluster`` bench block: docs/s per worker-process count plus
+    byte-parity of the result payloads against the single-process engine.
+
+    Runs the corpus through a :class:`~repro.service.cluster.ClusterService`
+    at 1 worker and at *processes* workers, both booted from one shared
+    snapshot store (*snapshot_path* when the bench run has one, else an
+    ephemeral store reused across both boots).  ``scaling.speedup`` is
+    the 1-to-N docs/s ratio CI gates on; on a single-core runner it will
+    hover near 1.0 — the near-linear expectation only holds with at
+    least one core per worker.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import (
+        LinkingService,
+        ServiceConfig,
+        create_cluster_service,
+    )
+    from repro.service.schema import BatchLinkRequest, LinkRequest
+
+    requests = tuple(
+        LinkRequest(text=text, request_id=f"bench-{i}")
+        for i, text in enumerate(texts)
+    )
+
+    def canonical(responses) -> List[str]:
+        return [
+            json.dumps(response.result, sort_keys=True)
+            for response in responses.responses
+        ]
+
+    say("cluster pass: single-process reference ...")
+    with LinkingService(
+        context, ServiceConfig(workers=1), linker_config
+    ) as single:
+        reference = canonical(single.link_batch(BatchLinkRequest(requests)))
+
+    owned: Optional[str] = None
+    root: Union[str, Path, None] = snapshot_path
+    if root is None:
+        owned = tempfile.mkdtemp(prefix="tenet-bench-cluster-")
+        root = owned
+    runs: List[Dict[str, object]] = []
+    total_mismatches = 0
+    try:
+        for workers in sorted({1, processes}):
+            say(f"cluster pass: {workers} worker process(es) ...")
+            service = create_cluster_service(
+                processes=workers,
+                snapshot_path=root,
+                seed=seed,
+                linker_config=linker_config,
+            )
+            try:
+                started = time.perf_counter()
+                responses = service.link_batch(BatchLinkRequest(requests))
+                wall = time.perf_counter() - started
+                stats = service.cluster_stats()
+            finally:
+                service.close()
+            mismatches = sum(
+                1 for got, want in zip(canonical(responses), reference)
+                if got != want
+            )
+            total_mismatches += mismatches
+            runs.append({
+                "workers": workers,
+                "wall_seconds": wall,
+                "documents_per_second": len(texts) / wall if wall else None,
+                "errors": sum(
+                    1 for r in responses.responses if r.error is not None
+                ),
+                "parity_mismatches": mismatches,
+                "deaths": stats["deaths"],
+                "respawns": stats["respawns"],
+                "dispatch": stats["dispatch"],
+            })
+    finally:
+        if owned is not None:
+            shutil.rmtree(owned, ignore_errors=True)
+
+    baseline = runs[0]
+    scaled = runs[-1]
+    speedup = None
+    if baseline["documents_per_second"] and scaled["documents_per_second"]:
+        speedup = (
+            scaled["documents_per_second"] / baseline["documents_per_second"]
+        )
+    return {
+        "scale": scale,
+        "documents": len(texts),
+        "processes": processes,
+        "runs": runs,
+        "scaling": {
+            "baseline_workers": baseline["workers"],
+            "workers": scaled["workers"],
+            "speedup": speedup,
+        },
+        "parity": {
+            "reference": "single-process",
+            "mismatches": total_mismatches,
+            "ok": total_mismatches == 0,
+        },
     }
 
 
@@ -688,6 +810,23 @@ def run_benchmark(
             config.deadline_seconds,
         )
 
+    cluster = None
+    if config.cluster:
+        say(
+            f"cluster mode at scale {largest:g} "
+            f"({config.service_workers} worker processes) ..."
+        )
+        cluster = _cluster_mode(
+            context,
+            linker_config,
+            largest,
+            corpus_by_scale[largest],
+            config.service_workers,
+            config.seed,
+            snapshot_path,
+            say,
+        )
+
     trace = None
     if config.trace:
         say(f"trace mode at scale {largest:g} ...")
@@ -731,6 +870,7 @@ def run_benchmark(
             "warmup": config.warmup,
             "seed": config.seed,
             "service_workers": config.service_workers,
+            "cluster": config.cluster,
             "deadline_seconds": config.deadline_seconds,
             "trace": config.trace,
             "load": config.load.to_json() if config.load is not None else None,
@@ -748,6 +888,7 @@ def run_benchmark(
         "coherence_comparison": comparison,
         "routing": routing,
         "service": service,
+        "cluster": cluster,
         "deadline": deadline,
         "trace": trace,
         "load": load,
@@ -821,6 +962,17 @@ def format_report_summary(report: Dict[str, object]) -> str:
         lines.append(
             f"service: {service['documents_per_second']:.1f} docs/s over "
             f"{service['workers']} workers"
+        )
+    cluster = report.get("cluster")
+    if cluster:
+        scaling = cluster.get("scaling", {})
+        parity = cluster.get("parity", {})
+        speedup = scaling.get("speedup")
+        lines.append(
+            f"cluster: {scaling.get('baseline_workers')}→"
+            f"{scaling.get('workers')} workers "
+            + (f"{speedup:.2f}x docs/s" if speedup else "speedup n/a")
+            + f" (parity={'ok' if parity.get('ok') else 'MISMATCH'})"
         )
     deadline = report.get("deadline")
     if deadline:

@@ -48,6 +48,15 @@ One benchmark run produces one JSON document::
       "service": {"scale": ..., "documents": N, "workers": N,
                   "wall_seconds": ..., "documents_per_second": ...,
                   "latency": {...}, "caches": {...}} | null,
+      "cluster": {"scale": ..., "documents": N, "processes": N,
+                  "runs": [{"workers": N, "wall_seconds": ...,
+                            "documents_per_second": ..., "errors": N,
+                            "parity_mismatches": N, "deaths": N,
+                            "respawns": N, "dispatch": {...}}, ...],
+                  "scaling": {"baseline_workers": N, "workers": N,
+                              "speedup": ... | null},
+                  "parity": {"reference": "single-process",
+                             "mismatches": N, "ok": true}} | null,
       "deadline": {"scale": ..., "documents": N, "workers": N,
                    "deadline_seconds": ..., "completed": N,
                    "degraded": N, "errors": N, "cancelled": N,
@@ -81,8 +90,10 @@ of the recorded trajectory.
 (:func:`repro.bench.compare.load_report`) refuse records from a newer
 schema instead of misinterpreting them.  Version 2 added the ``routing``
 block (cover-mode router outcome plus the full-vs-routed quality-parity
-gate); version-1 records remain readable — every added block is
-optional.
+gate); version 3 added the ``cluster`` block (multi-process sharded
+serving: docs/s per worker count, the 1-to-N scaling factor, and the
+byte-parity verdict against the single-process engine).  Older records
+remain readable — every added block is optional.
 """
 
 from __future__ import annotations
@@ -90,7 +101,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 REPORT_KIND = "tenet-bench"
 
 # Stage names the harness always times (via LinkingResult.stage_seconds,
@@ -247,6 +258,10 @@ def validate_report(payload: object) -> List[str]:
             if not isinstance(service.get("caches"), dict):
                 problems.append("service: missing caches block")
 
+    cluster = payload.get("cluster")
+    if cluster is not None:
+        _check_cluster_block(cluster, problems)
+
     deadline = payload.get("deadline")
     if deadline is not None:
         if not isinstance(deadline, dict):
@@ -334,6 +349,53 @@ def _check_routing_block(routing: object, problems: List[str]) -> None:
                 problems.append(f"routing.parity: missing numeric {field!r}")
         if not isinstance(parity.get("ok"), bool):
             problems.append("routing.parity: missing ok flag")
+
+
+def _check_cluster_block(cluster: object, problems: List[str]) -> None:
+    """Schema of the multi-process cluster block (schema_version >= 3)."""
+    if not isinstance(cluster, dict):
+        problems.append("cluster must be an object or null")
+        return
+    if not isinstance(cluster.get("documents"), int):
+        problems.append("cluster: missing integer 'documents'")
+    if not isinstance(cluster.get("processes"), int):
+        problems.append("cluster: missing integer 'processes'")
+    runs = cluster.get("runs")
+    if not isinstance(runs, list) or not runs:
+        problems.append("cluster: runs must be a non-empty list")
+        runs = []
+    for i, run in enumerate(runs):
+        where = f"cluster.runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where}: must be an object")
+            continue
+        for field in ("workers", "errors", "parity_mismatches", "deaths",
+                      "respawns"):
+            if not isinstance(run.get(field), int):
+                problems.append(f"{where}: missing integer {field!r}")
+        for field in ("wall_seconds", "documents_per_second"):
+            if not _is_number(run.get(field)):
+                problems.append(f"{where}: missing numeric {field!r}")
+        if not isinstance(run.get("dispatch"), dict):
+            problems.append(f"{where}: missing dispatch block")
+    scaling = cluster.get("scaling")
+    if not isinstance(scaling, dict):
+        problems.append("cluster: missing scaling block")
+    else:
+        for field in ("baseline_workers", "workers"):
+            if not isinstance(scaling.get(field), int):
+                problems.append(f"cluster.scaling: missing integer {field!r}")
+        speedup = scaling.get("speedup")
+        if speedup is not None and not _is_number(speedup):
+            problems.append("cluster.scaling: speedup must be numeric or null")
+    parity = cluster.get("parity")
+    if not isinstance(parity, dict):
+        problems.append("cluster: missing parity block")
+    else:
+        if not isinstance(parity.get("ok"), bool):
+            problems.append("cluster.parity: missing ok flag")
+        if not isinstance(parity.get("mismatches"), int):
+            problems.append("cluster.parity: missing integer 'mismatches'")
 
 
 def _check_load_block(load: object, problems: List[str]) -> None:

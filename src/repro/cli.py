@@ -159,7 +159,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--host", default="127.0.0.1")
     serve_parser.add_argument("--port", type=int, default=8080)
     serve_parser.add_argument(
-        "--workers", type=int, default=4, help="linker worker threads"
+        "--workers",
+        type=int,
+        default=4,
+        help="linker worker threads (with --cluster: worker processes)",
+    )
+    serve_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="shard linking across --workers processes, each warm-started "
+        "from one shared snapshot artifact (built ephemerally when "
+        "--snapshot is not given)",
     )
     serve_parser.add_argument(
         "--timeout",
@@ -268,6 +278,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--workers", type=int, default=None, help="service throughput workers"
+    )
+    bench_parser.add_argument(
+        "--cluster",
+        action="store_true",
+        help="also run the multi-process cluster pass: docs/s at 1 and at "
+        "--workers worker processes over one shared snapshot, plus the "
+        "byte-parity check against the single-process engine (the "
+        "record's `cluster` block)",
     )
     bench_parser.add_argument(
         "--deadline",
@@ -635,24 +653,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import LinkerCacheConfig, LinkingService, ServiceConfig
     from repro.service.server import create_server
 
-    context, snapshot_info = _resolve_context(args)
-    service = LinkingService(
-        context,
-        ServiceConfig(
-            workers=args.workers,
-            default_timeout_seconds=args.timeout,
-            cache=LinkerCacheConfig(enabled=not args.no_cache),
-            # --trace forces tracing on; otherwise defer to TENET_TRACE.
-            trace_enabled=True if args.trace else None,
-            overload=_overload_config(args),
-        ),
-        TenetConfig(max_candidates=args.max_candidates),
-        snapshot_info=snapshot_info,
+    service_config = ServiceConfig(
+        workers=args.workers,
+        default_timeout_seconds=args.timeout,
+        cache=LinkerCacheConfig(enabled=not args.no_cache),
+        # --trace forces tracing on; otherwise defer to TENET_TRACE.
+        trace_enabled=True if args.trace else None,
+        overload=_overload_config(args),
     )
+    linker_config = TenetConfig(max_candidates=args.max_candidates)
+    if args.cluster:
+        from repro.service import create_cluster_service
+
+        service = create_cluster_service(
+            processes=args.workers,
+            snapshot_path=args.snapshot,
+            seed=args.seed,
+            config=service_config,
+            linker_config=linker_config,
+            echo=lambda message: print(f"# {message}", file=sys.stderr),
+        )
+        snapshot_info = service.snapshot_info
+    else:
+        context, snapshot_info = _resolve_context(args)
+        service = LinkingService(
+            context,
+            service_config,
+            linker_config,
+            snapshot_info=snapshot_info,
+        )
     server = create_server(service, args.host, args.port)
     host, port = server.server_address[:2]
-    print(f"tenet-repro serving on http://{host}:{port}  "
-          f"(endpoints: /link /batch /metrics /debug/traces /healthz; "
+    mode = f"cluster of {args.workers} worker processes" if args.cluster else (
+        f"{args.workers} worker threads"
+    )
+    print(f"tenet-repro serving on http://{host}:{port}  ({mode}; "
+          f"endpoints: /link /batch /metrics /debug/traces /healthz; "
           f"Ctrl-C to stop)")
     if snapshot_info is not None:
         print(
@@ -728,6 +764,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["warmup"] = args.warmup
     if args.workers is not None:
         overrides["service_workers"] = args.workers
+    if args.cluster:
+        overrides["cluster"] = True
     if args.no_scalar_baseline:
         overrides["scalar_baseline"] = False
     if args.deadline is not None:
@@ -777,6 +815,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if routing is not None and not routing.get("parity", {}).get("ok", True):
         print(
             "error: routed cover mode drifted past the F1 parity tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    cluster = report.get("cluster")
+    if cluster is not None and not cluster.get("parity", {}).get("ok", True):
+        print(
+            "error: cluster output diverged from the single-process engine",
             file=sys.stderr,
         )
         return 1

@@ -12,6 +12,7 @@ construction uses instead of O(n^2) per-pair calls.
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -50,7 +51,12 @@ class SimilarityIndex:
         self._store = store
         self._cache: Union[dict, LRUCache] = cache if cache is not None else {}
         # Monotonic counters of the batched path (surfaced by the bench
-        # harness next to the LRU hit/miss stats).
+        # harness next to the LRU hit/miss stats).  The index is shared
+        # across service workers, so the increments take a lock: a bare
+        # `+=` is a read-modify-write that loses updates under
+        # contention, which would make the per-worker counter fold-in
+        # on /metrics undercount.
+        self._stats_lock = threading.Lock()
         self.batch_calls = 0
         self.batch_pairs = 0
 
@@ -90,8 +96,9 @@ class SimilarityIndex:
         """
         ids = list(concept_ids)
         n = len(ids)
-        self.batch_calls += 1
-        self.batch_pairs += n * (n - 1) // 2
+        with self._stats_lock:
+            self.batch_calls += 1
+            self.batch_pairs += n * (n - 1) // 2
         if n == 0:
             return np.zeros((0, 0), dtype=np.float64)
         vectors, _ = self._store.rows(ids)
@@ -129,9 +136,11 @@ class SimilarityIndex:
 
     def batch_stats(self) -> dict:
         """JSON-compatible counters of the batched matrix path."""
+        with self._stats_lock:
+            calls, pairs = self.batch_calls, self.batch_pairs
         return {
-            "batch_calls": self.batch_calls,
-            "batch_pairs": self.batch_pairs,
+            "batch_calls": calls,
+            "batch_pairs": pairs,
             "pair_cache_size": self.cache_size,
         }
 

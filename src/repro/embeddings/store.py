@@ -73,8 +73,18 @@ class EmbeddingStore:
         return list(self._ids)
 
     def vector(self, concept_id: str) -> np.ndarray:
-        """The (normalised) embedding row for *concept_id*."""
-        return self._matrix[self._index[concept_id]]
+        """The (normalised) embedding row for *concept_id*.
+
+        Returned as a read-only zero-copy view: the matrix is shared
+        state (between requests, and — memory-mapped — between worker
+        processes), so no writable alias may escape the store.  A write
+        through a row of an ``mmap_mode="r"`` matrix raises only on some
+        numpy versions; freezing the view makes it raise on all of them,
+        and protects in-RAM stores the same way.
+        """
+        view = self._matrix[self._index[concept_id]].view()
+        view.flags.writeable = False
+        return view
 
     def rows(self, concept_ids: Sequence[str]) -> Tuple[np.ndarray, np.ndarray]:
         """Batched row lookup: one fancy-index gather instead of a

@@ -10,6 +10,14 @@ server (``tenet-repro serve``).
 
 from repro.core.deadline import Deadline, DeadlineExceeded
 from repro.service.cache import LinkerCacheConfig, LinkerCaches, attach_caches
+from repro.service.cluster import (
+    ClusterConfig,
+    ClusterError,
+    ClusterService,
+    WorkerDiedError,
+    WorkerRegistry,
+    create_cluster_service,
+)
 from repro.service.engine import LinkingService, ServiceClosedError, ServiceConfig
 from repro.service.metrics import LatencyHistogram, MetricsRegistry
 from repro.service.overload import (
@@ -39,6 +47,9 @@ __all__ = [
     "BatchLinkRequest",
     "BatchLinkResponse",
     "ClientRateLimiter",
+    "ClusterConfig",
+    "ClusterError",
+    "ClusterService",
     "Deadline",
     "DeadlineExceeded",
     "DegradedModeController",
@@ -59,6 +70,9 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "TokenBucket",
+    "WorkerDiedError",
+    "WorkerRegistry",
     "attach_caches",
+    "create_cluster_service",
     "create_server",
 ]

@@ -191,6 +191,15 @@ class LinkingService:
         )
         self.metrics.set_gauge("admission.queue_depth", 0)
         self.metrics.set_gauge("degraded_mode.active", 0)
+        # Lifecycle guard: every pool submission takes this lock and
+        # re-checks `_pool_open`; close() flips the flag under the same
+        # lock immediately before ThreadPoolExecutor.shutdown.  A
+        # submission therefore either lands strictly before shutdown
+        # (and is drained by `wait=True`) or gets the typed
+        # ServiceClosedError — never the executor's raw
+        # "cannot schedule new futures after shutdown" RuntimeError.
+        self._lifecycle = threading.Lock()
+        self._pool_open = True
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -279,7 +288,10 @@ class LinkingService:
         """Link with the per-request deadline and graceful degradation."""
         deadline = Deadline.after(self._timeout_for(request))
         trace = self.tracer.start(request.request_id)
-        future = self._pool.submit(self.handle, request, deadline, trace)
+        try:
+            future = self._pool_submit(self.handle, request, deadline, trace)
+        except ServiceClosedError:
+            return self._closed_response(request, deadline, trace)
         return self._await(request, deadline, future, trace)
 
     def submit(
@@ -296,7 +308,16 @@ class LinkingService:
         if deadline is None:
             deadline = Deadline.after(self._timeout_for(request))
         trace = self.tracer.start(request.request_id)
-        return self._pool.submit(self.handle, request, deadline, trace)
+        try:
+            return self._pool_submit(self.handle, request, deadline, trace)
+        except ServiceClosedError:
+            # Losing the race against shutdown resolves the future with
+            # the clean 503 envelope (never a raised RuntimeError) so
+            # fire-and-collect callers — notably the MicroBatcher's
+            # dispatch thread — stay hang- and crash-free.
+            resolved: "Future[LinkResponse]" = Future()
+            resolved.set_result(self._closed_response(request, deadline, trace))
+            return resolved
 
     def enqueue(self, request: LinkRequest) -> "Future[LinkResponse]":
         """Queue for micro-batched dispatch (see :class:`MicroBatcher`)."""
@@ -385,14 +406,14 @@ class LinkingService:
         for request in batch.requests:
             deadline = Deadline.after(self._timeout_for(request))
             trace = self.tracer.start(request.request_id)
-            jobs.append(
-                (
-                    request,
-                    deadline,
-                    self._pool.submit(self.handle, request, deadline, trace),
-                    trace,
+            try:
+                future = self._pool_submit(self.handle, request, deadline, trace)
+            except ServiceClosedError:
+                future = Future()
+                future.set_result(
+                    self._closed_response(request, deadline, trace)
                 )
-            )
+            jobs.append((request, deadline, future, trace))
         responses = [
             self._await(request, deadline, future, trace)
             for request, deadline, future, trace in jobs
@@ -446,18 +467,25 @@ class LinkingService:
         return payload
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
         # Order matters: stop admitting first, so everything still
         # queued is rejected with the typed ServiceClosedError (which
         # waiting callers surface as a clean `unavailable` envelope —
-        # never a hang, never a silent drop); then the batcher, then
-        # the pool (draining the in-flight work).
+        # never a hang, never a silent drop); then the batcher (whose
+        # dispatch thread may still feed its final batch to the pool),
+        # then the pool (draining the in-flight work).  `_pool_open`
+        # flips under the lifecycle lock at the last moment, so any
+        # submission that won the lock first is safely inside the pool
+        # before shutdown begins.
         rejected = self._admission.close()
         if rejected:
             self.metrics.incr("requests.rejected_on_close", rejected)
         self._batcher.close()
+        with self._lifecycle:
+            self._pool_open = False
         self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "LinkingService":
@@ -469,6 +497,36 @@ class LinkingService:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _pool_submit(self, fn, *args) -> "Future[LinkResponse]":
+        """Submit to the worker pool, racing shutdown safely.
+
+        The executor's own post-shutdown behaviour is a raw
+        ``RuntimeError: cannot schedule new futures after shutdown``;
+        taking the lifecycle lock around the open-check + submit pair
+        makes that unreachable — :meth:`close` flips ``_pool_open``
+        under the same lock before calling ``shutdown``, so a submission
+        either fully lands first or raises :class:`ServiceClosedError`.
+        """
+        with self._lifecycle:
+            if not self._pool_open:
+                raise ServiceClosedError("LinkingService is closed")
+            return self._pool.submit(fn, *args)
+
+    def _closed_response(
+        self,
+        request: LinkRequest,
+        deadline: Deadline,
+        trace: Optional[Trace] = None,
+    ) -> LinkResponse:
+        """Seal the trace of a submission that lost the shutdown race."""
+        if trace is not None:
+            trace.mark_aborted("shutdown")
+            self.tracer.finish(trace)
+        response = self._closed_envelope(request, deadline)
+        if trace is not None:
+            response = replace(response, trace_id=trace.trace_id)
+        return response
+
     def _timeout_for(self, request: LinkRequest) -> Optional[float]:
         return (
             request.timeout_seconds
@@ -528,8 +586,14 @@ class LinkingService:
         return mean * max(1.0, backlog / self.config.workers)
 
     def _dispatch_admitted(self, item) -> None:
-        """Feed one admitted item to the pool (admission dispatcher hook)."""
-        pooled = self._pool.submit(item.work)
+        """Feed one admitted item to the pool (admission dispatcher hook).
+
+        A dispatch racing shutdown raises the typed
+        :class:`ServiceClosedError`, which the admission loop chains onto
+        the waiter's future — surfaced as the clean ``unavailable``
+        envelope by :meth:`link_admitted`.
+        """
+        pooled = self._pool_submit(item.work)
 
         def _done(source: "Future[LinkResponse]") -> None:
             self._admission.release()

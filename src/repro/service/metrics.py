@@ -91,6 +91,23 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def merge_counters(self, deltas: Dict[str, int], prefix: str = "") -> None:
+        """Fold a batch of counter deltas in under one lock acquisition.
+
+        The cluster front end folds per-worker counter snapshots into
+        this registry; doing the whole batch inside a single critical
+        section keeps the fold atomic with respect to concurrent
+        :meth:`incr` calls and :meth:`snapshot` reads — a reader never
+        observes half a worker's contribution, and no read-modify-write
+        interleaving can lose an update.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                if not delta:
+                    continue
+                key = f"{prefix}{name}" if prefix else name
+                self._counters[key] = self._counters.get(key, 0) + int(delta)
+
     def set_gauge(self, name: str, value: float) -> None:
         """Set an instantaneous value (e.g. active workers right now)."""
         with self._lock:

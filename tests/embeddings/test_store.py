@@ -139,3 +139,46 @@ class TestLoadValidation:
         np.save(tmp_path / "embeddings.npy", np.zeros(12, dtype=np.float32))
         with pytest.raises(ValueError, match="dimensions"):
             EmbeddingStore.load(tmp_path)
+
+
+class TestReadOnlyViews:
+    """No writable alias of the (shared, possibly memory-mapped) matrix
+    may escape the store — a request handler scribbling on a row would
+    corrupt every other request and, in cluster mode, every worker
+    process sharing the mapped pages."""
+
+    def test_vector_is_read_only_in_ram(self, store):
+        row = store.vector("Q1")
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[0] = 99.0
+
+    def test_vector_is_read_only_when_mmapped(self, store, tmp_path):
+        store.save(tmp_path)
+        loaded = EmbeddingStore.load(tmp_path, mmap=True)
+        row = loaded.vector("Q1")
+        assert not row.flags.writeable
+        with pytest.raises(ValueError):
+            row[:] = 0.0
+
+    def test_vector_is_zero_copy(self, store, tmp_path):
+        store.save(tmp_path)
+        loaded = EmbeddingStore.load(tmp_path, mmap=True)
+        row = loaded.vector("Q2")
+        # A view over the mapped matrix, not a per-request copy.
+        assert np.shares_memory(row, np.asarray(loaded._matrix))
+
+    def test_rows_gather_does_not_alias_the_matrix(self, store, tmp_path):
+        store.save(tmp_path)
+        loaded = EmbeddingStore.load(tmp_path, mmap=True)
+        gathered, known = loaded.rows(["Q1", "missing", "Q3"])
+        assert known.tolist() == [True, False, True]
+        # The gather output is a fresh buffer: mutating it must never
+        # reach the shared matrix.
+        assert not np.shares_memory(gathered, np.asarray(loaded._matrix))
+        gathered[:] = -1.0
+        assert loaded.cosine("Q1", "Q3") == pytest.approx(1.0)
+
+    def test_queries_still_work_on_frozen_views(self, store):
+        assert store.cosine("Q1", "Q3") == pytest.approx(1.0)
+        assert store.nearest("Q1", k=1)[0][0] == "Q3"

@@ -71,3 +71,85 @@ class TestMetricsRegistry:
             t.join()
         assert metrics.counter("n") == 4000
         assert metrics.snapshot()["latencies"]["lat"]["count"] == 4000
+
+
+class TestMergeCounters:
+    def test_basic_fold(self):
+        metrics = MetricsRegistry()
+        metrics.incr("requests.total", 5)
+        metrics.merge_counters({"requests.total": 3, "noop": 0})
+        assert metrics.counter("requests.total") == 8
+        # zero deltas are skipped entirely — no key is created
+        assert "noop" not in metrics.snapshot()["counters"]
+
+    def test_prefix(self):
+        metrics = MetricsRegistry()
+        metrics.merge_counters({"requests.total": 2}, prefix="cluster.worker.w0.")
+        assert metrics.counter("cluster.worker.w0.requests.total") == 2
+        assert metrics.counter("requests.total") == 0
+
+    def test_contended_fold_is_exact(self, service_workers):
+        """N threads folding worker deltas + incrementing directly must
+        lose nothing: every read-modify-write happens under the registry
+        lock (run with TENET_TEST_WORKERS=8 for real contention)."""
+        metrics = MetricsRegistry()
+        rounds = 300
+
+        def folder(worker_id: int) -> None:
+            prefix = f"cluster.worker.w{worker_id}."
+            for _ in range(rounds):
+                metrics.merge_counters(
+                    {"requests.total": 1, "requests.completed": 1},
+                    prefix=prefix,
+                )
+                metrics.merge_counters({"shared.total": 1})
+                metrics.incr("shared.incr")
+
+        threads = [
+            threading.Thread(target=folder, args=(i,))
+            for i in range(service_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert metrics.counter("shared.total") == service_workers * rounds
+        assert metrics.counter("shared.incr") == service_workers * rounds
+        for i in range(service_workers):
+            assert (
+                metrics.counter(f"cluster.worker.w{i}.requests.total") == rounds
+            )
+
+
+class TestSimilarityStatsContention:
+    def test_batch_counters_are_exact_under_threads(self, service_workers):
+        """SimilarityIndex.batch_calls/batch_pairs are read-modify-write
+        counters shared across service workers; the per-call lock must
+        make the totals exact, not approximately right."""
+        import numpy as np
+
+        from repro.embeddings.similarity import SimilarityIndex
+        from repro.embeddings.store import EmbeddingStore
+
+        store = EmbeddingStore.from_matrix(
+            ["a", "b", "c", "d"], np.eye(4, dtype=np.float32)
+        )
+        index = SimilarityIndex(store)
+        calls_per_thread = 200
+        ids = ["a", "b", "c"]  # 3 unordered pairs per call
+
+        def worker() -> None:
+            for _ in range(calls_per_thread):
+                index.batch_similarity(ids)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(service_workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = index.batch_stats()
+        expected_calls = service_workers * calls_per_thread
+        assert stats["batch_calls"] == expected_calls
+        assert stats["batch_pairs"] == expected_calls * 3

@@ -10,6 +10,7 @@ configs chosen so the shed/degrade decisions are deterministic.
 import http.client
 import json
 import threading
+import time
 from concurrent.futures import Future
 
 import pytest
@@ -496,6 +497,74 @@ class TestShutdownDrain:
         service.close()
         with pytest.raises(ServiceClosedError):
             service.link_admitted(LinkRequest(text=DOC))
+
+    def test_submit_racing_close_never_leaks_runtime_error(
+        self, suite_context, service_workers
+    ):
+        """Stress the submission-vs-shutdown window: threads hammering
+        link/submit/link_batch while close() runs must only ever see a
+        real response or the clean `unavailable` envelope — never the
+        executor's raw "cannot schedule new futures after shutdown"
+        RuntimeError (run with TENET_TEST_WORKERS=8 for contention)."""
+        service = LinkingService(
+            suite_context, ServiceConfig(workers=service_workers)
+        )
+        start = threading.Event()
+        stop = threading.Event()
+        failures: list = []
+        responses: list = []
+        lock = threading.Lock()
+
+        def record(response) -> None:
+            with lock:
+                responses.append(response)
+
+        def hammer(kind: int) -> None:
+            start.wait(timeout=10)
+            i = 0
+            while not stop.is_set():
+                i += 1
+                request = LinkRequest(text=DOC, request_id=f"race-{kind}-{i}")
+                try:
+                    if kind % 3 == 0:
+                        record(service.link(request))
+                    elif kind % 3 == 1:
+                        record(service.submit(request).result(timeout=30))
+                    else:
+                        batch = service.link_batch(
+                            BatchLinkRequest((request,))
+                        )
+                        record(batch.responses[0])
+                except BaseException as exc:  # noqa: BLE001 - the assertion
+                    with lock:
+                        failures.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,))
+            for i in range(max(4, service_workers))
+        ]
+        for t in threads:
+            t.start()
+        start.set()
+        time.sleep(0.3)  # let traffic reach a steady state mid-close
+        service.close()
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive(), "a submitter hung across close()"
+        assert not failures, f"raw exception leaked through close: {failures!r}"
+        assert responses, "stress produced no traffic"
+        for response in responses:
+            assert response.error is None or response.error.code == (
+                "unavailable"
+            ), f"unexpected envelope: {response.error}"
+
+    def test_enqueue_after_close_is_typed(self, suite_context):
+        service = LinkingService(suite_context, ServiceConfig(workers=1))
+        service.close()
+        with pytest.raises(ServiceClosedError):
+            service.enqueue(LinkRequest(text=DOC))
 
 
 # ---------------------------------------------------------------------------
