@@ -1,7 +1,7 @@
 # Convenience targets for the TENET reproduction.
 
 .PHONY: install test bench bench-compare examples report serve \
-    snapshot serve-warm serve-cluster load-smoke clean
+    snapshot serve-warm serve-cluster load-smoke session-smoke clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -68,7 +68,25 @@ load-smoke:
 	    --mode open --qps 40 --duration 5 --concurrency 8 --clients 4 \
 	    --max-p99 10 --output load-local.json'
 
+# Local mirror of the CI session-smoke job: boot the server with
+# sessions on, run the scripted stream + conversation smoke (full-mode
+# byte parity over the wire, lifecycle round-trips, status codes), then
+# gate the quick bench's scoped-mode session pass (parity + amortized
+# speedup > 1x).  See docs/sessions.md.
+session-smoke:
+	@PYTHONPATH=src sh -ec ' \
+	python -m repro.cli serve --port 8766 --workers 2 --sessions \
+	    >/dev/null 2>&1 & \
+	pid=$$!; trap "kill $$pid 2>/dev/null || true" EXIT; \
+	for i in $$(seq 1 60); do \
+	    python -c "import urllib.request as u; u.urlopen(\"http://127.0.0.1:8766/healthz\", timeout=1)" \
+	        2>/dev/null && break; sleep 1; \
+	done; \
+	python -m repro.bench.session_smoke --url http://127.0.0.1:8766; \
+	python -m repro.cli bench --quick --session --session-mode scoped \
+	    --output session-local.json'
+
 clean:
 	rm -rf .pytest_cache .benchmarks benchmarks/results/*.txt \
 	    src/repro.egg-info test_output.txt bench_output.txt \
-	    BENCH_local.json load-local.json
+	    BENCH_local.json load-local.json session-local.json

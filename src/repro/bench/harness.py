@@ -82,6 +82,16 @@ class BenchConfig:
     # drifts further than this.
     routing: bool = True
     routing_tolerance: float = 0.005
+    # Session pass: feed the largest-scale documents through streaming
+    # sessions in deterministic K-chunk splits, measuring per-increment
+    # latency against a full relink of the accumulated prefix, and gate
+    # on final-state parity with one-shot linking (byte-identical in
+    # "full" mode; within ``session_tolerance`` F1 in "scoped" mode,
+    # where the dirty-region re-solve is scoped).  The `session` block.
+    session: bool = False
+    session_chunks: int = 4
+    session_mode: str = "full"
+    session_tolerance: float = 0.02
     label: str = ""
 
     def __post_init__(self) -> None:
@@ -100,6 +110,19 @@ class BenchConfig:
         if self.routing_tolerance < 0:
             raise ValueError(
                 f"routing_tolerance must be >= 0, got {self.routing_tolerance}"
+            )
+        if self.session_chunks < 2:
+            raise ValueError(
+                f"session_chunks must be >= 2, got {self.session_chunks}"
+            )
+        if self.session_mode not in ("full", "scoped"):
+            raise ValueError(
+                f"session_mode must be 'full' or 'scoped', "
+                f"got {self.session_mode!r}"
+            )
+        if self.session_tolerance < 0:
+            raise ValueError(
+                f"session_tolerance must be >= 0, got {self.session_tolerance}"
             )
 
     @classmethod
@@ -708,6 +731,145 @@ def _trace_mode(
     }
 
 
+def _session_mode(
+    context: LinkingContext,
+    linker_config: TenetConfig,
+    scale: float,
+    documents,
+    chunks: int,
+    mode: str,
+    tolerance: float,
+    seed: int,
+) -> Dict[str, object]:
+    """Incremental sessions vs. full relink-per-chunk, with a parity gate.
+
+    Each document becomes a deterministic K-chunk stream (the same
+    generator whose output the snapshot store persists).  The stream is
+    fed through a :class:`~repro.session.sessions.StreamingSession`
+    (timing every increment), then the same prefixes are linked from
+    scratch — the cost a stateless server pays per chunk.
+
+    Each workload's relink pass runs immediately after its feed pass, so
+    slow drift (thermal scaling, allocator state) hits both sides of a
+    ratio roughly equally.  ``amortized_speedup`` is the aggregate
+    sum(full relink) / sum(incremental) across all increments;
+    ``workload_speedups`` summarises the per-workload ratios (the median
+    is the drift-robust headline number).  The parity gate compares the
+    session's final state against a one-shot link of the whole document:
+    in ``full`` mode the deterministic payloads must be
+    **byte-identical**; in ``scoped`` mode (dirty-region re-solve)
+    entity/relation F1 against gold must stay within *tolerance* of
+    one-shot.  ``parity.ok`` is the flag the CLI exits 1 on — drift here
+    means incremental reuse changed answers.
+    """
+    from repro.eval.metrics import (
+        aggregate,
+        score_entity_linking,
+        score_relation_linking,
+    )
+    from repro.session import SessionConfig, StreamingSession
+    from repro.session.workloads import stream_chunkings
+
+    linker = TenetLinker(context, linker_config)
+    by_doc_id = {document.doc_id: document for document in documents}
+    workloads = stream_chunkings(documents, chunks=chunks, seed=seed, limit=8)
+
+    def canonical(result) -> str:
+        return json.dumps(
+            result.to_json(include_timings=False), sort_keys=True
+        )
+
+    incremental_latencies: List[float] = []
+    full_relink_latencies: List[float] = []
+    workload_ratios: List[float] = []
+    solves: Dict[str, int] = {}
+    memo_hits = memo_misses = 0
+    byte_identical = True
+    one_shot_entity, one_shot_relation = [], []
+    incremental_entity, incremental_relation = [], []
+    for workload in workloads:
+        session = StreamingSession(linker, SessionConfig(mode=mode))
+        inc_seconds = 0.0
+        for chunk in workload.chunks:
+            started = time.perf_counter()
+            outcome = session.feed(chunk)
+            elapsed = time.perf_counter() - started
+            incremental_latencies.append(elapsed)
+            inc_seconds += elapsed
+            solves[outcome.solve] = solves.get(outcome.solve, 0) + 1
+            memo_hits += outcome.memo_hits
+            memo_misses += outcome.memo_misses
+        # The stateless cost of the same stream: relink the accumulated
+        # prefix from scratch after every chunk, measured right after
+        # this workload's feeds so drift cancels in the ratio.  The
+        # final relink sees the full document, so it doubles as the
+        # one-shot reference.
+        relink_seconds = 0.0
+        text = ""
+        for chunk in workload.chunks:
+            text += chunk
+            started = time.perf_counter()
+            one_shot = linker.link(text)
+            elapsed = time.perf_counter() - started
+            full_relink_latencies.append(elapsed)
+            relink_seconds += elapsed
+        if inc_seconds > 0:
+            workload_ratios.append(relink_seconds / inc_seconds)
+        final = session.result
+        if canonical(final) != canonical(one_shot):
+            byte_identical = False
+        document = by_doc_id[workload.doc_id]
+        one_shot_entity.append(score_entity_linking(one_shot, document))
+        one_shot_relation.append(score_relation_linking(one_shot, document))
+        incremental_entity.append(score_entity_linking(final, document))
+        incremental_relation.append(score_relation_linking(final, document))
+
+    entity_one_shot = aggregate(one_shot_entity).f1
+    entity_incremental = aggregate(incremental_entity).f1
+    relation_one_shot = aggregate(one_shot_relation).f1
+    relation_incremental = aggregate(incremental_relation).f1
+    max_abs_delta = max(
+        abs(entity_one_shot - entity_incremental),
+        abs(relation_one_shot - relation_incremental),
+    )
+    incremental_stats = summarize(incremental_latencies)
+    full_relink_stats = summarize(full_relink_latencies)
+    speedup = (
+        full_relink_stats["total"] / incremental_stats["total"]
+        if incremental_stats["total"] > 0
+        else None
+    )
+    # The hard gate: byte parity in full mode, pinned F1 drift in scoped
+    # mode (where the dirty-region re-solve is allowed to differ in the
+    # last bits of BLAS sub-blocks but not in linking quality).
+    ok = byte_identical if mode == "full" else max_abs_delta <= tolerance
+    return {
+        "scale": scale,
+        "documents": len(workloads),
+        "chunks": chunks,
+        "mode": mode,
+        "increments": len(incremental_latencies),
+        "incremental_latency": incremental_stats,
+        "full_relink_latency": full_relink_stats,
+        "amortized_speedup": speedup,
+        "workload_speedups": (
+            summarize(workload_ratios) if workload_ratios else None
+        ),
+        "memo": {"hits": memo_hits, "misses": memo_misses},
+        "solves": solves,
+        "parity": {
+            "byte_identical": byte_identical,
+            "entity_f1_one_shot": entity_one_shot,
+            "entity_f1_incremental": entity_incremental,
+            "relation_f1_one_shot": relation_one_shot,
+            "relation_f1_incremental": relation_incremental,
+            "max_abs_delta": max_abs_delta,
+            "tolerance": tolerance,
+            "ok": ok,
+        },
+    }
+
+
 def run_benchmark(
     config: BenchConfig = BenchConfig(),
     linker_config: TenetConfig = TenetConfig(),
@@ -843,6 +1005,23 @@ def run_benchmark(
             config.routing_tolerance,
         )
 
+    session = None
+    if config.session:
+        say(
+            f"session pass at scale {largest:g} "
+            f"({config.session_chunks} chunks, {config.session_mode} mode) ..."
+        )
+        session = _session_mode(
+            context,
+            linker_config,
+            largest,
+            documents_by_scale[largest],
+            config.session_chunks,
+            config.session_mode,
+            config.session_tolerance,
+            config.seed,
+        )
+
     load = None
     if config.load is not None:
         say(
@@ -877,6 +1056,10 @@ def run_benchmark(
             "routing": config.routing,
             "routing_tolerance": config.routing_tolerance,
             "cover_mode": linker_config.cover_mode,
+            "session": config.session,
+            "session_chunks": config.session_chunks,
+            "session_mode": config.session_mode,
+            "session_tolerance": config.session_tolerance,
         },
         "env": _env_fingerprint(),
         "context_build_seconds": context_build,
@@ -892,6 +1075,7 @@ def run_benchmark(
         "deadline": deadline,
         "trace": trace,
         "load": load,
+        "session": session,
     }
     return report
 
@@ -996,4 +1180,25 @@ def format_report_summary(report: Dict[str, object]) -> str:
         from repro.bench.load import format_load_summary
 
         lines.append(format_load_summary(load))
+    session = report.get("session")
+    if session:
+        parity = session.get("parity", {})
+        speedup = session.get("amortized_speedup")
+        incremental = session.get("incremental_latency", {})
+        relink = session.get("full_relink_latency", {})
+        gate = "byte-identical" if parity.get("byte_identical") else (
+            f"F1 delta {parity.get('max_abs_delta', 0.0):.4f}"
+        )
+        ratios = session.get("workload_speedups") or {}
+        median = ratios.get("p50")
+        lines.append(
+            f"session ({session.get('mode')}, {session.get('chunks')} chunks): "
+            f"{session.get('increments')} increments over "
+            f"{session.get('documents')} docs | "
+            f"incremental {1000 * incremental.get('mean', 0.0):.2f}ms vs "
+            f"relink {1000 * relink.get('mean', 0.0):.2f}ms"
+            + (f" ({speedup:.2f}x amortized)" if speedup else "")
+            + (f", median workload {median:.2f}x" if median else "")
+            + f" | {gate} (parity={'ok' if parity.get('ok') else 'FAIL'})"
+        )
     return "\n".join(lines)

@@ -77,7 +77,22 @@ One benchmark run produces one JSON document::
                "latency": {"count": N, "mean_seconds": ...,
                            "p50_seconds": ..., "p95_seconds": ...,
                            "p99_seconds": ..., "max_seconds": ...} | null
-              } | null
+              } | null,
+      "session": {"scale": ..., "documents": N, "chunks": N,
+                  "mode": "full" | "scoped", "increments": N,
+                  "incremental_latency": {<stats>},
+                  "full_relink_latency": {<stats>},
+                  "amortized_speedup": ...,
+                  "workload_speedups": {<stats>} | null,
+                  "memo": {"hits": N, "misses": N},
+                  "solves": {"initial": N, "full": N, "scoped": N},
+                  "parity": {"byte_identical": true,
+                             "entity_f1_one_shot": ...,
+                             "entity_f1_incremental": ...,
+                             "relation_f1_one_shot": ...,
+                             "relation_f1_incremental": ...,
+                             "max_abs_delta": ..., "tolerance": ...,
+                             "ok": true}} | null
     }
 
 where ``<stats>`` is the :func:`summarize` block (count / total / mean /
@@ -92,8 +107,12 @@ schema instead of misinterpreting them.  Version 2 added the ``routing``
 block (cover-mode router outcome plus the full-vs-routed quality-parity
 gate); version 3 added the ``cluster`` block (multi-process sharded
 serving: docs/s per worker count, the 1-to-N scaling factor, and the
-byte-parity verdict against the single-process engine).  Older records
-remain readable — every added block is optional.
+byte-parity verdict against the single-process engine); version 4 added
+the ``session`` block (incremental feed latency vs. a full relink per
+chunk, the amortized speedup, and the chunked-vs-one-shot final-state
+parity gate — byte-identical in ``full`` mode, pinned F1 tolerance in
+``scoped``).  Older records remain readable — every added block is
+optional.
 """
 
 from __future__ import annotations
@@ -101,7 +120,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 REPORT_KIND = "tenet-bench"
 
 # Stage names the harness always times (via LinkingResult.stage_seconds,
@@ -303,6 +322,10 @@ def validate_report(payload: object) -> List[str]:
     if load is not None:
         _check_load_block(load, problems)
 
+    session = payload.get("session")
+    if session is not None:
+        _check_session_block(session, problems)
+
     return problems
 
 
@@ -396,6 +419,55 @@ def _check_cluster_block(cluster: object, problems: List[str]) -> None:
             problems.append("cluster.parity: missing ok flag")
         if not isinstance(parity.get("mismatches"), int):
             problems.append("cluster.parity: missing integer 'mismatches'")
+
+
+def _check_session_block(session: object, problems: List[str]) -> None:
+    """Schema of the incremental-session block (schema_version >= 4)."""
+    if not isinstance(session, dict):
+        problems.append("session must be an object or null")
+        return
+    for field in ("documents", "chunks", "increments"):
+        if not isinstance(session.get(field), int):
+            problems.append(f"session: missing integer {field!r}")
+    if session.get("mode") not in ("full", "scoped"):
+        problems.append(
+            f"session: mode must be 'full' or 'scoped', "
+            f"got {session.get('mode')!r}"
+        )
+    for field in ("incremental_latency", "full_relink_latency"):
+        _check_stats(session.get(field), f"session.{field}", problems)
+    if not _is_number(session.get("amortized_speedup")):
+        problems.append("session: missing numeric 'amortized_speedup'")
+    workload_speedups = session.get("workload_speedups")
+    if workload_speedups is not None:
+        _check_stats(workload_speedups, "session.workload_speedups", problems)
+    memo = session.get("memo")
+    if not isinstance(memo, dict):
+        problems.append("session: missing memo block")
+    else:
+        for field in ("hits", "misses"):
+            if not isinstance(memo.get(field), int):
+                problems.append(f"session.memo: missing integer {field!r}")
+    if not isinstance(session.get("solves"), dict):
+        problems.append("session: missing solves block")
+    parity = session.get("parity")
+    if not isinstance(parity, dict):
+        problems.append("session: missing parity block")
+    else:
+        if not isinstance(parity.get("byte_identical"), bool):
+            problems.append("session.parity: missing byte_identical flag")
+        for field in (
+            "entity_f1_one_shot",
+            "entity_f1_incremental",
+            "relation_f1_one_shot",
+            "relation_f1_incremental",
+            "max_abs_delta",
+            "tolerance",
+        ):
+            if not _is_number(parity.get(field)):
+                problems.append(f"session.parity: missing numeric {field!r}")
+        if not isinstance(parity.get("ok"), bool):
+            problems.append("session.parity: missing ok flag")
 
 
 def _check_load_block(load: object, problems: List[str]) -> None:

@@ -8,20 +8,25 @@ Installed as ``tenet-repro`` (see ``pyproject.toml``); also runnable as
 * ``link``      — link a document (text argument, file, or stdin) and
   print the result as JSON; ``--jsonl`` switches to batch mode (one
   document per input line, one result JSON per output line) over a
-  single warm context;
+  single warm context; ``--stream`` feeds the document through an
+  incremental session chunk by chunk, printing one progress line per
+  increment before the final result (see ``docs/sessions.md``);
 * ``evaluate``  — run the end-to-end evaluation (Tables 3-4) for a
   chosen set of systems and print P/R/F rows;
 * ``stats``     — print the Table 2 dataset statistics;
 * ``serve``     — run the JSON-over-HTTP linking service, with
   admission-control flags (``--max-queue``, ``--rate-limit``,
-  ``--degrade-queue``/``--degrade-p95``; see ``docs/serving.md``);
+  ``--degrade-queue``/``--degrade-p95``; see ``docs/serving.md``) and
+  stateful session endpoints behind ``--sessions`` (``--session-max``,
+  ``--session-ttl``, ``--session-mode``; see ``docs/sessions.md``);
 * ``bench``     — run the benchmark harness and write a schema-versioned
   ``BENCH_<rev>.json`` (``--load`` adds a load-generator pass against an
   in-process server); ``bench compare A.json B.json`` diffs two such
   records and exits non-zero past the regression threshold;
   ``bench load --url`` drives a live server and asserts the overload
   SLOs (no 5xx, Retry-After on every 429, bounded p99; see
-  ``docs/benchmarking.md``);
+  ``docs/benchmarking.md``); ``--session`` adds the incremental-session
+  pass with its amortized-speedup numbers and final-state parity gate;
 * ``snapshot``  — manage the versioned artifact store
   (``build``/``verify``/``list``/``gc``, see ``docs/snapshots.md``).
 
@@ -115,6 +120,27 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="batch mode: one document per input line, one result JSON "
         "per output line, all linked over a single warm context",
+    )
+    link_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="feed the document through an incremental session in "
+        "--chunks sentence-aligned pieces, printing one progress line "
+        "per increment before the final result (tenet only)",
+    )
+    link_parser.add_argument(
+        "--chunks",
+        type=int,
+        default=4,
+        metavar="K",
+        help="chunks per streamed document (with --stream; default 4)",
+    )
+    link_parser.add_argument(
+        "--stream-mode",
+        choices=("full", "scoped"),
+        default="full",
+        help="session solve mode (with --stream): full = byte-parity "
+        "relink, scoped = dirty-region re-solve (default full)",
     )
     link_parser.add_argument(
         "--snapshot",
@@ -247,6 +273,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="observed p95 latency that triggers degraded mode "
         "(exits at half this value)",
     )
+    serve_parser.add_argument(
+        "--sessions",
+        action="store_true",
+        help="enable stateful streaming/conversation sessions "
+        "(POST /session/{id}/feed, GET/DELETE /session/{id}; "
+        "see docs/sessions.md)",
+    )
+    serve_parser.add_argument(
+        "--session-max",
+        type=int,
+        default=None,
+        metavar="N",
+        help="live sessions before LRU eviction (default 64)",
+    )
+    serve_parser.add_argument(
+        "--session-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="idle seconds before a session is evicted (default 600)",
+    )
+    serve_parser.add_argument(
+        "--session-mode",
+        choices=("full", "scoped"),
+        default=None,
+        help="session solve mode: full = byte-parity relink of the "
+        "accumulated text, scoped = dirty-region re-solve (default full)",
+    )
 
     bench_parser = subparsers.add_parser(
         "bench",
@@ -370,6 +424,37 @@ def build_parser() -> argparse.ArgumentParser:
         default="exact",
         help="cover mode the timed passes run with (the routing pass "
         "always benchmarks the router; default exact)",
+    )
+    bench_parser.add_argument(
+        "--session",
+        action="store_true",
+        help="also run the incremental-session pass: stream each "
+        "largest-scale document through a session in deterministic "
+        "chunks, recording per-increment latency vs a full relink per "
+        "chunk and the final-state parity gate (the record's `session` "
+        "block; parity failure exits 1)",
+    )
+    bench_parser.add_argument(
+        "--session-chunks",
+        type=int,
+        default=None,
+        metavar="K",
+        help="chunks per streamed document (default 4)",
+    )
+    bench_parser.add_argument(
+        "--session-mode",
+        choices=("full", "scoped"),
+        default=None,
+        help="session solve mode: full gates on byte-identical final "
+        "payloads, scoped on pinned F1 drift (default full)",
+    )
+    bench_parser.add_argument(
+        "--session-tolerance",
+        type=float,
+        default=None,
+        metavar="F1",
+        help="max absolute F1 drift scoped sessions may show against "
+        "one-shot linking (default 0.02)",
     )
     bench_sub = bench_parser.add_subparsers(dest="bench_command")
     bench_compare = bench_sub.add_parser(
@@ -554,16 +639,54 @@ def _read_text(args: argparse.Namespace) -> str:
     return sys.stdin.read()
 
 
-def _link_payload(linker, kb, text: str) -> Dict:
-    """Link one document and return the labelled JSON payload."""
-    result = linker.link(text)
+def _result_payload(result, kb, system: str) -> Dict:
+    """Label one LinkingResult's JSON payload with KB surface names."""
     payload = result.to_json()
-    payload["system"] = linker.name
+    payload["system"] = system
     for entry in payload["entities"]:
         entry["label"] = kb.get_entity(entry["concept_id"]).label
     for entry in payload["relations"]:
         entry["label"] = kb.get_predicate(entry["concept_id"]).label
     return payload
+
+
+def _link_payload(linker, kb, text: str) -> Dict:
+    """Link one document and return the labelled JSON payload."""
+    return _result_payload(linker.link(text), kb, linker.name)
+
+
+def _link_stream(linker, kb, text: str, chunks: int, mode: str) -> int:
+    """``link --stream``: chunk the document through a session.
+
+    Progress lines (one JSON object per increment: solve kind, mention
+    churn, latency) go to stderr so stdout stays exactly one result
+    payload, same shape as a one-shot ``link``.
+    """
+    import random
+
+    from repro.session import SessionConfig, StreamingSession
+    from repro.session.workloads import split_text
+
+    parts = split_text(text, chunks, random.Random(0), sentence_aligned=True)
+    session = StreamingSession(linker, SessionConfig(mode=mode))
+    for part in parts:
+        outcome = session.feed(part)
+        print(
+            json.dumps(
+                {
+                    "increment": outcome.increment,
+                    "chunk_chars": len(part),
+                    "solve": outcome.solve,
+                    "new_mentions": outcome.new_mentions,
+                    "reused_mentions": outcome.reused_mentions,
+                    "dirty_mentions": outcome.dirty_mentions,
+                    "elapsed_ms": round(1000 * outcome.elapsed_seconds, 3),
+                }
+            ),
+            file=sys.stderr,
+        )
+    print(json.dumps(_result_payload(session.result, kb, linker.name), indent=1))
+    return 0
 
 
 def _parse_scales(raw: str) -> Tuple[float, ...]:
@@ -614,6 +737,16 @@ def _cmd_link(args: argparse.Namespace) -> int:
         linker = SYSTEM_FACTORIES[args.system](
             context, max_candidates=args.max_candidates
         )
+    if args.stream:
+        if args.system != "tenet":
+            print("error: --stream requires --system tenet", file=sys.stderr)
+            return 2
+        if args.jsonl:
+            print("error: --stream and --jsonl are exclusive", file=sys.stderr)
+            return 2
+        return _link_stream(
+            linker, context.kb, text.strip(), args.chunks, args.stream_mode
+        )
     if args.jsonl:
         # Batch mode: every non-empty input line is one document, linked
         # over the warm context built above, streamed as one JSON line.
@@ -653,6 +786,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import LinkerCacheConfig, LinkingService, ServiceConfig
     from repro.service.server import create_server
 
+    if args.sessions and args.cluster:
+        # Session state lives in one process; the cluster shards
+        # requests across workers, which would scatter a session's
+        # increments.
+        print("error: --sessions is not supported with --cluster",
+              file=sys.stderr)
+        return 2
+    session_overrides = {}
+    if args.sessions:
+        session_overrides["sessions_enabled"] = True
+    if args.session_max is not None:
+        session_overrides["session_max_sessions"] = args.session_max
+    if args.session_ttl is not None:
+        session_overrides["session_ttl_seconds"] = args.session_ttl
+    if args.session_mode is not None:
+        session_overrides["session_mode"] = args.session_mode
     service_config = ServiceConfig(
         workers=args.workers,
         default_timeout_seconds=args.timeout,
@@ -660,6 +809,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # --trace forces tracing on; otherwise defer to TENET_TRACE.
         trace_enabled=True if args.trace else None,
         overload=_overload_config(args),
+        **session_overrides,
     )
     linker_config = TenetConfig(max_candidates=args.max_candidates)
     if args.cluster:
@@ -687,9 +837,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     mode = f"cluster of {args.workers} worker processes" if args.cluster else (
         f"{args.workers} worker threads"
     )
+    endpoints = "/link /batch /metrics /debug/traces /healthz"
+    if args.sessions:
+        endpoints += " /session/{id}/feed"
     print(f"tenet-repro serving on http://{host}:{port}  ({mode}; "
-          f"endpoints: /link /batch /metrics /debug/traces /healthz; "
-          f"Ctrl-C to stop)")
+          f"endpoints: {endpoints}; Ctrl-C to stop)")
     if snapshot_info is not None:
         print(
             f"context warm-started from snapshot {snapshot_info['id']} "
@@ -785,6 +937,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         overrides["routing"] = False
     if args.routing_tolerance is not None:
         overrides["routing_tolerance"] = args.routing_tolerance
+    if args.session:
+        overrides["session"] = True
+    if args.session_chunks is not None:
+        overrides["session_chunks"] = args.session_chunks
+    if args.session_mode is not None:
+        overrides["session_mode"] = args.session_mode
+    if args.session_tolerance is not None:
+        overrides["session_tolerance"] = args.session_tolerance
     if args.label:
         overrides["label"] = args.label
     overrides["seed"] = args.seed
@@ -822,6 +982,13 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     if cluster is not None and not cluster.get("parity", {}).get("ok", True):
         print(
             "error: cluster output diverged from the single-process engine",
+            file=sys.stderr,
+        )
+        return 1
+    session = report.get("session")
+    if session is not None and not session.get("parity", {}).get("ok", True):
+        print(
+            "error: session final state drifted from one-shot linking",
             file=sys.stderr,
         )
         return 1

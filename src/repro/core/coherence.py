@@ -37,6 +37,17 @@ class CandidateNode:
     concept_id: str
     kind: str  # "entity" | "predicate"
 
+    def __post_init__(self) -> None:
+        # Candidate nodes are graph keys in every adjacency dict; cache
+        # the hash like Span does (the mention's own hash is cached, so
+        # this tuple hash is cheap and computed exactly once).
+        object.__setattr__(
+            self, "_hash", hash((self.mention, self.concept_id, self.kind))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cand({self.mention.text!r}->{self.concept_id})"
 
@@ -83,6 +94,7 @@ def build_coherence_graph(
     prior_distance_curve: float = 0.5,
     max_neighbours: Optional[int] = 12,
     similarity_mode: str = "batch",
+    precomputed_sims: Optional[np.ndarray] = None,
 ) -> CoherenceGraph:
     """Construct the knowledge coherence graph.
 
@@ -134,6 +146,16 @@ def build_coherence_graph(
         per-pair reference path kept for parity tests and the benchmark
         harness's batch-vs-scalar comparison.  Both produce the same
         graph (weights agree to ~1e-15).
+    precomputed_sims:
+        Optional pre-built similarity matrix over the candidate nodes in
+        construction order (one row/column per node, same layout the
+        ``"batch"`` mode would compute).  Used by ``repro.session`` to
+        reuse similarity blocks across increments; when given it replaces
+        the ``similarity_mode`` computation entirely.  Values must match
+        what ``batch_similarity`` would return for the same ids — the
+        caller owns that contract (sessions only reuse rows computed by
+        the same store, so reused entries are bitwise-identical and new
+        entries are freshly computed).
     """
     graph = WeightedGraph()
     mentions = list(mention_candidates)
@@ -169,6 +191,7 @@ def build_coherence_graph(
         coherence_prior_blend,
         max_neighbours,
         similarity_mode,
+        precomputed_sims=precomputed_sims,
     )
     return CoherenceGraph(graph, mentions, candidates_by_mention, priors)
 
@@ -211,6 +234,7 @@ def _add_concept_edges(
     coherence_prior_blend: float,
     max_neighbours: Optional[int],
     similarity_mode: str = "batch",
+    precomputed_sims: Optional[np.ndarray] = None,
 ) -> None:
     """Concept-concept edges, vectorised over all candidate pairs.
 
@@ -227,7 +251,14 @@ def _add_concept_edges(
     if n < 2:
         return
     concept_ids = [node.concept_id for node in all_nodes]
-    if similarity_mode == "batch":
+    if precomputed_sims is not None:
+        if precomputed_sims.shape != (n, n):
+            raise ValueError(
+                f"precomputed_sims shape {precomputed_sims.shape} does not "
+                f"match {n} candidate nodes"
+            )
+        sims = precomputed_sims
+    elif similarity_mode == "batch":
         sims = similarity.batch_similarity(concept_ids)
     elif similarity_mode == "scalar":
         sims = _scalar_similarity_matrix(similarity, concept_ids)

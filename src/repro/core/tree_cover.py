@@ -165,7 +165,7 @@ class _CoverScaffold:
     the minimal-bound binary search.
     """
 
-    def __init__(self, coherence: CoherenceGraph) -> None:
+    def __init__(self, coherence: CoherenceGraph, sort: bool = True) -> None:
         cand_ids: Dict[CandidateNode, int] = {}
         cands: List[CandidateNode] = []
         owners: List[Span] = []
@@ -217,9 +217,22 @@ class _CoverScaffold:
         # The deterministic Kruskal order, computed once.  Filtering a
         # stably sorted sequence equals sorting the filtered sequence,
         # so a bound never needs a re-sort — only the mask.
-        self.sorted_order = sorted(
-            range(len(edge_w)),
-            key=lambda k: (edge_w[k], reprs[edge_u[k]], reprs[edge_v[k]]),
+        # ``sort=False`` defers the ordering so :func:`delta_scaffold`
+        # can derive it from a previous scaffold by merge instead.
+        if sort:
+            self.sorted_order = sorted(
+                range(len(edge_w)),
+                key=lambda k: (edge_w[k], reprs[edge_u[k]], reprs[edge_v[k]]),
+            )
+        else:
+            self.sorted_order = []
+
+    def edge_key(self, k: int) -> Tuple[float, str, str]:
+        """The Kruskal sort key of edge *k* (also its identity key)."""
+        return (
+            float(self.weights[k]),
+            self.reprs[self.edge_u[k]],
+            self.reprs[self.edge_v[k]],
         )
 
     @property
@@ -248,6 +261,93 @@ class _CoverScaffold:
                 if components == 1:
                     return True
         return components == 1
+
+
+def build_cover_scaffold(coherence: CoherenceGraph) -> _CoverScaffold:
+    """Public constructor for the bound-independent cover scaffold.
+
+    One scaffold serves every bound probe on the same coherence graph;
+    :mod:`repro.session` also holds one across increments and advances
+    it with :func:`delta_scaffold` instead of rebuilding from scratch.
+    """
+    return _CoverScaffold(coherence)
+
+
+def delta_scaffold(
+    previous: _CoverScaffold, coherence: CoherenceGraph
+) -> _CoverScaffold:
+    """Advance a scaffold to a new coherence graph without a full re-sort.
+
+    The edge arrays are rebuilt fresh (linear in the edge count), but the
+    Kruskal ``sorted_order`` is derived by *merging* two already-sorted
+    sequences instead of sorting everything: the edges that survive from
+    *previous* (filtered through its old sorted order) and the newly
+    added edges (sorted among themselves).  Because the sort key *is*
+    the identity key ``(weight, repr_u, repr_v)`` and equal keys are
+    matched between old and new scaffolds in emission order, the merged
+    order is byte-identical to the fresh stable sort — pinned by the
+    session test suite.  For a streaming increment that adds A edges to
+    an E-edge graph this is O(E + A log A) instead of O(E log E).
+    """
+    scaffold = _CoverScaffold(coherence, sort=False)
+    edge_count = len(scaffold.edge_u)
+    # New edge indices grouped by identity key, in emission order.
+    new_by_key: Dict[Tuple[float, str, str], List[int]] = {}
+    for k in range(edge_count):
+        new_by_key.setdefault(scaffold.edge_key(k), []).append(k)
+    # Walk the previous sorted order and claim matching new edges.  An
+    # equal-key run in the old order is contiguous (it is the sort key)
+    # and emission-ordered, so a per-key cursor realises the ordered
+    # multiset matching that keeps stable-sort ties correct.
+    cursors: Dict[Tuple[float, str, str], int] = {}
+    survivors: List[int] = []
+    matched = [False] * edge_count
+    for pk in previous.sorted_order:
+        key = previous.edge_key(pk)
+        bucket = new_by_key.get(key)
+        if bucket is None:
+            continue
+        cursor = cursors.get(key, 0)
+        if cursor >= len(bucket):
+            continue
+        nk = bucket[cursor]
+        cursors[key] = cursor + 1
+        survivors.append(nk)
+        matched[nk] = True
+    added = sorted(
+        (k for k in range(edge_count) if not matched[k]),
+        key=lambda k: (scaffold.edge_key(k), k),
+    )
+    # Merge the two sorted runs on (key, emission index) — exactly the
+    # comparison a stable sort over the full array resolves ties with.
+    merged: List[int] = []
+    i = j = 0
+    while i < len(survivors) and j < len(added):
+        a, b = survivors[i], added[j]
+        if (scaffold.edge_key(a), a) <= (scaffold.edge_key(b), b):
+            merged.append(a)
+            i += 1
+        else:
+            merged.append(b)
+            j += 1
+    merged.extend(survivors[i:])
+    merged.extend(added[j:])
+    scaffold.sorted_order = merged
+    return scaffold
+
+
+def derive_tree_cover_with_scaffold(
+    coherence: CoherenceGraph,
+    scaffold: _CoverScaffold,
+    bound: Optional[float] = None,
+    deadline: Optional[Deadline] = None,
+) -> TreeCoverResult:
+    """Run Algorithm 1 reusing a prebuilt (or delta-advanced) scaffold."""
+    if bound is None:
+        bound = float(max(len(coherence.mentions), 1))
+    if bound <= 0:
+        raise ValueError(f"bound must be positive, got {bound}")
+    return _derive_with_scaffold(coherence, scaffold, bound, deadline)
 
 
 def _find(parent: List[int], x: int) -> int:

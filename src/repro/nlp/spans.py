@@ -74,6 +74,28 @@ class Span:
             raise ValueError(
                 f"empty span [{self.token_start}, {self.token_end}) for {self.text!r}"
             )
+        # Spans key nearly every dict/set on the linking hot path
+        # (candidate maps, coherence nodes, session dirty regions); the
+        # generated dataclass hash re-hashes the 6-tuple every call, so
+        # cache it once.  Same tuple as the generated implementation —
+        # the compare=True fields in declaration order.
+        object.__setattr__(
+            self,
+            "_hash",
+            hash(
+                (
+                    self.text,
+                    self.token_start,
+                    self.token_end,
+                    self.sentence_index,
+                    self.kind,
+                    self.mention_type,
+                )
+            ),
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def length(self) -> int:

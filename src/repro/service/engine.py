@@ -79,6 +79,18 @@ from repro.service.schema import (
     LinkRequest,
     LinkResponse,
     ServiceError,
+    SessionFeedRequest,
+    SessionFeedResponse,
+)
+from repro.session import (
+    SESSION_MODES,
+    ConversationSession,
+    SessionClosedError,
+    SessionConfig,
+    SessionError,
+    SessionEvictedError,
+    SessionManager,
+    StreamingSession,
 )
 
 
@@ -111,10 +123,29 @@ class ServiceConfig:
     # through the bounded queue; the in-process link/submit/link_batch
     # APIs stay direct for trusted callers like the bench harness.
     overload: OverloadConfig = field(default_factory=OverloadConfig)
+    # Stateful sessions (repro.session): off by default.  When enabled
+    # the engine owns a SessionManager over the warm linker, so session
+    # increments share the cross-request caches with /link, and exposes
+    # the admitted feed path behind the same admission queue.
+    sessions_enabled: bool = False
+    session_max_sessions: int = 64
+    session_ttl_seconds: float = 600.0
+    session_mode: str = "full"
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.session_max_sessions < 1:
+            raise ValueError(
+                f"session_max_sessions must be >= 1, got {self.session_max_sessions}"
+            )
+        if self.session_ttl_seconds <= 0:
+            raise ValueError("session_ttl_seconds must be positive")
+        if self.session_mode not in SESSION_MODES:
+            raise ValueError(
+                f"session_mode must be one of {SESSION_MODES}, "
+                f"got {self.session_mode!r}"
+            )
         if self.batch_max_size < 1:
             raise ValueError(f"batch_max_size must be >= 1, got {self.batch_max_size}")
         if self.batch_max_delay_seconds < 0:
@@ -191,6 +222,17 @@ class LinkingService:
         )
         self.metrics.set_gauge("admission.queue_depth", 0)
         self.metrics.set_gauge("degraded_mode.active", 0)
+        # Stateful sessions: the manager shares the warm linker, so
+        # every session increment reuses the same candidate/similarity
+        # caches as /link.
+        self.sessions: Optional[SessionManager] = None
+        if config.sessions_enabled:
+            self.sessions = SessionManager(
+                self._session_factory,
+                max_sessions=config.session_max_sessions,
+                ttl_seconds=config.session_ttl_seconds,
+            )
+            self.metrics.set_gauge("sessions.active", 0)
         # Lifecycle guard: every pool submission takes this lock and
         # re-checks `_pool_open`; close() flips the flag under the same
         # lock immediately before ThreadPoolExecutor.shutdown.  A
@@ -391,6 +433,133 @@ class LinkingService:
                 responses.append(self._closed_envelope(request, deadline))
         return BatchLinkResponse(tuple(responses))
 
+    # ------------------------------------------------------------------
+    # session paths (POST /session/{id}/feed and friends)
+    # ------------------------------------------------------------------
+    def session_feed_admitted(
+        self,
+        session_id: str,
+        request: SessionFeedRequest,
+        client_id: Optional[str] = None,
+    ) -> SessionFeedResponse:
+        """Feed one increment into a session through the admission layer.
+
+        Same admission semantics as :meth:`link_admitted` — per-client
+        token buckets and the bounded lane queue apply, so a burst of
+        session traffic is shed with 429s before it can starve the pool.
+        The increment's deadline anchors here, at admission.  Lifecycle
+        errors come back as typed envelopes, never raises (except
+        :class:`AdmissionError` / :class:`ServiceClosedError`, which the
+        HTTP layer maps to 429/503): an evicted session is
+        ``session_evicted`` (HTTP 410 — recreate and re-feed), a closed
+        manager is ``unavailable`` (503), id/kind misuse is
+        ``bad_request``, and a tripped deadline is ``timeout`` with the
+        session state rolled back to the previous increment.
+        """
+        if self.sessions is None:
+            raise SessionError("sessions are not enabled on this service")
+        if self._closed:
+            raise ServiceClosedError("LinkingService is closed")
+        lane = request.lane or INTERACTIVE_LANE
+        if self._limiter is not None:
+            client = client_id or "anonymous"
+            retry_after = self._limiter.try_acquire(client)
+            if retry_after is not None:
+                self.metrics.incr("requests.rejected")
+                self.metrics.incr("requests.rejected.rate_limited")
+                raise RateLimitedError(
+                    f"client {client!r} is over its rate limit",
+                    retry_after_seconds=retry_after,
+                )
+        deadline = Deadline.after(self._timeout_for(request))
+        trace = self.tracer.start(request.request_id)
+        if trace is not None:
+            trace.annotate(
+                lane=lane, session_id=session_id, session_kind=request.kind
+            )
+        future: "Future[SessionFeedResponse]" = Future()
+
+        def work() -> SessionFeedResponse:
+            return self._handle_session_feed(session_id, request, deadline, trace)
+
+        try:
+            self._admission.admit(
+                work, future, lane, retry_after_hint=self._retry_after_hint()
+            )
+        except AdmissionError:
+            self.metrics.incr("requests.rejected")
+            self.metrics.incr("requests.rejected.queue_full")
+            if trace is not None:
+                trace.mark_aborted("admission")
+                self.tracer.finish(trace)
+            raise
+        self.metrics.incr(f"admission.admitted.{lane}")
+        self._update_overload_state()
+        try:
+            return future.result(deadline.remaining())
+        except FutureTimeoutError:
+            deadline.cancel()
+            if not future.cancel():
+                # The worker is mid-feed; the cooperative abort will
+                # resolve the future with the timeout envelope (and the
+                # session rolled back) within one checkpoint interval.
+                try:
+                    return future.result(self.config.cancel_grace_seconds)
+                except FutureTimeoutError:
+                    self.metrics.incr("requests.abandoned")
+            elif trace is not None:
+                trace.mark_aborted("queue")
+                self.tracer.finish(trace)
+            self.metrics.incr("requests.timeouts")
+            return self._session_envelope(
+                session_id,
+                request,
+                deadline.elapsed(),
+                ServiceError(
+                    "timeout",
+                    "session feed exceeded its deadline; "
+                    "session state unchanged",
+                ),
+                trace,
+            )
+        except CancelledError:
+            return self._session_envelope(
+                session_id,
+                request,
+                deadline.elapsed(),
+                ServiceError(
+                    "timeout", "session feed was cancelled before dispatch"
+                ),
+                trace,
+            )
+        except ServiceClosedError:
+            self.metrics.incr("requests.rejected_on_close")
+            return self._session_envelope(
+                session_id,
+                request,
+                deadline.elapsed(),
+                ServiceError("unavailable", "service is shutting down"),
+                trace,
+            )
+
+    def session_info(self, session_id: str) -> Optional[Dict[str, Any]]:
+        """Introspection payload for ``GET /session/{id}`` (None = 404)."""
+        if self.sessions is None:
+            return None
+        return self.sessions.get(session_id)
+
+    def session_delete(self, session_id: str) -> bool:
+        """Drop one session (``DELETE /session/{id}``)."""
+        if self.sessions is None:
+            return False
+        deleted = self.sessions.delete(session_id)
+        if deleted:
+            self.metrics.incr("session.deleted")
+            self.metrics.set_gauge(
+                "sessions.active", self.sessions.active_count()
+            )
+        return deleted
+
     def link_batch(self, batch: BatchLinkRequest) -> BatchLinkResponse:
         """Link one explicit batch; responses keep the request order.
 
@@ -454,6 +623,9 @@ class LinkingService:
                 else None
             ),
         }
+        payload["sessions"] = (
+            self.sessions.stats() if self.sessions is not None else None
+        )
         payload["config"] = {
             "workers": self.config.workers,
             "default_timeout_seconds": self.config.default_timeout_seconds,
@@ -463,6 +635,10 @@ class LinkingService:
             "cache_enabled": self.caches.enabled,
             "trace_enabled": self.tracer.enabled,
             "trace_ring_size": self.config.trace_ring_size,
+            "sessions_enabled": self.config.sessions_enabled,
+            "session_mode": self.config.session_mode,
+            "session_max_sessions": self.config.session_max_sessions,
+            "session_ttl_seconds": self.config.session_ttl_seconds,
         }
         return payload
 
@@ -483,6 +659,14 @@ class LinkingService:
         rejected = self._admission.close()
         if rejected:
             self.metrics.incr("requests.rejected_on_close", rejected)
+        # Drain sessions after admission stops: nothing new can queue,
+        # and any feed already in the pool observes the closed flag and
+        # resolves with the clean `unavailable` envelope (503).
+        if self.sessions is not None:
+            drained = self.sessions.close()
+            if drained:
+                self.metrics.incr("session.drained_on_close", drained)
+            self.metrics.set_gauge("sessions.active", 0)
         self._batcher.close()
         with self._lifecycle:
             self._pool_open = False
@@ -533,6 +717,151 @@ class LinkingService:
             if request.timeout_seconds is not None
             else self.config.default_timeout_seconds
         )
+
+    def _session_factory(self, kind: str):
+        session_config = SessionConfig(mode=self.config.session_mode)
+        if kind == "conversation":
+            return ConversationSession(self.linker, session_config)
+        return StreamingSession(self.linker, session_config)
+
+    def _handle_session_feed(
+        self,
+        session_id: str,
+        request: SessionFeedRequest,
+        deadline: Optional[Deadline] = None,
+        trace: Optional[Trace] = None,
+    ) -> SessionFeedResponse:
+        """Run one session increment in the worker thread.
+
+        Never raises: lifecycle and solver failures come back as typed
+        error envelopes.  The session's commit-at-end protocol means any
+        failure (deadline abort included) leaves the session at its
+        previous increment, so the client can simply retry the chunk.
+        """
+        started = time.perf_counter()
+        if trace is not None:
+            queue_wait = max(0.0, trace.elapsed())
+            trace.record("queue_wait", queue_wait)
+            self.metrics.observe("latency.queue_wait", queue_wait)
+        cache_before = self._cache_counters() if trace is not None else None
+        self.metrics.incr("requests.total")
+        self.metrics.incr("session.feeds")
+        active = self.metrics.add_gauge("pool.active_workers", 1)
+        self.metrics.set_gauge(
+            "pool.saturation", min(1.0, active / self.config.workers)
+        )
+        try:
+            error: Optional[ServiceError] = None
+            try:
+                outcome, created = self.sessions.feed(
+                    session_id,
+                    request.chunk,
+                    kind=request.kind,
+                    deadline=deadline,
+                    trace=trace,
+                )
+            except SessionEvictedError as exc:
+                self.metrics.incr("session.rejected.evicted")
+                error = ServiceError("session_evicted", str(exc))
+            except SessionClosedError as exc:
+                self.metrics.incr("requests.rejected_on_close")
+                error = ServiceError("unavailable", str(exc))
+            except SessionError as exc:
+                self.metrics.incr("requests.errors")
+                error = ServiceError("bad_request", str(exc))
+            except DeadlineExceeded as exc:
+                self.metrics.incr("requests.cancelled")
+                self.metrics.incr(f"stage.{exc.stage}.aborted")
+                self.metrics.incr("session.feed_timeouts")
+                error = ServiceError(
+                    "timeout",
+                    f"session feed aborted at stage {exc.stage!r}; "
+                    "session state unchanged",
+                )
+            except Exception as exc:  # noqa: BLE001 - envelope, don't crash workers
+                self.metrics.incr("requests.errors")
+                error = ServiceError("internal", f"{type(exc).__name__}: {exc}")
+            if error is not None:
+                return self._finalize(
+                    SessionFeedResponse(
+                        session_id=session_id,
+                        kind=request.kind,
+                        request_id=request.request_id,
+                        elapsed_seconds=time.perf_counter() - started,
+                        error=error,
+                    ),
+                    trace,
+                    cache_before,
+                )
+            elapsed = time.perf_counter() - started
+            if created:
+                self.metrics.incr("session.created")
+            self.metrics.incr(f"session.solve.{outcome.solve}")
+            if outcome.coref_inherited:
+                self.metrics.incr(
+                    "session.coref_inherited", len(outcome.coref_inherited)
+                )
+            self.metrics.incr("session.memo.hits", outcome.memo_hits)
+            self.metrics.incr("session.memo.misses", outcome.memo_misses)
+            timings = dict(outcome.stage_seconds)
+            self.metrics.observe_stages(timings)
+            self.metrics.observe("latency.session_feed", elapsed)
+            self._latency_window.observe(elapsed)
+            self._update_overload_state()
+            self.metrics.incr("requests.completed")
+            stats = self.sessions.stats()
+            self.metrics.set_gauge("sessions.active", stats["active"])
+            self.metrics.set_gauge("sessions.evicted_lru", stats["evicted_lru"])
+            self.metrics.set_gauge("sessions.evicted_ttl", stats["evicted_ttl"])
+            return self._finalize(
+                SessionFeedResponse(
+                    result=outcome.result.to_json(include_timings=False),
+                    session_id=session_id,
+                    kind=request.kind,
+                    mode=outcome.mode,
+                    increment=outcome.increment,
+                    created=created,
+                    solve=outcome.solve,
+                    mentions=outcome.mention_counts(),
+                    memo={
+                        "hits": outcome.memo_hits,
+                        "misses": outcome.memo_misses,
+                    },
+                    coref=tuple(outcome.coref_inherited),
+                    text_length=outcome.text_length,
+                    request_id=request.request_id,
+                    elapsed_seconds=elapsed,
+                    timings=timings,
+                ),
+                trace,
+                cache_before,
+            )
+        finally:
+            active = self.metrics.add_gauge("pool.active_workers", -1)
+            self.metrics.set_gauge(
+                "pool.saturation", min(1.0, max(0.0, active) / self.config.workers)
+            )
+
+    def _session_envelope(
+        self,
+        session_id: str,
+        request: SessionFeedRequest,
+        elapsed: float,
+        error: ServiceError,
+        trace: Optional[Trace] = None,
+    ) -> SessionFeedResponse:
+        """Caller-side session error envelope (worker never answered)."""
+        response = SessionFeedResponse(
+            session_id=session_id,
+            kind=request.kind,
+            request_id=request.request_id,
+            elapsed_seconds=elapsed,
+            error=error,
+        )
+        if trace is not None:
+            response = replace(response, trace_id=trace.trace_id)
+        self._log_request(response, event="session.caller_error")
+        return response
 
     def _admit(
         self,

@@ -14,7 +14,15 @@ Endpoints:
 * ``GET /debug/traces`` — recent request traces from the tracer's ring
   buffer; query params ``limit`` (int), ``slow_seconds`` (float,
   keep only traces at least that slow) and ``trace_id`` (resolve one);
-* ``GET /healthz`` — liveness probe.
+* ``GET /healthz`` — liveness probe;
+* ``POST /session/{id}/feed`` — body :class:`SessionFeedRequest`, one
+  increment into a stateful session (created on first feed), returns
+  :class:`SessionFeedResponse` with the accumulated linking; **410**
+  (``session_evicted``) means the session was LRU/TTL-evicted or
+  deleted — recreate and re-feed.  404 when the service runs without
+  ``--sessions``;
+* ``GET /session/{id}`` — session introspection (404 when unknown);
+* ``DELETE /session/{id}`` — drop a session.
 
 Both POST endpoints go through the engine's admission layer:
 ``/link`` takes the interactive lane (or the request's ``lane`` field),
@@ -44,7 +52,9 @@ from repro.service.schema import (
     LinkRequest,
     SchemaError,
     ServiceError,
+    SessionFeedRequest,
 )
+from repro.session import SessionError, validate_session_id
 
 MAX_BODY_BYTES = 8 * 1024 * 1024  # refuse absurd payloads outright
 
@@ -75,14 +85,26 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, self.server.service.snapshot())
         elif path == "/debug/traces":
             self._handle_traces()
+        elif path.startswith("/session/"):
+            self._handle_session_get(path)
         else:
             self._send_error(404, "not_found", f"unknown path {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        if self.path == "/link":
+        path = urlsplit(self.path).path
+        if path == "/link":
             self._handle_link()
-        elif self.path == "/batch":
+        elif path == "/batch":
             self._handle_batch()
+        elif path.startswith("/session/") and path.endswith("/feed"):
+            self._handle_session_feed(path)
+        else:
+            self._send_error(404, "not_found", f"unknown path {self.path}")
+
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path
+        if path.startswith("/session/"):
+            self._handle_session_delete(path)
         else:
             self._send_error(404, "not_found", f"unknown path {self.path}")
 
@@ -147,6 +169,95 @@ class _Handler(BaseHTTPRequestHandler):
         }
         status = 500 if "internal" in codes else 200
         self._send(status, response.to_json())
+
+    # ------------------------------------------------------------------
+    # session endpoints
+    # ------------------------------------------------------------------
+    _SESSION_STATUS = {
+        "bad_request": 400,
+        "session_evicted": 410,
+        "timeout": 504,
+        "unavailable": 503,
+    }
+
+    def _session_id_from(self, path: str, suffix: str = "") -> Optional[str]:
+        """Extract and validate the ``{id}`` of ``/session/{id}<suffix>``."""
+        session_id = path[len("/session/"):]
+        if suffix:
+            session_id = session_id[: -len(suffix)]
+        try:
+            return validate_session_id(session_id)
+        except SessionError as exc:
+            self._send_error(400, "bad_request", str(exc))
+            return None
+
+    def _sessions_enabled(self) -> bool:
+        if self.server.service.sessions is None:
+            self._send_error(
+                404,
+                "not_found",
+                "sessions are not enabled (start the server with --sessions)",
+            )
+            return False
+        return True
+
+    def _handle_session_feed(self, path: str) -> None:
+        if not self._sessions_enabled():
+            return
+        session_id = self._session_id_from(path, suffix="/feed")
+        if session_id is None:
+            return
+        payload = self._read_json()
+        if payload is None:
+            return
+        try:
+            request = SessionFeedRequest.from_json(payload)
+        except SchemaError as exc:
+            self._send_error(400, "bad_request", str(exc))
+            return
+        try:
+            response = self.server.service.session_feed_admitted(
+                session_id, request, client_id=self._client_id()
+            )
+        except AdmissionError as exc:
+            self._send_rejected(exc)
+            return
+        except (ServiceClosedError, SessionError) as exc:
+            # SessionError here means sessions were disabled between the
+            # check above and the call — treat both as shutdown races.
+            self._send_error(503, "unavailable", str(exc))
+            return
+        status = 200
+        if response.error is not None:
+            status = self._SESSION_STATUS.get(response.error.code, 500)
+        self._send(status, response.to_json(), trace_id=response.trace_id)
+
+    def _handle_session_get(self, path: str) -> None:
+        if not self._sessions_enabled():
+            return
+        session_id = self._session_id_from(path)
+        if session_id is None:
+            return
+        info = self.server.service.session_info(session_id)
+        if info is None:
+            self._send_error(
+                404, "not_found", f"unknown session {session_id!r}"
+            )
+            return
+        self._send(200, info)
+
+    def _handle_session_delete(self, path: str) -> None:
+        if not self._sessions_enabled():
+            return
+        session_id = self._session_id_from(path)
+        if session_id is None:
+            return
+        if not self.server.service.session_delete(session_id):
+            self._send_error(
+                404, "not_found", f"unknown session {session_id!r}"
+            )
+            return
+        self._send(200, {"deleted": session_id})
 
     def _send_rejected(self, exc: AdmissionError) -> None:
         """One shed request: 429 + Retry-After + typed envelope."""

@@ -70,6 +70,10 @@ from repro.kb.synthetic import (
     world_to_json,
 )
 from repro.nlp.spans import SpanKind
+from repro.session.workloads import (
+    SESSION_WORKLOAD_FORMAT_VERSION,
+    build_session_workloads,
+)
 from repro.snapshot.manifest import (
     MANIFEST_NAME,
     SNAPSHOT_SCHEMA_VERSION,
@@ -187,6 +191,7 @@ class SnapshotSpec:
                     "world": WORLD_FORMAT_VERSION,
                     "dataset": DATASET_FORMAT_VERSION,
                     "cache_seed": CACHE_SEED_FORMAT_VERSION,
+                    "session_workloads": SESSION_WORKLOAD_FORMAT_VERSION,
                 },
             }
         )
@@ -206,6 +211,11 @@ class WarmStart:
     world: SyntheticWorld
     #: Gold-set datasets persisted in the snapshot, keyed by scale.
     datasets: Dict[float, List[Dataset]] = field(default_factory=dict)
+    #: Session workload payloads persisted in the snapshot, keyed by
+    #: scale (absent in snapshots built before the session subsystem).
+    session_workloads: Dict[float, Dict[str, object]] = field(
+        default_factory=dict
+    )
     cache_seed_phrases: List[str] = field(default_factory=list)
     load_seconds: float = 0.0
     #: "warm" when loaded from an existing snapshot, "built" when this
@@ -240,6 +250,25 @@ class WarmStart:
             builder(self.world, seed=seed * 100 + offset, scale=scale)
             for _name, builder, offset in _DATASET_BUILDERS
         ]
+
+    def session_workloads_for_scale(self, scale: float) -> Dict[str, object]:
+        """The session workload payload at *scale*.
+
+        Scales persisted in the snapshot load from disk; any other scale
+        (and snapshots predating the session subsystem) regenerate
+        deterministically from the gold sets — the generators are pure
+        functions of the documents and the manifest seed.
+        """
+        if scale in self.session_workloads:
+            return self.session_workloads[scale]
+        documents = [
+            document
+            for dataset in self.datasets_for_scale(scale)
+            for document in dataset.documents
+        ]
+        return build_session_workloads(
+            documents, seed=int(self.manifest.spec["seed"])
+        )
 
     def info(self) -> Dict[str, object]:
         """JSON-compatible identity block for ``/metrics`` and bench."""
@@ -344,6 +373,20 @@ def build_snapshot(
                 record(f"dataset:{_scale_tag(scale)}:{name}", relative)
                 built.append(dataset)
             datasets_by_scale[scale] = built
+
+            session_dir = tmp / "sessions" / _scale_tag(scale)
+            session_dir.mkdir(parents=True)
+            workloads = build_session_workloads(
+                [doc for dataset in built for doc in dataset.documents],
+                seed=spec.seed,
+            )
+            (session_dir / "workloads.json").write_text(
+                json.dumps(workloads, indent=1, sort_keys=True)
+            )
+            record(
+                f"session_workloads:{_scale_tag(scale)}",
+                f"sessions/{_scale_tag(scale)}/workloads.json",
+            )
 
         if spec.include_cache_seed and spec.cache_seed_limit > 0:
             phrases = _collect_cache_seed(
@@ -508,6 +551,18 @@ def load_snapshot(
             )
         datasets[scale] = loaded
 
+    session_workloads: Dict[float, Dict[str, object]] = {}
+    for scale in manifest.spec.get("scales", []):
+        scale = float(scale)
+        workload_path = path / "sessions" / _scale_tag(scale) / "workloads.json"
+        if not workload_path.is_file():
+            # Snapshots built before the session subsystem: workloads
+            # regenerate on demand (session_workloads_for_scale).
+            continue
+        payload = json.loads(workload_path.read_text())
+        if payload.get("format_version") == SESSION_WORKLOAD_FORMAT_VERSION:
+            session_workloads[scale] = payload
+
     phrases: List[str] = []
     cache_seed = path / "cache_seed.json"
     if cache_seed.is_file():
@@ -521,6 +576,7 @@ def load_snapshot(
         context=context,
         world=world,
         datasets=datasets,
+        session_workloads=session_workloads,
         cache_seed_phrases=phrases,
         load_seconds=time.perf_counter() - started,
     )

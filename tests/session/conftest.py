@@ -1,0 +1,46 @@
+"""Session-test fixtures.
+
+Everything expensive is shared: the linker rides the session-scoped
+``suite_context`` (one synthetic world for the whole test run) and the
+gold documents come from the one ``suite`` build, so adding the session
+suite keeps tier-1 wall-clock flat.  Chunked workloads are generated
+once per module from those documents — the generators are pure
+functions of (documents, seed), so module scope loses no coverage.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+import pytest
+
+from repro.core.config import TenetConfig
+from repro.core.linker import TenetLinker
+from repro.session.workloads import stream_chunkings
+
+
+@pytest.fixture(scope="module")
+def linker(suite_context) -> TenetLinker:
+    return TenetLinker(suite_context, TenetConfig())
+
+
+@pytest.fixture(scope="module")
+def documents(suite) -> List[object]:
+    return [
+        document
+        for dataset in suite.datasets()
+        for document in dataset.documents
+    ]
+
+
+@pytest.fixture(scope="module")
+def stream_workloads(documents):
+    workloads = stream_chunkings(documents, chunks=4, seed=7, limit=6)
+    assert workloads, "generator produced no stream workloads"
+    return workloads
+
+
+def canonical(result) -> str:
+    """The byte-parity key: deterministic payload, timings stripped."""
+    return json.dumps(result.to_json(include_timings=False), sort_keys=True)

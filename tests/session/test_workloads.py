@@ -1,0 +1,108 @@
+"""Deterministic workload generators and their snapshot payload."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.session.workloads import (
+    SESSION_WORKLOAD_FORMAT_VERSION,
+    build_session_workloads,
+    conversation_scripts,
+    split_text,
+    stream_chunkings,
+    workloads_from_payload,
+)
+
+
+class TestSplitText:
+    def test_concatenation_identity(self):
+        text = "Alpha beta gamma. Delta epsilon zeta. Eta theta iota."
+        for chunks in (2, 3, 5, 20):
+            for seed in range(5):
+                parts = split_text(text, chunks, random.Random(seed))
+                assert "".join(parts) == text
+                assert all(parts)
+
+    def test_sentence_aligned_cuts_land_after_periods(self):
+        text = "One sentence here. Another one there. And a third one."
+        parts = split_text(text, 3, random.Random(0), sentence_aligned=True)
+        assert "".join(parts) == text
+        for part in parts[:-1]:
+            assert part.endswith(". ")
+
+    def test_sentence_aligned_falls_back_to_whitespace(self):
+        text = "no sentence boundary in this text at all"
+        parts = split_text(text, 3, random.Random(0), sentence_aligned=True)
+        assert "".join(parts) == text
+        assert len(parts) == 3
+
+    def test_unsplittable_text_returned_whole(self):
+        assert split_text("word", 4, random.Random(0)) == ["word"]
+
+    def test_deterministic_for_seed(self):
+        text = "Alpha beta gamma delta. Epsilon zeta eta theta."
+        first = split_text(text, 3, random.Random(42))
+        second = split_text(text, 3, random.Random(42))
+        assert first == second
+
+
+class TestStreamChunkings:
+    def test_chunks_reassemble_documents(self, documents):
+        workloads = stream_chunkings(documents, chunks=4, seed=7, limit=None)
+        by_doc_id = {document.doc_id: document for document in documents}
+        assert workloads
+        for workload in workloads:
+            assert workload.text == by_doc_id[workload.doc_id].text
+            assert len(workload.chunks) >= 2
+            assert workload.gold == tuple(by_doc_id[workload.doc_id].gold)
+
+    def test_deterministic_and_limited(self, documents):
+        first = stream_chunkings(documents, chunks=3, seed=9, limit=4)
+        second = stream_chunkings(documents, chunks=3, seed=9, limit=4)
+        assert first == second
+        assert len(first) <= 4
+
+    def test_rejects_single_chunk(self, documents):
+        with pytest.raises(ValueError):
+            stream_chunkings(documents, chunks=1)
+
+
+class TestConversationScripts:
+    def test_script_shape(self, documents):
+        scripts = conversation_scripts(documents, seed=7, limit=None)
+        assert scripts
+        for script in scripts:
+            exercises = [turn.exercises for turn in script.turns]
+            assert exercises == ["opening", "anaphora", "re-mention"]
+            # The anaphora turn's pronoun refers back into the opening.
+            assert script.turns[1].utterance.startswith("He ")
+            assert script.turns[1].expected_concepts
+            assert script.turns[2].expected_concepts
+
+    def test_deterministic(self, documents):
+        assert conversation_scripts(documents, seed=7) == conversation_scripts(
+            documents, seed=7
+        )
+
+
+class TestPayloadRoundTrip:
+    def test_round_trips_losslessly(self, documents):
+        payload = build_session_workloads(documents, seed=7, chunks=4)
+        assert payload["format_version"] == SESSION_WORKLOAD_FORMAT_VERSION
+        streams, scripts = workloads_from_payload(payload)
+        assert streams == stream_chunkings(documents, chunks=4, seed=7)
+        assert scripts == conversation_scripts(documents, seed=7)
+
+    def test_rejects_unknown_format_version(self, documents):
+        payload = build_session_workloads(documents, seed=7)
+        payload["format_version"] = SESSION_WORKLOAD_FORMAT_VERSION + 1
+        with pytest.raises(ValueError):
+            workloads_from_payload(payload)
+
+    def test_payload_is_json_safe(self, documents):
+        import json
+
+        payload = build_session_workloads(documents, seed=7)
+        assert json.loads(json.dumps(payload)) == payload

@@ -1,0 +1,42 @@
+"""Session workloads ride the snapshot: persisted, verified, regenerable."""
+
+from repro.session.workloads import (
+    build_session_workloads,
+    workloads_from_payload,
+)
+
+
+class TestPersistedWorkloads:
+    def test_persisted_scale_loads_from_disk(self, warm, snap_spec):
+        scale = snap_spec.scales[0]
+        assert scale in warm.session_workloads
+        payload = warm.session_workloads_for_scale(scale)
+        assert payload is warm.session_workloads[scale]
+        streams, scripts = workloads_from_payload(payload)
+        assert streams and scripts
+
+    def test_persisted_matches_regeneration(self, warm, snap_spec):
+        # The payload on disk must equal what the generators produce from
+        # the snapshot's own gold sets — same seed, same documents.
+        scale = snap_spec.scales[0]
+        documents = [
+            document
+            for dataset in warm.datasets_for_scale(scale)
+            for document in dataset.documents
+        ]
+        regenerated = build_session_workloads(documents, seed=snap_spec.seed)
+        assert warm.session_workloads_for_scale(scale) == regenerated
+
+    def test_unpersisted_scale_regenerates(self, warm):
+        # A scale the snapshot never stored still yields a payload —
+        # older snapshots (pre-session) take the same path.
+        payload = warm.session_workloads_for_scale(0.1)
+        assert 0.1 not in warm.session_workloads
+        streams, scripts = workloads_from_payload(payload)
+        assert streams
+
+    def test_workloads_artifact_is_hashed(self, warm):
+        names = {entry.name for entry in warm.manifest.artifacts}
+        assert any(
+            name.startswith("session_workloads:") for name in names
+        ), names
